@@ -1,0 +1,96 @@
+// Substrate ablation: multiversion store micro-costs — visibility reads as
+// version chains grow, pending-write probes, snapshot scans, and garbage
+// collection (the cost of Section 4.2's "snapshot data ... can be
+// maintained" proviso).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "critique/storage/mv_store.h"
+
+namespace critique {
+namespace {
+
+MultiVersionStore BuildChain(size_t versions) {
+  MultiVersionStore store;
+  store.Bootstrap("x", Row::Scalar(Value(0)), 1);
+  for (size_t v = 0; v < versions; ++v) {
+    TxnId t = static_cast<TxnId>(v + 2);
+    store.Write("x", Row::Scalar(Value(static_cast<int64_t>(v))), t);
+    store.CommitTxn(t, 2 * v + 3);
+  }
+  return store;
+}
+
+void BM_ReadLatestVersion(benchmark::State& state) {
+  MultiVersionStore store = BuildChain(static_cast<size_t>(state.range(0)));
+  const Timestamp now = 1000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read("x", now, 999));
+  }
+}
+BENCHMARK(BM_ReadLatestVersion)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ReadOldSnapshot(benchmark::State& state) {
+  // Time travel: read near the head of a long chain.
+  MultiVersionStore store = BuildChain(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read("x", 4, 999));
+  }
+}
+BENCHMARK(BM_ReadOldSnapshot)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_WritePendingVersion(benchmark::State& state) {
+  MultiVersionStore store = BuildChain(16);
+  for (auto _ : state) {
+    store.Write("x", Row::Scalar(Value(1)), 7777);
+    state.PauseTiming();
+    store.AbortTxn(7777);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_WritePendingVersion);
+
+void BM_FirstCommitterProbe(benchmark::State& state) {
+  MultiVersionStore store = BuildChain(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.LatestCommitTs("x"));
+  }
+}
+BENCHMARK(BM_FirstCommitterProbe)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  MultiVersionStore store;
+  const int64_t items = state.range(0);
+  for (int64_t k = 0; k < items; ++k) {
+    store.Bootstrap("k" + std::to_string(k),
+                    Row().Set("active", k % 2 == 0), 1);
+  }
+  Predicate p = Predicate::Cmp("active", CompareOp::kEq, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Scan(p, 100, 999));
+  }
+}
+BENCHMARK(BM_SnapshotScan)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GarbageCollect(benchmark::State& state) {
+  const size_t versions = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MultiVersionStore store = BuildChain(versions);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.GarbageCollect(2 * versions + 10));
+  }
+}
+BENCHMARK(BM_GarbageCollect)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace critique
+
+int main(int argc, char** argv) {
+  std::printf("==== Substrate bench: multiversion store micro-costs ====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

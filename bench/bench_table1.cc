@@ -1,0 +1,127 @@
+// Reproduces Table 1 (ANSI levels under the three original phenomena) and
+// the Section 3 strict-vs-broad demonstration, then benchmarks the
+// phenomenon detectors and ANSI classifier that power it.
+//
+// Paper artifacts regenerated here:
+//  * Table 1 under both interpretations;
+//  * the H1/H2/H3 classifications behind Remark 4 ("the broad
+//    interpretation is the correct one").
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "critique/analysis/ansi_levels.h"
+#include "critique/analysis/dependency_graph.h"
+#include "critique/common/random.h"
+#include "critique/harness/report.h"
+#include "critique/history/history.h"
+
+namespace critique {
+namespace {
+
+const char kH1[] = "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1";
+
+// Random single-version history over `txns` transactions and `items` items.
+History RandomHistory(Rng& rng, int txns, int items, size_t actions) {
+  History h;
+  std::vector<bool> done(txns + 1, false);
+  for (size_t i = 0; i < actions; ++i) {
+    TxnId t = static_cast<TxnId>(rng.UniformRange(1, txns));
+    if (done[t]) continue;
+    ItemId item = "k" + std::to_string(rng.Uniform(items));
+    switch (rng.Uniform(8)) {
+      case 0:
+        h.Append(Action::Commit(t));
+        done[t] = true;
+        break;
+      case 1:
+        h.Append(Action::Abort(t));
+        done[t] = true;
+        break;
+      case 2:
+      case 3:
+      case 4:
+        h.Append(Action::Read(t, item));
+        break;
+      default:
+        h.Append(Action::Write(t, item));
+        break;
+    }
+  }
+  for (TxnId t = 1; t <= txns; ++t) {
+    if (!done[t]) h.Append(Action::Commit(t));
+  }
+  return h;
+}
+
+void BM_ParseH1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto h = History::Parse(kH1);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ParseH1);
+
+void BM_DetectSinglePhenomenon(benchmark::State& state) {
+  Rng rng(42);
+  History h = RandomHistory(rng, 8, 16, static_cast<size_t>(state.range(0)));
+  Phenomenon p = AllPhenomena()[state.range(1)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exhibits(h, p));
+  }
+  state.SetLabel(std::string(PhenomenonName(p)));
+}
+BENCHMARK(BM_DetectSinglePhenomenon)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 5})
+    ->Args({256, 0})
+    ->Args({256, 5});
+
+void BM_DetectAllPhenomena(benchmark::State& state) {
+  Rng rng(42);
+  History h = RandomHistory(rng, 8, 16, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExhibitedPhenomena(h));
+  }
+}
+BENCHMARK(BM_DetectAllPhenomena)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ClassifyAnsiLevel(benchmark::State& state) {
+  Rng rng(7);
+  History h = RandomHistory(rng, 6, 8, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StrongestAnsiLevel(
+        h, AnsiInterpretation::kBroad, AnsiTable::kTable3));
+  }
+}
+BENCHMARK(BM_ClassifyAnsiLevel);
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  Rng rng(7);
+  History h = RandomHistory(rng, 8, 16, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSerializable(h));
+  }
+}
+BENCHMARK(BM_SerializabilityCheck)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace critique
+
+int main(int argc, char** argv) {
+  std::printf("==== Table 1 reproduction "
+              "(A Critique of ANSI SQL Isolation Levels) ====\n\n");
+  std::printf("%s\n",
+              critique::RenderTable1(critique::AnsiInterpretation::kStrict)
+                  .c_str());
+  std::printf("%s\n",
+              critique::RenderTable1(critique::AnsiInterpretation::kBroad)
+                  .c_str());
+  std::printf("%s\n", critique::RenderStrictVsBroadDemo().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The paper's H1 "inconsistent analysis": a transfer of 40 between two
+// accounts interleaved with an audit, replayed at every isolation level.
+// Shows which levels let the audit see a torn total of 60, which block,
+// and which read a consistent snapshot — the Section 3 argument, live.
+//
+// Build & run:  ./build/examples/example_bank_transfer
+
+#include <cstdio>
+
+#include "critique/engine/engine_factory.h"
+#include "critique/exec/runner.h"
+
+using namespace critique;
+
+namespace {
+
+struct Outcome {
+  int64_t audit_sum = 0;
+  bool audit_committed = false;
+  uint64_t blocked = 0;
+};
+
+Outcome RunH1(IsolationLevel level) {
+  auto engine = CreateEngine(level);
+  (void)engine->Load("x", Row::Scalar(Value(50)));
+  (void)engine->Load("y", Row::Scalar(Value(50)));
+
+  Runner runner(*engine);
+  Program transfer;  // T1: move 40 from x to y
+  transfer.Read("x")
+      .WriteComputed("x", [](const TxnLocals& l) {
+        return Value(l.GetInt("x") - 40);
+      })
+      .Read("y")
+      .WriteComputed("y", [](const TxnLocals& l) {
+        return Value(l.GetInt("y") + 40);
+      })
+      .Commit();
+  Program audit;  // T2: the invariant check
+  audit.Read("x", "ax").Read("y", "ay").Commit();
+  runner.AddProgram(1, std::move(transfer));
+  runner.AddProgram(2, std::move(audit));
+
+  // H1's interleaving: T1 debits, T2 audits, T1 credits.
+  auto result = runner.Run(ParseSchedule("1 1 2 2 2 1 1 1"));
+  Outcome out;
+  if (!result.ok()) return out;
+  out.audit_committed = result->Committed(2);
+  out.audit_sum =
+      result->locals.at(2).GetInt("ax") + result->locals.at(2).GetInt("ay");
+  out.blocked = result->blocked_retries;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("H1 inconsistent analysis: transfer(40) vs audit, true total "
+              "is 100.\n\n");
+  std::printf("%-36s %10s %10s %s\n", "Isolation level", "audit sum",
+              "waits", "verdict");
+  for (IsolationLevel level : AllEngineLevels()) {
+    Outcome o = RunH1(level);
+    const char* verdict =
+        !o.audit_committed ? "audit aborted"
+        : (o.audit_sum == 100
+               ? (o.blocked ? "consistent (audit waited)"
+                            : "consistent (snapshot/serial)")
+               : "INCONSISTENT ANALYSIS");
+    std::printf("%-36s %10lld %10llu %s\n", IsolationLevelName(level).c_str(),
+                static_cast<long long>(o.audit_sum),
+                static_cast<unsigned long long>(o.blocked), verdict);
+  }
+  std::printf(
+      "\nOnly Degree 0 and Locking READ UNCOMMITTED let the audit read the\n"
+      "in-flight transfer (sum 60) — exactly the paper's case for the broad\n"
+      "interpretation P1 over the strict A1 (Section 3).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Bulk predicate writes in practice: a payroll department gives every
+// sales employee a raise (UPDATE ... WHERE dept='sales') while HR
+// concurrently transfers an engineer into sales.  Demonstrates the
+// paper's Write *predicate* locks — the transfer is a phantom for the
+// raise, and the predicate lock serializes them at every locking level,
+// while Snapshot Isolation resolves it with First-Committer-Wins.
+//
+// Build & run:  ./build/examples/example_payroll_bulk_update
+
+#include <cstdio>
+
+#include "critique/engine/engine_factory.h"
+
+using namespace critique;
+
+namespace {
+
+Predicate Sales() {
+  return Predicate::Cmp("dept", CompareOp::kEq, Value("sales"));
+}
+
+Row GiveRaise(const Row& row) {
+  Row out = row;
+  out.Set("salary",
+          static_cast<int64_t>(*row.Get("salary").AsNumeric()) + 10);
+  return out;
+}
+
+void RunAt(IsolationLevel level) {
+  auto e = CreateEngine(level);
+  (void)e->Load("ann", Row().Set("dept", "sales").Set("salary", 100));
+  (void)e->Load("bob", Row().Set("dept", "sales").Set("salary", 100));
+  (void)e->Load("cai", Row().Set("dept", "eng").Set("salary", 100));
+
+  // Payroll starts the bulk raise (w1[Sales]).
+  (void)e->Begin(1);
+  auto raised = e->UpdateWhere(1, "Sales", Sales(), GiveRaise);
+
+  // HR tries to move cai into sales mid-raise.
+  (void)e->Begin(2);
+  Status transfer =
+      e->Write(2, "cai", Row().Set("dept", "sales").Set("salary", 100));
+
+  std::string hr_note = transfer.ok() ? "proceeded" : transfer.ToString();
+  (void)e->Commit(1);
+  if (transfer.IsWouldBlock()) {
+    transfer = e->Write(2, "cai",
+                        Row().Set("dept", "sales").Set("salary", 100));
+    hr_note += ", then proceeded after c1";
+  }
+  Status hr_commit = e->Commit(2);
+
+  // Final payroll state.
+  (void)e->Begin(9);
+  auto rows = e->ReadPredicate(9, "Sales", Sales());
+  (void)e->Commit(9);
+
+  std::printf("%s\n", IsolationLevelName(level).c_str());
+  std::printf("  raise touched %zu rows; HR transfer %s; HR commit %s\n",
+              raised.ok() ? *raised : size_t{0}, hr_note.c_str(),
+              hr_commit.ToString().c_str());
+  if (rows.ok()) {
+    std::printf("  sales roster now:");
+    for (const auto& [id, row] : *rows) {
+      std::printf(" %s=%s", id.c_str(),
+                  row.Get("salary").ToString().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("UPDATE ... WHERE dept='sales' vs a concurrent transfer into "
+              "sales.\n\n");
+  const IsolationLevel levels[] = {
+      IsolationLevel::kReadUncommitted,
+      IsolationLevel::kSerializable,
+      IsolationLevel::kSnapshotIsolation,
+  };
+  for (IsolationLevel level : levels) RunAt(level);
+  std::printf(
+      "\nEven Locking READ UNCOMMITTED blocks the transfer: Table 2 gives\n"
+      "writes long predicate locks at every level ('Write locks on data\n"
+      "items and predicates — always the same').  Under SI the transfer\n"
+      "commits immediately; the raise simply doesn't see it (snapshot),\n"
+      "and cai keeps the pre-raise salary.\n");
+  return 0;
+}

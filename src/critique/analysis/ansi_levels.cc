@@ -1,0 +1,77 @@
+#include "critique/analysis/ansi_levels.h"
+
+namespace critique {
+
+std::string AnsiLevelName(AnsiLevel level, AnsiTable table) {
+  switch (level) {
+    case AnsiLevel::kReadUncommitted:
+      return "READ UNCOMMITTED";
+    case AnsiLevel::kReadCommitted:
+      return "READ COMMITTED";
+    case AnsiLevel::kRepeatableRead:
+      return "REPEATABLE READ";
+    case AnsiLevel::kSerializable:
+      return table == AnsiTable::kTable1 ? "ANOMALY SERIALIZABLE"
+                                         : "SERIALIZABLE";
+  }
+  return "?";
+}
+
+const std::vector<AnsiLevel>& AllAnsiLevels() {
+  static const std::vector<AnsiLevel> kAll = {
+      AnsiLevel::kReadUncommitted,
+      AnsiLevel::kReadCommitted,
+      AnsiLevel::kRepeatableRead,
+      AnsiLevel::kSerializable,
+  };
+  return kAll;
+}
+
+std::vector<Phenomenon> ForbiddenPhenomena(AnsiLevel level,
+                                           AnsiInterpretation interp,
+                                           AnsiTable table) {
+  const bool broad = interp == AnsiInterpretation::kBroad;
+  const Phenomenon dirty = broad ? Phenomenon::kP1 : Phenomenon::kA1;
+  const Phenomenon fuzzy = broad ? Phenomenon::kP2 : Phenomenon::kA2;
+  const Phenomenon phantom = broad ? Phenomenon::kP3 : Phenomenon::kA3;
+
+  std::vector<Phenomenon> out;
+  if (table == AnsiTable::kTable3) out.push_back(Phenomenon::kP0);
+  switch (level) {
+    case AnsiLevel::kReadUncommitted:
+      break;
+    case AnsiLevel::kReadCommitted:
+      out.push_back(dirty);
+      break;
+    case AnsiLevel::kRepeatableRead:
+      out.push_back(dirty);
+      out.push_back(fuzzy);
+      break;
+    case AnsiLevel::kSerializable:
+      out.push_back(dirty);
+      out.push_back(fuzzy);
+      out.push_back(phantom);
+      break;
+  }
+  return out;
+}
+
+bool SatisfiesAnsiLevel(const History& h, AnsiLevel level,
+                        AnsiInterpretation interp, AnsiTable table) {
+  for (Phenomenon p : ForbiddenPhenomena(level, interp, table)) {
+    if (Exhibits(h, p)) return false;
+  }
+  return true;
+}
+
+std::optional<AnsiLevel> StrongestAnsiLevel(const History& h,
+                                            AnsiInterpretation interp,
+                                            AnsiTable table) {
+  std::optional<AnsiLevel> best;
+  for (AnsiLevel level : AllAnsiLevels()) {
+    if (SatisfiesAnsiLevel(h, level, interp, table)) best = level;
+  }
+  return best;
+}
+
+}  // namespace critique

@@ -1,0 +1,56 @@
+#ifndef CRITIQUE_ANALYSIS_ANSI_LEVELS_H_
+#define CRITIQUE_ANALYSIS_ANSI_LEVELS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "critique/analysis/phenomena.h"
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// The four ANSI SQL isolation levels of Tables 1 and 3.
+enum class AnsiLevel {
+  kReadUncommitted,
+  kReadCommitted,
+  kRepeatableRead,
+  kSerializable,  // "ANOMALY SERIALIZABLE" under Table 1 semantics
+};
+
+/// Which reading of the English phenomena the classifier applies
+/// (Section 2.2): strict anomalies A1/A2/A3 or broad phenomena P1/P2/P3.
+enum class AnsiInterpretation { kStrict, kBroad };
+
+/// Which defining table is in force: Table 1 (the original ANSI matrix,
+/// no P0) or Table 3 (Remark 5's correction, P0 forbidden everywhere).
+enum class AnsiTable { kTable1, kTable3 };
+
+/// Display name ("READ COMMITTED", "ANOMALY SERIALIZABLE" for Table 1's
+/// top level, "SERIALIZABLE" for Table 3's).
+std::string AnsiLevelName(AnsiLevel level, AnsiTable table);
+
+/// All four levels, weakest first.
+const std::vector<AnsiLevel>& AllAnsiLevels();
+
+/// The phenomena a history must not exhibit to satisfy `level` under the
+/// given interpretation and table.  Reproduces the "Not Possible" cells of
+/// Table 1 / Table 3.
+std::vector<Phenomenon> ForbiddenPhenomena(AnsiLevel level,
+                                           AnsiInterpretation interp,
+                                           AnsiTable table);
+
+/// True when `h` exhibits none of the phenomena forbidden at `level`.
+bool SatisfiesAnsiLevel(const History& h, AnsiLevel level,
+                        AnsiInterpretation interp, AnsiTable table);
+
+/// The strongest level whose forbidden set `h` avoids; nullopt when even
+/// READ UNCOMMITTED rejects it (possible only under Table 3, where P0 is
+/// forbidden at every level).
+std::optional<AnsiLevel> StrongestAnsiLevel(const History& h,
+                                            AnsiInterpretation interp,
+                                            AnsiTable table);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_ANSI_LEVELS_H_

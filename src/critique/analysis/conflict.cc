@@ -1,0 +1,172 @@
+#include "critique/analysis/conflict.h"
+
+namespace critique {
+
+std::string_view ConflictKindName(ConflictKind k) {
+  switch (k) {
+    case ConflictKind::kWriteWrite:
+      return "ww";
+    case ConflictKind::kWriteRead:
+      return "wr";
+    case ConflictKind::kReadWrite:
+      return "rw";
+  }
+  return "?";
+}
+
+namespace {
+
+bool SetsIntersect(const std::vector<ItemId>& a,
+                   const std::vector<ItemId>& b) {
+  for (const ItemId& x : a) {
+    for (const ItemId& y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool WriteAffectsPredicate(const Action& write, const Action& pred_read) {
+  if (!pred_read.IsPredicateRead()) return false;
+  if (write.IsPredicateWrite()) {
+    if (!pred_read.predicate_name.empty() &&
+        write.predicate_name == pred_read.predicate_name) {
+      return true;
+    }
+    if (write.predicate.has_value() && pred_read.predicate.has_value() &&
+        write.predicate->MayOverlap(*pred_read.predicate)) {
+      return true;
+    }
+    return SetsIntersect(write.read_set, pred_read.read_set);
+  }
+  if (!write.IsWrite()) return false;
+  if (!pred_read.predicate_name.empty() &&
+      write.affects_predicates.count(pred_read.predicate_name)) {
+    return true;
+  }
+  if (pred_read.predicate.has_value()) {
+    const Predicate& p = *pred_read.predicate;
+    if (write.before_image && p.Covers(write.item, *write.before_image)) {
+      return true;
+    }
+    if (write.after_image && p.Covers(write.item, *write.after_image)) {
+      return true;
+    }
+    if (!write.before_image && !write.after_image && write.value) {
+      if (p.Covers(write.item, Row::Scalar(*write.value))) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Does a predicate write touch the given item action?  Precise when the
+// predicate write recorded its affected-item set; otherwise falls back to
+// AST coverage of the item action's images.
+bool PredicateWriteTouchesItem(const Action& pw, const Action& item_action) {
+  for (const ItemId& id : pw.read_set) {
+    if (id == item_action.item) return true;
+  }
+  if (pw.predicate.has_value()) {
+    const Predicate& p = *pw.predicate;
+    if (item_action.before_image &&
+        p.Covers(item_action.item, *item_action.before_image)) {
+      return true;
+    }
+    if (item_action.after_image &&
+        p.Covers(item_action.item, *item_action.after_image)) {
+      return true;
+    }
+    if (!item_action.before_image && !item_action.after_image) {
+      if (item_action.value &&
+          p.Covers(item_action.item, Row::Scalar(*item_action.value))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Overlap of two predicate-scoped actions (pw vs pw, or pw vs pr).
+bool PredicateActionsOverlap(const Action& a, const Action& b) {
+  if (!a.predicate_name.empty() && a.predicate_name == b.predicate_name) {
+    return true;
+  }
+  if (a.predicate.has_value() && b.predicate.has_value() &&
+      a.predicate->MayOverlap(*b.predicate)) {
+    return true;
+  }
+  return SetsIntersect(a.read_set, b.read_set);
+}
+
+}  // namespace
+
+bool Conflicts(const Action& first, const Action& second, ConflictKind* kind) {
+  if (first.txn == second.txn) return false;
+
+  // Predicate-write combinations.
+  if (first.IsPredicateWrite() || second.IsPredicateWrite()) {
+    const Action& pw = first.IsPredicateWrite() ? first : second;
+    const Action& other = first.IsPredicateWrite() ? second : first;
+    bool overlap = false;
+    if (other.IsPredicateWrite() || other.IsPredicateRead()) {
+      overlap = PredicateActionsOverlap(pw, other);
+    } else if (other.IsRead() || other.IsWrite()) {
+      overlap = PredicateWriteTouchesItem(pw, other);
+    }
+    if (!overlap) return false;
+    if (kind) {
+      const bool first_writes = first.IsWrite() || first.IsPredicateWrite();
+      const bool second_writes =
+          second.IsWrite() || second.IsPredicateWrite();
+      if (first_writes && second_writes) {
+        *kind = ConflictKind::kWriteWrite;
+      } else if (first_writes) {
+        *kind = ConflictKind::kWriteRead;
+      } else {
+        *kind = ConflictKind::kReadWrite;
+      }
+    }
+    return true;
+  }
+
+  // Predicate read vs write (either order).
+  if (first.IsPredicateRead() && second.IsWrite()) {
+    if (WriteAffectsPredicate(second, first)) {
+      if (kind) *kind = ConflictKind::kReadWrite;
+      return true;
+    }
+    return false;
+  }
+  if (first.IsWrite() && second.IsPredicateRead()) {
+    if (WriteAffectsPredicate(first, second)) {
+      if (kind) *kind = ConflictKind::kWriteRead;
+      return true;
+    }
+    return false;
+  }
+
+  // Item-level conflicts.
+  const bool both_items = (first.IsRead() || first.IsWrite()) &&
+                          (second.IsRead() || second.IsWrite());
+  if (!both_items || first.item != second.item) return false;
+
+  if (first.IsWrite() && second.IsWrite()) {
+    if (kind) *kind = ConflictKind::kWriteWrite;
+    return true;
+  }
+  if (first.IsWrite() && second.IsRead()) {
+    if (kind) *kind = ConflictKind::kWriteRead;
+    return true;
+  }
+  if (first.IsRead() && second.IsWrite()) {
+    if (kind) *kind = ConflictKind::kReadWrite;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace critique

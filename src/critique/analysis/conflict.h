@@ -1,0 +1,45 @@
+#ifndef CRITIQUE_ANALYSIS_CONFLICT_H_
+#define CRITIQUE_ANALYSIS_CONFLICT_H_
+
+#include "critique/history/action.h"
+
+namespace critique {
+
+/// Kinds of conflicting action pairs (first action's kind → second's).
+enum class ConflictKind {
+  kWriteWrite,  // ww: both write the same item
+  kWriteRead,   // wr: read after write (dataflow)
+  kReadWrite,   // rw: write after read (anti-dependency)
+};
+
+/// Rendering: "ww", "wr", "rw".
+std::string_view ConflictKindName(ConflictKind k);
+
+/// \brief True when a write action affects the data item set covered by a
+/// predicate read.
+///
+/// Per Section 2.3 a predicate covers present items *and phantoms*, so a
+/// write affects the predicate when its before- OR after-image satisfies it.
+/// Resolution order for item writes:
+///   1. explicit annotation (`w2[y in P]` names `pred_read.predicate_name`);
+///   2. bound predicate AST applied to recorded row images;
+///   3. bound predicate AST applied to the written scalar value, for
+///      histories that record plain `w[x=v]` values.
+/// For predicate writes (`w2[P']`): same predicate name, structural
+/// overlap of the two <search condition>s, or a recorded affected-item set
+/// intersecting the read's result set.
+/// With no usable information the answer is false (the history simply does
+/// not relate the write to the predicate).
+bool WriteAffectsPredicate(const Action& write, const Action& pred_read);
+
+/// \brief True when `first` (earlier) conflicts with `second` (later):
+/// distinct transactions, same data item — or a write into a read
+/// predicate — and at least one of the pair is a write (Section 2.1).
+///
+/// When true and `kind` is non-null, the conflict kind is stored.
+bool Conflicts(const Action& first, const Action& second,
+               ConflictKind* kind = nullptr);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_CONFLICT_H_

@@ -1,0 +1,150 @@
+#include "critique/analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace critique {
+
+std::string DependencyEdge::ToString() const {
+  std::string out = "T" + std::to_string(from) + " -";
+  out += ConflictKindName(kind);
+  out += "[" + item + "]-> T" + std::to_string(to);
+  return out;
+}
+
+DependencyGraph DependencyGraph::Build(const History& h) {
+  DependencyGraph g;
+  const std::set<TxnId> committed = h.Committed();
+  g.nodes_ = committed;
+
+  const auto& actions = h.actions();
+  for (size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+    if (!committed.count(a.txn) || a.IsTerminal()) continue;
+    for (size_t j = i + 1; j < actions.size(); ++j) {
+      const Action& b = actions[j];
+      if (!committed.count(b.txn) || b.IsTerminal()) continue;
+      ConflictKind kind;
+      if (Conflicts(a, b, &kind)) {
+        auto label = [](const Action& x) -> std::optional<ItemId> {
+          if (x.IsPredicateRead() || x.IsPredicateWrite()) {
+            return "<" + x.predicate_name + ">";
+          }
+          return std::nullopt;
+        };
+        DependencyEdge e;
+        e.from = a.txn;
+        e.to = b.txn;
+        e.kind = kind;
+        e.item = label(a).value_or(label(b).value_or(a.item));
+        e.from_index = i;
+        e.to_index = j;
+        g.edges_.push_back(std::move(e));
+      }
+    }
+  }
+  return g;
+}
+
+std::map<TxnId, std::set<TxnId>> DependencyGraph::Adjacency() const {
+  std::map<TxnId, std::set<TxnId>> adj;
+  for (TxnId n : nodes_) adj[n];  // ensure isolated nodes appear
+  for (const auto& e : edges_) adj[e.from].insert(e.to);
+  return adj;
+}
+
+bool DependencyGraph::HasCycle() const { return !FindCycle().empty(); }
+
+std::vector<TxnId> DependencyGraph::FindCycle() const {
+  auto adj = Adjacency();
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<TxnId, Color> color;
+  for (TxnId n : nodes_) color[n] = Color::kWhite;
+  std::vector<TxnId> stack;
+  std::vector<TxnId> cycle;
+
+  std::function<bool(TxnId)> dfs = [&](TxnId u) -> bool {
+    color[u] = Color::kGray;
+    stack.push_back(u);
+    for (TxnId v : adj[u]) {
+      if (color[v] == Color::kGray) {
+        // Extract the cycle u -> ... -> v -> u from the stack.
+        auto it = std::find(stack.begin(), stack.end(), v);
+        cycle.assign(it, stack.end());
+        cycle.push_back(v);
+        return true;
+      }
+      if (color[v] == Color::kWhite && dfs(v)) return true;
+    }
+    color[u] = Color::kBlack;
+    stack.pop_back();
+    return false;
+  };
+
+  for (TxnId n : nodes_) {
+    if (color[n] == Color::kWhite && dfs(n)) return cycle;
+  }
+  return {};
+}
+
+std::vector<TxnId> DependencyGraph::TopologicalOrder() const {
+  auto adj = Adjacency();
+  std::map<TxnId, int> indegree;
+  for (TxnId n : nodes_) indegree[n] = 0;
+  for (const auto& [u, succs] : adj) {
+    (void)u;
+    for (TxnId v : succs) ++indegree[v];
+  }
+  // Kahn's algorithm; ties broken by txn id for determinism.
+  std::set<TxnId> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.insert(n);
+  }
+  std::vector<TxnId> order;
+  while (!ready.empty()) {
+    TxnId u = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(u);
+    for (TxnId v : adj[u]) {
+      if (--indegree[v] == 0) ready.insert(v);
+    }
+  }
+  if (order.size() != nodes_.size()) return {};
+  return order;
+}
+
+bool DependencyGraph::SameDataflowAs(const DependencyGraph& other) const {
+  if (nodes_ != other.nodes_) return false;
+  auto key = [](const DependencyGraph& g) {
+    std::set<std::tuple<TxnId, TxnId, ConflictKind, ItemId>> s;
+    for (const auto& e : g.edges_) s.insert({e.from, e.to, e.kind, e.item});
+    return s;
+  };
+  return key(*this) == key(other);
+}
+
+std::string DependencyGraph::ToString() const {
+  std::string out = "nodes: {";
+  bool first = true;
+  for (TxnId n : nodes_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "T" + std::to_string(n);
+  }
+  out += "}\n";
+  for (const auto& e : edges_) {
+    out += "  " + e.ToString() + "\n";
+  }
+  return out;
+}
+
+bool IsSerializable(const History& h) {
+  return !DependencyGraph::Build(h).HasCycle();
+}
+
+bool EquivalentHistories(const History& a, const History& b) {
+  if (a.Committed() != b.Committed()) return false;
+  return DependencyGraph::Build(a).SameDataflowAs(DependencyGraph::Build(b));
+}
+
+}  // namespace critique

@@ -1,0 +1,80 @@
+#ifndef CRITIQUE_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define CRITIQUE_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "critique/analysis/conflict.h"
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// One edge of a dependency graph: committed transaction `from` performed an
+/// action that conflicts with and precedes an action of committed
+/// transaction `to` (Section 2.1).
+struct DependencyEdge {
+  TxnId from = 0;
+  TxnId to = 0;
+  ConflictKind kind = ConflictKind::kWriteWrite;
+  ItemId item;                // item, or "<predicate_name>" for rP conflicts
+  size_t from_index = 0;      // history index of the earlier action
+  size_t to_index = 0;        // history index of the later action
+
+  /// "T1 -ww[x]-> T2" rendering.
+  std::string ToString() const;
+};
+
+/// \brief The dependency graph ("temporal data flow") of a history's
+/// committed transactions.
+///
+/// Two histories are *equivalent* when they have the same committed
+/// transactions and the same dependency graph; a history is *serializable*
+/// when its graph is acyclic (equivalently: same graph as some serial
+/// history).
+class DependencyGraph {
+ public:
+  /// Builds the graph over committed transactions of `h`.  Actions of
+  /// aborted or still-active transactions contribute no nodes or edges
+  /// (the paper's graphs contain only committed transactions).
+  static DependencyGraph Build(const History& h);
+
+  const std::set<TxnId>& nodes() const { return nodes_; }
+  const std::vector<DependencyEdge>& edges() const { return edges_; }
+
+  /// Deduplicated adjacency: for each node, the set of successor nodes.
+  std::map<TxnId, std::set<TxnId>> Adjacency() const;
+
+  /// True when the graph contains a cycle.
+  bool HasCycle() const;
+
+  /// A cycle as a node sequence (first == last), empty when acyclic.
+  std::vector<TxnId> FindCycle() const;
+
+  /// Topological order of nodes; empty when cyclic and the graph is
+  /// nonempty.  Any such order is a witness equivalent serial execution.
+  std::vector<TxnId> TopologicalOrder() const;
+
+  /// Graph equality on (nodes, deduplicated typed edges).
+  bool SameDataflowAs(const DependencyGraph& other) const;
+
+  /// Multi-line rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::set<TxnId> nodes_;
+  std::vector<DependencyEdge> edges_;
+};
+
+/// True when `h`'s committed projection is (conflict-)serializable: its
+/// dependency graph is acyclic [EGLT; BHG Theorem 3.6].
+bool IsSerializable(const History& h);
+
+/// True when the two histories have the same committed transactions and the
+/// same dependency graph (the paper's definition of equivalence).
+bool EquivalentHistories(const History& a, const History& b);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_DEPENDENCY_GRAPH_H_

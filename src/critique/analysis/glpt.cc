@@ -1,0 +1,68 @@
+#include "critique/analysis/glpt.h"
+
+namespace critique {
+
+std::string ConsistencyDegreeName(ConsistencyDegree degree) {
+  return "Degree " + std::to_string(static_cast<int>(degree));
+}
+
+IsolationLevel LevelForDegree(ConsistencyDegree degree) {
+  switch (degree) {
+    case ConsistencyDegree::kDegree0:
+      return IsolationLevel::kDegree0;
+    case ConsistencyDegree::kDegree1:
+      return IsolationLevel::kReadUncommitted;
+    case ConsistencyDegree::kDegree2:
+      return IsolationLevel::kReadCommitted;
+    case ConsistencyDegree::kDegree3:
+      return IsolationLevel::kSerializable;
+  }
+  return IsolationLevel::kSerializable;
+}
+
+std::optional<ConsistencyDegree> DegreeForLevel(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kDegree0:
+      return ConsistencyDegree::kDegree0;
+    case IsolationLevel::kReadUncommitted:
+      return ConsistencyDegree::kDegree1;
+    case IsolationLevel::kReadCommitted:
+      return ConsistencyDegree::kDegree2;
+    case IsolationLevel::kSerializable:
+      return ConsistencyDegree::kDegree3;
+    default:
+      // "No isolation degree matches the Locking REPEATABLE READ
+      // isolation level" (Section 2.3) — nor Cursor Stability, nor the
+      // multiversion levels.
+      return std::nullopt;
+  }
+}
+
+IsolationLevel RepeatableReadMeaning(RepeatableReadTradition tradition) {
+  switch (tradition) {
+    case RepeatableReadTradition::kDateIBM:
+      return IsolationLevel::kSerializable;
+    case RepeatableReadTradition::kAnsiSql:
+      return IsolationLevel::kRepeatableRead;
+  }
+  return IsolationLevel::kRepeatableRead;
+}
+
+std::string RenderTerminologyCrosswalk() {
+  return
+      "Terminology crosswalk (Section 2.3, Table 2, Section 5):\n"
+      "  Degree 0                 == short write locks only (action "
+      "atomicity)\n"
+      "  Degree 1                 == Locking READ UNCOMMITTED\n"
+      "  Degree 2                 == Locking READ COMMITTED\n"
+      "  Degree 2 + cursor locks  == Cursor Stability (Date)\n"
+      "  (no degree)              == Locking REPEATABLE READ (ANSI's "
+      "misnomer:\n"
+      "                              reads are NOT repeatable — P3 remains "
+      "possible)\n"
+      "  Degree 3                 == Locking SERIALIZABLE\n"
+      "                           == 'Repeatable Read' in Date / IBM DB2 / "
+      "Tandem usage\n";
+}
+
+}  // namespace critique

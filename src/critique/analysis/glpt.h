@@ -1,0 +1,51 @@
+#ifndef CRITIQUE_ANALYSIS_GLPT_H_
+#define CRITIQUE_ANALYSIS_GLPT_H_
+
+#include <optional>
+#include <string>
+
+#include "critique/engine/isolation.h"
+
+namespace critique {
+
+/// \brief The [GLPT 1977] "Degrees of Consistency" and the terminology
+/// crosswalk of Section 2.3 / Table 2.
+///
+/// The paper spends considerable effort untangling names: Degree 0 is mere
+/// action atomicity; Degrees 1, 2, 3 correspond to Locking READ
+/// UNCOMMITTED, READ COMMITTED and SERIALIZABLE; *no* degree matches
+/// Locking REPEATABLE READ; and Date/IBM historically used "Repeatable
+/// Read" to mean Degree 3 (serializable), which ANSI then redefined
+/// downward — "doubly unfortunate" (Section 5).
+enum class ConsistencyDegree { kDegree0 = 0, kDegree1, kDegree2, kDegree3 };
+
+/// "Degree 0" ... "Degree 3".
+std::string ConsistencyDegreeName(ConsistencyDegree degree);
+
+/// The locking isolation level a degree corresponds to (Table 2).
+IsolationLevel LevelForDegree(ConsistencyDegree degree);
+
+/// The degree a locking level corresponds to; nullopt for the levels that
+/// match no degree (Cursor Stability, Locking REPEATABLE READ) and for
+/// multiversion levels.
+std::optional<ConsistencyDegree> DegreeForLevel(IsolationLevel level);
+
+/// What "Repeatable Read" denotes in each tradition — the terminological
+/// trap the paper calls out.
+enum class RepeatableReadTradition {
+  kDateIBM,   ///< Date/DB2/Tandem: serializable (Degree 3)
+  kAnsiSql,   ///< ANSI SQL: phantoms still possible
+};
+
+/// The isolation level "Repeatable Read" actually denotes under each
+/// tradition: Locking SERIALIZABLE for Date/IBM, Locking REPEATABLE READ
+/// for ANSI SQL.
+IsolationLevel RepeatableReadMeaning(RepeatableReadTradition tradition);
+
+/// Multi-line rendering of the crosswalk (degrees, ANSI names, Date's
+/// names), suitable for reports.
+std::string RenderTerminologyCrosswalk();
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_GLPT_H_

@@ -1,0 +1,306 @@
+#include "critique/analysis/mv_analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <tuple>
+
+namespace critique {
+namespace {
+
+// First-action index per transaction (the paper allows any time before the
+// first read as Start-Timestamp; the first action is the canonical choice).
+std::map<TxnId, size_t> StartIndices(const History& h) {
+  std::map<TxnId, size_t> start;
+  for (size_t i = 0; i < h.size(); ++i) {
+    start.emplace(h[i].txn, i);  // emplace keeps the first
+  }
+  return start;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared mapping machinery.  Sort key: (anchor index, phase, original
+// index).  Reads anchor either at their transaction's start or in place;
+// writes anchor at the terminal with phase 0; the terminal itself gets
+// phase 1 so writes precede it.  Only committed transactions are mapped:
+// equivalence of histories is defined over committed transactions, and an
+// aborted MV transaction's pending versions were never visible to anyone.
+History MapToSingleVersion(const History& h, bool reads_at_start) {
+  auto start = StartIndices(h);
+  const std::set<TxnId> committed = h.Committed();
+  std::vector<std::tuple<size_t, int, size_t>> keyed;
+  keyed.reserve(h.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Action& a = h[i];
+    if (!committed.count(a.txn)) continue;
+    size_t anchor = i;
+    int phase = 0;
+    if (a.IsTerminal()) {
+      phase = 1;
+    } else if (a.IsRead() || a.IsPredicateRead()) {
+      if (reads_at_start) anchor = start.at(a.txn);
+    } else if (a.IsWrite() || a.IsPredicateWrite()) {
+      auto term = h.TerminalIndex(a.txn);
+      anchor = term.value_or(h.size());
+    }
+    keyed.emplace_back(anchor, phase, i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  History out;
+  for (const auto& [anchor, phase, i] : keyed) {
+    (void)anchor;
+    (void)phase;
+    Action a = h[i];
+    a.version.reset();  // single-valued rendering
+    out.Append(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+History MapSnapshotHistoryToSingleVersion(const History& h) {
+  return MapToSingleVersion(h, /*reads_at_start=*/true);
+}
+
+History MapStatementSnapshotHistoryToSingleVersion(const History& h) {
+  return MapToSingleVersion(h, /*reads_at_start=*/false);
+}
+
+Status ValidateSnapshotVisibility(const History& h) {
+  auto start = StartIndices(h);
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Action& a = h[i];
+    if (a.IsWrite() && a.version.has_value() && *a.version != a.txn) {
+      return Status::InvalidArgument(
+          a.ToString() + ": write must create its own version (" +
+          std::to_string(a.txn) + ")");
+    }
+    if (!a.IsRead() || !a.version.has_value()) continue;
+
+    // Own write first ("writes will be reflected in this snapshot").
+    bool own_write = false;
+    for (size_t j = start.at(a.txn); j < i && !own_write; ++j) {
+      if (h[j].txn != a.txn) continue;
+      for (const ItemId& wid : WrittenItems(h[j])) {
+        if (wid == a.item) {
+          own_write = true;
+          break;
+        }
+      }
+    }
+    TxnId expected = kInitialTxn;
+    if (own_write) {
+      expected = a.txn;
+    } else {
+      // Latest writer of the item committed before this txn's start.
+      size_t my_start = start.at(a.txn);
+      std::optional<size_t> best_commit;
+      for (TxnId u : h.Committed()) {
+        if (u == a.txn) continue;
+        auto term = h.TerminalIndex(u);
+        if (!term || *term >= my_start) continue;
+        bool wrote_item = false;
+        for (size_t j : h.IndicesOf(u)) {
+          for (const ItemId& wid : WrittenItems(h[j])) {
+            if (wid == a.item) {
+              wrote_item = true;
+              break;
+            }
+          }
+          if (wrote_item) break;
+        }
+        if (!wrote_item) continue;
+        if (!best_commit || *term > *best_commit) {
+          best_commit = *term;
+          expected = u;
+        }
+      }
+    }
+    if (*a.version != expected) {
+      return Status::InvalidArgument(
+          a.ToString() + ": snapshot visibility expects version " +
+          std::to_string(expected));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateFirstCommitterWins(const History& h) {
+  auto start = StartIndices(h);
+  const auto committed = h.Committed();
+  std::vector<TxnId> txns(committed.begin(), committed.end());
+  for (size_t ai = 0; ai < txns.size(); ++ai) {
+    for (size_t bi = ai + 1; bi < txns.size(); ++bi) {
+      TxnId a = txns[ai], b = txns[bi];
+      size_t sa = start.at(a), ca = *h.TerminalIndex(a);
+      size_t sb = start.at(b), cb = *h.TerminalIndex(b);
+      const bool overlap = sa < cb && sb < ca;
+      if (!overlap) continue;
+      // Common written item?
+      for (size_t i : h.IndicesOf(a)) {
+        for (const ItemId& wa : WrittenItems(h[i])) {
+          for (size_t j : h.IndicesOf(b)) {
+            for (const ItemId& wb : WrittenItems(h[j])) {
+              if (wa == wb) {
+                return Status::InvalidArgument(
+                    "first-committer-wins violated: T" + std::to_string(a) +
+                    " and T" + std::to_string(b) +
+                    " overlap and both wrote item '" + wa + "'");
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string MVEdge::ToString() const {
+  std::string out = "T" + std::to_string(from) + " -";
+  out += ConflictKindName(kind);
+  out += "[" + item + "]-> T" + std::to_string(to);
+  return out;
+}
+
+MVSerializationGraph MVSerializationGraph::Build(const History& h) {
+  MVSerializationGraph g;
+  const auto committed = h.Committed();
+  g.nodes_ = committed;
+
+  // Version order per item: initial version (txn 0), then committed
+  // creators in commit order.
+  std::map<ItemId, std::vector<TxnId>> version_order;
+  {
+    std::vector<std::pair<size_t, TxnId>> commits;
+    for (TxnId t : committed) commits.emplace_back(*h.TerminalIndex(t), t);
+    std::sort(commits.begin(), commits.end());
+    std::map<ItemId, bool> seen_item;
+    // Collect all items first (reads may reference the initial version).
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (h[i].IsRead() || h[i].IsWrite()) {
+        if (!seen_item[h[i].item]) {
+          version_order[h[i].item].push_back(kInitialTxn);
+          seen_item[h[i].item] = true;
+        }
+      }
+    }
+    for (const auto& [ci, t] : commits) {
+      (void)ci;
+      std::set<ItemId> written;
+      for (size_t j : h.IndicesOf(t)) {
+        for (const ItemId& wid : WrittenItems(h[j])) written.insert(wid);
+      }
+      for (const auto& item : written) version_order[item].push_back(t);
+    }
+  }
+
+  auto position = [&](const ItemId& item, TxnId v) -> std::optional<size_t> {
+    const auto& order = version_order[item];
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == v) return i;
+    }
+    return std::nullopt;
+  };
+
+  auto add_edge = [&](TxnId from, TxnId to, ConflictKind kind,
+                      const ItemId& item) {
+    if (from == to) return;
+    if (from != kInitialTxn && !committed.count(from)) return;
+    if (!committed.count(to)) return;
+    if (from == kInitialTxn) return;  // initial state is not a node
+    for (const auto& e : g.edges_) {
+      if (e.from == from && e.to == to && e.kind == kind && e.item == item) {
+        return;
+      }
+    }
+    g.edges_.push_back(MVEdge{from, to, kind, item});
+  };
+
+  // ww edges along each item's version order.
+  for (const auto& [item, order] : version_order) {
+    for (size_t i = 1; i + 1 < order.size(); ++i) {
+      add_edge(order[i], order[i + 1], ConflictKind::kWriteWrite, item);
+    }
+  }
+
+  // wr and rw edges from reads.
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Action& a = h[i];
+    if (!a.IsRead() || !a.version.has_value()) continue;
+    if (!committed.count(a.txn)) continue;
+    const TxnId creator = *a.version;
+    add_edge(creator, a.txn, ConflictKind::kWriteRead, a.item);
+    auto pos = position(a.item, creator);
+    if (pos) {
+      const auto& order = version_order[a.item];
+      if (*pos + 1 < order.size()) {
+        add_edge(a.txn, order[*pos + 1], ConflictKind::kReadWrite, a.item);
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+bool FindCycleFiltered(const std::set<TxnId>& nodes,
+                       const std::vector<MVEdge>& edges, bool rw_only) {
+  std::map<TxnId, std::set<TxnId>> adj;
+  for (TxnId n : nodes) adj[n];
+  for (const auto& e : edges) {
+    if (rw_only && e.kind != ConflictKind::kReadWrite) continue;
+    adj[e.from].insert(e.to);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<TxnId, Color> color;
+  for (TxnId n : nodes) color[n] = Color::kWhite;
+  std::function<bool(TxnId)> dfs = [&](TxnId u) -> bool {
+    color[u] = Color::kGray;
+    for (TxnId v : adj[u]) {
+      if (color[v] == Color::kGray) return true;
+      if (color[v] == Color::kWhite && dfs(v)) return true;
+    }
+    color[u] = Color::kBlack;
+    return false;
+  };
+  for (TxnId n : nodes) {
+    if (color[n] == Color::kWhite && dfs(n)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MVSerializationGraph::HasCycle() const {
+  return FindCycleFiltered(nodes_, edges_, /*rw_only=*/false);
+}
+
+bool MVSerializationGraph::HasRwOnlyCycle() const {
+  return FindCycleFiltered(nodes_, edges_, /*rw_only=*/true);
+}
+
+std::string MVSerializationGraph::ToString() const {
+  std::string out = "nodes: {";
+  bool first = true;
+  for (TxnId n : nodes_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "T" + std::to_string(n);
+  }
+  out += "}\n";
+  for (const auto& e : edges_) out += "  " + e.ToString() + "\n";
+  return out;
+}
+
+bool IsMVSerializable(const History& h) {
+  return !MVSerializationGraph::Build(h).HasCycle();
+}
+
+}  // namespace critique

@@ -1,0 +1,108 @@
+#ifndef CRITIQUE_ANALYSIS_MV_ANALYSIS_H_
+#define CRITIQUE_ANALYSIS_MV_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/analysis/conflict.h"
+#include "critique/common/result.h"
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// \brief Maps a Snapshot Isolation multiversion history to a single-valued
+/// history preserving dataflow dependencies — the paper's "only rigorous
+/// touchstone needed to place Snapshot Isolation in the Isolation
+/// Hierarchy" (Section 4.2, after [OOBBGM]).
+///
+/// Every read of a committed transaction is relocated to the transaction's
+/// start point (its first action) and every write to its commit point,
+/// preserving relative order within each group; version subscripts are
+/// dropped.  Aborted and unfinished transactions are projected away —
+/// equivalence is defined over committed transactions, and an aborted SI
+/// transaction's pending versions were never visible to anyone.
+/// Applied to H1.SI this produces exactly the paper's H1.SI.SV:
+///
+///   H1.SI:    r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2
+///             r1[y0=50] w1[y1=90] c1
+///   mapped:   r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2
+///             w1[x=10] w1[y=90] c1
+History MapSnapshotHistoryToSingleVersion(const History& h);
+
+/// \brief The statement-snapshot variant of the mapping, for Oracle Read
+/// Consistency histories (Section 4.3).
+///
+/// Reads stay at their own positions — each statement saw the latest
+/// committed value at its own instant, which is exactly what a
+/// single-version read at that position sees once writes are relocated to
+/// their transactions' commit points.  Writes anchor at commit; aborted and
+/// unfinished transactions are projected away as in the SI mapping.
+History MapStatementSnapshotHistoryToSingleVersion(const History& h);
+
+/// \brief Validates that a multiversion history obeys Snapshot Isolation
+/// read visibility (Section 4.2):
+///
+///  * every write by T creates a version subscripted by T;
+///  * a read by T of an item T has already written returns T's version
+///    ("the transaction's writes will be reflected in this snapshot");
+///  * any other read by T returns the version committed by the latest
+///    transaction whose commit precedes T's start (its first action), or
+///    the initial version 0.
+///
+/// Returns OK or an InvalidArgument status naming the offending action.
+Status ValidateSnapshotVisibility(const History& h);
+
+/// \brief Checks First-Committer-Wins (Section 4.2): no two *committed*
+/// transactions with overlapping [start, commit] execution intervals wrote
+/// the same data item.  Returns OK or an InvalidArgument status naming the
+/// violating pair.
+Status ValidateFirstCommitterWins(const History& h);
+
+/// One edge of a multiversion serialization graph.
+struct MVEdge {
+  TxnId from = 0;
+  TxnId to = 0;
+  ConflictKind kind = ConflictKind::kWriteWrite;  // ww / wr / rw
+  ItemId item;
+
+  std::string ToString() const;
+};
+
+/// \brief The multiversion serialization graph (MVSG, [BHG] Ch. 5) of a
+/// history with version subscripts, over committed transactions.
+///
+/// Version order of each item follows commit order.  Edges:
+///  * ww: Ti's version of x precedes Tj's;
+///  * wr: Tj read the version Ti created;
+///  * rw: Tj read a version of x and Tk created a later version
+///        (anti-dependency — the edge kind SSI instruments).
+///
+/// Acyclicity of the MVSG certifies (one-copy) serializability; the
+/// write-skew history H5 yields the 2-cycle T1 -rw-> T2 -rw-> T1.
+class MVSerializationGraph {
+ public:
+  static MVSerializationGraph Build(const History& h);
+
+  const std::vector<MVEdge>& edges() const { return edges_; }
+  const std::set<TxnId>& nodes() const { return nodes_; }
+
+  bool HasCycle() const;
+
+  /// True when some cycle consists purely of rw (anti-dependency) edges —
+  /// the SI-specific hazard signature (write skew is the 2-edge case).
+  bool HasRwOnlyCycle() const;
+
+  std::string ToString() const;
+
+ private:
+  std::set<TxnId> nodes_;
+  std::vector<MVEdge> edges_;
+};
+
+/// True when the committed projection of the MV history `h` is
+/// one-copy serializable (acyclic MVSG).
+bool IsMVSerializable(const History& h);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_MV_ANALYSIS_H_

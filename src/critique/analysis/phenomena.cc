@@ -1,0 +1,368 @@
+#include "critique/analysis/phenomena.h"
+
+#include "critique/analysis/conflict.h"
+
+namespace critique {
+
+const std::vector<Phenomenon>& AllPhenomena() {
+  static const std::vector<Phenomenon> kAll = {
+      Phenomenon::kP0,  Phenomenon::kP1, Phenomenon::kA1, Phenomenon::kP4C,
+      Phenomenon::kP4,  Phenomenon::kP2, Phenomenon::kA2, Phenomenon::kP3,
+      Phenomenon::kA3,  Phenomenon::kA5A, Phenomenon::kA5B,
+  };
+  return kAll;
+}
+
+std::string_view PhenomenonName(Phenomenon p) {
+  switch (p) {
+    case Phenomenon::kP0:
+      return "P0";
+    case Phenomenon::kP1:
+      return "P1";
+    case Phenomenon::kA1:
+      return "A1";
+    case Phenomenon::kP2:
+      return "P2";
+    case Phenomenon::kA2:
+      return "A2";
+    case Phenomenon::kP3:
+      return "P3";
+    case Phenomenon::kA3:
+      return "A3";
+    case Phenomenon::kP4:
+      return "P4";
+    case Phenomenon::kP4C:
+      return "P4C";
+    case Phenomenon::kA5A:
+      return "A5A";
+    case Phenomenon::kA5B:
+      return "A5B";
+  }
+  return "?";
+}
+
+std::string_view PhenomenonTitle(Phenomenon p) {
+  switch (p) {
+    case Phenomenon::kP0:
+      return "Dirty Write";
+    case Phenomenon::kP1:
+      return "Dirty Read";
+    case Phenomenon::kA1:
+      return "Dirty Read (strict)";
+    case Phenomenon::kP2:
+      return "Fuzzy Read";
+    case Phenomenon::kA2:
+      return "Fuzzy Read (strict)";
+    case Phenomenon::kP3:
+      return "Phantom";
+    case Phenomenon::kA3:
+      return "Phantom (strict)";
+    case Phenomenon::kP4:
+      return "Lost Update";
+    case Phenomenon::kP4C:
+      return "Cursor Lost Update";
+    case Phenomenon::kA5A:
+      return "Read Skew";
+    case Phenomenon::kA5B:
+      return "Write Skew";
+  }
+  return "?";
+}
+
+std::string Witness::Describe(const History& h) const {
+  std::string out(PhenomenonName(phenomenon));
+  out += " at [";
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (k) out += ", ";
+    out += std::to_string(indices[k]);
+  }
+  out += "]: ";
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (k) out += " ... ";
+    out += h[indices[k]].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+// True when transaction `t` has no commit/abort at index <= `i`
+// (i.e. t is still uncommitted when the action at `i` executes).
+bool ActiveAt(const History& h, TxnId t, size_t i) {
+  auto term = h.TerminalIndex(t);
+  return !term.has_value() || *term > i;
+}
+
+// The pattern suffix "(c1 or a1)" requires T1 to eventually finish; a
+// transaction still active at history end leaves the phenomenon merely
+// *pending*, and the paper's patterns do not fire.  (Engine-recorded
+// histories always finish every transaction.)
+bool EventuallyFinishes(const History& h, TxnId t) {
+  return h.TerminalIndex(t).has_value();
+}
+
+// --- The two-action overlap phenomena P0, P1, P2 ---------------------------
+//
+// Shared shape: act1 by T1 at i, conflicting act2 by T2 at j > i while T1 is
+// still active at j, and T1 eventually commits or aborts.
+template <typename First, typename Second>
+std::vector<Witness> FindOverlap(const History& h, Phenomenon p, First first_ok,
+                                 Second second_ok) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!first_ok(a[i])) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == a[i].txn) continue;
+      if (!second_ok(a[j])) continue;
+      if (a[i].item != a[j].item) continue;
+      if (!ActiveAt(h, a[i].txn, j)) continue;
+      if (!EventuallyFinishes(h, a[i].txn)) continue;
+      out.push_back(Witness{p, {i, j}});
+    }
+  }
+  return out;
+}
+
+std::vector<Witness> FindP0(const History& h) {
+  return FindOverlap(
+      h, Phenomenon::kP0, [](const Action& x) { return x.IsWrite(); },
+      [](const Action& x) { return x.IsWrite(); });
+}
+
+std::vector<Witness> FindP1(const History& h) {
+  return FindOverlap(
+      h, Phenomenon::kP1, [](const Action& x) { return x.IsWrite(); },
+      [](const Action& x) { return x.IsRead(); });
+}
+
+std::vector<Witness> FindP2(const History& h) {
+  return FindOverlap(
+      h, Phenomenon::kP2, [](const Action& x) { return x.IsRead(); },
+      [](const Action& x) { return x.IsWrite(); });
+}
+
+// P3: r1[P] at i, w2 affecting P at j > i, T1 active at j.  The write may
+// be an item write or a predicate write (the paper's P3 prohibits "any
+// write ... affecting a tuple satisfying the predicate").
+std::vector<Witness> FindP3(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsPredicateRead()) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == a[i].txn) continue;
+      if (!a[j].IsWrite() && !a[j].IsPredicateWrite()) continue;
+      if (!WriteAffectsPredicate(a[j], a[i])) continue;
+      if (!ActiveAt(h, a[i].txn, j)) continue;
+      if (!EventuallyFinishes(h, a[i].txn)) continue;
+      out.push_back(Witness{Phenomenon::kP3, {i, j}});
+    }
+  }
+  return out;
+}
+
+// A1: w1[x] at i, r2[x] at j>i while T1 active, T1 aborts and T2 commits.
+std::vector<Witness> FindA1(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsWrite()) continue;
+    if (!h.IsAborted(a[i].txn)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == a[i].txn || !a[j].IsRead()) continue;
+      if (a[j].item != a[i].item) continue;
+      if (!ActiveAt(h, a[i].txn, j)) continue;  // read the dirty version
+      if (!h.IsCommitted(a[j].txn)) continue;
+      out.push_back(Witness{Phenomenon::kA1, {i, j}});
+    }
+  }
+  return out;
+}
+
+// A2: r1[x]...w2[x]...c2...r1[x]...c1.
+std::vector<Witness> FindA2(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsRead()) continue;
+    const TxnId t1 = a[i].txn;
+    if (!h.IsCommitted(t1)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == t1 || !a[j].IsWrite() || a[j].item != a[i].item) {
+        continue;
+      }
+      const TxnId t2 = a[j].txn;
+      auto c2 = h.TerminalIndex(t2);
+      if (!c2 || !h.IsCommitted(t2) || *c2 < j) continue;
+      // Re-read of the same item by T1 after c2.
+      for (size_t k = *c2 + 1; k < a.size(); ++k) {
+        if (a[k].txn == t1 && a[k].IsRead() && a[k].item == a[i].item) {
+          out.push_back(Witness{Phenomenon::kA2, {i, j, *c2, k}});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// A3: r1[P]...w2[y in P]...c2...r1[P]...c1.
+std::vector<Witness> FindA3(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsPredicateRead()) continue;
+    const TxnId t1 = a[i].txn;
+    if (!h.IsCommitted(t1)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == t1 ||
+          (!a[j].IsWrite() && !a[j].IsPredicateWrite())) {
+        continue;
+      }
+      if (!WriteAffectsPredicate(a[j], a[i])) continue;
+      const TxnId t2 = a[j].txn;
+      auto c2 = h.TerminalIndex(t2);
+      if (!c2 || !h.IsCommitted(t2) || *c2 < j) continue;
+      for (size_t k = *c2 + 1; k < a.size(); ++k) {
+        if (a[k].txn == t1 && a[k].IsPredicateRead() &&
+            a[k].predicate_name == a[i].predicate_name) {
+          out.push_back(Witness{Phenomenon::kA3, {i, j, *c2, k}});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// P4: r1[x]...w2[x]...w1[x]...c1.  P4C: the same with a cursor read.
+std::vector<Witness> FindLostUpdate(const History& h, bool cursor) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  const Phenomenon p = cursor ? Phenomenon::kP4C : Phenomenon::kP4;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool read_ok = cursor ? (a[i].type == Action::Type::kCursorRead)
+                                : a[i].IsRead();
+    if (!read_ok) continue;
+    const TxnId t1 = a[i].txn;
+    if (!h.IsCommitted(t1)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == t1 || !a[j].IsWrite() || a[j].item != a[i].item) {
+        continue;
+      }
+      for (size_t k = j + 1; k < a.size(); ++k) {
+        if (a[k].txn != t1 || !a[k].IsWrite() || a[k].item != a[i].item) {
+          continue;
+        }
+        out.push_back(Witness{p, {i, j, k}});
+      }
+    }
+  }
+  return out;
+}
+
+// A5A: r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1), x != y.
+std::vector<Witness> FindA5A(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsRead()) continue;
+    const TxnId t1 = a[i].txn;
+    if (!EventuallyFinishes(h, t1)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == t1 || !a[j].IsWrite() || a[j].item != a[i].item) {
+        continue;
+      }
+      const TxnId t2 = a[j].txn;
+      if (!h.IsCommitted(t2)) continue;
+      auto c2 = h.TerminalIndex(t2);
+      for (size_t k = j + 1; k < *c2; ++k) {
+        if (a[k].txn != t2 || !a[k].IsWrite() || a[k].item == a[i].item) {
+          continue;
+        }
+        // T1 reads y after c2 (it sees T2's y but T2's x was read earlier).
+        for (size_t m = *c2 + 1; m < a.size(); ++m) {
+          if (a[m].txn == t1 && a[m].IsRead() && a[m].item == a[k].item) {
+            out.push_back(Witness{Phenomenon::kA5A, {i, j, k, *c2, m}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// A5B: r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2), x != y.
+// Checked over both role assignments of the two transactions.
+std::vector<Witness> FindA5B(const History& h) {
+  std::vector<Witness> out;
+  const auto& a = h.actions();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IsRead()) continue;
+    const TxnId t1 = a[i].txn;
+    if (!h.IsCommitted(t1)) continue;
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if (a[j].txn == t1 || !a[j].IsRead()) continue;
+      if (a[j].item == a[i].item) continue;
+      const TxnId t2 = a[j].txn;
+      if (!h.IsCommitted(t2)) continue;
+      for (size_t k = j + 1; k < a.size(); ++k) {
+        if (a[k].txn != t1 || !a[k].IsWrite() || a[k].item != a[j].item) {
+          continue;
+        }
+        for (size_t m = k + 1; m < a.size(); ++m) {
+          if (a[m].txn != t2 || !a[m].IsWrite() || a[m].item != a[i].item) {
+            continue;
+          }
+          out.push_back(Witness{Phenomenon::kA5B, {i, j, k, m}});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Witness> FindPhenomenon(const History& h, Phenomenon p) {
+  switch (p) {
+    case Phenomenon::kP0:
+      return FindP0(h);
+    case Phenomenon::kP1:
+      return FindP1(h);
+    case Phenomenon::kA1:
+      return FindA1(h);
+    case Phenomenon::kP2:
+      return FindP2(h);
+    case Phenomenon::kA2:
+      return FindA2(h);
+    case Phenomenon::kP3:
+      return FindP3(h);
+    case Phenomenon::kA3:
+      return FindA3(h);
+    case Phenomenon::kP4:
+      return FindLostUpdate(h, /*cursor=*/false);
+    case Phenomenon::kP4C:
+      return FindLostUpdate(h, /*cursor=*/true);
+    case Phenomenon::kA5A:
+      return FindA5A(h);
+    case Phenomenon::kA5B:
+      return FindA5B(h);
+  }
+  return {};
+}
+
+bool Exhibits(const History& h, Phenomenon p) {
+  return !FindPhenomenon(h, p).empty();
+}
+
+std::vector<Phenomenon> ExhibitedPhenomena(const History& h) {
+  std::vector<Phenomenon> out;
+  for (Phenomenon p : AllPhenomena()) {
+    if (Exhibits(h, p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace critique

@@ -1,0 +1,78 @@
+#ifndef CRITIQUE_ANALYSIS_PHENOMENA_H_
+#define CRITIQUE_ANALYSIS_PHENOMENA_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// \brief Every phenomenon and anomaly named in the paper.
+///
+/// Broad interpretations (phenomena, "P") forbid an execution sequence if
+/// something anomalous *might* happen later; strict interpretations
+/// (anomalies, "A") require the anomaly to have actually happened
+/// (Section 2.2).  The final forms used here are those of Remark 5 (with
+/// non-restricting `(c2 or a2)` clauses dropped):
+///
+///   P0  w1[x]...w2[x]...(c1 or a1)                       Dirty Write
+///   P1  w1[x]...r2[x]...(c1 or a1)                       Dirty Read
+///   A1  w1[x]...r2[x]...(a1 and c2 in either order)      strict Dirty Read
+///   P2  r1[x]...w2[x]...(c1 or a1)                       Fuzzy Read
+///   A2  r1[x]...w2[x]...c2...r1[x]...c1                  strict Fuzzy Read
+///   P3  r1[P]...w2[y in P]...(c1 or a1)                  Phantom
+///   A3  r1[P]...w2[y in P]...c2...r1[P]...c1             strict Phantom
+///   P4  r1[x]...w2[x]...w1[x]...c1                       Lost Update
+///   P4C rc1[x]...w2[x]...w1[x]...c1                      Cursor Lost Update
+///   A5A r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)  Read Skew
+///   A5B r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2)      Write Skew
+enum class Phenomenon {
+  kP0,
+  kP1,
+  kA1,
+  kP2,
+  kA2,
+  kP3,
+  kA3,
+  kP4,
+  kP4C,
+  kA5A,
+  kA5B,
+};
+
+/// All phenomena in display order (the column order of Table 4, plus the
+/// strict anomalies).
+const std::vector<Phenomenon>& AllPhenomena();
+
+/// Short name ("P0", "A5B", ...).
+std::string_view PhenomenonName(Phenomenon p);
+
+/// Long name from the paper ("Dirty Write", "Write Skew", ...).
+std::string_view PhenomenonTitle(Phenomenon p);
+
+/// \brief One occurrence of a phenomenon in a history.
+struct Witness {
+  Phenomenon phenomenon;
+  /// History indices of the actions matching the pattern, in pattern order.
+  std::vector<size_t> indices;
+
+  /// "P1 at [0, 2]: w1[x] ... r2[x]" rendering against `h`.
+  std::string Describe(const History& h) const;
+};
+
+/// Finds every occurrence of `p` in `h` (single-version interpretation;
+/// run multiversion histories through `MapSnapshotHistoryToSingleVersion`
+/// first — the English phenomena "imply single-version histories",
+/// Section 2.2).
+std::vector<Witness> FindPhenomenon(const History& h, Phenomenon p);
+
+/// True when at least one occurrence of `p` exists in `h`.
+bool Exhibits(const History& h, Phenomenon p);
+
+/// All phenomena with at least one occurrence in `h`.
+std::vector<Phenomenon> ExhibitedPhenomena(const History& h);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_PHENOMENA_H_

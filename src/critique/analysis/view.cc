@@ -1,0 +1,121 @@
+#include "critique/analysis/view.h"
+
+#include <algorithm>
+
+namespace critique {
+namespace {
+
+// Committed-projection action list (terminals dropped).
+std::vector<const Action*> CommittedOps(const History& h) {
+  const auto committed = h.Committed();
+  std::vector<const Action*> out;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Action& a = h[i];
+    if (!committed.count(a.txn) || a.IsTerminal()) continue;
+    out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<ReadsFrom> RelationOf(const std::vector<const Action*>& ops) {
+  std::vector<ReadsFrom> rel;
+  std::map<ItemId, TxnId> last_writer;
+  std::map<std::pair<TxnId, ItemId>, size_t> ordinals;
+
+  for (const Action* a : ops) {
+    if (a->IsRead()) {
+      ReadsFrom rf;
+      rf.reader = a->txn;
+      rf.item = a->item;
+      rf.ordinal = ordinals[{a->txn, a->item}]++;
+      if (a->version.has_value()) {
+        rf.writer = *a->version;  // explicit in MV histories
+      } else {
+        auto it = last_writer.find(a->item);
+        rf.writer = it == last_writer.end() ? kInitialTxn : it->second;
+      }
+      rel.push_back(std::move(rf));
+    }
+    for (const ItemId& wid : WrittenItems(*a)) last_writer[wid] = a->txn;
+  }
+  std::sort(rel.begin(), rel.end());
+  return rel;
+}
+
+}  // namespace
+
+std::vector<ReadsFrom> ReadsFromRelation(const History& h) {
+  return RelationOf(CommittedOps(h));
+}
+
+std::map<ItemId, TxnId> FinalWriters(const History& h) {
+  std::map<ItemId, TxnId> out;
+  if (h.IsMultiversion()) {
+    // Final version = the committed writer with the latest terminal.
+    std::map<ItemId, size_t> best;
+    for (TxnId t : h.Committed()) {
+      size_t term = *h.TerminalIndex(t);
+      for (size_t i : h.IndicesOf(t)) {
+        for (const ItemId& wid : WrittenItems(h[i])) {
+          auto it = best.find(wid);
+          if (it == best.end() || term > it->second) {
+            best[wid] = term;
+            out[wid] = t;
+          }
+        }
+      }
+    }
+    return out;
+  }
+  for (const Action* a : CommittedOps(h)) {
+    for (const ItemId& wid : WrittenItems(*a)) out[wid] = a->txn;
+  }
+  return out;
+}
+
+bool ViewEquivalent(const History& a, const History& b) {
+  if (a.Committed() != b.Committed()) return false;
+  if (ReadsFromRelation(a) != ReadsFromRelation(b)) return false;
+  return FinalWriters(a) == FinalWriters(b);
+}
+
+Result<bool> IsViewSerializable(const History& h, size_t max_transactions) {
+  const auto committed = h.Committed();
+  if (committed.size() > max_transactions) {
+    return Status::InvalidArgument(
+        "view-serializability enumeration capped at " +
+        std::to_string(max_transactions) + " transactions");
+  }
+
+  const auto target_reads = ReadsFromRelation(h);
+  const auto target_finals = FinalWriters(h);
+
+  // Per-transaction op lists in program order, version subscripts dropped
+  // (the serial candidate is a single-version execution).
+  std::map<TxnId, std::vector<Action>> per_txn;
+  for (TxnId t : committed) per_txn[t];
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Action& a = h[i];
+    if (!committed.count(a.txn) || a.IsTerminal()) continue;
+    Action copy = a;
+    copy.version.reset();
+    per_txn[a.txn].push_back(std::move(copy));
+  }
+
+  std::vector<TxnId> order(committed.begin(), committed.end());
+  std::sort(order.begin(), order.end());
+  do {
+    History serial;
+    for (TxnId t : order) {
+      for (const Action& a : per_txn[t]) serial.Append(a);
+      serial.Append(Action::Commit(t));
+    }
+    if (ReadsFromRelation(serial) == target_reads &&
+        FinalWriters(serial) == target_finals) {
+      return true;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return false;
+}
+
+}  // namespace critique

@@ -1,0 +1,64 @@
+#ifndef CRITIQUE_ANALYSIS_VIEW_H_
+#define CRITIQUE_ANALYSIS_VIEW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// One element of a history's reads-from relation: the `ordinal`-th read
+/// of `item` by `reader` observed the version written by `writer`
+/// (kInitialTxn for the initial state).
+struct ReadsFrom {
+  TxnId reader = 0;
+  ItemId item;
+  size_t ordinal = 0;
+  TxnId writer = kInitialTxn;
+
+  bool operator==(const ReadsFrom& o) const {
+    return reader == o.reader && item == o.item && ordinal == o.ordinal &&
+           writer == o.writer;
+  }
+  bool operator<(const ReadsFrom& o) const {
+    return std::tie(reader, item, ordinal, writer) <
+           std::tie(o.reader, o.item, o.ordinal, o.writer);
+  }
+};
+
+/// \brief The reads-from relation of a history's committed projection.
+///
+/// For multiversion histories the relation is explicit in the version
+/// subscripts ("any read must be explicit about which version is being
+/// read", Section 2.2); for single-version histories each read observes
+/// the latest preceding committed-transaction write of the item (own
+/// uncommitted writes included), or the initial state.
+std::vector<ReadsFrom> ReadsFromRelation(const History& h);
+
+/// The last committed writer of each item (kInitialTxn entries omitted).
+std::map<ItemId, TxnId> FinalWriters(const History& h);
+
+/// \brief View equivalence ([BHG] Ch. 5): same committed transactions,
+/// same reads-from relation, same final writers.  This is the
+/// [OOBBGM] touchstone the paper cites for placing Snapshot Isolation in
+/// the hierarchy: "all Snapshot Isolation histories can be mapped to
+/// single-valued histories while preserving dataflow dependencies (the MV
+/// histories are said to be View Equivalent with the SV histories)".
+bool ViewEquivalent(const History& a, const History& b);
+
+/// \brief View serializability: some serial ordering of the committed
+/// transactions is view-equivalent to `h`.
+///
+/// Decided by enumeration over serial orders (view serializability is
+/// NP-complete in general); refuses histories with more than
+/// `max_transactions` committed transactions via the returned
+/// InvalidArgument.  Strictly weaker than conflict serializability only on
+/// blind-write histories.
+Result<bool> IsViewSerializable(const History& h,
+                                size_t max_transactions = 8);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ANALYSIS_VIEW_H_

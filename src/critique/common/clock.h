@@ -1,0 +1,38 @@
+#ifndef CRITIQUE_COMMON_CLOCK_H_
+#define CRITIQUE_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace critique {
+
+/// A discrete logical timestamp.  The paper's Start-Timestamp and
+/// Commit-Timestamp are draws from one monotone counter, so every
+/// Commit-Timestamp is "larger than any existing Start-Timestamp or
+/// Commit-Timestamp" (Section 4.2) by construction.
+using Timestamp = uint64_t;
+
+/// Timestamp value used for "not yet assigned".
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+/// \brief Monotone logical clock shared by a transaction engine.
+///
+/// Thread-safe; `Tick()` returns a strictly increasing sequence starting
+/// at 1 (0 is reserved as `kInvalidTimestamp`).
+class LogicalClock {
+ public:
+  LogicalClock() : now_(0) {}
+
+  /// Returns the next timestamp (strictly greater than all prior ones).
+  Timestamp Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Latest timestamp handed out (0 if none yet).
+  Timestamp Now() const { return now_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_COMMON_CLOCK_H_

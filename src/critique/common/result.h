@@ -1,0 +1,84 @@
+#ifndef CRITIQUE_COMMON_RESULT_H_
+#define CRITIQUE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "critique/common/status.h"
+
+namespace critique {
+
+/// \brief A value-or-status, in the style of `arrow::Result<T>`.
+///
+/// Either holds a `T` (and `ok()` is true) or a non-OK `Status`.  Accessing
+/// the value of a failed result is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result<T> must not be built from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the held value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK `Status` from an expression, RocksDB-macro style.
+#define CRITIQUE_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::critique::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define CRITIQUE_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define CRITIQUE_INTERNAL_CONCAT(a, b) CRITIQUE_INTERNAL_CONCAT_IMPL(a, b)
+#define CRITIQUE_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                       \
+  if (!var.ok()) return var.status();                      \
+  lhs = std::move(var).value();
+
+/// Assigns the value of a `Result<T>` expression or propagates its status.
+#define CRITIQUE_ASSIGN_OR_RETURN(lhs, expr)     \
+  CRITIQUE_INTERNAL_ASSIGN_OR_RETURN(            \
+      CRITIQUE_INTERNAL_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace critique
+
+#endif  // CRITIQUE_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+#include "critique/common/string_util.h"
+
+namespace critique {
+
+std::vector<std::string> SplitNonEmpty(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t end = input.find(sep, start);
+    if (end == std::string_view::npos) end = input.size();
+    if (end > start) out.emplace_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  const char* ws = " \t\r\n";
+  size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string PadTo(std::string_view s, size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+}  // namespace critique

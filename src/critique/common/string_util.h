@@ -1,0 +1,27 @@
+#ifndef CRITIQUE_COMMON_STRING_UTIL_H_
+#define CRITIQUE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace critique {
+
+/// Splits `input` on `sep`, dropping empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view input, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Pads or truncates `s` to exactly `width` columns (left-aligned).
+std::string PadTo(std::string_view s, size_t width);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#include "critique/engine/engine.h"
+
+namespace critique {
+
+Status Engine::Update(
+    TxnId txn, const ItemId& id,
+    const std::function<Row(const std::optional<Row>&)>& transform) {
+  CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> current, Read(txn, id));
+  return Write(txn, id, transform(current));
+}
+
+Result<size_t> Engine::UpdateWhere(
+    TxnId txn, const std::string& name, const Predicate& pred,
+    const std::function<Row(const Row&)>& transform) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto rows, ReadPredicate(txn, name, pred));
+  for (const auto& [id, row] : rows) {
+    CRITIQUE_RETURN_NOT_OK(Write(txn, id, transform(row)));
+  }
+  return rows.size();
+}
+
+Result<size_t> Engine::DeleteWhere(TxnId txn, const std::string& name,
+                                   const Predicate& pred) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto rows, ReadPredicate(txn, name, pred));
+  for (const auto& [id, row] : rows) {
+    (void)row;
+    CRITIQUE_RETURN_NOT_OK(Delete(txn, id));
+  }
+  return rows.size();
+}
+
+}  // namespace critique

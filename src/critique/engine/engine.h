@@ -1,0 +1,164 @@
+#ifndef CRITIQUE_ENGINE_ENGINE_H_
+#define CRITIQUE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "critique/common/result.h"
+#include "critique/common/status.h"
+#include "critique/engine/isolation.h"
+#include "critique/history/history.h"
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+
+namespace critique {
+
+/// Operation counters shared by all engines.
+struct EngineStats {
+  uint64_t reads = 0;
+  uint64_t predicate_reads = 0;
+  uint64_t writes = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;            ///< explicit application aborts
+  uint64_t deadlock_aborts = 0;   ///< victim aborts by the lock manager
+  uint64_t serialization_aborts = 0;  ///< FCW / FWW / SSI aborts
+  uint64_t blocked_ops = 0;       ///< operations answered kWouldBlock
+};
+
+/// \brief The transaction-engine interface every isolation implementation
+/// satisfies: the locking levels of Table 2, Snapshot Isolation
+/// (Section 4.2), Oracle Read Consistency (Section 4.3) and the SSI
+/// extension.
+///
+/// Cooperative protocol (single caller thread or external synchronization):
+///
+///  * `kWouldBlock` — the operation did nothing; the caller may retry it
+///    later (after other transactions progress).  Models waiting on a
+///    conflicting lock.
+///  * `kDeadlock` — the lock manager chose this transaction as a deadlock
+///    victim; the engine has already rolled it back (undo applied, locks
+///    released, `a<t>` recorded).
+///  * `kSerializationFailure` — a multiversion engine aborted the
+///    transaction (First-Committer-Wins at commit, eager write-write
+///    conflict, or an SSI hazard); already rolled back, `a<t>` recorded.
+///  * `kTransactionAborted` — operation on a transaction that is not
+///    active (never begun, already finished, or rolled back earlier).
+///
+/// Every executed operation is recorded into `history()` with observed
+/// values, row images, and (for multiversion engines) version subscripts,
+/// so any run can be fed to the analysis layer: the engines *produce*
+/// histories, the detectors *judge* them, and the two views must agree —
+/// the property the test suite leans on hardest.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Engine display name ("Locking READ COMMITTED (Degree 2)", ...).
+  virtual std::string name() const { return IsolationLevelName(level()); }
+
+  /// The isolation level this engine implements.
+  virtual IsolationLevel level() const = 0;
+
+  /// Loads an initial row before any transaction begins (bootstrap only).
+  virtual Status Load(const ItemId& id, Row row) = 0;
+
+  /// Starts transaction `txn` (ids must be unique per engine instance and
+  /// >= 1; 0 is the initial-state pseudo-transaction).
+  virtual Status Begin(TxnId txn) = 0;
+
+  /// Reads one item; nullopt when absent (or deleted at the snapshot).
+  virtual Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) = 0;
+
+  /// Evaluates a <search condition>; returns matching (id, row) pairs.
+  /// `name` is the history label for the predicate (the paper's "P").
+  virtual Result<std::vector<std::pair<ItemId, Row>>> ReadPredicate(
+      TxnId txn, const std::string& name, const Predicate& pred) = 0;
+
+  /// Upserts one item.
+  virtual Status Write(TxnId txn, const ItemId& id, Row row) = 0;
+
+  /// Bulk UPDATE ... WHERE <pred>: transforms every matching row, i.e. the
+  /// paper's predicate write `w1[P]` ("writing a set of records satisfying
+  /// predicate P", Section 2.1).  Returns the number of rows updated.
+  /// The default implementation evaluates the predicate through
+  /// `ReadPredicate` and writes item-by-item; the locking engine overrides
+  /// it to take a Write *predicate* lock (Table 2: "Write locks on data
+  /// items and predicates"), the SI engine to install pending versions
+  /// against its snapshot.
+  virtual Result<size_t> UpdateWhere(
+      TxnId txn, const std::string& name, const Predicate& pred,
+      const std::function<Row(const Row&)>& transform);
+
+  /// Bulk DELETE ... WHERE <pred>; returns the number of rows deleted.
+  virtual Result<size_t> DeleteWhere(TxnId txn, const std::string& name,
+                                     const Predicate& pred);
+
+  /// Inserts; FailedPrecondition when the item is already visible.
+  virtual Status Insert(TxnId txn, const ItemId& id, Row row) = 0;
+
+  /// Deletes; NotFound when the item is not visible.
+  virtual Status Delete(TxnId txn, const ItemId& id) = 0;
+
+  /// Positions the transaction's default cursor on `id` and reads it
+  /// (`rc` in the history).  Under Cursor Stability the read lock is held
+  /// until the cursor moves or closes.
+  virtual Result<std::optional<Row>> FetchCursor(TxnId txn,
+                                                 const ItemId& id) = 0;
+
+  /// Multi-cursor form (Section 4.1: "the technique of putting a cursor on
+  /// an item to hold its value stable can be used for multiple items, at
+  /// the cost of using multiple cursors").  The default cursor is "".
+  /// Engines without per-cursor state delegate to `FetchCursor`.
+  virtual Result<std::optional<Row>> FetchCursorNamed(TxnId txn,
+                                                      const std::string& cursor,
+                                                      const ItemId& id) {
+    (void)cursor;
+    return FetchCursor(txn, id);
+  }
+
+  /// Writes the current of cursor (`wc` in the history).
+  virtual Status WriteCursor(TxnId txn, const ItemId& id, Row row) = 0;
+
+  /// Closes the default cursor, releasing any cursor-held lock.
+  virtual Status CloseCursor(TxnId txn) = 0;
+
+  /// Closes one named cursor.  Engines without per-cursor state delegate
+  /// to `CloseCursor`.
+  virtual Status CloseCursorNamed(TxnId txn, const std::string& cursor) {
+    (void)cursor;
+    return CloseCursor(txn);
+  }
+
+  /// Atomic read-modify-write of one item — the model of a single SQL
+  /// UPDATE statement ("the SQL standard defines each statement as
+  /// atomic", Section 4.3).  The default runs Read-then-Write through the
+  /// engine's normal paths; Oracle Read Consistency overrides it to apply
+  /// the transform to the latest committed value after the write lock is
+  /// granted (statement-level write consistency).
+  virtual Status Update(
+      TxnId txn, const ItemId& id,
+      const std::function<Row(const std::optional<Row>&)>& transform);
+
+  /// Commits; on kSerializationFailure the transaction was aborted instead.
+  virtual Status Commit(TxnId txn) = 0;
+
+  /// Rolls back (application-initiated ROLLBACK).
+  virtual Status Abort(TxnId txn) = 0;
+
+  /// The history recorded so far.
+  const History& history() const { return history_; }
+
+  const EngineStats& stats() const { return stats_; }
+
+ protected:
+  History history_;
+  EngineStats stats_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ENGINE_ENGINE_H_

@@ -1,0 +1,28 @@
+#include "critique/engine/engine_factory.h"
+
+#include "critique/engine/locking_engine.h"
+#include "critique/engine/read_consistency_engine.h"
+#include "critique/engine/si_engine.h"
+
+namespace critique {
+
+std::unique_ptr<Engine> CreateEngine(IsolationLevel level) {
+  if (IsLockingLevel(level)) {
+    return std::make_unique<LockingEngine>(level);
+  }
+  switch (level) {
+    case IsolationLevel::kSnapshotIsolation:
+      return std::make_unique<SnapshotIsolationEngine>();
+    case IsolationLevel::kSerializableSI: {
+      SnapshotIsolationOptions opts;
+      opts.ssi = true;
+      return std::make_unique<SnapshotIsolationEngine>(opts);
+    }
+    case IsolationLevel::kOracleReadConsistency:
+      return std::make_unique<ReadConsistencyEngine>();
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace critique

@@ -1,0 +1,120 @@
+#include "critique/engine/isolation.h"
+
+#include <cassert>
+
+namespace critique {
+
+std::string IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kDegree0:
+      return "Degree 0";
+    case IsolationLevel::kReadUncommitted:
+      return "Locking READ UNCOMMITTED (Degree 1)";
+    case IsolationLevel::kReadCommitted:
+      return "Locking READ COMMITTED (Degree 2)";
+    case IsolationLevel::kCursorStability:
+      return "Cursor Stability";
+    case IsolationLevel::kRepeatableRead:
+      return "Locking REPEATABLE READ";
+    case IsolationLevel::kSerializable:
+      return "Locking SERIALIZABLE (Degree 3)";
+    case IsolationLevel::kSnapshotIsolation:
+      return "Snapshot Isolation";
+    case IsolationLevel::kOracleReadConsistency:
+      return "Oracle Read Consistency";
+    case IsolationLevel::kSerializableSI:
+      return "Serializable SI (SSI extension)";
+  }
+  return "?";
+}
+
+const std::vector<IsolationLevel>& Table4Levels() {
+  static const std::vector<IsolationLevel> kLevels = {
+      IsolationLevel::kReadUncommitted, IsolationLevel::kReadCommitted,
+      IsolationLevel::kCursorStability, IsolationLevel::kRepeatableRead,
+      IsolationLevel::kSnapshotIsolation, IsolationLevel::kSerializable,
+  };
+  return kLevels;
+}
+
+const std::vector<IsolationLevel>& AllEngineLevels() {
+  static const std::vector<IsolationLevel> kLevels = {
+      IsolationLevel::kDegree0,
+      IsolationLevel::kReadUncommitted,
+      IsolationLevel::kReadCommitted,
+      IsolationLevel::kCursorStability,
+      IsolationLevel::kRepeatableRead,
+      IsolationLevel::kSerializable,
+      IsolationLevel::kSnapshotIsolation,
+      IsolationLevel::kOracleReadConsistency,
+      IsolationLevel::kSerializableSI,
+  };
+  return kLevels;
+}
+
+bool IsLockingLevel(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kDegree0:
+    case IsolationLevel::kReadUncommitted:
+    case IsolationLevel::kReadCommitted:
+    case IsolationLevel::kCursorStability:
+    case IsolationLevel::kRepeatableRead:
+    case IsolationLevel::kSerializable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string LockingPolicy::ToString() const {
+  auto dur = [](LockDuration d) {
+    return d == LockDuration::kLong ? std::string("long")
+                                    : std::string("short");
+  };
+  std::string out;
+  if (!read_locks) {
+    out = "reads: none required";
+  } else {
+    out = "reads: well-formed, item " + dur(item_read) + ", predicate " +
+          dur(pred_read);
+    if (cursor_stability) out += ", held on current of cursor";
+  }
+  out += "; writes: well-formed, " + dur(write);
+  return out;
+}
+
+LockingPolicy PolicyFor(IsolationLevel level) {
+  assert(IsLockingLevel(level) && "PolicyFor is defined on Table 2 levels");
+  LockingPolicy p;
+  switch (level) {
+    case IsolationLevel::kDegree0:
+      p.read_locks = false;
+      p.write = LockDuration::kShort;
+      break;
+    case IsolationLevel::kReadUncommitted:
+      p.read_locks = false;
+      break;
+    case IsolationLevel::kReadCommitted:
+      p.item_read = LockDuration::kShort;
+      p.pred_read = LockDuration::kShort;
+      break;
+    case IsolationLevel::kCursorStability:
+      p.item_read = LockDuration::kShort;
+      p.pred_read = LockDuration::kShort;
+      p.cursor_stability = true;
+      break;
+    case IsolationLevel::kRepeatableRead:
+      p.item_read = LockDuration::kLong;
+      p.pred_read = LockDuration::kShort;
+      break;
+    case IsolationLevel::kSerializable:
+      p.item_read = LockDuration::kLong;
+      p.pred_read = LockDuration::kLong;
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+}  // namespace critique

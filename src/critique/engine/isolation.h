@@ -1,0 +1,67 @@
+#ifndef CRITIQUE_ENGINE_ISOLATION_H_
+#define CRITIQUE_ENGINE_ISOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/lock/lock_manager.h"
+
+namespace critique {
+
+/// \brief Every isolation level the paper names, across Tables 2 and 4 and
+/// Figure 2, plus the SSI extension this paper's write-skew analysis seeded.
+enum class IsolationLevel {
+  kDegree0,                ///< [GLPT] Degree 0: short write locks only
+  kReadUncommitted,        ///< Locking READ UNCOMMITTED == Degree 1
+  kReadCommitted,          ///< Locking READ COMMITTED == Degree 2
+  kCursorStability,        ///< Degree 2 + cursor-held read locks (Date)
+  kRepeatableRead,         ///< Locking REPEATABLE READ (ANSI's misnomer)
+  kSerializable,           ///< Locking SERIALIZABLE == Degree 3
+  kSnapshotIsolation,      ///< Section 4.2: MVCC + First-Committer-Wins
+  kOracleReadConsistency,  ///< Section 4.3: statement snapshots, FWW locks
+  kSerializableSI,         ///< extension: SSI (Cahill-style rw-hazard aborts)
+};
+
+/// Display name matching the paper ("Locking READ COMMITTED (Degree 2)",
+/// "Snapshot Isolation", ...).
+std::string IsolationLevelName(IsolationLevel level);
+
+/// The six rows of Table 4, in the paper's order, i.e. excluding the
+/// engines the paper did not tabulate (Degree 0, Oracle RC, SSI).
+const std::vector<IsolationLevel>& Table4Levels();
+
+/// Every level with an engine in this library.
+const std::vector<IsolationLevel>& AllEngineLevels();
+
+/// True for the lock-scheduler levels of Table 2.
+bool IsLockingLevel(IsolationLevel level);
+
+/// \brief A row of Table 2: lock scopes, modes and durations defining one
+/// locking isolation level.
+struct LockingPolicy {
+  /// Well-formed reads: request read locks at all.  False for Degree 0/1
+  /// ("none required").
+  bool read_locks = true;
+  /// Duration of data-item read locks.
+  LockDuration item_read = LockDuration::kShort;
+  /// Duration of predicate read locks.
+  LockDuration pred_read = LockDuration::kShort;
+  /// Duration of write locks (items and predicates, "always the same").
+  /// Short only at Degree 0; long everywhere else, which is what rules
+  /// out P0 (Remark 3).
+  LockDuration write = LockDuration::kLong;
+  /// Cursor Stability: hold the read lock on the current of cursor until
+  /// the cursor moves or closes (Section 4.1).
+  bool cursor_stability = false;
+
+  /// One-line rendering in Table 2's vocabulary.
+  std::string ToString() const;
+};
+
+/// The Table 2 row for a locking level; must not be called for
+/// multiversion levels (asserts).
+LockingPolicy PolicyFor(IsolationLevel level);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ENGINE_ISOLATION_H_

@@ -1,0 +1,286 @@
+#include "critique/engine/locking_engine.h"
+
+#include <cassert>
+
+namespace critique {
+namespace {
+
+// History value for a row: its scalar payload when it has one.
+std::optional<Value> HistoryValue(const std::optional<Row>& row) {
+  if (row.has_value() && row->Has("val")) return row->scalar();
+  return std::nullopt;
+}
+
+}  // namespace
+
+LockingEngine::LockingEngine(IsolationLevel level)
+    : level_(level), policy_(PolicyFor(level)) {
+  assert(IsLockingLevel(level));
+}
+
+Status LockingEngine::Load(const ItemId& id, Row row) {
+  store_.Put(id, std::move(row));
+  return Status::OK();
+}
+
+Status LockingEngine::Begin(TxnId txn) {
+  if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
+  if (txns_.count(txn)) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " already used");
+  }
+  txns_[txn].active = true;
+  return Status::OK();
+}
+
+Status LockingEngine::CheckActive(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active) {
+    return Status::TransactionAborted("txn " + std::to_string(txn) +
+                                      " is not active");
+  }
+  return Status::OK();
+}
+
+void LockingEngine::Rollback(TxnId txn) {
+  TxnState& st = txns_[txn];
+  for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
+    store_.ApplyUndo(*it);
+  }
+  st.undo.clear();
+  st.active = false;
+  st.cursors.clear();
+  lock_manager_.ReleaseAll(txn);
+  history_.Append(Action::Abort(txn));
+}
+
+Result<LockHandle> LockingEngine::Acquire(TxnId txn, const LockSpec& spec) {
+  Result<LockHandle> r = lock_manager_.TryAcquire(spec);
+  if (r.ok()) return r;
+  if (r.status().IsWouldBlock()) {
+    ++stats_.blocked_ops;
+    return r;
+  }
+  if (r.status().IsDeadlock()) {
+    ++stats_.deadlock_aborts;
+    Rollback(txn);
+  }
+  return r;
+}
+
+Result<std::optional<Row>> LockingEngine::DoRead(TxnId txn, const ItemId& id,
+                                                 Action::Type type,
+                                                 const std::string& cursor) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  LockHandle handle = 0;
+  if (policy_.read_locks) {
+    LockSpec spec = LockSpec::ReadItem(txn, id, store_.Get(id));
+    CRITIQUE_ASSIGN_OR_RETURN(handle, Acquire(txn, spec));
+  }
+
+  std::optional<Row> row = store_.Get(id);
+  Action a = type == Action::Type::kCursorRead
+                 ? Action::CursorRead(txn, id, HistoryValue(row))
+                 : Action::Read(txn, id, HistoryValue(row));
+  history_.Append(std::move(a));
+  ++stats_.reads;
+
+  if (type == Action::Type::kCursorRead && policy_.cursor_stability) {
+    // The cursor moved: drop the previous position's lock, hold this one.
+    CursorState& cs = st.cursors[cursor];
+    if (cs.lock != 0) lock_manager_.Release(cs.lock);
+    cs.item = id;
+    cs.lock = handle;  // held until the cursor moves or closes
+  } else if (handle != 0 && policy_.item_read == LockDuration::kShort) {
+    lock_manager_.Release(handle);
+  }
+  return row;
+}
+
+Result<std::optional<Row>> LockingEngine::Read(TxnId txn, const ItemId& id) {
+  return DoRead(txn, id, Action::Type::kRead);
+}
+
+Result<std::optional<Row>> LockingEngine::FetchCursor(TxnId txn,
+                                                      const ItemId& id) {
+  return DoRead(txn, id, Action::Type::kCursorRead, "");
+}
+
+Result<std::optional<Row>> LockingEngine::FetchCursorNamed(
+    TxnId txn, const std::string& cursor, const ItemId& id) {
+  return DoRead(txn, id, Action::Type::kCursorRead, cursor);
+}
+
+Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
+    TxnId txn, const std::string& name, const Predicate& pred) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+
+  LockHandle handle = 0;
+  if (policy_.read_locks) {
+    CRITIQUE_ASSIGN_OR_RETURN(
+        handle, Acquire(txn, LockSpec::ReadPredicate(txn, pred)));
+  }
+
+  auto rows = store_.Scan(pred);
+  Action a = Action::PredicateRead(txn, name, pred);
+  for (const auto& [id, row] : rows) {
+    (void)row;
+    a.read_set.push_back(id);
+  }
+  history_.Append(std::move(a));
+  ++stats_.predicate_reads;
+
+  if (handle != 0 && policy_.pred_read == LockDuration::kShort) {
+    lock_manager_.Release(handle);
+  }
+  return rows;
+}
+
+Status LockingEngine::DoWrite(TxnId txn, const ItemId& id,
+                              std::optional<Row> new_row, Action::Type type,
+                              bool is_insert) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  std::optional<Row> before = store_.Get(id);
+  LockSpec spec = LockSpec::WriteItem(txn, id, before, new_row);
+  CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle, Acquire(txn, spec));
+
+  st.undo.push_back(UndoRecord{id, before});
+  if (new_row.has_value()) {
+    store_.Put(id, *new_row);
+  } else {
+    store_.Erase(id);
+  }
+
+  Action a = type == Action::Type::kCursorWrite
+                 ? Action::CursorWrite(txn, id, HistoryValue(new_row))
+                 : Action::Write(txn, id, HistoryValue(new_row));
+  a.before_image = std::move(before);
+  a.after_image = std::move(new_row);
+  a.is_insert = is_insert;
+  history_.Append(std::move(a));
+  ++stats_.writes;
+
+  if (policy_.write == LockDuration::kShort) {
+    lock_manager_.Release(handle);  // Degree 0: action atomicity only
+  }
+  return Status::OK();
+}
+
+Status LockingEngine::Write(TxnId txn, const ItemId& id, Row row) {
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/false);
+}
+
+Status LockingEngine::Insert(TxnId txn, const ItemId& id, Row row) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (store_.Contains(id)) {
+    return Status::FailedPrecondition("insert: item '" + id + "' exists");
+  }
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/true);
+}
+
+Status LockingEngine::Delete(TxnId txn, const ItemId& id) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (!store_.Contains(id)) {
+    return Status::NotFound("delete: item '" + id + "' absent");
+  }
+  return DoWrite(txn, id, std::nullopt, Action::Type::kWrite,
+                 /*is_insert=*/false);
+}
+
+Result<size_t> LockingEngine::DoPredicateWrite(
+    TxnId txn, const std::string& name, const Predicate& pred,
+    const std::function<std::optional<Row>(const Row&)>& transform) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  // "Write locks on data items and predicates (always the same)": the
+  // bulk write takes a Write predicate lock covering current rows and
+  // phantoms alike.
+  CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle,
+                            Acquire(txn, LockSpec::WritePredicate(txn, pred)));
+
+  auto rows = store_.Scan(pred);
+  Action a = Action::PredicateWrite(txn, name, pred);
+  for (const auto& [id, row] : rows) {
+    st.undo.push_back(UndoRecord{id, row});
+    std::optional<Row> next = transform(row);
+    if (next.has_value()) {
+      store_.Put(id, *next);
+    } else {
+      store_.Erase(id);
+    }
+    a.read_set.push_back(id);
+    ++stats_.writes;
+  }
+  history_.Append(std::move(a));
+
+  if (policy_.write == LockDuration::kShort) lock_manager_.Release(handle);
+  return rows.size();
+}
+
+Result<size_t> LockingEngine::UpdateWhere(
+    TxnId txn, const std::string& name, const Predicate& pred,
+    const std::function<Row(const Row&)>& transform) {
+  return DoPredicateWrite(
+      txn, name, pred,
+      [&transform](const Row& row) -> std::optional<Row> {
+        return transform(row);
+      });
+}
+
+Result<size_t> LockingEngine::DeleteWhere(TxnId txn, const std::string& name,
+                                          const Predicate& pred) {
+  return DoPredicateWrite(
+      txn, name, pred,
+      [](const Row&) -> std::optional<Row> { return std::nullopt; });
+}
+
+Status LockingEngine::WriteCursor(TxnId txn, const ItemId& id, Row row) {
+  // "The Fetching transaction can update the row, and in that case a write
+  // lock will be held on the row until the transaction commits" — DoWrite
+  // takes the long X lock; the cursor's S lock is subsumed.
+  return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
+                 /*is_insert=*/false);
+}
+
+Status LockingEngine::CloseCursor(TxnId txn) {
+  return CloseCursorNamed(txn, "");
+}
+
+Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+  auto it = st.cursors.find(cursor);
+  if (it != st.cursors.end()) {
+    if (it->second.lock != 0) lock_manager_.Release(it->second.lock);
+    st.cursors.erase(it);
+  }
+  return Status::OK();
+}
+
+Status LockingEngine::Commit(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+  st.active = false;
+  st.undo.clear();
+  st.cursors.clear();
+  history_.Append(Action::Commit(txn));
+  lock_manager_.ReleaseAll(txn);
+  ++stats_.commits;
+  return Status::OK();
+}
+
+Status LockingEngine::Abort(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  Rollback(txn);
+  ++stats_.aborts;
+  return Status::OK();
+}
+
+}  // namespace critique

@@ -1,0 +1,211 @@
+#include "critique/engine/read_consistency_engine.h"
+
+namespace critique {
+namespace {
+
+std::optional<Value> HistoryValue(const std::optional<Row>& row) {
+  if (row.has_value() && row->Has("val")) return row->scalar();
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status ReadConsistencyEngine::Load(const ItemId& id, Row row) {
+  store_.Bootstrap(id, std::move(row), clock_.Tick());
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::Begin(TxnId txn) {
+  if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
+  if (txns_.count(txn)) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " already used");
+  }
+  txns_[txn].active = true;
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::CheckActive(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active) {
+    return Status::TransactionAborted("txn " + std::to_string(txn) +
+                                      " is not active");
+  }
+  return Status::OK();
+}
+
+void ReadConsistencyEngine::Rollback(TxnId txn) {
+  txns_[txn].active = false;
+  store_.AbortTxn(txn);
+  lock_manager_.ReleaseAll(txn);
+  history_.Append(Action::Abort(txn));
+}
+
+Result<LockHandle> ReadConsistencyEngine::AcquireWriteLock(
+    TxnId txn, const ItemId& id, std::optional<Row> after) {
+  std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
+  LockSpec spec = LockSpec::WriteItem(txn, id, std::move(before),
+                                      std::move(after));
+  Result<LockHandle> r = lock_manager_.TryAcquire(spec);
+  if (r.ok()) return r;
+  if (r.status().IsWouldBlock()) {
+    ++stats_.blocked_ops;
+    return r;
+  }
+  if (r.status().IsDeadlock()) {
+    ++stats_.deadlock_aborts;
+    Rollback(txn);
+  }
+  return r;
+}
+
+Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
+                                                         const ItemId& id,
+                                                         Action::Type type) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  // Statement-level snapshot: the most recent committed value now.
+  const Timestamp stmt_ts = clock_.Now();
+  auto version = store_.ReadVersionInfo(id, stmt_ts, txn);
+  std::optional<Row> row;
+  Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
+                                               : Action::Read(txn, id);
+  if (version.has_value()) {
+    a.version = version->creator;
+    if (!version->tombstone) {
+      row = version->row;
+      a.value = HistoryValue(row);
+    }
+  }
+  history_.Append(std::move(a));
+  ++stats_.reads;
+  return row;
+}
+
+Result<std::optional<Row>> ReadConsistencyEngine::Read(TxnId txn,
+                                                       const ItemId& id) {
+  return DoRead(txn, id, Action::Type::kRead);
+}
+
+Result<std::optional<Row>> ReadConsistencyEngine::FetchCursor(
+    TxnId txn, const ItemId& id) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  // SELECT ... FOR UPDATE: the write lock at fetch is what rules out P4C.
+  CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
+                            AcquireWriteLock(txn, id, std::nullopt));
+  (void)h;  // long duration; released at commit/abort
+  return DoRead(txn, id, Action::Type::kCursorRead);
+}
+
+Result<std::vector<std::pair<ItemId, Row>>>
+ReadConsistencyEngine::ReadPredicate(TxnId txn, const std::string& name,
+                                     const Predicate& pred) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  const Timestamp stmt_ts = clock_.Now();
+  auto rows = store_.Scan(pred, stmt_ts, txn);
+  Action a = Action::PredicateRead(txn, name, pred);
+  for (const auto& [id, row] : rows) {
+    (void)row;
+    a.read_set.push_back(id);
+  }
+  history_.Append(std::move(a));
+  ++stats_.predicate_reads;
+  return rows;
+}
+
+Status ReadConsistencyEngine::DoWrite(TxnId txn, const ItemId& id,
+                                      std::optional<Row> new_row,
+                                      Action::Type type, bool is_insert,
+                                      bool already_locked) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (!already_locked) {
+    CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
+                              AcquireWriteLock(txn, id, new_row));
+    (void)h;
+  }
+  std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
+  if (new_row.has_value()) {
+    store_.Write(id, *new_row, txn);
+  } else {
+    store_.Delete(id, txn);
+  }
+  Action a = type == Action::Type::kCursorWrite
+                 ? Action::CursorWrite(txn, id, HistoryValue(new_row))
+                 : Action::Write(txn, id, HistoryValue(new_row));
+  a.version = txn;
+  a.before_image = std::move(before);
+  a.after_image = std::move(new_row);
+  a.is_insert = is_insert;
+  history_.Append(std::move(a));
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::Write(TxnId txn, const ItemId& id, Row row) {
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/false, /*already_locked=*/false);
+}
+
+Status ReadConsistencyEngine::Insert(TxnId txn, const ItemId& id, Row row) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (store_.Read(id, clock_.Now(), txn).has_value()) {
+    return Status::FailedPrecondition("insert: item '" + id + "' exists");
+  }
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/true, /*already_locked=*/false);
+}
+
+Status ReadConsistencyEngine::Delete(TxnId txn, const ItemId& id) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (!store_.Read(id, clock_.Now(), txn).has_value()) {
+    return Status::NotFound("delete: item '" + id + "' absent");
+  }
+  return DoWrite(txn, id, std::nullopt, Action::Type::kWrite,
+                 /*is_insert=*/false, /*already_locked=*/false);
+}
+
+Status ReadConsistencyEngine::WriteCursor(TxnId txn, const ItemId& id,
+                                          Row row) {
+  // The fetch already holds the write lock.
+  return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
+                 /*is_insert=*/false, /*already_locked=*/true);
+}
+
+Status ReadConsistencyEngine::CloseCursor(TxnId txn) {
+  return CheckActive(txn);
+}
+
+Status ReadConsistencyEngine::Update(
+    TxnId txn, const ItemId& id,
+    const std::function<Row(const std::optional<Row>&)>& transform) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  // Statement-level write consistency: lock first, then apply the
+  // transform to the most recent committed value ("the underlying
+  // mechanism recomputes the appropriate version of the row as of the
+  // statement timestamp").
+  CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
+                            AcquireWriteLock(txn, id, std::nullopt));
+  (void)h;
+  CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> current,
+                            DoRead(txn, id, Action::Type::kRead));
+  return DoWrite(txn, id, transform(current), Action::Type::kWrite,
+                 /*is_insert=*/false, /*already_locked=*/true);
+}
+
+Status ReadConsistencyEngine::Commit(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  txns_[txn].active = false;
+  store_.CommitTxn(txn, clock_.Tick());
+  history_.Append(Action::Commit(txn));
+  lock_manager_.ReleaseAll(txn);
+  ++stats_.commits;
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::Abort(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  Rollback(txn);
+  ++stats_.aborts;
+  return Status::OK();
+}
+
+}  // namespace critique

@@ -1,0 +1,78 @@
+#ifndef CRITIQUE_ENGINE_READ_CONSISTENCY_ENGINE_H_
+#define CRITIQUE_ENGINE_READ_CONSISTENCY_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "critique/common/clock.h"
+#include "critique/engine/engine.h"
+#include "critique/lock/lock_manager.h"
+#include "critique/storage/mv_store.h"
+
+namespace critique {
+
+/// \brief Oracle Read Consistency (Section 4.3): "each SQL statement
+/// [sees] the most recent committed database value at the time the
+/// statement began" — as if the start-timestamp advances at each
+/// statement.  Writes take long Write locks, giving First-*Writer*-Wins
+/// rather than First-Committer-Wins.
+///
+/// Consequences the paper lists, all reproduced by this engine:
+///  * stronger than READ COMMITTED — P4C (cursor lost update) is
+///    disallowed because `FetchCursor` locks the row at fetch
+///    (SELECT ... FOR UPDATE), and `Update` applies statement-level write
+///    consistency to the latest committed value;
+///  * still allows non-repeatable reads (P2/P3), *general* lost updates
+///    (P4, via application-level read-then-write across statements) and
+///    read skew (A5A).
+class ReadConsistencyEngine : public Engine {
+ public:
+  ReadConsistencyEngine() = default;
+
+  IsolationLevel level() const override {
+    return IsolationLevel::kOracleReadConsistency;
+  }
+
+  Status Load(const ItemId& id, Row row) override;
+  Status Begin(TxnId txn) override;
+  Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) override;
+  Result<std::vector<std::pair<ItemId, Row>>> ReadPredicate(
+      TxnId txn, const std::string& name, const Predicate& pred) override;
+  Status Write(TxnId txn, const ItemId& id, Row row) override;
+  Status Insert(TxnId txn, const ItemId& id, Row row) override;
+  Status Delete(TxnId txn, const ItemId& id) override;
+  Result<std::optional<Row>> FetchCursor(TxnId txn, const ItemId& id) override;
+  Status WriteCursor(TxnId txn, const ItemId& id, Row row) override;
+  Status CloseCursor(TxnId txn) override;
+  Status Update(TxnId txn, const ItemId& id,
+                const std::function<Row(const std::optional<Row>&)>& transform)
+      override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+
+  LockStats lock_stats() const { return lock_manager_.stats(); }
+
+ private:
+  struct TxnState {
+    bool active = false;
+  };
+
+  Status CheckActive(TxnId txn) const;
+  void Rollback(TxnId txn);
+  Result<LockHandle> AcquireWriteLock(TxnId txn, const ItemId& id,
+                                      std::optional<Row> after);
+  Status DoWrite(TxnId txn, const ItemId& id, std::optional<Row> new_row,
+                 Action::Type type, bool is_insert, bool already_locked);
+  Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
+                                    Action::Type type);
+
+  LogicalClock clock_;
+  MultiVersionStore store_;
+  LockManager lock_manager_;
+  std::map<TxnId, TxnState> txns_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_ENGINE_READ_CONSISTENCY_ENGINE_H_

@@ -1,0 +1,352 @@
+#include "critique/engine/si_engine.h"
+
+namespace critique {
+namespace {
+
+std::optional<Value> HistoryValue(const std::optional<Row>& row) {
+  if (row.has_value() && row->Has("val")) return row->scalar();
+  return std::nullopt;
+}
+
+}  // namespace
+
+SnapshotIsolationEngine::SnapshotIsolationEngine(
+    SnapshotIsolationOptions options)
+    : options_(options) {}
+
+Status SnapshotIsolationEngine::Load(const ItemId& id, Row row) {
+  store_.Bootstrap(id, std::move(row), clock_.Tick());
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::Begin(TxnId txn) {
+  return BeginAt(txn, clock_.Tick());
+}
+
+Status SnapshotIsolationEngine::BeginAt(TxnId txn, Timestamp ts) {
+  if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
+  if (txns_.count(txn)) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " already used");
+  }
+  TxnState st;
+  st.active = true;
+  st.start_ts = ts;
+  txns_[txn] = st;
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::CheckActive(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active) {
+    return Status::TransactionAborted("txn " + std::to_string(txn) +
+                                      " is not active");
+  }
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::AbortInternal(TxnId txn, Status reason) {
+  TxnState& st = txns_[txn];
+  st.active = false;
+  st.aborted = true;
+  store_.AbortTxn(txn);
+  history_.Append(Action::Abort(txn));
+  ++stats_.serialization_aborts;
+  return reason;
+}
+
+bool SnapshotIsolationEngine::Concurrent(const TxnState& a,
+                                         const TxnState& b) const {
+  const Timestamp a_end =
+      a.commit_ts == kInvalidTimestamp ? ~Timestamp{0} : a.commit_ts;
+  const Timestamp b_end =
+      b.commit_ts == kInvalidTimestamp ? ~Timestamp{0} : b.commit_ts;
+  return a.start_ts < b_end && b.start_ts < a_end;
+}
+
+void SnapshotIsolationEngine::AddRwEdge(TxnId reader, TxnId writer) {
+  txns_[reader].out_to.insert(writer);
+  txns_[writer].in_from.insert(reader);
+}
+
+void SnapshotIsolationEngine::TrackReadConflicts(TxnId reader,
+                                                 const ItemId& id) {
+  if (!options_.ssi) return;
+  readers_[id].insert(reader);
+  TxnState& rd = txns_[reader];
+  // reader -rw-> U for every concurrent U that produced a newer version.
+  for (auto& [u, ust] : txns_) {
+    if (u == reader || ust.aborted) continue;
+    if (!ust.write_set.count(id)) continue;
+    if (!Concurrent(rd, ust)) continue;
+    AddRwEdge(reader, u);
+  }
+}
+
+void SnapshotIsolationEngine::TrackWriteConflicts(
+    TxnId writer, const ItemId& id, const std::optional<Row>& before,
+    const std::optional<Row>& after) {
+  if (!options_.ssi) return;
+  TxnState& wr = txns_[writer];
+  auto it = readers_.find(id);
+  if (it != readers_.end()) {
+    for (TxnId u : it->second) {
+      if (u == writer || txns_[u].aborted) continue;
+      if (!Concurrent(wr, txns_[u])) continue;
+      AddRwEdge(u, writer);  // U read the old version; writer replaces it
+    }
+  }
+  // Predicate readers: the write (either image) entering the predicate's
+  // coverage is the phantom-precise rw edge ordinary SIREAD item tracking
+  // misses.
+  for (const auto& [pred, u] : predicate_readers_) {
+    if (u == writer || txns_[u].aborted) continue;
+    if (!Concurrent(wr, txns_[u])) continue;
+    const bool covered =
+        (before.has_value() && pred.Covers(id, *before)) ||
+        (after.has_value() && pred.Covers(id, *after));
+    if (covered) AddRwEdge(u, writer);
+  }
+}
+
+bool SnapshotIsolationEngine::SsiPivot(const TxnState& st) const {
+  // A pivot has a live (non-aborted) rw edge on both sides.
+  auto live = [&](const std::set<TxnId>& peers) {
+    for (TxnId u : peers) {
+      auto it = txns_.find(u);
+      if (it != txns_.end() && !it->second.aborted) return true;
+    }
+    return false;
+  };
+  return live(st.in_from) && live(st.out_to);
+}
+
+Result<std::optional<Row>> SnapshotIsolationEngine::DoRead(TxnId txn,
+                                                           const ItemId& id,
+                                                           Action::Type type) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  auto version = store_.ReadVersionInfo(id, st.start_ts, txn);
+  std::optional<Row> row;
+  Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
+                                               : Action::Read(txn, id);
+  if (version.has_value()) {
+    a.version = version->creator;
+    if (!version->tombstone) {
+      row = version->row;
+      a.value = HistoryValue(row);
+    }
+  }
+  history_.Append(std::move(a));
+  st.read_set.insert(id);
+  TrackReadConflicts(txn, id);
+  ++stats_.reads;
+  return row;
+}
+
+Result<std::optional<Row>> SnapshotIsolationEngine::Read(TxnId txn,
+                                                         const ItemId& id) {
+  return DoRead(txn, id, Action::Type::kRead);
+}
+
+Result<std::optional<Row>> SnapshotIsolationEngine::FetchCursor(
+    TxnId txn, const ItemId& id) {
+  // Snapshot reads never block; a cursor adds nothing under SI.
+  return DoRead(txn, id, Action::Type::kCursorRead);
+}
+
+Result<std::vector<std::pair<ItemId, Row>>>
+SnapshotIsolationEngine::ReadPredicate(TxnId txn, const std::string& name,
+                                       const Predicate& pred) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  auto rows = store_.Scan(pred, st.start_ts, txn);
+  Action a = Action::PredicateRead(txn, name, pred);
+  for (const auto& [id, row] : rows) {
+    (void)row;
+    a.read_set.push_back(id);
+    st.read_set.insert(id);
+    TrackReadConflicts(txn, id);
+  }
+  if (options_.ssi) {
+    // Phantom-precise SIREAD: remember the predicate itself, plus rw edges
+    // to concurrent transactions whose pending/later writes already fall
+    // under it.
+    predicate_readers_.emplace_back(pred, txn);
+    for (auto& [u, ust] : txns_) {
+      if (u == txn || ust.aborted || !Concurrent(st, ust)) continue;
+      for (const ItemId& wid : ust.write_set) {
+        auto vi = store_.ReadVersionInfo(wid, ~Timestamp{0}, u);
+        if (vi.has_value() && !vi->tombstone && pred.Covers(wid, vi->row)) {
+          AddRwEdge(txn, u);
+        }
+      }
+    }
+  }
+  history_.Append(std::move(a));
+  ++stats_.predicate_reads;
+  return rows;
+}
+
+Status SnapshotIsolationEngine::DoWrite(TxnId txn, const ItemId& id,
+                                        std::optional<Row> new_row,
+                                        Action::Type type, bool is_insert) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  if (options_.eager_write_conflicts &&
+      store_.HasConcurrentPendingWrite(id, txn)) {
+    return AbortInternal(
+        txn, Status::SerializationFailure(
+                 "first-updater-wins: concurrent pending write on '" + id +
+                 "'"));
+  }
+
+  std::optional<Row> before = store_.Read(id, st.start_ts, txn);
+  if (new_row.has_value()) {
+    store_.Write(id, *new_row, txn);
+  } else {
+    store_.Delete(id, txn);
+  }
+  st.write_set.insert(id);
+
+  Action a = type == Action::Type::kCursorWrite
+                 ? Action::CursorWrite(txn, id, HistoryValue(new_row))
+                 : Action::Write(txn, id, HistoryValue(new_row));
+  a.version = txn;
+  a.before_image = before;
+  a.after_image = new_row;
+  a.is_insert = is_insert;
+  history_.Append(std::move(a));
+  TrackWriteConflicts(txn, id, before, new_row);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::Write(TxnId txn, const ItemId& id, Row row) {
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/false);
+}
+
+Status SnapshotIsolationEngine::Insert(TxnId txn, const ItemId& id, Row row) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (store_.Read(id, txns_[txn].start_ts, txn).has_value()) {
+    return Status::FailedPrecondition("insert: item '" + id +
+                                      "' visible in snapshot");
+  }
+  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+                 /*is_insert=*/true);
+}
+
+Status SnapshotIsolationEngine::Delete(TxnId txn, const ItemId& id) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  if (!store_.Read(id, txns_[txn].start_ts, txn).has_value()) {
+    return Status::NotFound("delete: item '" + id + "' not visible");
+  }
+  return DoWrite(txn, id, std::nullopt, Action::Type::kWrite,
+                 /*is_insert=*/false);
+}
+
+Result<size_t> SnapshotIsolationEngine::UpdateWhere(
+    TxnId txn, const std::string& name, const Predicate& pred,
+    const std::function<Row(const Row&)>& transform) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+  auto rows = store_.Scan(pred, st.start_ts, txn);
+  Action a = Action::PredicateWrite(txn, name, pred);
+  a.version = txn;
+  for (const auto& [id, row] : rows) {
+    Row next = transform(row);
+    store_.Write(id, next, txn);
+    st.write_set.insert(id);
+    a.read_set.push_back(id);
+    TrackWriteConflicts(txn, id, row, next);
+    ++stats_.writes;
+  }
+  history_.Append(std::move(a));
+  return rows.size();
+}
+
+Result<size_t> SnapshotIsolationEngine::DeleteWhere(TxnId txn,
+                                                    const std::string& name,
+                                                    const Predicate& pred) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+  auto rows = store_.Scan(pred, st.start_ts, txn);
+  Action a = Action::PredicateWrite(txn, name, pred);
+  a.version = txn;
+  for (const auto& [id, row] : rows) {
+    store_.Delete(id, txn);
+    st.write_set.insert(id);
+    a.read_set.push_back(id);
+    TrackWriteConflicts(txn, id, row, std::nullopt);
+    ++stats_.writes;
+  }
+  history_.Append(std::move(a));
+  return rows.size();
+}
+
+Status SnapshotIsolationEngine::WriteCursor(TxnId txn, const ItemId& id,
+                                            Row row) {
+  return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
+                 /*is_insert=*/false);
+}
+
+Status SnapshotIsolationEngine::CloseCursor(TxnId txn) {
+  return CheckActive(txn);
+}
+
+Status SnapshotIsolationEngine::Commit(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+
+  // First-Committer-Wins: some transaction with a Commit-Timestamp inside
+  // [start_ts, now] wrote data this transaction also wrote.
+  for (const ItemId& id : st.write_set) {
+    if (store_.LatestCommitTs(id) > st.start_ts) {
+      return AbortInternal(
+          txn, Status::SerializationFailure(
+                   "first-committer-wins: '" + id +
+                   "' was committed during this transaction's interval"));
+    }
+  }
+
+  if (options_.ssi && SsiPivot(st)) {
+    return AbortInternal(
+        txn,
+        Status::SerializationFailure(
+            "ssi: pivot in an rw-antidependency dangerous structure"));
+  }
+
+  st.commit_ts = clock_.Tick();
+  st.active = false;
+  st.committed = true;
+  store_.CommitTxn(txn, st.commit_ts);
+  history_.Append(Action::Commit(txn));
+  ++stats_.commits;
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::Abort(TxnId txn) {
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  TxnState& st = txns_[txn];
+  st.active = false;
+  st.aborted = true;
+  store_.AbortTxn(txn);
+  history_.Append(Action::Abort(txn));
+  ++stats_.aborts;
+  return Status::OK();
+}
+
+size_t SnapshotIsolationEngine::GarbageCollect() {
+  Timestamp watermark = clock_.Now();
+  for (const auto& [t, st] : txns_) {
+    (void)t;
+    if (st.active && st.start_ts < watermark) watermark = st.start_ts;
+  }
+  return store_.GarbageCollect(watermark);
+}
+
+}  // namespace critique

@@ -1,0 +1,184 @@
+#include "critique/exec/program.h"
+
+namespace critique {
+namespace {
+
+Value ScalarOf(const std::optional<Row>& row) {
+  if (!row.has_value()) return Value();
+  return row->scalar();
+}
+
+}  // namespace
+
+Program& Program::Read(const ItemId& item, const std::string& save_as) {
+  const std::string key = save_as.empty() ? item : save_as;
+  steps_.push_back({StepKind::kOperation, [item, key](StepContext& ctx) {
+                      auto r = ctx.engine.Read(ctx.txn, item);
+                      if (!r.ok()) return r.status();
+                      ctx.locals.Set(key, ScalarOf(*r));
+                      return Status::OK();
+                    }});
+  return *this;
+}
+
+Program& Program::ReadPredicate(const std::string& name, Predicate pred) {
+  steps_.push_back({StepKind::kOperation, [name, pred](StepContext& ctx) {
+                      auto r = ctx.engine.ReadPredicate(ctx.txn, name, pred);
+                      if (!r.ok()) return r.status();
+                      std::vector<ItemId> ids;
+                      for (const auto& [id, row] : *r) {
+                        (void)row;
+                        ids.push_back(id);
+                      }
+                      ctx.locals.Set(name + ".count",
+                                     static_cast<int64_t>(ids.size()));
+                      ctx.locals.SetReadSet(name, std::move(ids));
+                      return Status::OK();
+                    }});
+  return *this;
+}
+
+Program& Program::ReadPredicateSum(const std::string& name, Predicate pred,
+                                   const std::string& column) {
+  steps_.push_back(
+      {StepKind::kOperation, [name, pred, column](StepContext& ctx) {
+         auto r = ctx.engine.ReadPredicate(ctx.txn, name, pred);
+         if (!r.ok()) return r.status();
+         std::vector<ItemId> ids;
+         double sum = 0;
+         for (const auto& [id, row] : *r) {
+           ids.push_back(id);
+           auto v = row.Get(column).AsNumeric();
+           if (v.has_value()) sum += *v;
+         }
+         ctx.locals.Set(name + ".count", static_cast<int64_t>(ids.size()));
+         ctx.locals.Set(name + ".sum", static_cast<int64_t>(sum));
+         ctx.locals.SetReadSet(name, std::move(ids));
+         return Status::OK();
+       }});
+  return *this;
+}
+
+Program& Program::Write(const ItemId& item, Value v) {
+  steps_.push_back({StepKind::kOperation, [item, v](StepContext& ctx) {
+                      return ctx.engine.Write(ctx.txn, item, Row::Scalar(v));
+                    }});
+  return *this;
+}
+
+Program& Program::WriteRow(const ItemId& item, Row row) {
+  steps_.push_back({StepKind::kOperation, [item, row](StepContext& ctx) {
+                      return ctx.engine.Write(ctx.txn, item, row);
+                    }});
+  return *this;
+}
+
+Program& Program::WriteComputed(const ItemId& item,
+                                std::function<Value(const TxnLocals&)> fn) {
+  steps_.push_back(
+      {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
+         return ctx.engine.Write(ctx.txn, item, Row::Scalar(fn(ctx.locals)));
+       }});
+  return *this;
+}
+
+Program& Program::WriteRowComputed(const ItemId& item,
+                                   std::function<Row(const TxnLocals&)> fn) {
+  steps_.push_back(
+      {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
+         return ctx.engine.Write(ctx.txn, item, fn(ctx.locals));
+       }});
+  return *this;
+}
+
+Program& Program::UpdateStatement(
+    const ItemId& item, std::function<Row(const std::optional<Row>&)> fn) {
+  steps_.push_back(
+      {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
+         return ctx.engine.Update(ctx.txn, item, fn);
+       }});
+  return *this;
+}
+
+Program& Program::UpdateAddStatement(const ItemId& item, int64_t delta) {
+  return UpdateStatement(item, [delta](const std::optional<Row>& row) {
+    int64_t current = 0;
+    if (row.has_value()) {
+      auto v = row->scalar().AsNumeric();
+      if (v.has_value()) current = static_cast<int64_t>(*v);
+    }
+    return Row::Scalar(Value(current + delta));
+  });
+}
+
+Program& Program::InsertRow(const ItemId& item, Row row) {
+  steps_.push_back({StepKind::kOperation, [item, row](StepContext& ctx) {
+                      return ctx.engine.Insert(ctx.txn, item, row);
+                    }});
+  return *this;
+}
+
+Program& Program::Delete(const ItemId& item) {
+  steps_.push_back({StepKind::kOperation, [item](StepContext& ctx) {
+                      return ctx.engine.Delete(ctx.txn, item);
+                    }});
+  return *this;
+}
+
+Program& Program::Fetch(const ItemId& item, const std::string& save_as) {
+  const std::string key = save_as.empty() ? item : save_as;
+  steps_.push_back({StepKind::kOperation, [item, key](StepContext& ctx) {
+                      auto r = ctx.engine.FetchCursor(ctx.txn, item);
+                      if (!r.ok()) return r.status();
+                      ctx.locals.Set(key, ScalarOf(*r));
+                      return Status::OK();
+                    }});
+  return *this;
+}
+
+Program& Program::WriteCursorComputed(
+    const ItemId& item, std::function<Value(const TxnLocals&)> fn) {
+  steps_.push_back(
+      {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
+         return ctx.engine.WriteCursor(ctx.txn, item,
+                                       Row::Scalar(fn(ctx.locals)));
+       }});
+  return *this;
+}
+
+Program& Program::WriteCursor(const ItemId& item, Value v) {
+  steps_.push_back({StepKind::kOperation, [item, v](StepContext& ctx) {
+                      return ctx.engine.WriteCursor(ctx.txn, item,
+                                                    Row::Scalar(v));
+                    }});
+  return *this;
+}
+
+Program& Program::CloseCursor() {
+  steps_.push_back({StepKind::kOperation, [](StepContext& ctx) {
+                      return ctx.engine.CloseCursor(ctx.txn);
+                    }});
+  return *this;
+}
+
+Program& Program::Commit() {
+  steps_.push_back({StepKind::kCommit, [](StepContext& ctx) {
+                      return ctx.engine.Commit(ctx.txn);
+                    }});
+  return *this;
+}
+
+Program& Program::Abort() {
+  steps_.push_back({StepKind::kAbort, [](StepContext& ctx) {
+                      return ctx.engine.Abort(ctx.txn);
+                    }});
+  return *this;
+}
+
+Program& Program::Custom(StepKind kind,
+                         std::function<Status(StepContext&)> fn) {
+  steps_.push_back({kind, std::move(fn)});
+  return *this;
+}
+
+}  // namespace critique

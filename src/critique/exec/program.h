@@ -1,0 +1,142 @@
+#ifndef CRITIQUE_EXEC_PROGRAM_H_
+#define CRITIQUE_EXEC_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "critique/engine/engine.h"
+#include "critique/model/predicate.h"
+#include "critique/model/value.h"
+
+namespace critique {
+
+/// \brief Per-transaction scratch space: values observed by earlier steps,
+/// readable by later computed steps ("read x, then write x+40").
+class TxnLocals {
+ public:
+  void Set(const std::string& name, Value v) { vars_[name] = std::move(v); }
+
+  /// The saved value; NULL when never set.
+  Value Get(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? Value() : it->second;
+  }
+
+  /// Numeric accessor; 0 when unset/non-numeric (scenario convenience).
+  int64_t GetInt(const std::string& name) const {
+    auto v = Get(name).AsNumeric();
+    return v.has_value() ? static_cast<int64_t>(*v) : 0;
+  }
+
+  void SetReadSet(const std::string& name, std::vector<ItemId> ids) {
+    read_sets_[name] = std::move(ids);
+  }
+  const std::vector<ItemId>& GetReadSet(const std::string& name) const {
+    static const std::vector<ItemId> kEmpty;
+    auto it = read_sets_.find(name);
+    return it == read_sets_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, Value>& vars() const { return vars_; }
+
+ private:
+  std::map<std::string, Value> vars_;
+  std::map<std::string, std::vector<ItemId>> read_sets_;
+};
+
+/// How a step terminates its transaction (used by the runner to track
+/// outcomes).
+enum class StepKind { kOperation, kCommit, kAbort };
+
+/// The execution context handed to each step.
+struct StepContext {
+  Engine& engine;
+  TxnId txn;
+  TxnLocals& locals;
+};
+
+/// One step of a transaction program.
+struct ProgramStep {
+  StepKind kind = StepKind::kOperation;
+  std::function<Status(StepContext&)> run;
+};
+
+/// \brief A straight-line transaction program: the per-transaction column
+/// of the paper's histories ("T1 reads x, reads y, writes y, commits").
+///
+/// Built fluently:
+///
+///   Program p;
+///   p.Read("x").WriteComputed("y", [](const TxnLocals& l) {
+///        return Value(l.GetInt("x") - 40); }).Commit();
+///
+/// Scalar reads store the row's "val" column in the locals under the item
+/// name (or `save_as`).
+class Program {
+ public:
+  /// Reads `item`; saves its scalar under `save_as` (default: item name).
+  Program& Read(const ItemId& item, const std::string& save_as = "");
+
+  /// Predicate read; saves the matching ids as a read-set named `name` and
+  /// the match count under "<name>.count".
+  Program& ReadPredicate(const std::string& name, Predicate pred);
+
+  /// Predicate read that also sums `column` over the matches into
+  /// "<name>.sum" (the paper's 8-hour job-tasks constraint check).
+  Program& ReadPredicateSum(const std::string& name, Predicate pred,
+                            const std::string& column);
+
+  /// Writes a constant scalar.
+  Program& Write(const ItemId& item, Value v);
+
+  /// Writes a full row.
+  Program& WriteRow(const ItemId& item, Row row);
+
+  /// Writes a scalar computed from locals at execution time.
+  Program& WriteComputed(const ItemId& item,
+                         std::function<Value(const TxnLocals&)> fn);
+
+  /// Writes a full row computed from locals at execution time.
+  Program& WriteRowComputed(const ItemId& item,
+                            std::function<Row(const TxnLocals&)> fn);
+
+  /// Atomic UPDATE statement (engine-level read-modify-write).
+  Program& UpdateStatement(
+      const ItemId& item,
+      std::function<Row(const std::optional<Row>&)> transform);
+
+  /// Convenience: UPDATE item SET val = val + delta (atomic statement).
+  Program& UpdateAddStatement(const ItemId& item, int64_t delta);
+
+  Program& InsertRow(const ItemId& item, Row row);
+  Program& Delete(const ItemId& item);
+
+  /// Cursor fetch (`rc`); saves the scalar like Read.
+  Program& Fetch(const ItemId& item, const std::string& save_as = "");
+
+  /// Cursor write (`wc`) of a computed scalar.
+  Program& WriteCursorComputed(const ItemId& item,
+                               std::function<Value(const TxnLocals&)> fn);
+
+  /// Cursor write (`wc`) of a constant scalar.
+  Program& WriteCursor(const ItemId& item, Value v);
+
+  Program& CloseCursor();
+  Program& Commit();
+  Program& Abort();
+
+  /// Escape hatch for bespoke steps.
+  Program& Custom(StepKind kind, std::function<Status(StepContext&)> fn);
+
+  const std::vector<ProgramStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+
+ private:
+  std::vector<ProgramStep> steps_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_EXEC_PROGRAM_H_

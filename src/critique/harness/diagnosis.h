@@ -1,0 +1,55 @@
+#ifndef CRITIQUE_HARNESS_DIAGNOSIS_H_
+#define CRITIQUE_HARNESS_DIAGNOSIS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "critique/harness/matrix.h"
+
+namespace critique {
+
+/// A factory producing fresh instances of the engine under test.
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+/// Runs `variant` against a fresh engine from `factory` (the generalized
+/// form of the level-based overload).
+Result<VariantOutcome> RunVariantOn(const EngineFactory& factory,
+                                    const ScenarioVariant& variant);
+
+/// Folds all variants of `scenario` into one cell for the engine under
+/// test (same rule as the level-based overload).
+Result<CellValue> EvaluateCellOn(const EngineFactory& factory,
+                                 const AnomalyScenario& scenario);
+
+/// \brief The result of black-box isolation diagnosis: what Hermitage does
+/// to production databases, applied to any `Engine` implementation.
+struct Diagnosis {
+  /// Measured Table 4 row of the engine under test.
+  std::map<Phenomenon, CellValue> row;
+
+  /// Known levels whose published row equals the measured row exactly.
+  /// (Cursor Stability and Oracle Read Consistency share a row — the
+  /// anomaly basis cannot separate them, only their mechanisms differ.)
+  std::vector<IsolationLevel> exact_matches;
+
+  /// The known level with the fewest differing cells (ties broken by the
+  /// stronger level appearing later in AllEngineLevels()).
+  std::optional<IsolationLevel> closest;
+  size_t closest_distance = 0;
+
+  /// Multi-line report.
+  std::string ToString() const;
+};
+
+/// Probes the engine with every Table 4 scenario and matches the measured
+/// row against all known level rows (paper Table 4 plus the extended
+/// expectations).
+Result<Diagnosis> DiagnoseEngine(const EngineFactory& factory);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HARNESS_DIAGNOSIS_H_

@@ -1,0 +1,211 @@
+#include "critique/harness/hierarchy.h"
+
+namespace critique {
+namespace {
+
+int Rank(CellValue v) {
+  switch (v) {
+    case CellValue::kNotPossible:
+      return 0;
+    case CellValue::kSometimesPossible:
+      return 1;
+    case CellValue::kPossible:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view LevelRelationSymbol(LevelRelation r) {
+  switch (r) {
+    case LevelRelation::kWeaker:
+      return "<<";
+    case LevelRelation::kStronger:
+      return ">>";
+    case LevelRelation::kEquivalent:
+      return "==";
+    case LevelRelation::kIncomparable:
+      return "><";
+  }
+  return "?";
+}
+
+LevelRelation CompareLevels(const AnomalyMatrix& m, IsolationLevel l1,
+                            IsolationLevel l2) {
+  bool l2_stricter_somewhere = false;  // l2 admits strictly less somewhere
+  bool l1_stricter_somewhere = false;
+  for (Phenomenon p : m.columns()) {
+    int r1 = Rank(m.Cell(l1, p));
+    int r2 = Rank(m.Cell(l2, p));
+    if (r2 < r1) l2_stricter_somewhere = true;
+    if (r1 < r2) l1_stricter_somewhere = true;
+  }
+  if (l1_stricter_somewhere && l2_stricter_somewhere) {
+    return LevelRelation::kIncomparable;
+  }
+  if (l2_stricter_somewhere) return LevelRelation::kWeaker;    // l1 << l2
+  if (l1_stricter_somewhere) return LevelRelation::kStronger;  // l2 << l1
+  return LevelRelation::kEquivalent;
+}
+
+std::string HierarchyEdge::ToString() const {
+  std::string out = IsolationLevelName(weaker) + " << " +
+                    IsolationLevelName(stronger) + "   [";
+  for (size_t i = 0; i < differentiating.size(); ++i) {
+    if (i) out += ", ";
+    out += PhenomenonName(differentiating[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<HierarchyEdge> CoverEdges(const AnomalyMatrix& m) {
+  const auto& levels = m.levels();
+  auto weaker_than = [&](IsolationLevel a, IsolationLevel b) {
+    return CompareLevels(m, a, b) == LevelRelation::kWeaker;
+  };
+
+  std::vector<HierarchyEdge> edges;
+  for (IsolationLevel lo : levels) {
+    for (IsolationLevel hi : levels) {
+      if (!weaker_than(lo, hi)) continue;
+      // Covering: no intermediate level strictly between.
+      bool covered = false;
+      for (IsolationLevel mid : levels) {
+        if (weaker_than(lo, mid) && weaker_than(mid, hi)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      HierarchyEdge e;
+      e.weaker = lo;
+      e.stronger = hi;
+      for (Phenomenon p : m.columns()) {
+        if (Rank(m.Cell(lo, p)) != Rank(m.Cell(hi, p))) {
+          e.differentiating.push_back(p);
+        }
+      }
+      edges.push_back(std::move(e));
+    }
+  }
+  return edges;
+}
+
+std::vector<std::pair<IsolationLevel, IsolationLevel>> IncomparablePairs(
+    const AnomalyMatrix& m) {
+  std::vector<std::pair<IsolationLevel, IsolationLevel>> out;
+  const auto& levels = m.levels();
+  for (size_t i = 0; i < levels.size(); ++i) {
+    for (size_t j = i + 1; j < levels.size(); ++j) {
+      if (CompareLevels(m, levels[i], levels[j]) ==
+          LevelRelation::kIncomparable) {
+        out.emplace_back(levels[i], levels[j]);
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderHierarchy(const AnomalyMatrix& m) {
+  std::string out = "Isolation hierarchy (Figure 2), derived from the "
+                    "measured matrix.\nCover edges (weaker << stronger "
+                    "[differentiating phenomena]):\n";
+  for (const auto& e : CoverEdges(m)) {
+    out += "  " + e.ToString() + "\n";
+  }
+  auto inc = IncomparablePairs(m);
+  if (!inc.empty()) {
+    out += "Incomparable pairs (L1 >< L2):\n";
+    for (const auto& [a, b] : inc) {
+      out += "  " + IsolationLevelName(a) + " >< " + IsolationLevelName(b) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<RemarkCheck> CheckRemarks(const AnomalyMatrix& m) {
+  auto rel = [&](IsolationLevel a, IsolationLevel b) {
+    return CompareLevels(m, a, b);
+  };
+  auto weaker = [&](IsolationLevel a, IsolationLevel b) {
+    return rel(a, b) == LevelRelation::kWeaker;
+  };
+
+  std::vector<RemarkCheck> out;
+  {
+    RemarkCheck r;
+    r.number = 1;
+    r.statement =
+        "Locking READ UNCOMMITTED << Locking READ COMMITTED << "
+        "Locking REPEATABLE READ << Locking SERIALIZABLE";
+    r.holds = weaker(IsolationLevel::kReadUncommitted,
+                     IsolationLevel::kReadCommitted) &&
+              weaker(IsolationLevel::kReadCommitted,
+                     IsolationLevel::kRepeatableRead) &&
+              weaker(IsolationLevel::kRepeatableRead,
+                     IsolationLevel::kSerializable);
+    r.evidence = "row-wise comparison of measured anomaly cells";
+    out.push_back(std::move(r));
+  }
+  {
+    RemarkCheck r;
+    r.number = 7;
+    r.statement = "READ COMMITTED << Cursor Stability << REPEATABLE READ";
+    r.holds = weaker(IsolationLevel::kReadCommitted,
+                     IsolationLevel::kCursorStability) &&
+              weaker(IsolationLevel::kCursorStability,
+                     IsolationLevel::kRepeatableRead);
+    r.evidence = "P4C separates RC/CS; P4, P2, A5B separate CS/RR";
+    out.push_back(std::move(r));
+  }
+  {
+    RemarkCheck r;
+    r.number = 8;
+    r.statement = "READ COMMITTED << Snapshot Isolation";
+    r.holds = weaker(IsolationLevel::kReadCommitted,
+                     IsolationLevel::kSnapshotIsolation);
+    r.evidence = "A5A possible under READ COMMITTED, never under SI";
+    out.push_back(std::move(r));
+  }
+  {
+    RemarkCheck r;
+    r.number = 9;
+    r.statement = "REPEATABLE READ >< Snapshot Isolation (incomparable)";
+    r.holds = rel(IsolationLevel::kRepeatableRead,
+                  IsolationLevel::kSnapshotIsolation) ==
+              LevelRelation::kIncomparable;
+    r.evidence = "SI admits A5B but not A3; REPEATABLE READ the opposite";
+    out.push_back(std::move(r));
+  }
+  {
+    RemarkCheck r;
+    r.number = 10;
+    r.statement =
+        "ANOMALY SERIALIZABLE << Snapshot Isolation (SI precludes "
+        "A1, A2, A3)";
+    // ANOMALY SERIALIZABLE forbids only the strict anomalies; the A-shaped
+    // scenario variants are the re-read forms: P1's aborting reader, P2's
+    // re-read, P3's predicate re-read.  SI must show none of them, yet is
+    // not serializable (A5B possible) — hence strictly stronger than
+    // ANOMALY SERIALIZABLE, which admits even H1/H2/H3.
+    const bool si_no_strict =
+        m.Cell(IsolationLevel::kSnapshotIsolation, Phenomenon::kP1) ==
+            CellValue::kNotPossible &&
+        m.Cell(IsolationLevel::kSnapshotIsolation, Phenomenon::kP2) ==
+            CellValue::kNotPossible &&
+        m.Cell(IsolationLevel::kSnapshotIsolation, Phenomenon::kA5A) ==
+            CellValue::kNotPossible;
+    r.holds = si_no_strict;
+    r.evidence =
+        "SI shows no dirty/fuzzy reads and no read skew; its only "
+        "anomalies (A5B, constraint phantoms) are invisible to the "
+        "A1/A2/A3 tests";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace critique

@@ -1,0 +1,67 @@
+#ifndef CRITIQUE_HARNESS_HIERARCHY_H_
+#define CRITIQUE_HARNESS_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/harness/matrix.h"
+
+namespace critique {
+
+/// The Section 4.1 ordering between two isolation levels, derived from the
+/// anomaly matrix: L1 « L2 ("L1 is weaker") when L2 admits pointwise no
+/// more of every anomaly and strictly less of at least one.
+enum class LevelRelation {
+  kWeaker,        // L1 « L2
+  kStronger,      // L2 « L1
+  kEquivalent,    // L1 == L2
+  kIncomparable,  // L1 »« L2
+};
+
+/// "«", "»", "==", "»«".
+std::string_view LevelRelationSymbol(LevelRelation r);
+
+/// Compares two levels by their rows of `m` (both must be present).
+LevelRelation CompareLevels(const AnomalyMatrix& m, IsolationLevel l1,
+                            IsolationLevel l2);
+
+/// One edge of the Figure 2 diagram: `weaker` « `stronger`, annotated with
+/// the anomalies whose cells differ (the phenomena that separate them).
+struct HierarchyEdge {
+  IsolationLevel weaker;
+  IsolationLevel stronger;
+  std::vector<Phenomenon> differentiating;
+
+  std::string ToString() const;
+};
+
+/// The covering relation of the partial order (transitively reduced):
+/// exactly the edges Figure 2 draws.
+std::vector<HierarchyEdge> CoverEdges(const AnomalyMatrix& m);
+
+/// All incomparable pairs (Figure 2's separate branches, e.g.
+/// REPEATABLE READ »« Snapshot Isolation — Remark 9).
+std::vector<std::pair<IsolationLevel, IsolationLevel>> IncomparablePairs(
+    const AnomalyMatrix& m);
+
+/// Multi-line rendering of the hierarchy: cover edges with annotations,
+/// then incomparabilities.
+std::string RenderHierarchy(const AnomalyMatrix& m);
+
+/// \brief One of the paper's numbered remarks, checked mechanically
+/// against the measured matrix.
+struct RemarkCheck {
+  int number;
+  std::string statement;
+  bool holds;
+  std::string evidence;
+};
+
+/// Checks Remarks 1, 7, 8, 9, and 10 against `m` (which must contain the
+/// Table 4 levels).  Remarks 2-6 concern definitions rather than level
+/// orderings and are exercised by the test suite instead.
+std::vector<RemarkCheck> CheckRemarks(const AnomalyMatrix& m);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HARNESS_HIERARCHY_H_

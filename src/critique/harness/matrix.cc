@@ -1,0 +1,106 @@
+#include "critique/harness/matrix.h"
+
+#include "critique/common/string_util.h"
+
+namespace critique {
+
+std::vector<Phenomenon> AnomalyMatrix::Allowed(IsolationLevel level) const {
+  std::vector<Phenomenon> out;
+  for (Phenomenon p : columns_) {
+    auto it = cells_.find({level, p});
+    if (it != cells_.end() && it->second != CellValue::kNotPossible) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string AnomalyMatrix::ToTable() const {
+  const size_t kLevelWidth = 36;
+  const size_t kCellWidth = 19;
+  std::string out = PadTo("Isolation level", kLevelWidth);
+  for (Phenomenon p : columns_) {
+    out += PadTo(std::string(PhenomenonName(p)) + " " +
+                     std::string(PhenomenonTitle(p)),
+                 kCellWidth);
+  }
+  out += "\n";
+  out += std::string(kLevelWidth + kCellWidth * columns_.size(), '-') + "\n";
+  for (IsolationLevel level : levels_) {
+    out += PadTo(IsolationLevelName(level), kLevelWidth);
+    for (Phenomenon p : columns_) {
+      auto it = cells_.find({level, p});
+      out += PadTo(it == cells_.end() ? "-" : CellName(it->second),
+                   kCellWidth);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<AnomalyMatrix> ComputeAnomalyMatrix(
+    const std::vector<IsolationLevel>& levels) {
+  AnomalyMatrix m;
+  for (IsolationLevel level : levels) {
+    for (const AnomalyScenario& scenario : Table4Scenarios()) {
+      CRITIQUE_ASSIGN_OR_RETURN(CellValue cell,
+                                EvaluateCell(level, scenario));
+      m.SetCell(level, scenario.phenomenon, cell);
+    }
+  }
+  return m;
+}
+
+namespace {
+
+AnomalyMatrix BuildExpected(
+    const std::vector<std::pair<IsolationLevel, std::vector<CellValue>>>&
+        rows) {
+  // Column order matches Table 4: P0, P1, P4C, P4, P2, P3, A5A, A5B.
+  const std::vector<Phenomenon> columns = {
+      Phenomenon::kP0, Phenomenon::kP1, Phenomenon::kP4C, Phenomenon::kP4,
+      Phenomenon::kP2, Phenomenon::kP3, Phenomenon::kA5A, Phenomenon::kA5B,
+  };
+  AnomalyMatrix m;
+  for (const auto& [level, cells] : rows) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      m.SetCell(level, columns[i], cells[i]);
+    }
+  }
+  return m;
+}
+
+constexpr CellValue N = CellValue::kNotPossible;
+constexpr CellValue S = CellValue::kSometimesPossible;
+constexpr CellValue P = CellValue::kPossible;
+
+}  // namespace
+
+const AnomalyMatrix& PaperTable4() {
+  static const AnomalyMatrix* kMatrix = new AnomalyMatrix(BuildExpected({
+      // Level                                    P0 P1 P4C P4 P2 P3 A5A A5B
+      {IsolationLevel::kReadUncommitted, {N, P, P, P, P, P, P, P}},
+      {IsolationLevel::kReadCommitted, {N, N, P, P, P, P, P, P}},
+      {IsolationLevel::kCursorStability, {N, N, N, S, S, P, P, S}},
+      {IsolationLevel::kRepeatableRead, {N, N, N, N, N, P, N, N}},
+      {IsolationLevel::kSnapshotIsolation, {N, N, N, N, N, S, N, P}},
+      {IsolationLevel::kSerializable, {N, N, N, N, N, N, N, N}},
+  }));
+  return *kMatrix;
+}
+
+const AnomalyMatrix& ExtendedExpectations() {
+  static const AnomalyMatrix* kMatrix = new AnomalyMatrix(BuildExpected({
+      // Degree 0 requires only action atomicity: everything is possible.
+      {IsolationLevel::kDegree0, {P, P, P, P, P, P, P, P}},
+      // Oracle Read Consistency (Section 4.3): no P0/P1/P4C; statement
+      // snapshots leave P2/P3/A5A/P4/A5B exposed, with FOR UPDATE cursors
+      // protecting the cursor variants ("Sometimes").
+      {IsolationLevel::kOracleReadConsistency, {N, N, N, S, S, P, P, S}},
+      // The SSI extension is serializable: nothing is possible.
+      {IsolationLevel::kSerializableSI, {N, N, N, N, N, N, N, N}},
+  }));
+  return *kMatrix;
+}
+
+}  // namespace critique

@@ -1,0 +1,105 @@
+#include "critique/harness/paper_histories.h"
+
+#include <cassert>
+
+namespace critique {
+
+History PaperHistory::Parse() const {
+  auto h = History::Parse(shorthand);
+  assert(h.ok() && "paper corpus histories must parse");
+  return *h;
+}
+
+const std::vector<PaperHistory>& PaperHistories() {
+  static const std::vector<PaperHistory>* kCorpus = [] {
+    auto* v = new std::vector<PaperHistory>();
+    using P = Phenomenon;
+    v->push_back({"H1",
+                  "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1",
+                  "inconsistent analysis: T2 sees a total of 60 during T1's "
+                  "transfer; violates P1 but none of A1/A2/A3 (Section 3)",
+                  /*serializable=*/false, /*multiversion=*/false,
+                  {P::kP1},
+                  {P::kA1, P::kA2, P::kA3, P::kP0}});
+    v->push_back({"H2",
+                  "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1",
+                  "inconsistent analysis without dirty reads: T1 sees 140; "
+                  "violates P2 but not P1/A2 (Section 3); also read skew",
+                  false, false,
+                  {P::kP2, P::kA5A},
+                  {P::kP1, P::kA1, P::kA2, P::kA3}});
+    v->push_back({"H3",
+                  "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1",
+                  "phantom via the employee-count check; violates P3 but "
+                  "not A3 (Section 3)",
+                  false, false,
+                  {P::kP3},
+                  {P::kA3, P::kP1, P::kP2}});
+    v->push_back({"H4",
+                  "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1",
+                  "lost update: T2's increment vanishes (Section 4.1)",
+                  false, false,
+                  {P::kP4, P::kP2},
+                  {P::kP0, P::kP1, P::kP4C}});
+    v->push_back({"H5",
+                  "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] "
+                  "c1 c2",
+                  "write skew against x + y > 0 (Section 4.2)",
+                  false, false,
+                  {P::kA5B, P::kP2},
+                  {P::kP0, P::kP1, P::kA5A}});
+    v->push_back({"P0-example",
+                  "w1[x] w2[x] w2[y] c2 w1[y] c1",
+                  "dirty writes break the x = y constraint and before-image "
+                  "recovery (Section 3)",
+                  false, false,
+                  {P::kP0},
+                  {P::kP1}});
+    v->push_back({"A1-form",
+                  "w1[x] r2[x] a1 c2",
+                  "the strict dirty read: T2 keeps data that never existed",
+                  /*serializable=*/true,  // only T2 commits; graph is trivial
+                  false,
+                  {P::kA1, P::kP1},
+                  {}});
+    v->push_back({"A2-form",
+                  "r1[x=50] w2[x=60] c2 r1[x=60] c1",
+                  "the strict fuzzy read: T1's re-read changes",
+                  false, false,
+                  {P::kA2, P::kP2},
+                  {P::kP1}});
+    v->push_back({"A3-form",
+                  "r1[P] w2[insert y to P] c2 r1[P] c1",
+                  "the strict phantom: T1's predicate re-read changes",
+                  false, false,
+                  {P::kA3, P::kP3},
+                  {P::kP1, P::kP2}});
+    v->push_back({"H1.SI",
+                  "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] "
+                  "w1[y1=90] c1",
+                  "H1's interleaving under Snapshot Isolation: snapshot "
+                  "reads give it serializable dataflows (Section 4.2)",
+                  /*serializable=*/true, /*multiversion=*/true,
+                  {},
+                  {}});
+    v->push_back({"H1.SI.SV",
+                  "r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] "
+                  "w1[y=90] c1",
+                  "the single-valued mapping of H1.SI per [OOBBGM]",
+                  /*serializable=*/true, false,
+                  {},
+                  {P::kP0, P::kP1, P::kP2}});
+    return v;
+  }();
+  return *kCorpus;
+}
+
+const PaperHistory& GetPaperHistory(const std::string& name) {
+  for (const PaperHistory& h : PaperHistories()) {
+    if (h.name == name) return h;
+  }
+  assert(false && "unknown paper history");
+  return PaperHistories().front();
+}
+
+}  // namespace critique

@@ -1,0 +1,38 @@
+#ifndef CRITIQUE_HARNESS_PAPER_HISTORIES_H_
+#define CRITIQUE_HARNESS_PAPER_HISTORIES_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/analysis/phenomena.h"
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// \brief One of the paper's named example histories, with the properties
+/// the paper claims for it.
+struct PaperHistory {
+  std::string name;        ///< "H1", "H1.SI", ...
+  std::string shorthand;   ///< verbatim from the paper
+  std::string about;       ///< what it demonstrates
+  bool serializable;       ///< (for MV histories: of the mapped SV form)
+  bool multiversion;
+  /// Phenomena the paper says the history exhibits / avoids.
+  std::vector<Phenomenon> exhibits;
+  std::vector<Phenomenon> avoids;
+
+  /// Parses `shorthand`; the corpus is all well-formed (asserts otherwise).
+  History Parse() const;
+};
+
+/// The full corpus: H1, H2, H3, H4, H5, the P0 constraint example,
+/// H1.SI, H1.SI.SV, and the strict-anomaly forms of A1/A2/A3.
+/// Every entry's claimed properties are verified by the test suite.
+const std::vector<PaperHistory>& PaperHistories();
+
+/// Lookup by name; asserts the name exists.
+const PaperHistory& GetPaperHistory(const std::string& name);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HARNESS_PAPER_HISTORIES_H_

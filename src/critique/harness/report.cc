@@ -1,0 +1,175 @@
+#include "critique/harness/report.h"
+
+#include "critique/analysis/ansi_levels.h"
+#include "critique/common/string_util.h"
+#include "critique/history/history.h"
+
+namespace critique {
+namespace {
+
+constexpr size_t kLevelWidth = 36;
+constexpr size_t kCellWidth = 16;
+
+bool Forbids(AnsiLevel level, Phenomenon p, AnsiInterpretation interp,
+             AnsiTable table) {
+  for (Phenomenon f : ForbiddenPhenomena(level, interp, table)) {
+    if (f == p) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RenderTable1(AnsiInterpretation interp) {
+  const bool broad = interp == AnsiInterpretation::kBroad;
+  const std::vector<Phenomenon> columns =
+      broad ? std::vector<Phenomenon>{Phenomenon::kP1, Phenomenon::kP2,
+                                      Phenomenon::kP3}
+            : std::vector<Phenomenon>{Phenomenon::kA1, Phenomenon::kA2,
+                                      Phenomenon::kA3};
+  std::string out = "Table 1 — ANSI SQL isolation levels, ";
+  out += broad ? "broad (P1/P2/P3)" : "strict (A1/A2/A3)";
+  out += " interpretation\n";
+  out += PadTo("Isolation level", kLevelWidth);
+  for (Phenomenon p : columns) {
+    out += PadTo(std::string(PhenomenonName(p)) + " " +
+                     std::string(PhenomenonTitle(p)),
+                 kCellWidth + 8);
+  }
+  out += "\n";
+  for (AnsiLevel level : AllAnsiLevels()) {
+    out += PadTo(AnsiLevelName(level, AnsiTable::kTable1), kLevelWidth);
+    for (Phenomenon p : columns) {
+      out += PadTo(Forbids(level, p, interp, AnsiTable::kTable1)
+                       ? "Not Possible"
+                       : "Possible",
+                   kCellWidth + 8);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderStrictVsBroadDemo() {
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"H1 (inconsistent analysis)",
+       "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1"},
+      {"H2 (fuzzy read skew)",
+       "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1"},
+      {"H3 (phantom)", "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1"},
+  };
+  std::string out =
+      "Section 3 — strict (A1/A2/A3) vs broad (P1/P2/P3) readings of the "
+      "ANSI phenomena.\nEach history is non-serializable, yet the strict "
+      "reading admits it at ANOMALY SERIALIZABLE:\n\n";
+  for (const Case& c : cases) {
+    auto h = History::Parse(c.text);
+    if (!h.ok()) {
+      out += std::string(c.name) + ": PARSE ERROR\n";
+      continue;
+    }
+    auto strict = StrongestAnsiLevel(*h, AnsiInterpretation::kStrict,
+                                     AnsiTable::kTable1);
+    auto broad = StrongestAnsiLevel(*h, AnsiInterpretation::kBroad,
+                                    AnsiTable::kTable1);
+    out += PadTo(c.name, 30);
+    out += "  strict -> " +
+           PadTo(strict ? AnsiLevelName(*strict, AnsiTable::kTable1)
+                        : "rejected everywhere",
+                 22);
+    out += "  broad -> " +
+           (broad ? AnsiLevelName(*broad, AnsiTable::kTable1)
+                  : "rejected everywhere");
+    out += "\n    " + std::string(c.text) + "\n";
+  }
+  return out;
+}
+
+std::string RenderTable2() {
+  std::string out =
+      "Table 2 — Degrees of consistency and locking isolation levels "
+      "defined in terms of locks\n";
+  const IsolationLevel levels[] = {
+      IsolationLevel::kDegree0,        IsolationLevel::kReadUncommitted,
+      IsolationLevel::kReadCommitted,  IsolationLevel::kCursorStability,
+      IsolationLevel::kRepeatableRead, IsolationLevel::kSerializable,
+  };
+  for (IsolationLevel level : levels) {
+    out += PadTo(IsolationLevelName(level), kLevelWidth);
+    out += PolicyFor(level).ToString() + "\n";
+  }
+  return out;
+}
+
+std::string RenderTable3() {
+  const std::vector<Phenomenon> columns = {Phenomenon::kP0, Phenomenon::kP1,
+                                           Phenomenon::kP2, Phenomenon::kP3};
+  std::string out =
+      "Table 3 — ANSI levels re-defined by the four phenomena (Remark 5)\n";
+  out += PadTo("Isolation level", kLevelWidth);
+  for (Phenomenon p : columns) {
+    out += PadTo(std::string(PhenomenonName(p)) + " " +
+                     std::string(PhenomenonTitle(p)),
+                 kCellWidth);
+  }
+  out += "\n";
+  for (AnsiLevel level : AllAnsiLevels()) {
+    out += PadTo(AnsiLevelName(level, AnsiTable::kTable3), kLevelWidth);
+    for (Phenomenon p : columns) {
+      out += PadTo(Forbids(level, p, AnsiInterpretation::kBroad,
+                           AnsiTable::kTable3)
+                       ? "Not Possible"
+                       : "Possible",
+                   kCellWidth);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderMatrixComparison(const AnomalyMatrix& measured,
+                                   const AnomalyMatrix& expected) {
+  std::string out = PadTo("Isolation level", kLevelWidth);
+  for (Phenomenon p : expected.columns()) {
+    out += PadTo(PhenomenonName(p), 12);
+  }
+  out += "\n";
+  size_t mismatches = 0;
+  for (IsolationLevel level : expected.levels()) {
+    if (!measured.HasCell(level, expected.columns().front())) continue;
+    out += PadTo(IsolationLevelName(level), kLevelWidth);
+    for (Phenomenon p : expected.columns()) {
+      CellValue got = measured.Cell(level, p);
+      CellValue want = expected.Cell(level, p);
+      std::string cell;
+      switch (got) {
+        case CellValue::kNotPossible:
+          cell = "no";
+          break;
+        case CellValue::kSometimesPossible:
+          cell = "sometimes";
+          break;
+        case CellValue::kPossible:
+          cell = "POSSIBLE";
+          break;
+      }
+      if (got != want) {
+        cell += "!*";
+        ++mismatches;
+      }
+      out += PadTo(cell, 12);
+    }
+    out += "\n";
+  }
+  out += mismatches == 0
+             ? "All cells match the published table.\n"
+             : ("MISMATCHES: " + std::to_string(mismatches) +
+                " cells differ from the published table (marked !*).\n");
+  return out;
+}
+
+}  // namespace critique

@@ -1,0 +1,36 @@
+#ifndef CRITIQUE_HARNESS_REPORT_H_
+#define CRITIQUE_HARNESS_REPORT_H_
+
+#include <string>
+
+#include "critique/analysis/ansi_levels.h"
+#include "critique/harness/matrix.h"
+
+namespace critique {
+
+/// Table 1: the original ANSI matrix — isolation levels defined by which of
+/// the three phenomena (broad P1/P2/P3 or strict A1/A2/A3) they forbid.
+std::string RenderTable1(AnsiInterpretation interp);
+
+/// The Section 3 demonstration behind Remark 4: H1/H2/H3 parsed verbatim
+/// and classified under the strict and broad interpretations, showing the
+/// strict reading admits all three non-serializable histories at
+/// ANOMALY SERIALIZABLE.
+std::string RenderStrictVsBroadDemo();
+
+/// Table 2: each locking isolation level's lock scopes and durations.
+std::string RenderTable2();
+
+/// Table 3: the corrected matrix — P0 forbidden everywhere, P1/P2/P3
+/// stepped per level.
+std::string RenderTable3();
+
+/// Side-by-side comparison of a measured matrix against expectations;
+/// each cell is annotated with ok/MISMATCH.  `expected` cells missing from
+/// `measured` are skipped.
+std::string RenderMatrixComparison(const AnomalyMatrix& measured,
+                                   const AnomalyMatrix& expected);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HARNESS_REPORT_H_

@@ -1,0 +1,29 @@
+#include "critique/harness/scenario.h"
+
+#include "critique/harness/diagnosis.h"
+
+namespace critique {
+
+std::string CellName(CellValue v) {
+  switch (v) {
+    case CellValue::kNotPossible:
+      return "Not Possible";
+    case CellValue::kSometimesPossible:
+      return "Sometimes Possible";
+    case CellValue::kPossible:
+      return "Possible";
+  }
+  return "?";
+}
+
+Result<VariantOutcome> RunVariant(IsolationLevel level,
+                                  const ScenarioVariant& variant) {
+  return RunVariantOn([level] { return CreateEngine(level); }, variant);
+}
+
+Result<CellValue> EvaluateCell(IsolationLevel level,
+                               const AnomalyScenario& scenario) {
+  return EvaluateCellOn([level] { return CreateEngine(level); }, scenario);
+}
+
+}  // namespace critique

@@ -1,0 +1,76 @@
+#ifndef CRITIQUE_HARNESS_SCENARIO_H_
+#define CRITIQUE_HARNESS_SCENARIO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "critique/analysis/phenomena.h"
+#include "critique/engine/engine_factory.h"
+#include "critique/exec/runner.h"
+
+namespace critique {
+
+/// \brief One concrete, runnable interleaving that tries to provoke an
+/// anomaly.
+///
+/// A variant fixes the initial data, the transaction programs, the
+/// schedule, and a *semantic* judgment ("did the anomaly manifest?") that
+/// inspects observed values and final state — independent of the
+/// phenomenon detectors, which are applied to the recorded history as a
+/// cross-check.
+struct ScenarioVariant {
+  std::string name;
+  std::function<Status(Engine&)> load;
+  std::function<void(Runner&)> add_programs;
+  std::vector<TxnId> schedule;
+  /// True when the anomaly semantically occurred.  May begin fresh
+  /// read-only transactions (ids >= 90) on the engine to inspect final
+  /// state.
+  std::function<bool(const RunResult&, Engine&)> anomaly;
+};
+
+/// \brief A Table 4 column: the anomaly plus every variant used to probe it.
+///
+/// Multiple variants capture the paper's "Sometimes Possible" cells: Cursor
+/// Stability prevents the cursor-based lost update but not the plain one;
+/// Snapshot Isolation prevents the ANSI phantom re-read but not the
+/// disjoint-insert constraint violation.
+struct AnomalyScenario {
+  Phenomenon phenomenon;
+  std::string title;
+  std::vector<ScenarioVariant> variants;
+};
+
+/// The eight Table 4 column scenarios, in the paper's column order
+/// (P0, P1, P4C, P4, P2, P3, A5A, A5B).
+const std::vector<AnomalyScenario>& Table4Scenarios();
+
+/// Cell values of Table 4.
+enum class CellValue { kNotPossible, kSometimesPossible, kPossible };
+
+/// "Possible", "Not Possible", "Sometimes Possible".
+std::string CellName(CellValue v);
+
+/// Result of running one variant against one isolation level.
+struct VariantOutcome {
+  bool anomaly = false;        ///< semantic judgment
+  bool any_abort = false;      ///< deadlock or serialization abort occurred
+  bool any_block = false;      ///< some operation waited
+  History history;             ///< engine-recorded history
+  History analyzed;            ///< SV view fed to the detectors
+  std::vector<Phenomenon> detected;  ///< detector findings on `analyzed`
+};
+
+/// Runs `variant` on a fresh engine at `level`.
+Result<VariantOutcome> RunVariant(IsolationLevel level,
+                                  const ScenarioVariant& variant);
+
+/// Runs every variant and folds into a Table 4 cell: anomalous in all
+/// variants -> Possible; in none -> Not Possible; mixed -> Sometimes.
+Result<CellValue> EvaluateCell(IsolationLevel level,
+                               const AnomalyScenario& scenario);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HARNESS_SCENARIO_H_

@@ -1,0 +1,383 @@
+// The Table 4 scenario library: one executable scenario per anomaly column,
+// with the variants that realize the paper's "Sometimes Possible" cells.
+
+#include "critique/harness/scenario.h"
+
+namespace critique {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+Status LoadScalar(Engine& e, const ItemId& id, int64_t v) {
+  return e.Load(id, Row::Scalar(Value(v)));
+}
+
+// Reads the final committed scalar of `id` through a fresh transaction.
+int64_t FinalInt(Engine& e, const ItemId& id, TxnId reader) {
+  if (!e.Begin(reader).ok()) return 0;
+  auto r = e.Read(reader, id);
+  int64_t out = 0;
+  if (r.ok() && r->has_value()) {
+    auto num = (*r)->scalar().AsNumeric();
+    if (num.has_value()) out = static_cast<int64_t>(*num);
+  }
+  (void)e.Commit(reader);
+  return out;
+}
+
+std::function<Value(const TxnLocals&)> AddTo(const std::string& var,
+                                             int64_t delta) {
+  return [var, delta](const TxnLocals& l) {
+    return Value(l.GetInt(var) + delta);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// P0 Dirty Write — the Section 3 x=y constraint example.
+// ---------------------------------------------------------------------------
+
+AnomalyScenario MakeP0() {
+  ScenarioVariant v;
+  v.name = "interleaved constant writes";
+  v.load = [](Engine& e) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 0));
+    return LoadScalar(e, "y", 0);
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1;
+    t1.Write("x", Value(1)).Write("y", Value(1)).Commit();
+    Program t2;
+    t2.Write("x", Value(2)).Write("y", Value(2)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // w1[x] w2[x] w2[y] c2 w1[y] c1.
+  v.schedule = ParseSchedule("1 2 2 2 1 1");
+  v.anomaly = [](const RunResult&, Engine& e) {
+    // Each transaction alone maintains x == y; interleaved dirty writes
+    // leave x != y.
+    return FinalInt(e, "x", 90) != FinalInt(e, "y", 91);
+  };
+  return AnomalyScenario{Phenomenon::kP0, "P0 Dirty Write", {std::move(v)}};
+}
+
+// ---------------------------------------------------------------------------
+// P1 Dirty Read — H1's inconsistent analysis against an aborting writer.
+// ---------------------------------------------------------------------------
+
+AnomalyScenario MakeP1() {
+  ScenarioVariant v;
+  v.name = "audit overlapping aborted transfer";
+  v.load = [](Engine& e) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
+    return LoadScalar(e, "y", 50);
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1;  // transfer 40 from x to y, then ROLLBACK
+    t1.Write("x", Value(10)).Write("y", Value(90)).Abort();
+    Program t2;  // audit: the sum must be 100
+    t2.Read("x", "x2").Read("y", "y2").Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // w1[x] r2[x] r2[y] c2 w1[y] a1.
+  v.schedule = ParseSchedule("1 2 2 2 1 1");
+  v.anomaly = [](const RunResult& run, Engine&) {
+    if (!run.Committed(2)) return false;
+    return run.locals.at(2).GetInt("x2") + run.locals.at(2).GetInt("y2") !=
+           100;
+  };
+  return AnomalyScenario{Phenomenon::kP1, "P1 Dirty Read", {std::move(v)}};
+}
+
+// ---------------------------------------------------------------------------
+// Lost updates: P4C (cursor) and P4 (plain + cursor variants).
+// ---------------------------------------------------------------------------
+
+ScenarioVariant LostUpdateVariant(bool cursors, const std::string& name) {
+  ScenarioVariant v;
+  v.name = name;
+  v.load = [](Engine& e) { return LoadScalar(e, "x", 100); };
+  v.add_programs = [cursors](Runner& r) {
+    Program t1, t2;
+    if (cursors) {
+      t1.Fetch("x").WriteCursorComputed("x", AddTo("x", 30)).Commit();
+      t2.Fetch("x").WriteCursorComputed("x", AddTo("x", 20)).Commit();
+    } else {
+      t1.Read("x").WriteComputed("x", AddTo("x", 30)).Commit();
+      t2.Read("x").WriteComputed("x", AddTo("x", 20)).Commit();
+    }
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // H4: r1[x] r2[x] w2[x] c2 w1[x] c1.
+  v.schedule = ParseSchedule("1 2 2 2 1 1");
+  v.anomaly = [](const RunResult& run, Engine& e) {
+    // Every committed increment must be reflected in the final balance.
+    int64_t expected = 100 + (run.Committed(1) ? 30 : 0) +
+                       (run.Committed(2) ? 20 : 0);
+    return FinalInt(e, "x", 90) != expected;
+  };
+  return v;
+}
+
+AnomalyScenario MakeP4C() {
+  return AnomalyScenario{Phenomenon::kP4C,
+                         "P4C Cursor Lost Update",
+                         {LostUpdateVariant(true, "cursor read-modify-write")}};
+}
+
+AnomalyScenario MakeP4() {
+  return AnomalyScenario{
+      Phenomenon::kP4,
+      "P4 Lost Update",
+      {LostUpdateVariant(false, "application read-modify-write"),
+       LostUpdateVariant(true, "cursor read-modify-write")}};
+}
+
+// ---------------------------------------------------------------------------
+// P2 Fuzzy Read — re-read after an intervening committed update.
+// ---------------------------------------------------------------------------
+
+ScenarioVariant FuzzyReadVariant(bool cursors, const std::string& name) {
+  ScenarioVariant v;
+  v.name = name;
+  v.load = [](Engine& e) { return LoadScalar(e, "x", 50); };
+  v.add_programs = [cursors](Runner& r) {
+    Program t1;
+    if (cursors) {
+      t1.Fetch("x", "first").Fetch("x", "second").Commit();
+    } else {
+      t1.Read("x", "first").Read("x", "second").Commit();
+    }
+    Program t2;
+    t2.Write("x", Value(99)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // r1[x] w2[x] c2 r1[x] c1.
+  v.schedule = ParseSchedule("1 2 2 1 1");
+  v.anomaly = [](const RunResult& run, Engine&) {
+    if (!run.Committed(1)) return false;
+    return run.locals.at(1).GetInt("first") !=
+           run.locals.at(1).GetInt("second");
+  };
+  return v;
+}
+
+AnomalyScenario MakeP2() {
+  return AnomalyScenario{Phenomenon::kP2,
+                         "P2 Fuzzy Read",
+                         {FuzzyReadVariant(false, "plain re-read"),
+                          FuzzyReadVariant(true, "cursor-held re-read")}};
+}
+
+// ---------------------------------------------------------------------------
+// P3 Phantom — (a) the ANSI re-read form, (b) the paper's 8-hour job-tasks
+// constraint that Snapshot Isolation cannot prevent (Section 4.2).
+// ---------------------------------------------------------------------------
+
+Predicate ActiveEmployees() {
+  return Predicate::Cmp("active", CompareOp::kEq, Value(true));
+}
+
+ScenarioVariant PhantomRereadVariant() {
+  ScenarioVariant v;
+  v.name = "predicate re-read (ANSI A3 form)";
+  v.load = [](Engine& e) {
+    return e.Load("e1", Row().Set("active", true));
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1;
+    t1.ReadPredicate("First", ActiveEmployees())
+        .ReadPredicate("Second", ActiveEmployees())
+        .Commit();
+    Program t2;
+    t2.InsertRow("e2", Row().Set("active", true)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // r1[P] w2[insert e2 to P] c2 r1[P] c1.
+  v.schedule = ParseSchedule("1 2 2 1 1");
+  v.anomaly = [](const RunResult& run, Engine&) {
+    if (!run.Committed(1)) return false;
+    return run.locals.at(1).GetInt("First.count") !=
+           run.locals.at(1).GetInt("Second.count");
+  };
+  return v;
+}
+
+Predicate JobTasks() {
+  return Predicate::Cmp("task", CompareOp::kEq, Value(true));
+}
+
+// Inserts a 1-hour task only when the observed sum leaves room under the
+// 8-hour cap — the transaction "acts properly in isolation" (Section 4.2),
+// so any final overshoot is the concurrency anomaly, never the program.
+Program GuardedTaskInsert(const ItemId& task_id) {
+  Program p;
+  p.ReadPredicateSum("Tasks", JobTasks(), "hours");
+  p.Custom(StepKind::kOperation, [task_id](StepContext& ctx) {
+    if (ctx.locals.GetInt("Tasks.sum") + 1 > 8) return Status::OK();
+    return ctx.engine.Insert(ctx.txn, task_id,
+                             Row().Set("task", true).Set("hours", 1));
+  });
+  p.Commit();
+  return p;
+}
+
+ScenarioVariant PhantomConstraintVariant() {
+  ScenarioVariant v;
+  v.name = "disjoint inserts under a sum constraint";
+  v.load = [](Engine& e) {
+    // One task of 7 hours; the constraint caps the predicate's sum at 8.
+    return e.Load("t1", Row().Set("task", true).Set("hours", 7));
+  };
+  v.add_programs = [](Runner& r) {
+    r.AddProgram(1, GuardedTaskInsert("ta"));
+    r.AddProgram(2, GuardedTaskInsert("tb"));
+  };
+  // r1[P] r2[P] w1[insert ta] w2[insert tb] c1 c2.
+  v.schedule = ParseSchedule("1 2 1 2 1 2");
+  v.anomaly = [](const RunResult&, Engine& e) {
+    // Final sum of committed tasks must stay <= 8.
+    if (!e.Begin(90).ok()) return false;
+    auto r = e.ReadPredicate(90, "Final", JobTasks());
+    int64_t sum = 0;
+    if (r.ok()) {
+      for (const auto& [id, row] : *r) {
+        (void)id;
+        auto h = row.Get("hours").AsNumeric();
+        if (h.has_value()) sum += static_cast<int64_t>(*h);
+      }
+    }
+    (void)e.Commit(90);
+    return sum > 8;
+  };
+  return v;
+}
+
+AnomalyScenario MakeP3() {
+  return AnomalyScenario{
+      Phenomenon::kP3,
+      "P3 Phantom",
+      {PhantomRereadVariant(), PhantomConstraintVariant()}};
+}
+
+// ---------------------------------------------------------------------------
+// A5A Read Skew — audit interleaved with a committed transfer.
+// ---------------------------------------------------------------------------
+
+AnomalyScenario MakeA5A() {
+  ScenarioVariant v;
+  v.name = "audit split across a committed transfer";
+  v.load = [](Engine& e) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
+    return LoadScalar(e, "y", 50);
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1;
+    t1.Read("x", "x1").Read("y", "y1").Commit();
+    Program t2;  // transfer 40 from x to y, preserving the sum
+    t2.Write("x", Value(10)).Write("y", Value(90)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // r1[x] w2[x] w2[y] c2 r1[y] c1.
+  v.schedule = ParseSchedule("1 2 2 2 1 1");
+  v.anomaly = [](const RunResult& run, Engine&) {
+    if (!run.Committed(1)) return false;
+    return run.locals.at(1).GetInt("x1") + run.locals.at(1).GetInt("y1") !=
+           100;
+  };
+  return AnomalyScenario{Phenomenon::kA5A, "A5A Read Skew", {std::move(v)}};
+}
+
+// ---------------------------------------------------------------------------
+// A5B Write Skew — H5's joint-balance constraint (x + y > 0).
+// ---------------------------------------------------------------------------
+
+// A withdrawal of 90 against the joint x + y balance, debited from
+// `target`, attempted only when the observed joint balance covers it —
+// each transaction alone preserves x + y > 0 ("T1 and T2 both act
+// properly in isolation", Section 4.2).
+Program GuardedWithdrawal(const ItemId& target, const std::string& x_var,
+                          const std::string& y_var) {
+  Program p;  // caller appends the two reads first
+  p.Custom(StepKind::kOperation,
+           [target, x_var, y_var](StepContext& ctx) {
+             int64_t x = ctx.locals.GetInt(x_var);
+             int64_t y = ctx.locals.GetInt(y_var);
+             if (x + y < 100) return Status::OK();  // would overdraw: skip
+             int64_t current = ctx.locals.GetInt(target == "x" ? x_var
+                                                               : y_var);
+             return ctx.engine.Write(ctx.txn, target,
+                                     Row::Scalar(Value(current - 90)));
+           });
+  p.Commit();
+  return p;
+}
+
+ScenarioVariant WriteSkewVariant(bool cursors, const std::string& name) {
+  ScenarioVariant v;
+  v.name = name;
+  v.load = [](Engine& e) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
+    return LoadScalar(e, "y", 50);
+  };
+  v.add_programs = [cursors](Runner& r) {
+    Program t1, t2;
+    if (cursors) {
+      // The paper's multi-cursor trick: each transaction pins the item it
+      // only reads, parlaying Cursor Stability toward repeatable reads.
+      t1.Fetch("x", "x1").Read("y", "y1");
+      t2.Fetch("y", "y2").Read("x", "x2");
+    } else {
+      t1.Read("x", "x1").Read("y", "y1");
+      t2.Read("x", "x2").Read("y", "y2");
+    }
+    Program w1 = GuardedWithdrawal("y", "x1", "y1");
+    Program w2 = GuardedWithdrawal("x", "x2", "y2");
+    for (const ProgramStep& step : w1.steps()) t1.Custom(step.kind, step.run);
+    for (const ProgramStep& step : w2.steps()) t2.Custom(step.kind, step.run);
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+  };
+  // H5: r1[x] r1[y] r2[x] r2[y] w1[y] w2[x] c1 c2.
+  v.schedule = ParseSchedule("1 1 2 2 1 2 1 2");
+  v.anomaly = [](const RunResult& run, Engine& e) {
+    if (!(run.Committed(1) && run.Committed(2))) return false;
+    return FinalInt(e, "x", 90) + FinalInt(e, "y", 91) <= 0;
+  };
+  return v;
+}
+
+AnomalyScenario MakeA5B() {
+  return AnomalyScenario{
+      Phenomenon::kA5B,
+      "A5B Write Skew",
+      {WriteSkewVariant(false, "plain constraint withdrawal"),
+       WriteSkewVariant(true, "cursor-pinned reads")}};
+}
+
+}  // namespace
+
+const std::vector<AnomalyScenario>& Table4Scenarios() {
+  static const std::vector<AnomalyScenario>* kScenarios = [] {
+    auto* v = new std::vector<AnomalyScenario>();
+    v->push_back(MakeP0());
+    v->push_back(MakeP1());
+    v->push_back(MakeP4C());
+    v->push_back(MakeP4());
+    v->push_back(MakeP2());
+    v->push_back(MakeP3());
+    v->push_back(MakeA5A());
+    v->push_back(MakeA5B());
+    return v;
+  }();
+  return *kScenarios;
+}
+
+}  // namespace critique

@@ -1,0 +1,134 @@
+#include "critique/history/action.h"
+
+namespace critique {
+
+Action Action::Read(TxnId t, ItemId item, std::optional<Value> v) {
+  Action a;
+  a.type = Type::kRead;
+  a.txn = t;
+  a.item = std::move(item);
+  a.value = std::move(v);
+  return a;
+}
+
+Action Action::ReadVersion(TxnId t, ItemId item, TxnId version,
+                           std::optional<Value> v) {
+  Action a = Read(t, std::move(item), std::move(v));
+  a.version = version;
+  return a;
+}
+
+Action Action::Write(TxnId t, ItemId item, std::optional<Value> v) {
+  Action a;
+  a.type = Type::kWrite;
+  a.txn = t;
+  a.item = std::move(item);
+  a.value = std::move(v);
+  return a;
+}
+
+Action Action::WriteVersion(TxnId t, ItemId item, TxnId version,
+                            std::optional<Value> v) {
+  Action a = Write(t, std::move(item), std::move(v));
+  a.version = version;
+  return a;
+}
+
+Action Action::PredicateRead(TxnId t, std::string name,
+                             std::optional<Predicate> p) {
+  Action a;
+  a.type = Type::kPredicateRead;
+  a.txn = t;
+  a.predicate_name = std::move(name);
+  a.predicate = std::move(p);
+  return a;
+}
+
+Action Action::PredicateWrite(TxnId t, std::string name,
+                              std::optional<Predicate> p) {
+  Action a;
+  a.type = Type::kPredicateWrite;
+  a.txn = t;
+  a.predicate_name = std::move(name);
+  a.predicate = std::move(p);
+  return a;
+}
+
+Action Action::CursorRead(TxnId t, ItemId item, std::optional<Value> v) {
+  Action a;
+  a.type = Type::kCursorRead;
+  a.txn = t;
+  a.item = std::move(item);
+  a.value = std::move(v);
+  return a;
+}
+
+Action Action::CursorWrite(TxnId t, ItemId item, std::optional<Value> v) {
+  Action a;
+  a.type = Type::kCursorWrite;
+  a.txn = t;
+  a.item = std::move(item);
+  a.value = std::move(v);
+  return a;
+}
+
+Action Action::Commit(TxnId t) {
+  Action a;
+  a.type = Type::kCommit;
+  a.txn = t;
+  return a;
+}
+
+Action Action::Abort(TxnId t) {
+  Action a;
+  a.type = Type::kAbort;
+  a.txn = t;
+  return a;
+}
+
+std::vector<ItemId> WrittenItems(const Action& a) {
+  if (a.IsWrite()) return {a.item};
+  if (a.IsPredicateWrite()) return a.read_set;
+  return {};
+}
+
+std::string Action::ToString() const {
+  std::string out;
+  switch (type) {
+    case Type::kCommit:
+      return "c" + std::to_string(txn);
+    case Type::kAbort:
+      return "a" + std::to_string(txn);
+    case Type::kRead:
+      out = "r";
+      break;
+    case Type::kWrite:
+      out = "w";
+      break;
+    case Type::kCursorRead:
+      out = "rc";
+      break;
+    case Type::kCursorWrite:
+      out = "wc";
+      break;
+    case Type::kPredicateRead:
+      return "r" + std::to_string(txn) + "[" + predicate_name + "]";
+    case Type::kPredicateWrite:
+      return "w" + std::to_string(txn) + "[" + predicate_name + "]";
+  }
+  out += std::to_string(txn);
+  out += "[";
+  if (is_insert && !affects_predicates.empty()) {
+    out += "insert " + item + " to " + *affects_predicates.begin();
+  } else if (!affects_predicates.empty()) {
+    out += item + " in " + *affects_predicates.begin();
+  } else {
+    out += item;
+    if (version) out += std::to_string(*version);
+    if (value) out += "=" + value->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace critique

@@ -1,0 +1,133 @@
+#ifndef CRITIQUE_HISTORY_ACTION_H_
+#define CRITIQUE_HISTORY_ACTION_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+#include "critique/model/value.h"
+
+namespace critique {
+
+/// Transaction identifier as used in the paper's shorthand (`w1[x]` is a
+/// write by transaction 1).  Id 0 is reserved for the initial database
+/// state: version subscript `x0` means "the initial version of x".
+using TxnId = int;
+
+/// TxnId denoting the initial (pre-history) state.
+inline constexpr TxnId kInitialTxn = 0;
+
+/// \brief One step of a history, in the vocabulary of Section 2.2.
+///
+/// The shorthand forms and their `Action` encodings:
+///
+///   `r1[x]`, `r1[x=50]`       item read (optional observed value)
+///   `r1[x0=50]`               multiversion read of the version written by
+///                             transaction 0 (version subscripts, Section 4.2)
+///   `w1[x]`, `w1[x1=10]`      item write (optional version/value)
+///   `r1[P]`                   predicate read of <search condition> P
+///   `w1[P]`                   predicate write: "writing a set of records
+///                             satisfying predicate P" (Section 2.1)
+///   `w2[y in P]`              write annotated as affecting predicate P
+///   `w2[insert y to P]`       insert annotated as entering predicate P
+///   `rc1[x]` / `wc1[x]`       read / write through a cursor (Section 4.1)
+///   `c1` / `a1`               commit / abort (ROLLBACK)
+struct Action {
+  enum class Type {
+    kRead,
+    kWrite,
+    kPredicateRead,
+    kPredicateWrite,
+    kCursorRead,
+    kCursorWrite,
+    kCommit,
+    kAbort,
+  };
+
+  Type type = Type::kRead;
+  TxnId txn = 0;
+
+  /// Item operated on (reads/writes/cursor ops).
+  ItemId item;
+
+  /// Version subscript for multiversion histories: the TxnId that created
+  /// the version being read or written (`x0` -> 0, `x1` -> 1).  Unset in
+  /// single-version histories.
+  std::optional<TxnId> version;
+
+  /// Value observed (reads) or installed (writes), when the history
+  /// records one (`r1[x=50]`).
+  std::optional<Value> value;
+
+  /// Predicate read/write: name (the paper's "P") and, when available, the
+  /// bound <search condition>.  Engine-generated histories always bind the
+  /// AST; parsed paper histories may carry the name only.
+  std::string predicate_name;
+  std::optional<Predicate> predicate;
+
+  /// Predicate read: item ids returned by this evaluation; predicate
+  /// write: item ids it modified (engine-generated histories record them
+  /// so re-read comparisons and precise conflicts are decidable).
+  std::vector<ItemId> read_set;
+
+  /// Write: names of predicates this write is *annotated* as affecting
+  /// (`w2[y in P]` annotates P).  Used when no row images are available.
+  std::set<std::string> affects_predicates;
+
+  /// Write: whether the annotation was the `insert ... to P` form.
+  bool is_insert = false;
+
+  /// Write: row images, when produced by an engine run.  A write affects a
+  /// predicate iff the predicate covers the before- OR after-image
+  /// (phantom-inclusive coverage, Section 2.3).
+  std::optional<Row> before_image;
+  std::optional<Row> after_image;
+
+  bool IsRead() const {
+    return type == Type::kRead || type == Type::kCursorRead;
+  }
+  /// Item-level writes (cursor writes included; predicate writes are a
+  /// separate scope, tested via IsPredicateWrite).
+  bool IsWrite() const {
+    return type == Type::kWrite || type == Type::kCursorWrite;
+  }
+  bool IsPredicateRead() const { return type == Type::kPredicateRead; }
+  bool IsPredicateWrite() const { return type == Type::kPredicateWrite; }
+  bool IsTerminal() const {
+    return type == Type::kCommit || type == Type::kAbort;
+  }
+
+  /// Factory helpers for the common forms.
+  static Action Read(TxnId t, ItemId item,
+                     std::optional<Value> v = std::nullopt);
+  static Action ReadVersion(TxnId t, ItemId item, TxnId version,
+                            std::optional<Value> v = std::nullopt);
+  static Action Write(TxnId t, ItemId item,
+                      std::optional<Value> v = std::nullopt);
+  static Action WriteVersion(TxnId t, ItemId item, TxnId version,
+                             std::optional<Value> v = std::nullopt);
+  static Action PredicateRead(TxnId t, std::string name,
+                              std::optional<Predicate> p = std::nullopt);
+  static Action PredicateWrite(TxnId t, std::string name,
+                               std::optional<Predicate> p = std::nullopt);
+  static Action CursorRead(TxnId t, ItemId item,
+                           std::optional<Value> v = std::nullopt);
+  static Action CursorWrite(TxnId t, ItemId item,
+                            std::optional<Value> v = std::nullopt);
+  static Action Commit(TxnId t);
+  static Action Abort(TxnId t);
+
+  /// Round-trips the paper's shorthand (`w1[x=10]`, `r1[P]`, `c1`, ...).
+  std::string ToString() const;
+};
+
+/// The data items an action writes: `{item}` for item/cursor writes, the
+/// recorded affected set for predicate writes, empty otherwise.
+std::vector<ItemId> WrittenItems(const Action& a);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HISTORY_ACTION_H_

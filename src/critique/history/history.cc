@@ -1,0 +1,104 @@
+#include "critique/history/history.h"
+
+#include "critique/history/parser.h"
+
+namespace critique {
+
+Result<History> History::Parse(std::string_view text) {
+  return ParseHistory(text);
+}
+
+std::set<TxnId> History::Transactions() const {
+  std::set<TxnId> out;
+  for (const auto& a : actions_) out.insert(a.txn);
+  return out;
+}
+
+std::set<TxnId> History::Committed() const {
+  std::set<TxnId> out;
+  for (const auto& a : actions_) {
+    if (a.type == Action::Type::kCommit) out.insert(a.txn);
+  }
+  return out;
+}
+
+std::set<TxnId> History::Aborted() const {
+  std::set<TxnId> out;
+  for (const auto& a : actions_) {
+    if (a.type == Action::Type::kAbort) out.insert(a.txn);
+  }
+  return out;
+}
+
+std::set<TxnId> History::ActiveAtEnd() const {
+  std::set<TxnId> out = Transactions();
+  for (TxnId t : Committed()) out.erase(t);
+  for (TxnId t : Aborted()) out.erase(t);
+  return out;
+}
+
+bool History::IsCommitted(TxnId t) const {
+  for (const auto& a : actions_) {
+    if (a.txn == t && a.type == Action::Type::kCommit) return true;
+  }
+  return false;
+}
+
+bool History::IsAborted(TxnId t) const {
+  for (const auto& a : actions_) {
+    if (a.txn == t && a.type == Action::Type::kAbort) return true;
+  }
+  return false;
+}
+
+std::optional<size_t> History::TerminalIndex(TxnId t) const {
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].txn == t && actions_[i].IsTerminal()) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> History::IndicesOf(TxnId t) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].txn == t) out.push_back(i);
+  }
+  return out;
+}
+
+Status History::Validate() const {
+  std::set<TxnId> finished;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (a.txn < 1) {
+      return Status::InvalidArgument("action " + std::to_string(i) +
+                                     " uses reserved txn id " +
+                                     std::to_string(a.txn));
+    }
+    if (finished.count(a.txn)) {
+      return Status::InvalidArgument("txn " + std::to_string(a.txn) +
+                                     " acts after its commit/abort at index " +
+                                     std::to_string(i));
+    }
+    if (a.IsTerminal()) finished.insert(a.txn);
+  }
+  return Status::OK();
+}
+
+bool History::IsMultiversion() const {
+  for (const auto& a : actions_) {
+    if (a.version.has_value()) return true;
+  }
+  return false;
+}
+
+std::string History::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (i) out += " ";
+    out += actions_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace critique

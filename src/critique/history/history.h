@@ -1,0 +1,75 @@
+#ifndef CRITIQUE_HISTORY_HISTORY_H_
+#define CRITIQUE_HISTORY_HISTORY_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "critique/common/result.h"
+#include "critique/common/status.h"
+#include "critique/history/action.h"
+
+namespace critique {
+
+/// \brief A history: "a linear ordering of the actions of a set of
+/// transactions" (Section 2.1).
+///
+/// Histories come from two sources — parsed from the paper's shorthand
+/// (`History::Parse("w1[x] r2[x] c1 c2")`) or recorded live by an engine
+/// run — and are consumed uniformly by the analysis layer (dependency
+/// graphs, serializability, phenomenon detectors).
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Action> actions)
+      : actions_(std::move(actions)) {}
+
+  /// Parses the paper's shorthand.  Whitespace between actions is optional
+  /// (H1 in the paper is written `r1[x=50]w1[x=10]...`).  See
+  /// `Action` for the supported forms.
+  static Result<History> Parse(std::string_view text);
+
+  /// Appends one action.
+  void Append(Action a) { actions_.push_back(std::move(a)); }
+
+  const std::vector<Action>& actions() const { return actions_; }
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& operator[](size_t i) const { return actions_[i]; }
+
+  /// All transaction ids appearing in the history.
+  std::set<TxnId> Transactions() const;
+
+  /// Transactions whose terminal action is a commit / an abort / absent.
+  std::set<TxnId> Committed() const;
+  std::set<TxnId> Aborted() const;
+  std::set<TxnId> ActiveAtEnd() const;
+
+  bool IsCommitted(TxnId t) const;
+  bool IsAborted(TxnId t) const;
+
+  /// Index of transaction `t`'s commit or abort; nullopt when still active.
+  std::optional<size_t> TerminalIndex(TxnId t) const;
+
+  /// Indices (in order) of all actions by transaction `t`.
+  std::vector<size_t> IndicesOf(TxnId t) const;
+
+  /// Structural sanity: every action's txn >= 1, at most one terminal per
+  /// transaction, and no actions after a transaction's terminal.
+  Status Validate() const;
+
+  /// True when any action carries a multiversion subscript.
+  bool IsMultiversion() const;
+
+  /// Shorthand rendering, space-separated.
+  std::string ToString() const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HISTORY_HISTORY_H_

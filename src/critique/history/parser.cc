@@ -1,0 +1,210 @@
+#include "critique/history/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "critique/common/string_util.h"
+
+namespace critique {
+namespace {
+
+/// Character-stream scanner over the shorthand.  Kept deliberately simple:
+/// single pass, no backtracking beyond one-character lookahead.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_) + " in history");
+  }
+
+  Result<Action> NextAction() {
+    SkipSpace();
+    // Operation prefix: rc / wc / r / w / c / a.
+    Action a;
+    bool has_body = true;
+    if (Consume("rc")) {
+      a.type = Action::Type::kCursorRead;
+    } else if (Consume("wc")) {
+      a.type = Action::Type::kCursorWrite;
+    } else if (Consume("r")) {
+      a.type = Action::Type::kRead;
+    } else if (Consume("w")) {
+      a.type = Action::Type::kWrite;
+    } else if (Consume("c")) {
+      a.type = Action::Type::kCommit;
+      has_body = false;
+    } else if (Consume("a")) {
+      a.type = Action::Type::kAbort;
+      has_body = false;
+    } else {
+      return Error(std::string("unknown action prefix '") +
+                   std::string(1, Peek()) + "'");
+    }
+
+    auto txn = ReadInt();
+    if (!txn) return Error("expected transaction number");
+    a.txn = static_cast<TxnId>(*txn);
+
+    if (!has_body) return a;
+    if (!Consume("[")) return Error("expected '['");
+
+    CRITIQUE_RETURN_NOT_OK(ParseBody(&a));
+
+    if (!Consume("]")) return Error("expected ']'");
+    return a;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<int64_t> ReadInt() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    return std::stoll(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string ReadIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Status ParseBody(Action* a) {
+    SkipSpace();
+    std::string ident = ReadIdent();
+    if (ident.empty()) return Error("expected identifier in brackets");
+
+    // `insert y to P`
+    if (ident == "insert" && a->IsWrite()) {
+      SkipSpace();
+      std::string item = ReadIdent();
+      if (item.empty()) return Error("expected item after 'insert'");
+      SkipSpace();
+      if (ReadIdent() != "to") return Error("expected 'to'");
+      SkipSpace();
+      std::string pred = ReadIdent();
+      if (pred.empty()) return Error("expected predicate name after 'to'");
+      a->item = item;
+      a->is_insert = true;
+      a->affects_predicates.insert(pred);
+      return Status::OK();
+    }
+
+    // Predicate read/write: Uppercase-initial identifier.
+    if (std::isupper(static_cast<unsigned char>(ident[0]))) {
+      if (a->type == Action::Type::kRead) {
+        a->type = Action::Type::kPredicateRead;
+      } else if (a->type == Action::Type::kWrite) {
+        a->type = Action::Type::kPredicateWrite;  // the paper's w1[P]
+      } else {
+        return Error("predicate '" + ident + "' in a cursor action");
+      }
+      a->predicate_name = ident;
+      return Status::OK();
+    }
+
+    a->item = ident;
+
+    // Version subscript (`x0`, `y1`).
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      auto v = ReadInt();
+      a->version = static_cast<TxnId>(*v);
+    }
+
+    SkipSpace();
+    // `y in P`
+    if (Consume("in")) {
+      SkipSpace();
+      std::string pred = ReadIdent();
+      if (pred.empty()) return Error("expected predicate name after 'in'");
+      a->affects_predicates.insert(pred);
+      return Status::OK();
+    }
+
+    // `=value`
+    if (Consume("=")) {
+      CRITIQUE_ASSIGN_OR_RETURN(Value v, ParseValue());
+      a->value = std::move(v);
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (Consume("'")) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated string literal");
+      std::string s(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      return Value(std::move(s));
+    }
+    if (Consume("TRUE")) return Value(true);
+    if (Consume("FALSE")) return Value(false);
+
+    bool negative = Consume("-");
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value literal");
+    std::string num(text_.substr(start, pos_ - start));
+    if (num.find('.') != std::string::npos) {
+      double d = std::stod(num);
+      return Value(negative ? -d : d);
+    }
+    int64_t i = std::stoll(num);
+    return Value(negative ? -i : i);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<History> ParseHistory(std::string_view text) {
+  Scanner scanner(text);
+  History h;
+  while (!scanner.AtEnd()) {
+    CRITIQUE_ASSIGN_OR_RETURN(Action a, scanner.NextAction());
+    h.Append(std::move(a));
+  }
+  CRITIQUE_RETURN_NOT_OK(h.Validate());
+  return h;
+}
+
+}  // namespace critique

@@ -1,0 +1,36 @@
+#ifndef CRITIQUE_HISTORY_PARSER_H_
+#define CRITIQUE_HISTORY_PARSER_H_
+
+#include <string_view>
+
+#include "critique/common/result.h"
+#include "critique/history/history.h"
+
+namespace critique {
+
+/// \brief Parses the paper's shorthand into a `History`.
+///
+/// Grammar (whitespace between actions optional, as in the paper's H1):
+///
+///   history   := action*
+///   action    := ('c'|'a') txn
+///              | ('rc'|'wc'|'r'|'w') txn '[' body ']'
+///   body      := 'insert' item 'to' predname        (H3's insert form)
+///              | item 'in' predname                 (P3's "y in P")
+///              | predname                           (predicate read)
+///              | item version? ('=' value)?
+///   txn       := digits              (1-based; 0 reserved for initial state)
+///   item      := lowercase ident     (trailing digits are a version)
+///   predname  := Uppercase ident     (the paper's "P")
+///   value     := integer | decimal | 'text' | TRUE | FALSE
+///
+/// Examples from the paper, all accepted verbatim:
+///   "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1"          (H1)
+///   "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1"                (H3)
+///   "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1"
+///                                                                  (H1.SI)
+Result<History> ParseHistory(std::string_view text);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_HISTORY_PARSER_H_

@@ -1,0 +1,194 @@
+#include "critique/lock/lock_manager.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace critique {
+
+std::string_view LockModeName(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+LockSpec LockSpec::ReadItem(TxnId t, ItemId item, std::optional<Row> row) {
+  LockSpec s;
+  s.txn = t;
+  s.mode = LockMode::kShared;
+  s.is_item = true;
+  s.item = std::move(item);
+  s.before_image = std::move(row);
+  return s;
+}
+
+LockSpec LockSpec::WriteItem(TxnId t, ItemId item, std::optional<Row> before,
+                             std::optional<Row> after) {
+  LockSpec s;
+  s.txn = t;
+  s.mode = LockMode::kExclusive;
+  s.is_item = true;
+  s.item = std::move(item);
+  s.before_image = std::move(before);
+  s.after_image = std::move(after);
+  return s;
+}
+
+LockSpec LockSpec::ReadPredicate(TxnId t, Predicate p) {
+  LockSpec s;
+  s.txn = t;
+  s.mode = LockMode::kShared;
+  s.is_item = false;
+  s.pred = std::move(p);
+  return s;
+}
+
+LockSpec LockSpec::WritePredicate(TxnId t, Predicate p) {
+  LockSpec s = ReadPredicate(t, std::move(p));
+  s.mode = LockMode::kExclusive;
+  return s;
+}
+
+namespace {
+
+// Does the predicate lock `pred_side` cover the item lock `item_side`?
+// Image-precise when images exist, conservative otherwise.
+bool PredicateCoversItem(const LockSpec& pred_side, const LockSpec& item_side) {
+  const Predicate& p = *pred_side.pred;
+  bool any_image = false;
+  if (item_side.before_image.has_value()) {
+    any_image = true;
+    if (p.Covers(item_side.item, *item_side.before_image)) return true;
+  }
+  if (item_side.after_image.has_value()) {
+    any_image = true;
+    if (p.Covers(item_side.item, *item_side.after_image)) return true;
+  }
+  if (any_image) return false;
+  // No images (e.g. a read of an absent row): fall back to structural
+  // overlap between the predicate and "key = item".
+  return p.MayOverlap(Predicate::KeyIs(item_side.item));
+}
+
+}  // namespace
+
+bool LockManager::SpecsConflict(const LockSpec& held,
+                                const LockSpec& want) const {
+  if (held.txn == want.txn) return false;
+  if (held.mode == LockMode::kShared && want.mode == LockMode::kShared) {
+    return false;
+  }
+  if (held.is_item && want.is_item) return held.item == want.item;
+  if (!held.is_item && !want.is_item) {
+    return held.pred->MayOverlap(*want.pred);
+  }
+  const LockSpec& pred_side = held.is_item ? want : held;
+  const LockSpec& item_side = held.is_item ? held : want;
+  return PredicateCoversItem(pred_side, item_side);
+}
+
+std::vector<TxnId> LockManager::BlockersLocked(const LockSpec& spec) const {
+  std::vector<TxnId> out;
+  for (const auto& h : held_) {
+    if (SpecsConflict(h.spec, spec)) {
+      if (std::find(out.begin(), out.end(), h.spec.txn) == out.end()) {
+        out.push_back(h.spec.txn);
+      }
+    }
+  }
+  return out;
+}
+
+bool LockManager::WouldDeadlock(TxnId requester) const {
+  // DFS over waits_for_ from the requester; a path back to the requester
+  // is a cycle that the newly recorded edges just closed.
+  std::set<TxnId> visited;
+  std::function<bool(TxnId)> reaches = [&](TxnId u) -> bool {
+    auto it = waits_for_.find(u);
+    if (it == waits_for_.end()) return false;
+    for (TxnId v : it->second) {
+      if (v == requester) return true;
+      if (visited.insert(v).second && reaches(v)) return true;
+    }
+    return false;
+  };
+  return reaches(requester);
+}
+
+Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Fresh conflict picture each attempt: drop this txn's stale wait edges.
+  waits_for_.erase(spec.txn);
+
+  std::vector<TxnId> blockers = BlockersLocked(spec);
+  if (blockers.empty()) {
+    HeldLock h;
+    h.handle = next_handle_++;
+    h.spec = spec;
+    held_.push_back(std::move(h));
+    ++stats_.acquired;
+    return held_.back().handle;
+  }
+
+  for (TxnId b : blockers) waits_for_[spec.txn].insert(b);
+  if (WouldDeadlock(spec.txn)) {
+    ++stats_.deadlocks;
+    waits_for_.erase(spec.txn);
+    std::string msg = "deadlock: T" + std::to_string(spec.txn) + " waits on";
+    for (TxnId b : blockers) msg += " T" + std::to_string(b);
+    return Status::Deadlock(msg);
+  }
+  ++stats_.blocked;
+  std::string msg = (spec.is_item ? "item '" + spec.item + "'"
+                                  : "predicate " + spec.pred->ToString());
+  msg += " locked by";
+  for (TxnId b : blockers) msg += " T" + std::to_string(b);
+  return Status::WouldBlock(msg);
+}
+
+void LockManager::Release(LockHandle handle) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = std::find_if(held_.begin(), held_.end(), [&](const HeldLock& h) {
+    return h.handle == handle;
+  });
+  if (it != held_.end()) {
+    held_.erase(it);
+    ++stats_.released;
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t before = held_.size();
+  held_.erase(std::remove_if(
+                  held_.begin(), held_.end(),
+                  [&](const HeldLock& h) { return h.spec.txn == txn; }),
+              held_.end());
+  stats_.released += before - held_.size();
+  waits_for_.erase(txn);
+  for (auto& [t, targets] : waits_for_) {
+    (void)t;
+    targets.erase(txn);
+  }
+}
+
+std::vector<TxnId> LockManager::Blockers(const LockSpec& spec) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return BlockersLocked(spec);
+}
+
+size_t LockManager::HeldCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return held_.size();
+}
+
+size_t LockManager::HeldCountBy(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& h : held_) n += (h.spec.txn == txn);
+  return n;
+}
+
+LockStats LockManager::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+}  // namespace critique

@@ -1,0 +1,343 @@
+#include "critique/model/predicate.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+
+namespace critique {
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace internal {
+
+struct PredicateNode {
+  enum class Kind { kAll, kCmp, kKeyIs, kAnd, kOr, kNot } kind;
+  // kCmp
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+  // kKeyIs
+  ItemId key;
+  // kAnd/kOr/kNot (kNot uses only `left`)
+  std::shared_ptr<const PredicateNode> left, right;
+};
+
+}  // namespace internal
+
+using internal::PredicateNode;
+
+namespace {
+
+std::shared_ptr<PredicateNode> NewNode(PredicateNode::Kind kind) {
+  auto n = std::make_shared<PredicateNode>();
+  n->kind = kind;
+  return n;
+}
+
+bool EvalCmp(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs.Equals(rhs);
+    case CompareOp::kNe:
+      // SQL-ish: NULL <> x is unknown -> false.
+      if (lhs.is_null() || rhs.is_null()) return false;
+      return !lhs.Equals(rhs);
+    default: {
+      auto c = lhs.Compare(rhs);
+      if (!c) return false;
+      switch (op) {
+        case CompareOp::kLt:
+          return *c < 0;
+        case CompareOp::kLe:
+          return *c <= 0;
+        case CompareOp::kGt:
+          return *c > 0;
+        case CompareOp::kGe:
+          return *c >= 0;
+        default:
+          return false;
+      }
+    }
+  }
+}
+
+bool EvalNode(const PredicateNode* n, const ItemId& id, const Row& row) {
+  switch (n->kind) {
+    case PredicateNode::Kind::kAll:
+      return true;
+    case PredicateNode::Kind::kCmp:
+      return EvalCmp(row.Get(n->column), n->op, n->constant);
+    case PredicateNode::Kind::kKeyIs:
+      return id == n->key;
+    case PredicateNode::Kind::kAnd:
+      return EvalNode(n->left.get(), id, row) &&
+             EvalNode(n->right.get(), id, row);
+    case PredicateNode::Kind::kOr:
+      return EvalNode(n->left.get(), id, row) ||
+             EvalNode(n->right.get(), id, row);
+    case PredicateNode::Kind::kNot:
+      return !EvalNode(n->left.get(), id, row);
+  }
+  return false;
+}
+
+// --- Disjointness analysis -------------------------------------------------
+//
+// A predicate is summarized, when possible, as a per-column numeric interval
+// plus optional exact constraints (for conjunctions only).  Two summaries
+// with a common column whose intervals do not intersect — or with distinct
+// exact keys — prove disjointness.  Anything not summarizable makes
+// MayOverlap answer the conservative true.
+
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  bool hi_open = false;
+
+  bool Empty() const {
+    if (lo > hi) return true;
+    if (lo == hi && (lo_open || hi_open)) return true;
+    return false;
+  }
+
+  static Interval Intersect(const Interval& a, const Interval& b) {
+    Interval out;
+    if (a.lo > b.lo || (a.lo == b.lo && a.lo_open)) {
+      out.lo = a.lo;
+      out.lo_open = a.lo_open;
+    } else {
+      out.lo = b.lo;
+      out.lo_open = b.lo_open;
+    }
+    if (a.hi < b.hi || (a.hi == b.hi && a.hi_open)) {
+      out.hi = a.hi;
+      out.hi_open = a.hi_open;
+    } else {
+      out.hi = b.hi;
+      out.hi_open = b.hi_open;
+    }
+    return out;
+  }
+
+  static bool Disjoint(const Interval& a, const Interval& b) {
+    return Intersect(a, b).Empty();
+  }
+};
+
+struct Summary {
+  std::map<std::string, Interval> columns;
+  std::optional<ItemId> exact_key;
+  std::map<std::string, Value> exact_values;  // string/bool equality
+  bool empty = false;  // conjunction proven unsatisfiable
+};
+
+std::optional<Summary> Summarize(const PredicateNode* n) {
+  switch (n->kind) {
+    case PredicateNode::Kind::kAll:
+      return Summary{};
+    case PredicateNode::Kind::kKeyIs: {
+      Summary s;
+      s.exact_key = n->key;
+      return s;
+    }
+    case PredicateNode::Kind::kCmp: {
+      Summary s;
+      auto num = n->constant.AsNumeric();
+      if (num) {
+        Interval iv;
+        switch (n->op) {
+          case CompareOp::kEq:
+            iv.lo = iv.hi = *num;
+            break;
+          case CompareOp::kLt:
+            iv.hi = *num;
+            iv.hi_open = true;
+            break;
+          case CompareOp::kLe:
+            iv.hi = *num;
+            break;
+          case CompareOp::kGt:
+            iv.lo = *num;
+            iv.lo_open = true;
+            break;
+          case CompareOp::kGe:
+            iv.lo = *num;
+            break;
+          case CompareOp::kNe:
+            return std::nullopt;  // not an interval
+        }
+        s.columns[n->column] = iv;
+        return s;
+      }
+      if (n->op == CompareOp::kEq &&
+          (n->constant.is_string() || n->constant.is_bool())) {
+        s.exact_values[n->column] = n->constant;
+        return s;
+      }
+      return std::nullopt;
+    }
+    case PredicateNode::Kind::kAnd: {
+      auto l = Summarize(n->left.get());
+      auto r = Summarize(n->right.get());
+      if (!l || !r) return std::nullopt;
+      Summary s = *l;
+      s.empty = l->empty || r->empty;
+      for (const auto& [col, iv] : r->columns) {
+        auto it = s.columns.find(col);
+        if (it == s.columns.end()) {
+          s.columns[col] = iv;
+        } else {
+          it->second = Interval::Intersect(it->second, iv);
+        }
+        if (s.columns[col].Empty()) s.empty = true;
+      }
+      if (r->exact_key) {
+        if (s.exact_key && *s.exact_key != *r->exact_key) s.empty = true;
+        s.exact_key = r->exact_key;
+      }
+      for (const auto& [col, v] : r->exact_values) {
+        auto it = s.exact_values.find(col);
+        if (it != s.exact_values.end() && !(it->second == v)) s.empty = true;
+        s.exact_values[col] = v;
+      }
+      return s;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool ProvablyDisjoint(const Summary& a, const Summary& b) {
+  if (a.empty || b.empty) return true;
+  if (a.exact_key && b.exact_key && *a.exact_key != *b.exact_key) return true;
+  for (const auto& [col, iva] : a.columns) {
+    auto it = b.columns.find(col);
+    if (it != b.columns.end() && Interval::Disjoint(iva, it->second)) {
+      return true;
+    }
+  }
+  for (const auto& [col, va] : a.exact_values) {
+    auto it = b.exact_values.find(col);
+    if (it != b.exact_values.end() && !(va == it->second)) return true;
+  }
+  return false;
+}
+
+std::string NodeToString(const PredicateNode* n) {
+  switch (n->kind) {
+    case PredicateNode::Kind::kAll:
+      return "TRUE";
+    case PredicateNode::Kind::kCmp:
+      return n->column + " " + CompareOpName(n->op) + " " +
+             n->constant.ToString();
+    case PredicateNode::Kind::kKeyIs:
+      return "key = '" + n->key + "'";
+    case PredicateNode::Kind::kAnd:
+      return "(" + NodeToString(n->left.get()) + " AND " +
+             NodeToString(n->right.get()) + ")";
+    case PredicateNode::Kind::kOr:
+      return "(" + NodeToString(n->left.get()) + " OR " +
+             NodeToString(n->right.get()) + ")";
+    case PredicateNode::Kind::kNot:
+      return "NOT (" + NodeToString(n->left.get()) + ")";
+  }
+  return "?";
+}
+
+bool NodeEquals(const PredicateNode* a, const PredicateNode* b) {
+  if (a == b) return true;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case PredicateNode::Kind::kAll:
+      return true;
+    case PredicateNode::Kind::kCmp:
+      return a->column == b->column && a->op == b->op &&
+             a->constant == b->constant;
+    case PredicateNode::Kind::kKeyIs:
+      return a->key == b->key;
+    case PredicateNode::Kind::kNot:
+      return NodeEquals(a->left.get(), b->left.get());
+    case PredicateNode::Kind::kAnd:
+    case PredicateNode::Kind::kOr:
+      return NodeEquals(a->left.get(), b->left.get()) &&
+             NodeEquals(a->right.get(), b->right.get());
+  }
+  return false;
+}
+
+}  // namespace
+
+Predicate Predicate::All() {
+  return Predicate(NewNode(PredicateNode::Kind::kAll));
+}
+
+Predicate Predicate::Cmp(std::string column, CompareOp op, Value constant) {
+  auto n = NewNode(PredicateNode::Kind::kCmp);
+  n->column = std::move(column);
+  n->op = op;
+  n->constant = std::move(constant);
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::KeyIs(ItemId id) {
+  auto n = NewNode(PredicateNode::Kind::kKeyIs);
+  n->key = std::move(id);
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::And(Predicate a, Predicate b) {
+  auto n = NewNode(PredicateNode::Kind::kAnd);
+  n->left = std::move(a.node_);
+  n->right = std::move(b.node_);
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::Or(Predicate a, Predicate b) {
+  auto n = NewNode(PredicateNode::Kind::kOr);
+  n->left = std::move(a.node_);
+  n->right = std::move(b.node_);
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::Not(Predicate a) {
+  auto n = NewNode(PredicateNode::Kind::kNot);
+  n->left = std::move(a.node_);
+  return Predicate(std::move(n));
+}
+
+bool Predicate::Covers(const ItemId& id, const Row& row) const {
+  return EvalNode(node_.get(), id, row);
+}
+
+bool Predicate::MayOverlap(const Predicate& other) const {
+  auto a = Summarize(node_.get());
+  auto b = Summarize(other.node_.get());
+  if (!a || !b) return true;  // not analyzable -> conservative
+  return !ProvablyDisjoint(*a, *b);
+}
+
+std::string Predicate::ToString() const { return NodeToString(node_.get()); }
+
+bool Predicate::operator==(const Predicate& other) const {
+  return NodeEquals(node_.get(), other.node_.get());
+}
+
+}  // namespace critique

@@ -1,0 +1,76 @@
+#ifndef CRITIQUE_MODEL_PREDICATE_H_
+#define CRITIQUE_MODEL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+
+#include "critique/model/row.h"
+#include "critique/model/value.h"
+
+namespace critique {
+
+namespace internal {
+struct PredicateNode;  // implementation detail, defined in predicate.cc
+}  // namespace internal
+
+/// Comparison operators usable in a <search condition> leaf.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief An immutable <search condition> over rows: the predicate of
+/// predicate reads (`r1[P]`) and predicate locks.
+///
+/// A predicate covers the (possibly infinite) set of data items that satisfy
+/// it — including *phantom* items not currently in the database (Section 2.3
+/// of the paper).  Coverage is therefore evaluated against row images
+/// (before- or after-images of writes), never against "current" storage
+/// state alone.
+///
+/// `Predicate` has cheap value semantics (shared immutable tree).
+class Predicate {
+ public:
+  /// The predicate TRUE: covers every data item (a whole-table read).
+  static Predicate All();
+
+  /// Leaf comparison `column <op> constant`, e.g. Cmp("hours", kGt, 4).
+  static Predicate Cmp(std::string column, CompareOp op, Value constant);
+
+  /// The item-lock predicate: "key = <id>".  Per the paper, "an item lock
+  /// (record lock) is a predicate lock where the predicate names the
+  /// specific record".
+  static Predicate KeyIs(ItemId id);
+
+  /// Conjunction / disjunction / negation.
+  static Predicate And(Predicate a, Predicate b);
+  static Predicate Or(Predicate a, Predicate b);
+  static Predicate Not(Predicate a);
+
+  /// True when the item (`id`, `row`) satisfies this predicate.
+  bool Covers(const ItemId& id, const Row& row) const;
+
+  /// Conservative test: can some item satisfy both predicates?
+  ///
+  /// Returns false only when the two predicates are *provably* disjoint
+  /// (per-column interval reasoning over conjunctions, or distinct item
+  /// keys); returns true otherwise.  A conservative `true` only makes
+  /// predicate locking stricter, never unsound.
+  bool MayOverlap(const Predicate& other) const;
+
+  /// SQL-flavoured rendering, e.g. "(active = TRUE AND hours > 4)".
+  std::string ToString() const;
+
+  /// Structural equality (same tree shape and constants).
+  bool operator==(const Predicate& other) const;
+
+ private:
+  explicit Predicate(std::shared_ptr<const internal::PredicateNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const internal::PredicateNode> node_;
+};
+
+/// Rendering of a comparison operator ("=", "<>", "<", "<=", ">", ">=").
+std::string CompareOpName(CompareOp op);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_MODEL_PREDICATE_H_

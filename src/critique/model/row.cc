@@ -1,0 +1,19 @@
+#include "critique/model/row.h"
+
+namespace critique {
+
+std::string Row::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : columns_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name;
+    out += ": ";
+    out += value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace critique

@@ -1,0 +1,65 @@
+#ifndef CRITIQUE_MODEL_ROW_H_
+#define CRITIQUE_MODEL_ROW_H_
+
+#include <map>
+#include <string>
+
+#include "critique/model/value.h"
+
+namespace critique {
+
+/// Name of a data item / row key.  The paper's data items "x", "y", "z"
+/// are rows keyed by these names.
+using ItemId = std::string;
+
+/// \brief A named tuple: the broad-interpretation "data item" of [EGLT].
+///
+/// A `Row` is a bag of named columns.  The degenerate single-column form
+/// (column "val") models the paper's scalar items; multi-column rows carry
+/// the attributes that predicates (<search condition>) range over, e.g.
+/// `active`, `hours`, `balance`.
+class Row {
+ public:
+  Row() = default;
+
+  /// Convenience: a scalar item holding `v` in column "val".
+  static Row Scalar(Value v) {
+    Row r;
+    r.Set("val", std::move(v));
+    return r;
+  }
+
+  /// Sets (or overwrites) a column.  Returns *this for chaining.
+  Row& Set(const std::string& column, Value v) {
+    columns_[column] = std::move(v);
+    return *this;
+  }
+
+  /// Column value; NULL when the column is absent.
+  Value Get(const std::string& column) const {
+    auto it = columns_.find(column);
+    return it == columns_.end() ? Value() : it->second;
+  }
+
+  /// True when the column is present (even if NULL).
+  bool Has(const std::string& column) const {
+    return columns_.find(column) != columns_.end();
+  }
+
+  /// The scalar payload (column "val"); NULL if absent.
+  Value scalar() const { return Get("val"); }
+
+  const std::map<std::string, Value>& columns() const { return columns_; }
+
+  /// "{a: 1, b: 'x'}" rendering for logs and test failure messages.
+  std::string ToString() const;
+
+  bool operator==(const Row& other) const { return columns_ == other.columns_; }
+
+ private:
+  std::map<std::string, Value> columns_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_MODEL_ROW_H_

@@ -1,0 +1,83 @@
+#include "critique/model/value.h"
+
+#include <cmath>
+
+namespace critique {
+
+std::optional<double> Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDoubleExact();
+  return std::nullopt;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    return *AsNumeric() == *other.AsNumeric();
+  }
+  if (is_bool() && other.is_bool()) return AsBool() == other.AsBool();
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  if (is_numeric() && other.is_numeric()) {
+    double a = *AsNumeric(), b = *other.AsNumeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  return std::nullopt;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    double d = AsDoubleExact();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      return std::to_string(static_cast<int64_t>(d)) + ".0";
+    }
+    return std::to_string(d);
+  }
+  if (is_bool()) return AsBool() ? "TRUE" : "FALSE";
+  return "'" + AsString() + "'";
+}
+
+namespace {
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  if (v.is_bool()) return 2;
+  return 3;
+}
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  int ra = TypeRank(*this), rb = TypeRank(other);
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+      return false;  // NULL == NULL as keys
+    case 1:
+      return *AsNumeric() < *other.AsNumeric();
+    case 2:
+      return AsBool() < other.AsBool();
+    default:
+      return AsString() < other.AsString();
+  }
+}
+
+bool Value::KeyEquals(const Value& other) const {
+  return !(*this < other) && !(other < *this);
+}
+
+}  // namespace critique

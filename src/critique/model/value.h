@@ -1,0 +1,74 @@
+#ifndef CRITIQUE_MODEL_VALUE_H_
+#define CRITIQUE_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace critique {
+
+/// \brief A dynamically typed SQL-ish scalar: NULL, INTEGER, DOUBLE,
+/// TEXT, or BOOLEAN.
+///
+/// Values are the cell type of `Row` and the constant type of `Predicate`
+/// comparisons.  Comparisons across INTEGER and DOUBLE coerce numerically;
+/// any comparison involving NULL is "unknown" and evaluates to false
+/// (a deliberately simplified two-valued reading of SQL's three-valued
+/// logic — the paper's histories never rely on NULL semantics).
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : repr_(std::monostate{}) {}
+  Value(int64_t v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : repr_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}              // NOLINT(runtime/explicit)
+  Value(bool v) : repr_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Integer payload; asserts when not an INTEGER.
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  /// Double payload; asserts when not a DOUBLE.
+  double AsDoubleExact() const { return std::get<double>(repr_); }
+  /// Boolean payload; asserts when not a BOOLEAN.
+  bool AsBool() const { return std::get<bool>(repr_); }
+  /// String payload; asserts when not TEXT.
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric value widened to double; NULL/TEXT/BOOLEAN yield nullopt.
+  std::optional<double> AsNumeric() const;
+
+  /// Strict equality: same type (modulo numeric widening) and same value.
+  /// NULL == NULL is false, matching SQL comparison semantics.
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison for orderable pairs; nullopt when incomparable
+  /// (NULL involved, or mismatched non-numeric types).
+  std::optional<int> Compare(const Value& other) const;
+
+  /// SQL-literal-ish rendering ("NULL", "42", "3.5", "'abc'", "TRUE").
+  std::string ToString() const;
+
+  /// Total order usable as a container key (type tag first, then value;
+  /// distinct from SQL comparison — NULLs are equal here).
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const { return KeyEquals(other); }
+
+ private:
+  /// Container-key equality (NULL equals NULL).
+  bool KeyEquals(const Value& other) const;
+
+  std::variant<std::monostate, int64_t, double, bool, std::string> repr_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_MODEL_VALUE_H_

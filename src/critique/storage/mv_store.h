@@ -1,0 +1,104 @@
+#ifndef CRITIQUE_STORAGE_MV_STORE_H_
+#define CRITIQUE_STORAGE_MV_STORE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "critique/common/clock.h"
+#include "critique/history/action.h"
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+
+namespace critique {
+
+/// \brief One version in an item's version chain.
+struct Version {
+  Row row;
+  bool tombstone = false;          ///< a committed/pending delete
+  TxnId creator = kInitialTxn;     ///< transaction that produced it
+  Timestamp commit_ts = kInvalidTimestamp;  ///< 0 while uncommitted
+
+  bool committed() const { return commit_ts != kInvalidTimestamp; }
+};
+
+/// \brief Multiversion store in the style of Reed [REE]: each item keeps a
+/// chain of versions; readers pick the version visible at their snapshot
+/// timestamp, writers append uncommitted versions that commit or vanish
+/// atomically with their transaction.
+///
+/// Visibility for a reader (txn `t`, snapshot `ts`): `t`'s own pending
+/// version if present, else the committed version with the largest
+/// commit_ts <= ts.  "Updates by other transactions active after the
+/// transaction Start-Timestamp are invisible to the transaction"
+/// (Section 4.2).
+///
+/// Not internally synchronized; engines serialize access.
+class MultiVersionStore {
+ public:
+  /// Installs an initial (commit_ts = 1 by convention of the owning
+  /// engine) version; used for database setup.
+  void Bootstrap(const ItemId& id, Row row, Timestamp ts);
+
+  /// The row visible to `txn` at snapshot `ts` (nullopt when absent or
+  /// deleted at that snapshot).
+  std::optional<Row> Read(const ItemId& id, Timestamp ts, TxnId txn) const;
+
+  /// The visible version itself, tombstones included (for engines that
+  /// record version subscripts); nullopt when no version is visible.
+  std::optional<Version> ReadVersionInfo(const ItemId& id, Timestamp ts,
+                                         TxnId txn) const;
+
+  /// Appends (or replaces) `txn`'s pending version of `id`.
+  void Write(const ItemId& id, Row row, TxnId txn);
+
+  /// Appends (or replaces) `txn`'s pending tombstone of `id`.
+  void Delete(const ItemId& id, TxnId txn);
+
+  /// True when `txn` has a pending version of `id`.
+  bool HasPendingWrite(const ItemId& id, TxnId txn) const;
+
+  /// True when some *other* transaction has a pending version of `id`
+  /// (the eager write-write conflict probe).
+  bool HasConcurrentPendingWrite(const ItemId& id, TxnId txn) const;
+
+  /// Largest commit timestamp of any committed version of `id`
+  /// (kInvalidTimestamp when none): the First-Committer-Wins probe —
+  /// a conflict exists when this exceeds the writer's start timestamp.
+  Timestamp LatestCommitTs(const ItemId& id) const;
+
+  /// Stamps all of `txn`'s pending versions with `commit_ts`.
+  void CommitTxn(TxnId txn, Timestamp commit_ts);
+
+  /// Discards all of `txn`'s pending versions.
+  void AbortTxn(TxnId txn);
+
+  /// Items (id, row) visible to (`txn`, `ts`) that satisfy `pred`,
+  /// in key order.
+  std::vector<std::pair<ItemId, Row>> Scan(const Predicate& pred,
+                                           Timestamp ts, TxnId txn) const;
+
+  /// Drops versions no longer visible to any snapshot >= `watermark`
+  /// (keeps, per item, the newest committed version at or below the
+  /// watermark, everything newer, and all pending versions).
+  /// Returns the number of versions discarded.
+  size_t GarbageCollect(Timestamp watermark);
+
+  /// Total number of stored versions (across all items).
+  size_t VersionCount() const;
+
+  /// Number of distinct items with at least one version.
+  size_t ItemCount() const { return chains_.size(); }
+
+  /// The full chain for an item (diagnostics/tests); empty when unknown.
+  std::vector<Version> Chain(const ItemId& id) const;
+
+ private:
+  const Version* Visible(const ItemId& id, Timestamp ts, TxnId txn) const;
+
+  std::map<ItemId, std::vector<Version>> chains_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_STORAGE_MV_STORE_H_

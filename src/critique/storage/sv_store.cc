@@ -1,0 +1,56 @@
+#include "critique/storage/sv_store.h"
+
+namespace critique {
+
+std::optional<Row> SingleVersionStore::Get(const ItemId& id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SingleVersionStore::Contains(const ItemId& id) const {
+  return rows_.find(id) != rows_.end();
+}
+
+std::optional<Row> SingleVersionStore::Put(const ItemId& id, Row row) {
+  auto it = rows_.find(id);
+  std::optional<Row> before;
+  if (it != rows_.end()) {
+    before = it->second;
+    it->second = std::move(row);
+  } else {
+    rows_.emplace(id, std::move(row));
+  }
+  return before;
+}
+
+std::optional<Row> SingleVersionStore::Erase(const ItemId& id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return std::nullopt;
+  std::optional<Row> before = std::move(it->second);
+  rows_.erase(it);
+  return before;
+}
+
+void SingleVersionStore::ApplyUndo(const UndoRecord& undo) {
+  if (undo.before.has_value()) {
+    rows_[undo.item] = *undo.before;
+  } else {
+    rows_.erase(undo.item);
+  }
+}
+
+std::vector<std::pair<ItemId, Row>> SingleVersionStore::Scan(
+    const Predicate& pred) const {
+  std::vector<std::pair<ItemId, Row>> out;
+  for (const auto& [id, row] : rows_) {
+    if (pred.Covers(id, row)) out.emplace_back(id, row);
+  }
+  return out;
+}
+
+std::vector<std::pair<ItemId, Row>> SingleVersionStore::Dump() const {
+  return {rows_.begin(), rows_.end()};
+}
+
+}  // namespace critique

@@ -1,0 +1,63 @@
+#ifndef CRITIQUE_STORAGE_SV_STORE_H_
+#define CRITIQUE_STORAGE_SV_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+
+namespace critique {
+
+/// One undo record: restoring `before` undoes a write to `item`
+/// (`before == nullopt` means the item did not exist, so undo erases it).
+struct UndoRecord {
+  ItemId item;
+  std::optional<Row> before;
+};
+
+/// \brief The single-version in-memory store under the locking engines.
+///
+/// Holds exactly one current row per item.  Mutators return the
+/// before-image so the caller (the engine's per-transaction undo log) can
+/// roll back on abort by restoring before-images in LIFO order — the
+/// recovery discipline whose impossibility under Dirty Writes motivates P0
+/// (Section 3: "you don't want to undo w1[x] by restoring its
+/// before-image...").
+///
+/// Not internally synchronized; engines serialize access.
+class SingleVersionStore {
+ public:
+  /// Current row, or nullopt when absent.
+  std::optional<Row> Get(const ItemId& id) const;
+
+  /// True when the item exists.
+  bool Contains(const ItemId& id) const;
+
+  /// Upserts and returns the before-image.
+  std::optional<Row> Put(const ItemId& id, Row row);
+
+  /// Erases and returns the before-image (nullopt when it did not exist).
+  std::optional<Row> Erase(const ItemId& id);
+
+  /// Applies one undo record (restore or erase).
+  void ApplyUndo(const UndoRecord& undo);
+
+  /// All items satisfying `pred`, in key order.
+  std::vector<std::pair<ItemId, Row>> Scan(const Predicate& pred) const;
+
+  /// Number of items present.
+  size_t size() const { return rows_.size(); }
+
+  /// Every item in key order (diagnostics).
+  std::vector<std::pair<ItemId, Row>> Dump() const;
+
+ private:
+  std::map<ItemId, Row> rows_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_STORAGE_SV_STORE_H_

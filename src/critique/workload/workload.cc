@@ -1,0 +1,125 @@
+#include "critique/workload/workload.h"
+
+#include <set>
+
+namespace critique {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options), zipf_(options.num_items, options.zipf_theta) {}
+
+ItemId WorkloadGenerator::ItemName(uint64_t k) {
+  return "i" + std::to_string(k);
+}
+
+Status WorkloadGenerator::LoadInitial(Engine& engine) const {
+  for (uint64_t k = 0; k < options_.num_items; ++k) {
+    CRITIQUE_RETURN_NOT_OK(
+        engine.Load(ItemName(k), Row::Scalar(Value(options_.initial_balance))));
+  }
+  return Status::OK();
+}
+
+Program WorkloadGenerator::MakeMixedTxn(Rng& rng) const {
+  Program p;
+  for (size_t op = 0; op < options_.ops_per_txn; ++op) {
+    ItemId item = ItemName(zipf_.Next(rng));
+    if (rng.Chance(options_.write_fraction)) {
+      const std::string var = item + "#" + std::to_string(op);
+      p.Read(item, var);
+      p.WriteComputed(item, [var](const TxnLocals& l) {
+        return Value(l.GetInt(var) + 1);
+      });
+    } else {
+      p.Read(item);
+    }
+  }
+  p.Commit();
+  return p;
+}
+
+Program WorkloadGenerator::MakeReadOnlyTxn(Rng& rng, size_t ops) const {
+  Program p;
+  for (size_t op = 0; op < ops; ++op) {
+    p.Read(ItemName(zipf_.Next(rng)));
+  }
+  p.Commit();
+  return p;
+}
+
+Program WorkloadGenerator::MakeUpdateTxn(Rng& rng, size_t ops) const {
+  Program p;
+  std::set<uint64_t> keys;
+  while (keys.size() < ops && keys.size() < options_.num_items) {
+    keys.insert(zipf_.Next(rng));
+  }
+  size_t op = 0;
+  for (uint64_t k : keys) {
+    ItemId item = ItemName(k);
+    const std::string var = item + "#" + std::to_string(op++);
+    p.Read(item, var);
+    p.WriteComputed(item, [var](const TxnLocals& l) {
+      return Value(l.GetInt(var) + 1);
+    });
+  }
+  p.Commit();
+  return p;
+}
+
+Program WorkloadGenerator::MakeTransferTxn(Rng& rng, int64_t amount) const {
+  uint64_t from = zipf_.Next(rng);
+  uint64_t to = zipf_.Next(rng);
+  if (options_.num_items > 1) {
+    while (to == from) to = zipf_.Next(rng);
+  }
+  ItemId src = ItemName(from), dst = ItemName(to);
+  Program p;
+  p.Read(src, "src");
+  p.WriteComputed(src, [amount](const TxnLocals& l) {
+    return Value(l.GetInt("src") - amount);
+  });
+  p.Read(dst, "dst");
+  p.WriteComputed(dst, [amount](const TxnLocals& l) {
+    return Value(l.GetInt("dst") + amount);
+  });
+  p.Commit();
+  return p;
+}
+
+Program WorkloadGenerator::MakeAuditTxn() const {
+  Program p;
+  const uint64_t n = options_.num_items;
+  for (uint64_t k = 0; k < n; ++k) {
+    p.Read(ItemName(k), "b" + std::to_string(k));
+  }
+  p.Custom(StepKind::kOperation, [n](StepContext& ctx) {
+    int64_t sum = 0;
+    for (uint64_t k = 0; k < n; ++k) {
+      sum += ctx.locals.GetInt("b" + std::to_string(k));
+    }
+    ctx.locals.Set("sum", sum);
+    return Status::OK();
+  });
+  p.Commit();
+  return p;
+}
+
+int64_t WorkloadGenerator::TotalBalance(Engine& engine, uint64_t num_items,
+                                        TxnId reader) {
+  if (!engine.Begin(reader).ok()) return -1;
+  int64_t sum = 0;
+  for (uint64_t k = 0; k < num_items; ++k) {
+    auto r = engine.Read(reader, ItemName(k));
+    if (!r.ok()) {
+      (void)engine.Abort(reader);
+      return -1;
+    }
+    if (r->has_value()) {
+      auto v = (*r)->scalar().AsNumeric();
+      if (v.has_value()) sum += static_cast<int64_t>(*v);
+    }
+  }
+  (void)engine.Commit(reader);
+  return sum;
+}
+
+}  // namespace critique

@@ -1,0 +1,70 @@
+#ifndef CRITIQUE_WORKLOAD_WORKLOAD_H_
+#define CRITIQUE_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "critique/common/random.h"
+#include "critique/exec/program.h"
+#include "critique/workload/zipf.h"
+
+namespace critique {
+
+/// Parameters of the synthetic transaction mixes used by the benchmark
+/// harness for the Section 4.2 performance claims (readers never block /
+/// are never blocked under SI; long update transactions starve under
+/// First-Committer-Wins).
+struct WorkloadOptions {
+  uint64_t num_items = 64;        ///< database size (items i0..i{n-1})
+  double zipf_theta = 0.0;        ///< key skew; 0 = uniform
+  size_t ops_per_txn = 4;         ///< reads+writes per transaction
+  double write_fraction = 0.5;    ///< probability an op is a write
+  int64_t initial_balance = 100;  ///< initial scalar per item
+};
+
+/// \brief Deterministic generator of transaction `Program`s over a scalar
+/// item table.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Item id for index `k` ("i0", "i1", ...).
+  static ItemId ItemName(uint64_t k);
+
+  /// Loads the initial table into `engine`.
+  Status LoadInitial(Engine& engine) const;
+
+  /// A read-write transaction: `ops_per_txn` operations over
+  /// Zipf-distributed keys; writes are read-modify-write increments.
+  Program MakeMixedTxn(Rng& rng) const;
+
+  /// A read-only transaction touching `ops` random items.
+  Program MakeReadOnlyTxn(Rng& rng, size_t ops) const;
+
+  /// An update transaction that touches `ops` distinct items, used for the
+  /// long-vs-short contention experiments.
+  Program MakeUpdateTxn(Rng& rng, size_t ops) const;
+
+  /// A bank-transfer transaction (H1's shape): moves `amount` between two
+  /// distinct random items, preserving the global sum invariant.
+  Program MakeTransferTxn(Rng& rng, int64_t amount) const;
+
+  /// An audit transaction reading every item (the invariant check of the
+  /// inconsistent-analysis experiments); stores the sum under "sum".
+  Program MakeAuditTxn() const;
+
+  /// Sum of all committed balances via a fresh transaction (id >= 1000
+  /// recommended); -1 on failure.
+  static int64_t TotalBalance(Engine& engine, uint64_t num_items,
+                              TxnId reader);
+
+ private:
+  WorkloadOptions options_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_WORKLOAD_WORKLOAD_H_

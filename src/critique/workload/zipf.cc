@@ -1,0 +1,26 @@
+#include "critique/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace critique {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  cdf_.resize(n_);
+  double sum = 0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace critique

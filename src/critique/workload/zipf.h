@@ -1,0 +1,34 @@
+#ifndef CRITIQUE_WORKLOAD_ZIPF_H_
+#define CRITIQUE_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "critique/common/random.h"
+
+namespace critique {
+
+/// \brief Zipfian key-choice distribution over [0, n) with skew `theta`
+/// (0 = uniform, 0.99 = the YCSB default hot-spot skew).
+///
+/// Uses the cumulative-probability inversion method with a precomputed
+/// table — exact, O(log n) per draw, deterministic in the caller's Rng.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next key in [0, n); deterministic given the Rng state.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(key <= i)
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_WORKLOAD_ZIPF_H_

@@ -1,0 +1,342 @@
+// Analysis-layer tests pinned to the paper's own examples:
+//  - H1 (inconsistent analysis) violates P1 but none of A1/A2/A3 (Section 3);
+//  - H2 violates P2 (and A5A) but not P1/A2;
+//  - H3 violates P3 but not A3;
+//  - H4 is the lost update P4; H5 is write skew A5B;
+//  - the dirty-write constraint example of Section 3 is P0;
+//  - all of H1..H5 are non-serializable.
+
+#include <gtest/gtest.h>
+
+#include "critique/analysis/ansi_levels.h"
+#include "critique/analysis/conflict.h"
+#include "critique/analysis/dependency_graph.h"
+#include "critique/analysis/phenomena.h"
+#include "critique/history/history.h"
+
+namespace critique {
+namespace {
+
+History MustParse(std::string_view text) {
+  auto r = History::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+// The paper's named histories.
+const char kH1[] =
+    "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1";
+const char kH2[] =
+    "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1";
+const char kH3[] = "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1";
+const char kH4[] = "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1";
+const char kH5[] =
+    "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2";
+// Section 3's dirty-write example: w1[x] w2[x] w2[y] c2 w1[y] c1.
+const char kP0Example[] = "w1[x] w2[x] w2[y] c2 w1[y] c1";
+
+TEST(ConflictTest, ItemConflicts) {
+  Action w1 = Action::Write(1, "x");
+  Action r2 = Action::Read(2, "x");
+  Action w2 = Action::Write(2, "x");
+  Action r2y = Action::Read(2, "y");
+
+  ConflictKind kind;
+  EXPECT_TRUE(Conflicts(w1, r2, &kind));
+  EXPECT_EQ(kind, ConflictKind::kWriteRead);
+  EXPECT_TRUE(Conflicts(r2, w1, &kind));
+  EXPECT_EQ(kind, ConflictKind::kReadWrite);
+  EXPECT_TRUE(Conflicts(w1, w2, &kind));
+  EXPECT_EQ(kind, ConflictKind::kWriteWrite);
+  EXPECT_FALSE(Conflicts(w1, r2y, &kind));  // different items
+  EXPECT_FALSE(Conflicts(w1, Action::Write(1, "x")));  // same txn
+  EXPECT_FALSE(Conflicts(Action::Read(1, "x"), Action::Read(2, "x")));
+}
+
+TEST(ConflictTest, PredicateConflictViaAnnotation) {
+  Action pread = Action::PredicateRead(1, "P");
+  Action w = Action::Write(2, "y");
+  w.affects_predicates.insert("P");
+  ConflictKind kind;
+  EXPECT_TRUE(Conflicts(pread, w, &kind));
+  EXPECT_EQ(kind, ConflictKind::kReadWrite);
+  EXPECT_TRUE(Conflicts(w, pread, &kind));
+  EXPECT_EQ(kind, ConflictKind::kWriteRead);
+}
+
+TEST(ConflictTest, PredicateConflictViaImages) {
+  Action pread = Action::PredicateRead(
+      1, "Active", Predicate::Cmp("active", CompareOp::kEq, Value(true)));
+  Action hire = Action::Write(2, "e9");
+  hire.after_image = Row().Set("active", true);
+  EXPECT_TRUE(Conflicts(pread, hire));
+
+  Action fire = Action::Write(2, "e9");
+  fire.before_image = Row().Set("active", true);
+  fire.after_image = Row().Set("active", false);
+  EXPECT_TRUE(Conflicts(pread, fire));  // leaves the predicate: still covered
+
+  Action unrelated = Action::Write(2, "e9");
+  unrelated.before_image = Row().Set("active", false);
+  unrelated.after_image = Row().Set("active", false);
+  EXPECT_FALSE(Conflicts(pread, unrelated));
+}
+
+TEST(DependencyGraphTest, H1GraphHasCycle) {
+  auto g = DependencyGraph::Build(MustParse(kH1));
+  EXPECT_EQ(g.nodes(), (std::set<TxnId>{1, 2}));
+  EXPECT_TRUE(g.HasCycle());
+  auto cycle = g.FindCycle();
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(DependencyGraphTest, SerialHistoryAcyclic) {
+  auto h = MustParse("r1[x] w1[x] c1 r2[x] w2[x] c2");
+  auto g = DependencyGraph::Build(h);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_EQ(g.TopologicalOrder(), (std::vector<TxnId>{1, 2}));
+  EXPECT_TRUE(IsSerializable(h));
+}
+
+TEST(DependencyGraphTest, AbortedTransactionsExcluded) {
+  // T2 aborts: its actions create no dependency edges.
+  auto h = MustParse("w1[x] w2[x] a2 c1");
+  auto g = DependencyGraph::Build(h);
+  EXPECT_EQ(g.nodes(), (std::set<TxnId>{1}));
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_TRUE(IsSerializable(h));
+}
+
+TEST(DependencyGraphTest, AllPaperHistoriesNonSerializable) {
+  EXPECT_FALSE(IsSerializable(MustParse(kH1)));
+  EXPECT_FALSE(IsSerializable(MustParse(kH2)));
+  EXPECT_FALSE(IsSerializable(MustParse(kH3)));
+  EXPECT_FALSE(IsSerializable(MustParse(kH4)));
+  EXPECT_FALSE(IsSerializable(MustParse(kH5)));
+}
+
+TEST(DependencyGraphTest, EquivalenceDefinition) {
+  // Same committed transactions, same dataflow: the interleaving below is
+  // equivalent to the serial execution T1; T2.
+  auto serial = MustParse("r1[x] w1[x] c1 r2[y] w2[y] c2");
+  auto interleaved = MustParse("r1[x] r2[y] w1[x] w2[y] c1 c2");
+  EXPECT_TRUE(EquivalentHistories(serial, interleaved));
+
+  auto different = MustParse("r1[x] w1[x] c1 r2[x] w2[x] c2");
+  EXPECT_FALSE(EquivalentHistories(serial, different));
+}
+
+// --- Phenomena on the paper's histories ------------------------------------
+
+TEST(PhenomenaTest, H1ViolatesP1ButNoStrictAnomaly) {
+  History h1 = MustParse(kH1);
+  EXPECT_TRUE(Exhibits(h1, Phenomenon::kP1));
+  EXPECT_FALSE(Exhibits(h1, Phenomenon::kA1));
+  EXPECT_FALSE(Exhibits(h1, Phenomenon::kA2));
+  EXPECT_FALSE(Exhibits(h1, Phenomenon::kA3));
+  EXPECT_FALSE(Exhibits(h1, Phenomenon::kP0));
+}
+
+TEST(PhenomenaTest, H2ViolatesP2ButNotP1) {
+  History h2 = MustParse(kH2);
+  EXPECT_TRUE(Exhibits(h2, Phenomenon::kP2));
+  EXPECT_FALSE(Exhibits(h2, Phenomenon::kP1));
+  EXPECT_FALSE(Exhibits(h2, Phenomenon::kA1));
+  EXPECT_FALSE(Exhibits(h2, Phenomenon::kA2));
+  EXPECT_FALSE(Exhibits(h2, Phenomenon::kA3));
+  // H2 is exactly the read-skew shape.
+  EXPECT_TRUE(Exhibits(h2, Phenomenon::kA5A));
+}
+
+TEST(PhenomenaTest, H3ViolatesP3ButNotA3) {
+  History h3 = MustParse(kH3);
+  EXPECT_TRUE(Exhibits(h3, Phenomenon::kP3));
+  EXPECT_FALSE(Exhibits(h3, Phenomenon::kA3));
+  EXPECT_FALSE(Exhibits(h3, Phenomenon::kP1));
+  EXPECT_FALSE(Exhibits(h3, Phenomenon::kP2));
+}
+
+TEST(PhenomenaTest, H4IsLostUpdate) {
+  History h4 = MustParse(kH4);
+  EXPECT_TRUE(Exhibits(h4, Phenomenon::kP4));
+  // "H4 is allowed when forbidding P0 or P1" — it shows neither.
+  EXPECT_FALSE(Exhibits(h4, Phenomenon::kP0));
+  EXPECT_FALSE(Exhibits(h4, Phenomenon::kP1));
+  // "forbidding P2 also precludes P4": H4 must exhibit P2.
+  EXPECT_TRUE(Exhibits(h4, Phenomenon::kP2));
+}
+
+TEST(PhenomenaTest, H5IsWriteSkew) {
+  History h5 = MustParse(kH5);
+  EXPECT_TRUE(Exhibits(h5, Phenomenon::kA5B));
+  EXPECT_FALSE(Exhibits(h5, Phenomenon::kP0));
+  EXPECT_FALSE(Exhibits(h5, Phenomenon::kP1));
+  EXPECT_FALSE(Exhibits(h5, Phenomenon::kA5A));
+  // In the single-valued interpretation, forbidding P2 precludes A5B.
+  EXPECT_TRUE(Exhibits(h5, Phenomenon::kP2));
+}
+
+TEST(PhenomenaTest, P0DirtyWriteExample) {
+  History h = MustParse(kP0Example);
+  EXPECT_TRUE(Exhibits(h, Phenomenon::kP0));
+  auto witnesses = FindPhenomenon(h, Phenomenon::kP0);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_EQ(witnesses[0].indices, (std::vector<size_t>{0, 1}));
+}
+
+TEST(PhenomenaTest, A1RequiresAbortAndCommit) {
+  // w1[x] r2[x] a1 c2: the strict dirty read.
+  History a1 = MustParse("w1[x] r2[x] a1 c2");
+  EXPECT_TRUE(Exhibits(a1, Phenomenon::kA1));
+  EXPECT_TRUE(Exhibits(a1, Phenomenon::kP1));
+
+  // Same prefix, but T1 commits: P1 only.
+  History p1 = MustParse("w1[x] r2[x] c1 c2");
+  EXPECT_FALSE(Exhibits(p1, Phenomenon::kA1));
+  EXPECT_TRUE(Exhibits(p1, Phenomenon::kP1));
+
+  // Read after T1 finished: neither.
+  History clean = MustParse("w1[x] c1 r2[x] c2");
+  EXPECT_FALSE(Exhibits(clean, Phenomenon::kA1));
+  EXPECT_FALSE(Exhibits(clean, Phenomenon::kP1));
+}
+
+TEST(PhenomenaTest, A2RequiresReread) {
+  History a2 = MustParse("r1[x=50] w2[x=60] c2 r1[x=60] c1");
+  EXPECT_TRUE(Exhibits(a2, Phenomenon::kA2));
+  EXPECT_TRUE(Exhibits(a2, Phenomenon::kP2));
+
+  History no_reread = MustParse("r1[x=50] w2[x=60] c2 r1[y=1] c1");
+  EXPECT_FALSE(Exhibits(no_reread, Phenomenon::kA2));
+  EXPECT_TRUE(Exhibits(no_reread, Phenomenon::kP2));
+}
+
+TEST(PhenomenaTest, A3RequiresPredicateReread) {
+  History a3 = MustParse("r1[P] w2[insert y to P] c2 r1[P] c1");
+  EXPECT_TRUE(Exhibits(a3, Phenomenon::kA3));
+  EXPECT_TRUE(Exhibits(a3, Phenomenon::kP3));
+}
+
+TEST(PhenomenaTest, P4CRequiresCursorRead) {
+  History p4c = MustParse("rc1[x=100] w2[x=120] c2 wc1[x=130] c1");
+  EXPECT_TRUE(Exhibits(p4c, Phenomenon::kP4C));
+  History p4 = MustParse("r1[x=100] w2[x=120] c2 w1[x=130] c1");
+  EXPECT_FALSE(Exhibits(p4, Phenomenon::kP4C));
+  EXPECT_TRUE(Exhibits(p4, Phenomenon::kP4));
+}
+
+TEST(PhenomenaTest, A5ARequiresTwoItems) {
+  History a5a = MustParse("r1[x=50] w2[x=10] w2[y=90] c2 r1[y=90] c1");
+  EXPECT_TRUE(Exhibits(a5a, Phenomenon::kA5A));
+  // Degenerate x == y form is P2/A2 territory, not A5A.
+  History same_item = MustParse("r1[x=50] w2[x=10] c2 r1[x=10] c1");
+  EXPECT_FALSE(Exhibits(same_item, Phenomenon::kA5A));
+}
+
+TEST(PhenomenaTest, SerialHistoryExhibitsNothing) {
+  History serial =
+      MustParse("r1[x] w1[x] r1[y] w1[y] c1 r2[x] r2[y] w2[x] c2");
+  EXPECT_TRUE(ExhibitedPhenomena(serial).empty());
+  EXPECT_TRUE(IsSerializable(serial));
+}
+
+TEST(PhenomenaTest, PendingTransactionsDoNotFire) {
+  // T1 never finishes: the "(c1 or a1)" clause is unmet.
+  History pending = MustParse("w1[x] r2[x] c2");
+  EXPECT_FALSE(Exhibits(pending, Phenomenon::kP1));
+}
+
+TEST(PhenomenaTest, WitnessDescribeMentionsActions) {
+  History h = MustParse(kH4);
+  auto w = FindPhenomenon(h, Phenomenon::kP4);
+  ASSERT_FALSE(w.empty());
+  std::string d = w[0].Describe(h);
+  EXPECT_NE(d.find("P4"), std::string::npos);
+  EXPECT_NE(d.find("r1[x=100]"), std::string::npos);
+}
+
+// --- ANSI level classification (Tables 1 and 3) -----------------------------
+
+TEST(AnsiLevelsTest, ForbiddenSetsMatchTable1) {
+  auto forbidden = ForbiddenPhenomena(AnsiLevel::kRepeatableRead,
+                                      AnsiInterpretation::kStrict,
+                                      AnsiTable::kTable1);
+  EXPECT_EQ(forbidden,
+            (std::vector<Phenomenon>{Phenomenon::kA1, Phenomenon::kA2}));
+  auto broad = ForbiddenPhenomena(AnsiLevel::kSerializable,
+                                  AnsiInterpretation::kBroad,
+                                  AnsiTable::kTable1);
+  EXPECT_EQ(broad, (std::vector<Phenomenon>{Phenomenon::kP1, Phenomenon::kP2,
+                                            Phenomenon::kP3}));
+}
+
+TEST(AnsiLevelsTest, Table3AddsP0Everywhere) {
+  for (AnsiLevel level : AllAnsiLevels()) {
+    auto forbidden = ForbiddenPhenomena(level, AnsiInterpretation::kBroad,
+                                        AnsiTable::kTable3);
+    ASSERT_FALSE(forbidden.empty());
+    EXPECT_EQ(forbidden.front(), Phenomenon::kP0)
+        << AnsiLevelName(level, AnsiTable::kTable3);
+  }
+}
+
+TEST(AnsiLevelsTest, H1PassesStrictAnomalySerializable) {
+  // The paper's central criticism: under the strict (A1/A2/A3) reading,
+  // non-serializable H1 satisfies ANOMALY SERIALIZABLE...
+  History h1 = MustParse(kH1);
+  EXPECT_EQ(StrongestAnsiLevel(h1, AnsiInterpretation::kStrict,
+                               AnsiTable::kTable1),
+            AnsiLevel::kSerializable);
+  // ...while the broad (P1/P2/P3) reading demotes it below READ COMMITTED.
+  EXPECT_EQ(StrongestAnsiLevel(h1, AnsiInterpretation::kBroad,
+                               AnsiTable::kTable1),
+            AnsiLevel::kReadUncommitted);
+}
+
+TEST(AnsiLevelsTest, H2NeedsBroadP2) {
+  History h2 = MustParse(kH2);
+  // Strict: no A1/A2/A3 -> passes ANOMALY SERIALIZABLE (the flaw).
+  EXPECT_EQ(StrongestAnsiLevel(h2, AnsiInterpretation::kStrict,
+                               AnsiTable::kTable1),
+            AnsiLevel::kSerializable);
+  // Broad: P2 fires -> capped at READ COMMITTED.
+  EXPECT_EQ(StrongestAnsiLevel(h2, AnsiInterpretation::kBroad,
+                               AnsiTable::kTable1),
+            AnsiLevel::kReadCommitted);
+}
+
+TEST(AnsiLevelsTest, H3NeedsBroadP3) {
+  History h3 = MustParse(kH3);
+  EXPECT_EQ(StrongestAnsiLevel(h3, AnsiInterpretation::kStrict,
+                               AnsiTable::kTable1),
+            AnsiLevel::kSerializable);
+  EXPECT_EQ(StrongestAnsiLevel(h3, AnsiInterpretation::kBroad,
+                               AnsiTable::kTable1),
+            AnsiLevel::kRepeatableRead);
+}
+
+TEST(AnsiLevelsTest, DirtyWriteRejectedOnlyByTable3) {
+  History p0 = MustParse(kP0Example);
+  // Table 1 (no P0 anywhere): READ UNCOMMITTED admits it; in fact no
+  // phenomenon of Table 1 catches it at any level.
+  EXPECT_TRUE(SatisfiesAnsiLevel(p0, AnsiLevel::kReadUncommitted,
+                                 AnsiInterpretation::kBroad,
+                                 AnsiTable::kTable1));
+  // Table 3: forbidden at every level (Remark 3).
+  EXPECT_EQ(StrongestAnsiLevel(p0, AnsiInterpretation::kBroad,
+                               AnsiTable::kTable3),
+            std::nullopt);
+}
+
+TEST(AnsiLevelsTest, NamesFollowTables) {
+  EXPECT_EQ(AnsiLevelName(AnsiLevel::kSerializable, AnsiTable::kTable1),
+            "ANOMALY SERIALIZABLE");
+  EXPECT_EQ(AnsiLevelName(AnsiLevel::kSerializable, AnsiTable::kTable3),
+            "SERIALIZABLE");
+  EXPECT_EQ(AnsiLevelName(AnsiLevel::kReadCommitted, AnsiTable::kTable1),
+            "READ COMMITTED");
+}
+
+}  // namespace
+}  // namespace critique

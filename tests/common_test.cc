@@ -1,0 +1,144 @@
+// Unit tests for the common kernel: Status, Result, Rng, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "critique/common/clock.h"
+#include "critique/common/random.h"
+#include "critique/common/result.h"
+#include "critique/common/status.h"
+#include "critique/common/string_util.h"
+
+namespace critique {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::WouldBlock().IsWouldBlock());
+  EXPECT_TRUE(Status::Deadlock().IsDeadlock());
+  EXPECT_TRUE(Status::SerializationFailure().IsSerializationFailure());
+  EXPECT_TRUE(Status::TransactionAborted().IsTransactionAborted());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+
+  Status s = Status::SerializationFailure("first-committer-wins on x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "SerializationFailure: first-committer-wins on x");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Internal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::OK());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MacroPropagatesErrors) {
+  auto fails = []() -> Result<int> { return Status::WouldBlock(); };
+  auto wrapper = [&]() -> Status {
+    CRITIQUE_ASSIGN_OR_RETURN(int v, fails());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsWouldBlock());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(10);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 500 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ClockTest, StrictlyIncreasingFromOne) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), kInvalidTimestamp);
+  Timestamp a = clock.Tick();
+  Timestamp b = clock.Tick();
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(clock.Now(), 2u);
+}
+
+TEST(StringUtilTest, SplitNonEmpty) {
+  auto parts = SplitNonEmpty("a,,b,c,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("w1[x]", "w1"));
+  EXPECT_FALSE(StartsWith("w", "w1"));
+}
+
+TEST(StringUtilTest, JoinAndPad) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(PadTo("ab", 4), "ab  ");
+  EXPECT_EQ(PadTo("abcdef", 4), "abcd");
+}
+
+}  // namespace
+}  // namespace critique

@@ -1,0 +1,197 @@
+// Cross-engine edge behaviour: the semantics contract corners every
+// implementation must honour — failed operations mutate nothing, stats
+// track faithfully, atomic Update statements behave per engine, and
+// transaction lifecycle errors are uniform.
+
+#include <gtest/gtest.h>
+
+#include "critique/engine/engine_factory.h"
+#include "critique/engine/locking_engine.h"
+#include "critique/engine/si_engine.h"
+
+namespace critique {
+namespace {
+
+class EveryEngine : public ::testing::TestWithParam<IsolationLevel> {
+ protected:
+  std::unique_ptr<Engine> Make() { return CreateEngine(GetParam()); }
+};
+
+TEST_P(EveryEngine, LifecycleErrorsUniform) {
+  auto e = Make();
+  EXPECT_FALSE(e->Begin(0).ok());
+  EXPECT_FALSE(e->Begin(-3).ok());
+  ASSERT_TRUE(e->Begin(1).ok());
+  EXPECT_FALSE(e->Begin(1).ok());  // reuse
+
+  EXPECT_TRUE(e->Read(99, "x").status().IsTransactionAborted());
+  EXPECT_TRUE(e->Write(99, "x", Row::Scalar(Value(1)))
+                  .IsTransactionAborted());
+  EXPECT_TRUE(e->Commit(99).IsTransactionAborted());
+  EXPECT_TRUE(e->Abort(99).IsTransactionAborted());
+
+  ASSERT_TRUE(e->Commit(1).ok());
+  EXPECT_TRUE(e->Commit(1).IsTransactionAborted());  // double commit
+  EXPECT_TRUE(e->Read(1, "x").status().IsTransactionAborted());
+}
+
+TEST_P(EveryEngine, ReadingAbsentItemsYieldsNullopt) {
+  auto e = Make();
+  ASSERT_TRUE(e->Begin(1).ok());
+  auto r = e->Read(1, "ghost");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+  auto scan = e->ReadPredicate(1, "All", Predicate::All());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->empty());
+}
+
+TEST_P(EveryEngine, StatsCountCommitsAndAborts) {
+  auto e = Make();
+  ASSERT_TRUE(e->Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e->Begin(1).ok());
+  ASSERT_TRUE(e->Read(1, "x").ok());
+  ASSERT_TRUE(e->Commit(1).ok());
+  ASSERT_TRUE(e->Begin(2).ok());
+  ASSERT_TRUE(e->Write(2, "x", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e->Abort(2).ok());
+  EXPECT_EQ(e->stats().commits, 1u);
+  EXPECT_EQ(e->stats().aborts, 1u);
+  EXPECT_GE(e->stats().reads, 1u);
+  EXPECT_EQ(e->stats().writes, 1u);
+}
+
+TEST_P(EveryEngine, AbortedWritesInvisibleAfterwards) {
+  auto e = Make();
+  ASSERT_TRUE(e->Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e->Begin(1).ok());
+  ASSERT_TRUE(e->Write(1, "x", Row::Scalar(Value(99))).ok());
+  ASSERT_TRUE(e->Abort(1).ok());
+  ASSERT_TRUE(e->Begin(2).ok());
+  auto r = e->Read(2, "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->scalar().Equals(Value(1)));
+  ASSERT_TRUE(e->Commit(2).ok());
+}
+
+TEST_P(EveryEngine, UpdateStatementIncrementsSerially) {
+  auto e = Make();
+  ASSERT_TRUE(e->Load("x", Row::Scalar(Value(10))).ok());
+  for (TxnId t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(e->Begin(t).ok());
+    ASSERT_TRUE(e->Update(t, "x", [](const std::optional<Row>& row) {
+      int64_t cur = row ? static_cast<int64_t>(*row->scalar().AsNumeric())
+                        : 0;
+      return Row::Scalar(Value(cur + 5));
+    }).ok());
+    ASSERT_TRUE(e->Commit(t).ok());
+  }
+  ASSERT_TRUE(e->Begin(9).ok());
+  auto r = e->Read(9, "x");
+  EXPECT_TRUE((*r)->scalar().Equals(Value(25)));
+}
+
+TEST_P(EveryEngine, HistoryValidatesAfterAnyRun) {
+  auto e = Make();
+  ASSERT_TRUE(e->Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e->Begin(1).ok());
+  ASSERT_TRUE(e->Read(1, "x").ok());
+  ASSERT_TRUE(e->Write(1, "x", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e->Commit(1).ok());
+  ASSERT_TRUE(e->Begin(2).ok());
+  ASSERT_TRUE(e->Read(2, "x").ok());
+  ASSERT_TRUE(e->Abort(2).ok());
+  EXPECT_TRUE(e->history().Validate().ok());
+  EXPECT_EQ(e->history().Committed(), std::set<TxnId>{1});
+  EXPECT_EQ(e->history().Aborted(), std::set<TxnId>{2});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, EveryEngine, ::testing::ValuesIn(AllEngineLevels()),
+    [](const ::testing::TestParamInfo<IsolationLevel>& info) {
+      std::string name = IsolationLevelName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Engine-specific corners -------------------------------------------------
+
+TEST(EngineEdgeTest, WouldBlockLeavesNoTrace) {
+  // A blocked write must not appear in the history nor change the store.
+  LockingEngine e(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.Write(1, "x", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e.Begin(2).ok());
+  size_t before = e.history().size();
+  EXPECT_TRUE(e.Write(2, "x", Row::Scalar(Value(3))).IsWouldBlock());
+  EXPECT_EQ(e.history().size(), before);
+  EXPECT_EQ(e.stats().blocked_ops, 1u);
+}
+
+TEST(EngineEdgeTest, DeadlockVictimHistoryShowsAbort) {
+  LockingEngine e(IsolationLevel::kSerializable);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Load("y", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.Begin(2).ok());
+  ASSERT_TRUE(e.Read(1, "x").ok());
+  ASSERT_TRUE(e.Read(2, "y").ok());
+  EXPECT_TRUE(e.Write(1, "y", Row::Scalar(Value(2))).IsWouldBlock());
+  EXPECT_TRUE(e.Write(2, "x", Row::Scalar(Value(2))).IsDeadlock());
+  EXPECT_TRUE(e.history().IsAborted(2));
+  EXPECT_EQ(e.stats().deadlock_aborts, 1u);
+  // T1 can finish now.
+  EXPECT_TRUE(e.Write(1, "y", Row::Scalar(Value(2))).ok());
+  EXPECT_TRUE(e.Commit(1).ok());
+}
+
+TEST(EngineEdgeTest, SIInsertInsertConflict) {
+  // Two concurrent inserts of the same key: FCW aborts the second
+  // committer even though neither saw the other.
+  SnapshotIsolationEngine e;
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.Begin(2).ok());
+  ASSERT_TRUE(e.Insert(1, "k", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Insert(2, "k", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e.Commit(1).ok());
+  EXPECT_TRUE(e.Commit(2).IsSerializationFailure());
+  ASSERT_TRUE(e.Begin(9).ok());
+  EXPECT_TRUE((*e.Read(9, "k"))->scalar().Equals(Value(1)));
+}
+
+TEST(EngineEdgeTest, SIReadOnlyNeverAborts) {
+  SnapshotIsolationEngine e;
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.Read(1, "x").ok());
+  // Heavy concurrent write traffic.
+  for (TxnId t = 2; t <= 6; ++t) {
+    ASSERT_TRUE(e.Begin(t).ok());
+    ASSERT_TRUE(e.Write(t, "x", Row::Scalar(Value(t))).ok());
+    ASSERT_TRUE(e.Commit(t).ok());
+  }
+  EXPECT_TRUE(e.Commit(1).ok());  // read-only: always commits
+}
+
+TEST(EngineEdgeTest, LockingLoadDoesNotLock) {
+  LockingEngine e(IsolationLevel::kSerializable);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  EXPECT_EQ(e.lock_stats().acquired, 0u);
+  EXPECT_TRUE(e.history().empty());
+}
+
+TEST(EngineEdgeTest, CursorWriteWithoutFetchStillLocksLong) {
+  // WriteCursor is a write: a long X lock regardless of cursor state.
+  LockingEngine e(IsolationLevel::kCursorStability);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.WriteCursor(1, "x", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e.Begin(2).ok());
+  EXPECT_TRUE(e.Read(2, "x").status().IsWouldBlock());
+}
+
+}  // namespace
+}  // namespace critique

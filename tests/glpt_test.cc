@@ -1,0 +1,159 @@
+// The GLPT degrees-of-consistency crosswalk, the multi-cursor trick of
+// Section 4.1, and a concurrent stress of the lock manager.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "critique/analysis/glpt.h"
+#include "critique/common/random.h"
+#include "critique/engine/engine_factory.h"
+#include "critique/engine/locking_engine.h"
+#include "critique/lock/lock_manager.h"
+
+namespace critique {
+namespace {
+
+TEST(GlptTest, DegreesMapToLockingLevels) {
+  EXPECT_EQ(LevelForDegree(ConsistencyDegree::kDegree0),
+            IsolationLevel::kDegree0);
+  EXPECT_EQ(LevelForDegree(ConsistencyDegree::kDegree1),
+            IsolationLevel::kReadUncommitted);
+  EXPECT_EQ(LevelForDegree(ConsistencyDegree::kDegree2),
+            IsolationLevel::kReadCommitted);
+  EXPECT_EQ(LevelForDegree(ConsistencyDegree::kDegree3),
+            IsolationLevel::kSerializable);
+}
+
+TEST(GlptTest, RoundTripDegrees) {
+  for (ConsistencyDegree d :
+       {ConsistencyDegree::kDegree0, ConsistencyDegree::kDegree1,
+        ConsistencyDegree::kDegree2, ConsistencyDegree::kDegree3}) {
+    auto back = DegreeForLevel(LevelForDegree(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, d);
+  }
+}
+
+TEST(GlptTest, NoDegreeMatchesRepeatableReadOrCursorStability) {
+  // "No isolation degree matches the Locking REPEATABLE READ isolation
+  // level" (Section 2.3).
+  EXPECT_FALSE(DegreeForLevel(IsolationLevel::kRepeatableRead).has_value());
+  EXPECT_FALSE(DegreeForLevel(IsolationLevel::kCursorStability).has_value());
+  EXPECT_FALSE(
+      DegreeForLevel(IsolationLevel::kSnapshotIsolation).has_value());
+}
+
+TEST(GlptTest, RepeatableReadTraditions) {
+  // Date/IBM "Repeatable Read" is serializable; ANSI's is not — the
+  // "doubly unfortunate" terminology of Section 5.
+  EXPECT_EQ(RepeatableReadMeaning(RepeatableReadTradition::kDateIBM),
+            IsolationLevel::kSerializable);
+  EXPECT_EQ(RepeatableReadMeaning(RepeatableReadTradition::kAnsiSql),
+            IsolationLevel::kRepeatableRead);
+}
+
+TEST(GlptTest, CrosswalkMentionsTheMisnomer) {
+  std::string text = RenderTerminologyCrosswalk();
+  EXPECT_NE(text.find("NOT repeatable"), std::string::npos);
+  EXPECT_NE(text.find("Degree 3"), std::string::npos);
+}
+
+// --- Multi-cursor trick (Section 4.1) ---------------------------------------
+
+TEST(MultiCursorTest, TwoCursorsPinTwoItems) {
+  // "The programmer can parlay Cursor Stability to effective Locking
+  // REPEATABLE READ isolation for any transaction accessing a small,
+  // fixed number of data items."
+  LockingEngine e(IsolationLevel::kCursorStability);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Load("y", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.FetchCursorNamed(1, "cx", "x").ok());
+  ASSERT_TRUE(e.FetchCursorNamed(1, "cy", "y").ok());
+
+  ASSERT_TRUE(e.Begin(2).ok());
+  // Both items are pinned simultaneously.
+  EXPECT_TRUE(e.Write(2, "x", Row::Scalar(Value(9))).IsWouldBlock());
+  EXPECT_TRUE(e.Write(2, "y", Row::Scalar(Value(9))).IsWouldBlock());
+
+  // Closing one cursor releases only that item.
+  ASSERT_TRUE(e.CloseCursorNamed(1, "cx").ok());
+  EXPECT_TRUE(e.Write(2, "x", Row::Scalar(Value(9))).ok());
+  EXPECT_TRUE(e.Write(2, "y", Row::Scalar(Value(9))).IsWouldBlock());
+
+  ASSERT_TRUE(e.Commit(1).ok());
+  EXPECT_TRUE(e.Write(2, "y", Row::Scalar(Value(9))).ok());
+  ASSERT_TRUE(e.Commit(2).ok());
+}
+
+TEST(MultiCursorTest, SingleCursorStillMovesLock) {
+  // The default cursor keeps the old single-cursor semantics: moving it
+  // releases the previous item.
+  LockingEngine e(IsolationLevel::kCursorStability);
+  ASSERT_TRUE(e.Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(e.Load("y", Row::Scalar(Value(2))).ok());
+  ASSERT_TRUE(e.Begin(1).ok());
+  ASSERT_TRUE(e.FetchCursor(1, "x").ok());
+  ASSERT_TRUE(e.FetchCursor(1, "y").ok());
+  ASSERT_TRUE(e.Begin(2).ok());
+  EXPECT_TRUE(e.Write(2, "x", Row::Scalar(Value(9))).ok());
+  EXPECT_TRUE(e.Write(2, "y", Row::Scalar(Value(9))).IsWouldBlock());
+}
+
+TEST(MultiCursorTest, NamedCursorsDefaultOnOtherEngines) {
+  // MV engines delegate the named forms to the plain ones.
+  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(engine->Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(engine->Begin(1).ok());
+  auto r = engine->FetchCursorNamed(1, "c1", "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->scalar().Equals(Value(1)));
+  EXPECT_TRUE(engine->CloseCursorNamed(1, "c1").ok());
+}
+
+// --- Lock manager thread-safety ---------------------------------------------
+
+TEST(LockManagerStressTest, ConcurrentAcquireReleaseIsSafe) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> granted{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&lm, &granted, w] {
+      Rng rng(static_cast<uint64_t>(w) + 1);
+      TxnId txn = static_cast<TxnId>(w + 1);
+      std::vector<LockHandle> held;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        ItemId item = "k" + std::to_string(rng.Uniform(16));
+        LockSpec spec = rng.Chance(0.5)
+                            ? LockSpec::ReadItem(txn, item, std::nullopt)
+                            : LockSpec::WriteItem(txn, item, std::nullopt,
+                                                  std::nullopt);
+        auto r = lm.TryAcquire(spec);
+        if (r.ok()) {
+          ++granted;
+          held.push_back(*r);
+        }
+        if (held.size() > 4 || (!held.empty() && rng.Chance(0.3))) {
+          lm.Release(held.back());
+          held.pop_back();
+        }
+      }
+      lm.ReleaseAll(txn);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(granted.load(), 0u);
+  EXPECT_EQ(lm.HeldCount(), 0u);
+  auto st = lm.stats();
+  EXPECT_EQ(st.acquired, st.released);
+}
+
+}  // namespace
+}  // namespace critique

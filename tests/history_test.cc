@@ -1,0 +1,191 @@
+// Tests for the history container and the paper-shorthand parser.
+// Every named history from the paper (H1, H2, H3, H4, H5, H1.SI,
+// H1.SI.SV and the P0 example) must parse verbatim.
+
+#include <gtest/gtest.h>
+
+#include "critique/history/history.h"
+#include "critique/history/parser.h"
+
+namespace critique {
+namespace {
+
+TEST(ActionTest, FactoryRoundTrip) {
+  EXPECT_EQ(Action::Read(1, "x").ToString(), "r1[x]");
+  EXPECT_EQ(Action::Read(1, "x", Value(50)).ToString(), "r1[x=50]");
+  EXPECT_EQ(Action::Write(2, "y", Value(90)).ToString(), "w2[y=90]");
+  EXPECT_EQ(Action::ReadVersion(1, "x", 0, Value(50)).ToString(),
+            "r1[x0=50]");
+  EXPECT_EQ(Action::WriteVersion(1, "x", 1, Value(10)).ToString(),
+            "w1[x1=10]");
+  EXPECT_EQ(Action::PredicateRead(1, "P").ToString(), "r1[P]");
+  EXPECT_EQ(Action::CursorRead(1, "x").ToString(), "rc1[x]");
+  EXPECT_EQ(Action::CursorWrite(1, "x").ToString(), "wc1[x]");
+  EXPECT_EQ(Action::Commit(1).ToString(), "c1");
+  EXPECT_EQ(Action::Abort(2).ToString(), "a2");
+}
+
+TEST(ParserTest, SimpleHistory) {
+  auto r = History::Parse("w1[x] r2[x] c1 c2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const History& h = *r;
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].type, Action::Type::kWrite);
+  EXPECT_EQ(h[0].txn, 1);
+  EXPECT_EQ(h[0].item, "x");
+  EXPECT_EQ(h[1].type, Action::Type::kRead);
+  EXPECT_EQ(h[2].type, Action::Type::kCommit);
+  EXPECT_EQ(h[3].txn, 2);
+}
+
+TEST(ParserTest, NoWhitespaceBetweenActions) {
+  // H1 appears in the paper without separating spaces.
+  auto r = History::Parse(
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 8u);
+  EXPECT_TRUE(r->IsCommitted(1));
+  EXPECT_TRUE(r->IsCommitted(2));
+  EXPECT_TRUE((*r)[0].value->Equals(Value(50)));
+  EXPECT_TRUE((*r)[1].value->Equals(Value(10)));
+}
+
+TEST(ParserTest, H2FuzzyRead) {
+  auto r = History::Parse(
+      "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 8u);
+}
+
+TEST(ParserTest, H3PredicateAndInsert) {
+  auto r = History::Parse("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const History& h = *r;
+  ASSERT_EQ(h.size(), 7u);
+  EXPECT_EQ(h[0].type, Action::Type::kPredicateRead);
+  EXPECT_EQ(h[0].predicate_name, "P");
+  EXPECT_EQ(h[1].type, Action::Type::kWrite);
+  EXPECT_EQ(h[1].item, "y");
+  EXPECT_TRUE(h[1].is_insert);
+  EXPECT_EQ(h[1].affects_predicates.count("P"), 1u);
+}
+
+TEST(ParserTest, WriteInPredicateAnnotation) {
+  auto r = History::Parse("r1[P] w2[y in P] c2 c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)[1].affects_predicates.count("P"), 1u);
+  EXPECT_FALSE((*r)[1].is_insert);
+}
+
+TEST(ParserTest, H4LostUpdate) {
+  auto r = History::Parse("r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(ParserTest, H5NegativeValues) {
+  auto r = History::Parse(
+      "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[4].value->Equals(Value(-40)));
+}
+
+TEST(ParserTest, MultiversionSubscripts) {
+  // H1.SI from Section 4.2.
+  auto r = History::Parse(
+      "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const History& h = *r;
+  EXPECT_TRUE(h.IsMultiversion());
+  EXPECT_EQ(*h[0].version, 0);
+  EXPECT_EQ(*h[1].version, 1);
+  EXPECT_EQ(h[1].item, "x");
+  EXPECT_TRUE(h[1].value->Equals(Value(10)));
+}
+
+TEST(ParserTest, CursorActions) {
+  auto r = History::Parse("rc1[x] w2[x] wc1[x] c1 c2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)[0].type, Action::Type::kCursorRead);
+  EXPECT_EQ((*r)[2].type, Action::Type::kCursorWrite);
+}
+
+TEST(ParserTest, StringAndBoolValues) {
+  auto r = History::Parse("w1[x='hello'] w1[y=TRUE] w1[z=FALSE] c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[0].value->Equals(Value("hello")));
+  EXPECT_TRUE((*r)[1].value->Equals(Value(true)));
+  EXPECT_TRUE((*r)[2].value->Equals(Value(false)));
+}
+
+TEST(ParserTest, DoubleValues) {
+  auto r = History::Parse("w1[x=2.5] c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[0].value->Equals(Value(2.5)));
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(History::Parse("q1[x]").ok());
+  EXPECT_FALSE(History::Parse("r[x]").ok());
+  EXPECT_FALSE(History::Parse("r1[x").ok());
+  EXPECT_FALSE(History::Parse("r1[]").ok());
+  EXPECT_FALSE(History::Parse("rc1[P]").ok());  // no predicate cursors
+}
+
+TEST(ParserTest, PredicateWrite) {
+  // The paper's w1[P]: "writing a set of records satisfying predicate P".
+  auto r = History::Parse("r1[P] w2[P] c2 c1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)[1].type, Action::Type::kPredicateWrite);
+  EXPECT_EQ((*r)[1].predicate_name, "P");
+  EXPECT_EQ((*r)[1].ToString(), "w2[P]");
+  EXPECT_EQ(r->ToString(), "r1[P] w2[P] c2 c1");
+}
+
+TEST(ParserTest, RejectsActionsAfterCommit) {
+  EXPECT_FALSE(History::Parse("c1 r1[x]").ok());
+  EXPECT_FALSE(History::Parse("a1 w1[x]").ok());
+  EXPECT_FALSE(History::Parse("c1 c1").ok());
+}
+
+TEST(ParserTest, RejectsReservedTxnZero) {
+  EXPECT_FALSE(History::Parse("r0[x] c0").ok());
+}
+
+TEST(HistoryTest, TransactionsAndTerminals) {
+  auto h = *History::Parse("w1[x] r2[x] r3[y] c1 a2");
+  EXPECT_EQ(h.Transactions(), (std::set<TxnId>{1, 2, 3}));
+  EXPECT_EQ(h.Committed(), (std::set<TxnId>{1}));
+  EXPECT_EQ(h.Aborted(), (std::set<TxnId>{2}));
+  EXPECT_EQ(h.ActiveAtEnd(), (std::set<TxnId>{3}));
+  EXPECT_TRUE(h.IsCommitted(1));
+  EXPECT_FALSE(h.IsCommitted(2));
+  EXPECT_TRUE(h.IsAborted(2));
+  EXPECT_EQ(*h.TerminalIndex(1), 3u);
+  EXPECT_EQ(*h.TerminalIndex(2), 4u);
+  EXPECT_FALSE(h.TerminalIndex(3).has_value());
+}
+
+TEST(HistoryTest, IndicesOf) {
+  auto h = *History::Parse("w1[x] r2[x] w1[y] c1 c2");
+  EXPECT_EQ(h.IndicesOf(1), (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(h.IndicesOf(2), (std::vector<size_t>{1, 4}));
+}
+
+TEST(HistoryTest, RoundTripToString) {
+  const std::string text = "r1[x=50] w1[x=10] r2[P] c2 a1";
+  auto h = *History::Parse(text);
+  EXPECT_EQ(h.ToString(), text);
+}
+
+TEST(HistoryTest, RoundTripPreservesAnnotations) {
+  const std::string text = "r1[P] w2[insert y to P] c2 c1";
+  auto h = *History::Parse(text);
+  EXPECT_EQ(h.ToString(), text);
+  auto reparsed = History::Parse(h.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), text);
+}
+
+}  // namespace
+}  // namespace critique

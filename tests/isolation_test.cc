@@ -1,0 +1,187 @@
+// Isolation level metadata, the Table 2 policy table, the engine factory,
+// and the report renderers.
+
+#include <gtest/gtest.h>
+
+#include "critique/engine/engine_factory.h"
+#include "critique/engine/isolation.h"
+#include "critique/harness/report.h"
+
+namespace critique {
+namespace {
+
+TEST(IsolationLevelTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (IsolationLevel level : AllEngineLevels()) {
+    EXPECT_TRUE(names.insert(IsolationLevelName(level)).second)
+        << IsolationLevelName(level);
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(IsolationLevelTest, Table4LevelsAreThePaperRows) {
+  EXPECT_EQ(Table4Levels().size(), 6u);
+  EXPECT_EQ(Table4Levels().front(), IsolationLevel::kReadUncommitted);
+  EXPECT_EQ(Table4Levels().back(), IsolationLevel::kSerializable);
+}
+
+TEST(IsolationLevelTest, LockingClassification) {
+  EXPECT_TRUE(IsLockingLevel(IsolationLevel::kDegree0));
+  EXPECT_TRUE(IsLockingLevel(IsolationLevel::kCursorStability));
+  EXPECT_TRUE(IsLockingLevel(IsolationLevel::kSerializable));
+  EXPECT_FALSE(IsLockingLevel(IsolationLevel::kSnapshotIsolation));
+  EXPECT_FALSE(IsLockingLevel(IsolationLevel::kOracleReadConsistency));
+  EXPECT_FALSE(IsLockingLevel(IsolationLevel::kSerializableSI));
+}
+
+TEST(LockingPolicyTest, Degree0HasShortWritesOnly) {
+  LockingPolicy p = PolicyFor(IsolationLevel::kDegree0);
+  EXPECT_FALSE(p.read_locks);
+  EXPECT_EQ(p.write, LockDuration::kShort);
+}
+
+TEST(LockingPolicyTest, Degree1AddsLongWrites) {
+  LockingPolicy p = PolicyFor(IsolationLevel::kReadUncommitted);
+  EXPECT_FALSE(p.read_locks);
+  EXPECT_EQ(p.write, LockDuration::kLong);
+}
+
+TEST(LockingPolicyTest, Degree2ShortReads) {
+  LockingPolicy p = PolicyFor(IsolationLevel::kReadCommitted);
+  EXPECT_TRUE(p.read_locks);
+  EXPECT_EQ(p.item_read, LockDuration::kShort);
+  EXPECT_EQ(p.pred_read, LockDuration::kShort);
+  EXPECT_FALSE(p.cursor_stability);
+}
+
+TEST(LockingPolicyTest, CursorStabilityIsDegree2PlusCursors) {
+  LockingPolicy p = PolicyFor(IsolationLevel::kCursorStability);
+  EXPECT_TRUE(p.cursor_stability);
+  EXPECT_EQ(p.item_read, LockDuration::kShort);
+}
+
+TEST(LockingPolicyTest, RepeatableReadLongItemsShortPredicates) {
+  // The defining split of the paper's Locking REPEATABLE READ row.
+  LockingPolicy p = PolicyFor(IsolationLevel::kRepeatableRead);
+  EXPECT_EQ(p.item_read, LockDuration::kLong);
+  EXPECT_EQ(p.pred_read, LockDuration::kShort);
+}
+
+TEST(LockingPolicyTest, SerializableAllLong) {
+  LockingPolicy p = PolicyFor(IsolationLevel::kSerializable);
+  EXPECT_EQ(p.item_read, LockDuration::kLong);
+  EXPECT_EQ(p.pred_read, LockDuration::kLong);
+  EXPECT_EQ(p.write, LockDuration::kLong);
+}
+
+TEST(LockingPolicyTest, ToStringMentionsDurations) {
+  std::string s = PolicyFor(IsolationLevel::kRepeatableRead).ToString();
+  EXPECT_NE(s.find("item long"), std::string::npos);
+  EXPECT_NE(s.find("predicate short"), std::string::npos);
+  std::string d0 = PolicyFor(IsolationLevel::kDegree0).ToString();
+  EXPECT_NE(d0.find("none required"), std::string::npos);
+}
+
+TEST(EngineFactoryTest, CreatesEveryLevel) {
+  for (IsolationLevel level : AllEngineLevels()) {
+    auto engine = CreateEngine(level);
+    ASSERT_NE(engine, nullptr) << IsolationLevelName(level);
+    EXPECT_EQ(engine->level(), level);
+    EXPECT_EQ(engine->name(), IsolationLevelName(level));
+  }
+}
+
+TEST(EngineFactoryTest, EnginesStartEmptyAndIndependent) {
+  auto a = CreateEngine(IsolationLevel::kSerializable);
+  auto b = CreateEngine(IsolationLevel::kSerializable);
+  ASSERT_TRUE(a->Load("x", Row::Scalar(Value(1))).ok());
+  ASSERT_TRUE(b->Begin(1).ok());
+  auto r = b->Read(1, "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());  // b never saw a's load
+}
+
+// --- Report renderers --------------------------------------------------------
+
+TEST(ReportTest, Table1RendersBothInterpretations) {
+  std::string strict = RenderTable1(AnsiInterpretation::kStrict);
+  EXPECT_NE(strict.find("A1"), std::string::npos);
+  EXPECT_NE(strict.find("ANOMALY SERIALIZABLE"), std::string::npos);
+  std::string broad = RenderTable1(AnsiInterpretation::kBroad);
+  EXPECT_NE(broad.find("P1"), std::string::npos);
+  EXPECT_NE(broad.find("Not Possible"), std::string::npos);
+}
+
+TEST(ReportTest, StrictVsBroadDemoShowsTheFlaw) {
+  std::string demo = RenderStrictVsBroadDemo();
+  // Every history classifies as ANOMALY SERIALIZABLE under strict...
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = demo.find("strict -> ANOMALY SERIALIZABLE", pos)) !=
+         std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ReportTest, Table2ListsAllSixRows) {
+  std::string t2 = RenderTable2();
+  EXPECT_NE(t2.find("Degree 0"), std::string::npos);
+  EXPECT_NE(t2.find("Cursor Stability"), std::string::npos);
+  EXPECT_NE(t2.find("Locking SERIALIZABLE (Degree 3)"), std::string::npos);
+}
+
+TEST(ReportTest, Table3ForbidsP0Everywhere) {
+  std::string t3 = RenderTable3();
+  EXPECT_NE(t3.find("P0"), std::string::npos);
+  // READ UNCOMMITTED row: P0 must be Not Possible under Table 3.
+  size_t row = t3.find("READ UNCOMMITTED");
+  ASSERT_NE(row, std::string::npos);
+  size_t eol = t3.find('\n', row);
+  EXPECT_NE(t3.substr(row, eol - row).find("Not Possible"),
+            std::string::npos);
+}
+
+TEST(ReportTest, MatrixComparisonFlagsMismatches) {
+  AnomalyMatrix measured, expected;
+  measured.SetCell(IsolationLevel::kSerializable, Phenomenon::kP4,
+                   CellValue::kPossible);
+  expected.SetCell(IsolationLevel::kSerializable, Phenomenon::kP4,
+                   CellValue::kNotPossible);
+  std::string cmp = RenderMatrixComparison(measured, expected);
+  EXPECT_NE(cmp.find("MISMATCHES: 1"), std::string::npos);
+
+  measured.SetCell(IsolationLevel::kSerializable, Phenomenon::kP4,
+                   CellValue::kNotPossible);
+  cmp = RenderMatrixComparison(measured, expected);
+  EXPECT_NE(cmp.find("All cells match"), std::string::npos);
+}
+
+TEST(MatrixTest, AllowedListsNonNotPossible) {
+  AnomalyMatrix m;
+  m.SetCell(IsolationLevel::kSnapshotIsolation, Phenomenon::kA5B,
+            CellValue::kPossible);
+  m.SetCell(IsolationLevel::kSnapshotIsolation, Phenomenon::kP3,
+            CellValue::kSometimesPossible);
+  m.SetCell(IsolationLevel::kSnapshotIsolation, Phenomenon::kP2,
+            CellValue::kNotPossible);
+  auto allowed = m.Allowed(IsolationLevel::kSnapshotIsolation);
+  EXPECT_EQ(allowed.size(), 2u);
+}
+
+TEST(MatrixTest, PaperTable4Shape) {
+  const AnomalyMatrix& t4 = PaperTable4();
+  EXPECT_EQ(t4.levels().size(), 6u);
+  EXPECT_EQ(t4.columns().size(), 8u);
+  // Spot-check the three subtle cells.
+  EXPECT_EQ(t4.Cell(IsolationLevel::kCursorStability, Phenomenon::kP4),
+            CellValue::kSometimesPossible);
+  EXPECT_EQ(t4.Cell(IsolationLevel::kSnapshotIsolation, Phenomenon::kP3),
+            CellValue::kSometimesPossible);
+  EXPECT_EQ(t4.Cell(IsolationLevel::kSnapshotIsolation, Phenomenon::kA5B),
+            CellValue::kPossible);
+}
+
+}  // namespace
+}  // namespace critique

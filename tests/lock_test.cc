@@ -1,0 +1,261 @@
+// Lock manager tests: S/X compatibility, item vs predicate conflicts with
+// phantom-precise images, short/long release, waits-for deadlock detection.
+
+#include <gtest/gtest.h>
+
+#include "critique/lock/lock_manager.h"
+
+namespace critique {
+namespace {
+
+Row ActiveRow(bool active) { return Row().Set("active", active); }
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  auto a = lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt));
+  auto b = lm.TryAcquire(LockSpec::ReadItem(2, "x", std::nullopt));
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(lm.HeldCount(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithShared) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt)).ok());
+  auto b = lm.TryAcquire(
+      LockSpec::WriteItem(2, "x", std::nullopt, Row::Scalar(Value(1))));
+  EXPECT_TRUE(b.status().IsWouldBlock());
+  EXPECT_EQ(lm.stats().blocked, 1u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithExclusive) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+}
+
+TEST(LockManagerTest, DifferentItemsNoConflict) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "y", std::nullopt, std::nullopt))
+          .ok());
+}
+
+TEST(LockManagerTest, SelfLocksNeverConflict) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt)).ok());
+  // Upgrade S -> X by the same transaction.
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt)).ok());
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(2, "x", std::nullopt)).ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+}
+
+TEST(LockManagerTest, ReleaseUnblocks) {
+  LockManager lm;
+  auto a = lm.TryAcquire(
+      LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt));
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::ReadItem(2, "x", std::nullopt)).status()
+          .IsWouldBlock());
+  lm.Release(*a);
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadItem(2, "x", std::nullopt)).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllDropsEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt)).ok());
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadItem(1, "y", std::nullopt)).ok());
+  EXPECT_EQ(lm.HeldCountBy(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCountBy(1), 0u);
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .ok());
+}
+
+// --- Predicate locks ---------------------------------------------------------
+
+TEST(PredicateLockTest, WriteIntoPredicateConflicts) {
+  LockManager lm;
+  Predicate actives = Predicate::Cmp("active", CompareOp::kEq, true);
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(1, actives)).ok());
+
+  // Insert of a row entering the predicate: conflicts (phantom).
+  auto blocked = lm.TryAcquire(
+      LockSpec::WriteItem(2, "e9", std::nullopt, ActiveRow(true)));
+  EXPECT_TRUE(blocked.status().IsWouldBlock());
+
+  // Update moving a row OUT of the predicate also conflicts (before-image
+  // covered).
+  auto blocked2 = lm.TryAcquire(
+      LockSpec::WriteItem(2, "e1", ActiveRow(true), ActiveRow(false)));
+  EXPECT_TRUE(blocked2.status().IsWouldBlock());
+
+  // A write never touching the predicate's coverage is fine.
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::WriteItem(2, "e2", ActiveRow(false),
+                                                ActiveRow(false)))
+                  .ok());
+}
+
+TEST(PredicateLockTest, HeldItemWriteBlocksPredicateRead) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::WriteItem(1, "e1", ActiveRow(false),
+                                                ActiveRow(true)))
+                  .ok());
+  Predicate actives = Predicate::Cmp("active", CompareOp::kEq, true);
+  // The write's after-image satisfies the predicate: the predicate read
+  // must wait.
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(2, actives))
+                  .status()
+                  .IsWouldBlock());
+}
+
+TEST(PredicateLockTest, SharedPredicatesCompatible) {
+  LockManager lm;
+  Predicate p = Predicate::Cmp("active", CompareOp::kEq, true);
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(1, p)).ok());
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(2, p)).ok());
+}
+
+TEST(PredicateLockTest, WritePredicateVsReadPredicateUsesOverlap) {
+  LockManager lm;
+  Predicate lo = Predicate::Cmp("v", CompareOp::kLt, Value(10));
+  Predicate hi = Predicate::Cmp("v", CompareOp::kGt, Value(20));
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::WritePredicate(1, lo)).ok());
+  // Provably disjoint: no conflict.
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(2, hi)).ok());
+  // Overlapping: conflict.
+  Predicate mid = Predicate::Cmp("v", CompareOp::kLe, Value(5));
+  EXPECT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(2, mid))
+                  .status()
+                  .IsWouldBlock());
+}
+
+TEST(PredicateLockTest, ImagelessItemLockConservative) {
+  LockManager lm;
+  Predicate p = Predicate::Cmp("active", CompareOp::kEq, true);
+  ASSERT_TRUE(lm.TryAcquire(LockSpec::ReadPredicate(1, p)).ok());
+  // No images: the manager cannot prove disjointness, so it blocks.
+  LockSpec imageless = LockSpec::WriteItem(2, "e1", std::nullopt, std::nullopt);
+  EXPECT_TRUE(lm.TryAcquire(imageless).status().IsWouldBlock());
+}
+
+// --- Deadlock detection ------------------------------------------------------
+
+TEST(DeadlockTest, TwoTransactionCycle) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "y", std::nullopt, std::nullopt))
+          .ok());
+  // T1 waits for y (held by T2).
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "y", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+  // T2 then waits for x (held by T1): cycle -> T2 is the victim.
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsDeadlock());
+  EXPECT_EQ(lm.stats().deadlocks, 1u);
+}
+
+TEST(DeadlockTest, ThreeTransactionCycle) {
+  LockManager lm;
+  for (TxnId t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(lm.TryAcquire(LockSpec::WriteItem(t, "i" + std::to_string(t),
+                                                  std::nullopt, std::nullopt))
+                    .ok());
+  }
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "i2", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "i3", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(3, "i1", std::nullopt, std::nullopt))
+          .status()
+          .IsDeadlock());
+}
+
+TEST(DeadlockTest, VictimReleaseBreaksCycle) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "y", std::nullopt, std::nullopt))
+          .ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "y", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsDeadlock());
+  // The engine aborts T2 and releases its locks; T1 can now proceed.
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "y", std::nullopt, std::nullopt))
+          .ok());
+}
+
+TEST(DeadlockTest, RetryAfterUnblockClearsStaleEdges) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .ok());
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+  lm.ReleaseAll(1);
+  // T2 retries and succeeds; its stale wait edge must not linger.
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(2, "x", std::nullopt, std::nullopt))
+          .ok());
+  // And T1 waiting on T2 now is a plain block, not a phantom deadlock.
+  EXPECT_TRUE(
+      lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt, std::nullopt))
+          .status()
+          .IsWouldBlock());
+}
+
+TEST(LockStatsTest, CountersTrack) {
+  LockManager lm;
+  auto a = lm.TryAcquire(LockSpec::ReadItem(1, "x", std::nullopt));
+  ASSERT_TRUE(a.ok());
+  lm.Release(*a);
+  auto st = lm.stats();
+  EXPECT_EQ(st.acquired, 1u);
+  EXPECT_EQ(st.released, 1u);
+}
+
+}  // namespace
+}  // namespace critique

@@ -1,0 +1,84 @@
+// Soak test for Table 4's "Not Possible" cells: the crafted schedules in
+// the scenario library demonstrate the *possible* cells constructively,
+// but a "Not Possible" claim quantifies over all histories.  Here every
+// forbidden (level, anomaly) cell is attacked with many random schedules
+// of the same transaction programs; the anomaly must never manifest.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "critique/harness/matrix.h"
+
+namespace critique {
+namespace {
+
+// Runs `variant`'s programs under a random schedule derived from `seed`.
+Result<VariantOutcome> RunVariantRandomized(IsolationLevel level,
+                                            const ScenarioVariant& variant,
+                                            uint64_t seed) {
+  ScenarioVariant shuffled = variant;
+  // Build a runner once to learn program sizes, then shuffle a schedule.
+  auto engine = CreateEngine(level);
+  if (!engine) return Status::InvalidArgument("no engine");
+  CRITIQUE_RETURN_NOT_OK(variant.load(*engine));
+  Runner probe(*engine);
+  variant.add_programs(probe);
+  Rng rng(seed);
+  shuffled.schedule = probe.RandomSchedule(rng);
+  return RunVariant(level, shuffled);
+}
+
+class ForbiddenCellSoak
+    : public ::testing::TestWithParam<std::tuple<IsolationLevel, size_t>> {};
+
+TEST_P(ForbiddenCellSoak, AnomalyNeverManifestsUnderRandomSchedules) {
+  const auto [level, scenario_index] = GetParam();
+  const AnomalyScenario& scenario = Table4Scenarios()[scenario_index];
+
+  // Only attack cells the paper marks Not Possible.
+  const AnomalyMatrix& expected =
+      IsLockingLevel(level) || level == IsolationLevel::kSnapshotIsolation
+          ? PaperTable4()
+          : ExtendedExpectations();
+  if (!expected.HasCell(level, scenario.phenomenon)) GTEST_SKIP();
+  if (expected.Cell(level, scenario.phenomenon) != CellValue::kNotPossible) {
+    GTEST_SKIP() << "cell is (sometimes) possible; nothing to soak";
+  }
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    for (const ScenarioVariant& variant : scenario.variants) {
+      auto out = RunVariantRandomized(level, variant, seed);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      EXPECT_FALSE(out->anomaly)
+          << scenario.title << " (" << variant.name << ") manifested at "
+          << IsolationLevelName(level) << " under random seed " << seed
+          << "\n"
+          << out->analyzed.ToString();
+    }
+  }
+}
+
+std::string SoakName(
+    const ::testing::TestParamInfo<std::tuple<IsolationLevel, size_t>>&
+        info) {
+  std::string name =
+      IsolationLevelName(std::get<0>(info.param)) + "_" +
+      std::string(
+          PhenomenonName(Table4Scenarios()[std::get<1>(info.param)]
+                             .phenomenon));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForbiddenCells, ForbiddenCellSoak,
+    ::testing::Combine(
+        ::testing::ValuesIn(AllEngineLevels()),
+        ::testing::Range(size_t{0}, Table4Scenarios().size())),
+    SoakName);
+
+}  // namespace
+}  // namespace critique

@@ -1,0 +1,206 @@
+// Unit tests for the value / row / predicate model.
+
+#include <gtest/gtest.h>
+
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+#include "critique/model/value.h"
+
+namespace critique {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(5).is_numeric());
+  EXPECT_TRUE(Value(2.5).is_numeric());
+}
+
+TEST(ValueTest, NumericCoercionInEquals) {
+  EXPECT_TRUE(Value(5).Equals(Value(5.0)));
+  EXPECT_FALSE(Value(5).Equals(Value(6)));
+  EXPECT_FALSE(Value(5).Equals(Value("5")));
+}
+
+TEST(ValueTest, NullNeverEquals) {
+  EXPECT_FALSE(Value().Equals(Value()));
+  EXPECT_FALSE(Value().Equals(Value(0)));
+}
+
+TEST(ValueTest, CompareOrders) {
+  EXPECT_EQ(*Value(1).Compare(Value(2)), -1);
+  EXPECT_EQ(*Value(2).Compare(Value(1)), 1);
+  EXPECT_EQ(*Value(2).Compare(Value(2)), 0);
+  EXPECT_EQ(*Value("a").Compare(Value("b")), -1);
+  EXPECT_FALSE(Value().Compare(Value(1)).has_value());
+  EXPECT_FALSE(Value("a").Compare(Value(1)).has_value());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "TRUE");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+}
+
+TEST(ValueTest, KeyOrderingIsTotal) {
+  // NULL < numerics < bool < string by type rank.
+  EXPECT_TRUE(Value() < Value(0));
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value(5) < Value(false));
+  EXPECT_TRUE(Value(true) < Value(""));
+  EXPECT_FALSE(Value() < Value());
+  EXPECT_TRUE(Value() == Value());  // as container keys NULL==NULL
+}
+
+TEST(RowTest, ScalarConvenience) {
+  Row r = Row::Scalar(Value(50));
+  EXPECT_TRUE(r.scalar().Equals(Value(50)));
+  EXPECT_TRUE(r.Has("val"));
+  EXPECT_FALSE(r.Has("other"));
+  EXPECT_TRUE(r.Get("other").is_null());
+}
+
+TEST(RowTest, SetChainsAndToString) {
+  Row r;
+  r.Set("a", 1).Set("b", "x");
+  EXPECT_EQ(r.ToString(), "{a: 1, b: 'x'}");
+  EXPECT_TRUE(r.Get("a").Equals(Value(1)));
+}
+
+TEST(RowTest, Equality) {
+  Row a = Row::Scalar(Value(1));
+  Row b = Row::Scalar(Value(1));
+  Row c = Row::Scalar(Value(2));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(PredicateTest, AllCoversEverything) {
+  Predicate p = Predicate::All();
+  EXPECT_TRUE(p.Covers("x", Row::Scalar(Value(1))));
+  EXPECT_TRUE(p.Covers("anything", Row()));
+}
+
+TEST(PredicateTest, CmpEvaluates) {
+  Predicate p = Predicate::Cmp("hours", CompareOp::kGt, Value(4));
+  EXPECT_TRUE(p.Covers("t1", Row().Set("hours", 5)));
+  EXPECT_FALSE(p.Covers("t1", Row().Set("hours", 4)));
+  EXPECT_FALSE(p.Covers("t1", Row()));  // NULL -> unknown -> false
+}
+
+TEST(PredicateTest, KeyIsNamesOneRecord) {
+  // "An item lock is a predicate lock where the predicate names the
+  // specific record" (Section 2.3).
+  Predicate p = Predicate::KeyIs("x");
+  EXPECT_TRUE(p.Covers("x", Row()));
+  EXPECT_FALSE(p.Covers("y", Row()));
+}
+
+TEST(PredicateTest, BooleanConnectives) {
+  Predicate active = Predicate::Cmp("active", CompareOp::kEq, Value(true));
+  Predicate senior = Predicate::Cmp("age", CompareOp::kGe, Value(65));
+  Predicate both = Predicate::And(active, senior);
+  Predicate either = Predicate::Or(active, senior);
+  Predicate inactive = Predicate::Not(active);
+
+  Row young_active = Row().Set("active", true).Set("age", 30);
+  Row old_inactive = Row().Set("active", false).Set("age", 70);
+
+  EXPECT_FALSE(both.Covers("e1", young_active));
+  EXPECT_TRUE(either.Covers("e1", young_active));
+  EXPECT_TRUE(either.Covers("e2", old_inactive));
+  EXPECT_FALSE(inactive.Covers("e1", young_active));
+  EXPECT_TRUE(inactive.Covers("e2", old_inactive));
+}
+
+TEST(PredicateTest, PhantomCoverage) {
+  // A predicate covers items "not currently in the database but that would
+  // satisfy the predicate if they were inserted" — coverage is a pure
+  // function of the row image, independent of any store.
+  Predicate p = Predicate::Cmp("dept", CompareOp::kEq, Value("sales"));
+  Row phantom = Row().Set("dept", "sales");
+  EXPECT_TRUE(p.Covers("new_row_not_in_db", phantom));
+}
+
+TEST(PredicateOverlapTest, DisjointIntervals) {
+  Predicate lo = Predicate::Cmp("x", CompareOp::kLt, Value(10));
+  Predicate hi = Predicate::Cmp("x", CompareOp::kGt, Value(20));
+  EXPECT_FALSE(lo.MayOverlap(hi));
+  EXPECT_FALSE(hi.MayOverlap(lo));
+}
+
+TEST(PredicateOverlapTest, TouchingIntervalsOverlap) {
+  Predicate le = Predicate::Cmp("x", CompareOp::kLe, Value(10));
+  Predicate ge = Predicate::Cmp("x", CompareOp::kGe, Value(10));
+  EXPECT_TRUE(le.MayOverlap(ge));
+}
+
+TEST(PredicateOverlapTest, OpenEndpointsDoNotTouch) {
+  Predicate lt = Predicate::Cmp("x", CompareOp::kLt, Value(10));
+  Predicate ge = Predicate::Cmp("x", CompareOp::kGe, Value(10));
+  EXPECT_FALSE(lt.MayOverlap(ge));
+}
+
+TEST(PredicateOverlapTest, DifferentColumnsOverlap) {
+  Predicate a = Predicate::Cmp("x", CompareOp::kLt, Value(10));
+  Predicate b = Predicate::Cmp("y", CompareOp::kGt, Value(20));
+  EXPECT_TRUE(a.MayOverlap(b));
+}
+
+TEST(PredicateOverlapTest, DistinctKeysDisjoint) {
+  EXPECT_FALSE(Predicate::KeyIs("x").MayOverlap(Predicate::KeyIs("y")));
+  EXPECT_TRUE(Predicate::KeyIs("x").MayOverlap(Predicate::KeyIs("x")));
+}
+
+TEST(PredicateOverlapTest, ExactStringConstraints) {
+  Predicate sales = Predicate::Cmp("dept", CompareOp::kEq, Value("sales"));
+  Predicate eng = Predicate::Cmp("dept", CompareOp::kEq, Value("eng"));
+  EXPECT_FALSE(sales.MayOverlap(eng));
+  EXPECT_TRUE(sales.MayOverlap(sales));
+}
+
+TEST(PredicateOverlapTest, ConjunctionNarrowing) {
+  Predicate band1 = Predicate::And(Predicate::Cmp("x", CompareOp::kGe, Value(0)),
+                                   Predicate::Cmp("x", CompareOp::kLe, Value(5)));
+  Predicate band2 = Predicate::And(Predicate::Cmp("x", CompareOp::kGe, Value(6)),
+                                   Predicate::Cmp("x", CompareOp::kLe, Value(9)));
+  EXPECT_FALSE(band1.MayOverlap(band2));
+}
+
+TEST(PredicateOverlapTest, UnanalyzableIsConservative) {
+  Predicate odd = Predicate::Not(Predicate::Cmp("x", CompareOp::kEq, Value(1)));
+  Predicate one = Predicate::Cmp("x", CompareOp::kEq, Value(1));
+  // NOT nodes are not summarized; must answer true (conservative).
+  EXPECT_TRUE(odd.MayOverlap(one));
+}
+
+TEST(PredicateOverlapTest, AllOverlapsAnything) {
+  EXPECT_TRUE(Predicate::All().MayOverlap(Predicate::KeyIs("x")));
+  EXPECT_TRUE(Predicate::KeyIs("x").MayOverlap(Predicate::All()));
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  Predicate p = Predicate::And(
+      Predicate::Cmp("active", CompareOp::kEq, Value(true)),
+      Predicate::Cmp("hours", CompareOp::kGt, Value(4)));
+  EXPECT_EQ(p.ToString(), "(active = TRUE AND hours > 4)");
+  EXPECT_EQ(Predicate::KeyIs("x").ToString(), "key = 'x'");
+  EXPECT_EQ(Predicate::All().ToString(), "TRUE");
+}
+
+TEST(PredicateTest, StructuralEquality) {
+  Predicate a = Predicate::Cmp("x", CompareOp::kLt, Value(10));
+  Predicate b = Predicate::Cmp("x", CompareOp::kLt, Value(10));
+  Predicate c = Predicate::Cmp("x", CompareOp::kLe, Value(10));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace critique

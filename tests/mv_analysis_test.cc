@@ -1,0 +1,145 @@
+// Multiversion analysis tests: the H1.SI -> H1.SI.SV mapping, snapshot
+// visibility validation, first-committer-wins validation, and the MV
+// serialization graph (write skew's rw-only cycle).
+
+#include <gtest/gtest.h>
+
+#include "critique/analysis/dependency_graph.h"
+#include "critique/analysis/mv_analysis.h"
+#include "critique/history/history.h"
+
+namespace critique {
+namespace {
+
+History MustParse(std::string_view text) {
+  auto r = History::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+const char kH1SI[] =
+    "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1";
+// H5 with the version subscripts it would carry under Snapshot Isolation.
+const char kH5SI[] =
+    "r1[x0=50] r1[y0=50] r2[x0=50] r2[y0=50] w1[y1=-40] w2[x2=-40] c1 c2";
+
+TEST(MVMappingTest, H1SIMapsToPaperSVForm) {
+  History mapped = MapSnapshotHistoryToSingleVersion(MustParse(kH1SI));
+  // The paper's H1.SI.SV, Section 4.2.
+  EXPECT_EQ(mapped.ToString(),
+            "r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1");
+}
+
+TEST(MVMappingTest, MappedH1SIIsSerializable) {
+  // "H1.SI has the dataflows of a serializable execution."
+  History mapped = MapSnapshotHistoryToSingleVersion(MustParse(kH1SI));
+  EXPECT_TRUE(IsSerializable(mapped));
+}
+
+TEST(MVMappingTest, MappedH5SIStaysWriteSkewed) {
+  History mapped = MapSnapshotHistoryToSingleVersion(MustParse(kH5SI));
+  EXPECT_FALSE(IsSerializable(mapped));
+}
+
+TEST(MVMappingTest, MappingIsIdentityOnSerialSV) {
+  History serial = MustParse("r1[x] w1[x] c1 r2[x] c2");
+  History mapped = MapSnapshotHistoryToSingleVersion(serial);
+  EXPECT_EQ(mapped.ToString(), serial.ToString());
+}
+
+TEST(SnapshotVisibilityTest, H1SIIsValid) {
+  EXPECT_TRUE(ValidateSnapshotVisibility(MustParse(kH1SI)).ok());
+}
+
+TEST(SnapshotVisibilityTest, H5SIIsValid) {
+  EXPECT_TRUE(ValidateSnapshotVisibility(MustParse(kH5SI)).ok());
+}
+
+TEST(SnapshotVisibilityTest, ReadingConcurrentWriteRejected) {
+  // T2 starts before T1 commits but reads T1's version: not a snapshot read.
+  History bad = MustParse("r2[x0=1] w1[x1=5] r2[x1=5] c1 c2");
+  EXPECT_FALSE(ValidateSnapshotVisibility(bad).ok());
+}
+
+TEST(SnapshotVisibilityTest, OwnWritesVisible) {
+  History own = MustParse("w1[x1=5] r1[x1=5] c1");
+  EXPECT_TRUE(ValidateSnapshotVisibility(own).ok());
+  History stale = MustParse("w1[x1=5] r1[x0=1] c1");
+  EXPECT_FALSE(ValidateSnapshotVisibility(stale).ok());
+}
+
+TEST(SnapshotVisibilityTest, CommittedBeforeStartVisible) {
+  // T1 commits x1, then T2 starts and must read x1.
+  History good = MustParse("w1[x1=5] c1 r2[x1=5] c2");
+  EXPECT_TRUE(ValidateSnapshotVisibility(good).ok());
+  History bad = MustParse("w1[x1=5] c1 r2[x0=1] c2");
+  EXPECT_FALSE(ValidateSnapshotVisibility(bad).ok());
+}
+
+TEST(SnapshotVisibilityTest, WriteMustCreateOwnVersion) {
+  History bad = MustParse("w1[x2=5] c1");
+  EXPECT_FALSE(ValidateSnapshotVisibility(bad).ok());
+}
+
+TEST(FirstCommitterWinsTest, DisjointWriteSetsPass) {
+  EXPECT_TRUE(ValidateFirstCommitterWins(MustParse(kH5SI)).ok());
+  EXPECT_TRUE(ValidateFirstCommitterWins(MustParse(kH1SI)).ok());
+}
+
+TEST(FirstCommitterWinsTest, OverlappingWritersRejected) {
+  // Both write x and both commit with overlapping intervals.
+  History bad = MustParse("w1[x1=1] w2[x2=2] c1 c2");
+  EXPECT_FALSE(ValidateFirstCommitterWins(bad).ok());
+}
+
+TEST(FirstCommitterWinsTest, SequentialWritersPass) {
+  History ok = MustParse("w1[x1=1] c1 w2[x2=2] c2");
+  EXPECT_TRUE(ValidateFirstCommitterWins(ok).ok());
+}
+
+TEST(FirstCommitterWinsTest, AbortedWriterDoesNotConflict) {
+  // First-committer-wins only constrains committed transactions.
+  History ok = MustParse("w1[x1=1] w2[x2=2] a1 c2");
+  EXPECT_TRUE(ValidateFirstCommitterWins(ok).ok());
+}
+
+TEST(MVSGTest, H5SIHasRwOnlyCycle) {
+  auto g = MVSerializationGraph::Build(MustParse(kH5SI));
+  EXPECT_TRUE(g.HasCycle());
+  EXPECT_TRUE(g.HasRwOnlyCycle());
+  EXPECT_FALSE(IsMVSerializable(MustParse(kH5SI)));
+}
+
+TEST(MVSGTest, H1SIIsMVSerializable) {
+  auto g = MVSerializationGraph::Build(MustParse(kH1SI));
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(IsMVSerializable(MustParse(kH1SI)));
+}
+
+TEST(MVSGTest, WrEdgesFollowVersionReads) {
+  History h = MustParse("w1[x1=5] c1 r2[x1=5] w2[y2=1] c2");
+  auto g = MVSerializationGraph::Build(h);
+  bool found_wr = false;
+  for (const auto& e : g.edges()) {
+    if (e.from == 1 && e.to == 2 && e.kind == ConflictKind::kWriteRead) {
+      found_wr = true;
+    }
+  }
+  EXPECT_TRUE(found_wr) << g.ToString();
+}
+
+TEST(MVSGTest, RwEdgeWhenLaterVersionExists) {
+  // T2 reads x0 while T1 installs x1: anti-dependency T2 -rw-> T1.
+  History h = MustParse("r2[x0=0] w1[x1=5] c1 c2");
+  auto g = MVSerializationGraph::Build(h);
+  bool found_rw = false;
+  for (const auto& e : g.edges()) {
+    if (e.from == 2 && e.to == 1 && e.kind == ConflictKind::kReadWrite) {
+      found_rw = true;
+    }
+  }
+  EXPECT_TRUE(found_rw) << g.ToString();
+}
+
+}  // namespace
+}  // namespace critique

@@ -1,0 +1,77 @@
+// Verifies the whole paper-history corpus: every entry parses verbatim,
+// exhibits exactly the phenomena the paper claims, avoids the ones it
+// rules out, and has the claimed (non-)serializability.
+
+#include <gtest/gtest.h>
+
+#include "critique/analysis/dependency_graph.h"
+#include "critique/analysis/mv_analysis.h"
+#include "critique/harness/paper_histories.h"
+
+namespace critique {
+namespace {
+
+class PaperCorpusTest : public ::testing::TestWithParam<PaperHistory> {};
+
+TEST_P(PaperCorpusTest, ParsesVerbatim) {
+  const PaperHistory& ph = GetParam();
+  auto parsed = History::Parse(ph.shorthand);
+  ASSERT_TRUE(parsed.ok()) << ph.name << ": " << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Validate().ok()) << ph.name;
+  EXPECT_EQ(parsed->IsMultiversion(), ph.multiversion) << ph.name;
+}
+
+TEST_P(PaperCorpusTest, ExhibitsClaimedPhenomena) {
+  const PaperHistory& ph = GetParam();
+  History h = ph.Parse();
+  for (Phenomenon p : ph.exhibits) {
+    EXPECT_TRUE(Exhibits(h, p))
+        << ph.name << " should exhibit " << PhenomenonName(p);
+  }
+  for (Phenomenon p : ph.avoids) {
+    EXPECT_FALSE(Exhibits(h, p))
+        << ph.name << " should avoid " << PhenomenonName(p);
+  }
+}
+
+TEST_P(PaperCorpusTest, SerializabilityAsClaimed) {
+  const PaperHistory& ph = GetParam();
+  History h = ph.Parse();
+  History analyzed =
+      ph.multiversion ? MapSnapshotHistoryToSingleVersion(h) : h;
+  EXPECT_EQ(IsSerializable(analyzed), ph.serializable) << ph.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PaperCorpusTest, ::testing::ValuesIn(PaperHistories()),
+    [](const ::testing::TestParamInfo<PaperHistory>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(PaperCorpusLookupTest, GetByName) {
+  const PaperHistory& h1 = GetPaperHistory("H1");
+  EXPECT_EQ(h1.name, "H1");
+  EXPECT_NE(h1.about.find("inconsistent analysis"), std::string::npos);
+}
+
+TEST(PaperCorpusLookupTest, MVHistoryMapsToItsSVForm) {
+  History mapped = MapSnapshotHistoryToSingleVersion(
+      GetPaperHistory("H1.SI").Parse());
+  EXPECT_EQ(mapped.ToString(), GetPaperHistory("H1.SI.SV").shorthand);
+}
+
+TEST(PaperCorpusLookupTest, CorpusCoversAllNamedHistories) {
+  std::set<std::string> names;
+  for (const PaperHistory& h : PaperHistories()) names.insert(h.name);
+  for (const char* required :
+       {"H1", "H2", "H3", "H4", "H5", "H1.SI", "H1.SI.SV", "P0-example"}) {
+    EXPECT_EQ(names.count(required), 1u) << required;
+  }
+}
+
+}  // namespace
+}  // namespace critique

@@ -1,0 +1,132 @@
+// View equivalence and view serializability: the [OOBBGM] touchstone —
+// SI histories are view-equivalent to their single-version mappings — and
+// the classical blind-write separation from conflict serializability.
+
+#include <gtest/gtest.h>
+
+#include "critique/analysis/dependency_graph.h"
+#include "critique/analysis/mv_analysis.h"
+#include "critique/analysis/view.h"
+#include "critique/harness/paper_histories.h"
+
+namespace critique {
+namespace {
+
+History MustParse(std::string_view text) {
+  auto r = History::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(ReadsFromTest, SingleVersionLastWriterWins) {
+  auto h = MustParse("w1[x] c1 r2[x] w2[x] r2[x] c2");
+  auto rel = ReadsFromRelation(h);
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel[0].writer, 1);  // first read: from T1
+  EXPECT_EQ(rel[0].ordinal, 0u);
+  EXPECT_EQ(rel[1].writer, 2);  // re-read after own write: from T2
+  EXPECT_EQ(rel[1].ordinal, 1u);
+}
+
+TEST(ReadsFromTest, InitialStateIsTxnZero) {
+  auto rel = ReadsFromRelation(MustParse("r1[x] c1"));
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel[0].writer, kInitialTxn);
+}
+
+TEST(ReadsFromTest, MultiversionUsesSubscripts) {
+  auto rel =
+      ReadsFromRelation(MustParse("w1[x1=5] r2[x0=1] c1 c2"));
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel[0].writer, kInitialTxn);  // explicit x0, despite w1 earlier
+}
+
+TEST(ReadsFromTest, AbortedTransactionsExcluded) {
+  auto rel = ReadsFromRelation(MustParse("w1[x] r2[x] a2 c1"));
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(FinalWritersTest, LastCommittedWrite) {
+  auto fw = FinalWriters(MustParse("w1[x] w1[y] c1 w2[x] c2 w3[z] a3"));
+  EXPECT_EQ(fw.at("x"), 2);
+  EXPECT_EQ(fw.at("y"), 1);
+  EXPECT_EQ(fw.count("z"), 0u);  // writer aborted
+}
+
+TEST(FinalWritersTest, MultiversionByCommitOrder) {
+  // T2 writes "later" in the action sequence but commits first.
+  auto fw = FinalWriters(MustParse("w1[x1=1] w2[x2=2] c2 c1"));
+  EXPECT_EQ(fw.at("x"), 1);
+}
+
+TEST(ViewEquivalenceTest, OobbgmTouchstone) {
+  // "All Snapshot Isolation histories can be mapped to single-valued
+  // histories while preserving dataflow dependencies (View Equivalent)."
+  History h1si = GetPaperHistory("H1.SI").Parse();
+  History mapped = MapSnapshotHistoryToSingleVersion(h1si);
+  EXPECT_TRUE(ViewEquivalent(h1si, mapped));
+
+  // The same holds for the write-skew history's SI form.
+  History h5si = MustParse(
+      "r1[x0=50] r1[y0=50] r2[x0=50] r2[y0=50] w1[y1=-40] w2[x2=-40] c1 c2");
+  EXPECT_TRUE(ViewEquivalent(h5si, MapSnapshotHistoryToSingleVersion(h5si)));
+}
+
+TEST(ViewEquivalenceTest, DifferentReadsFromNotEquivalent) {
+  auto a = MustParse("w1[x] c1 r2[x] c2");   // T2 reads from T1
+  auto b = MustParse("r2[x] w1[x] c1 c2");   // T2 reads the initial state
+  EXPECT_FALSE(ViewEquivalent(a, b));
+}
+
+TEST(ViewEquivalenceTest, DifferentFinalWritersNotEquivalent) {
+  auto a = MustParse("w1[x] c1 w2[x] c2");
+  auto b = MustParse("w2[x] c2 w1[x] c1");
+  EXPECT_FALSE(ViewEquivalent(a, b));
+}
+
+TEST(ViewSerializabilityTest, PaperHistoriesNotViewSerializable) {
+  for (const char* name : {"H1", "H2", "H4", "H5"}) {
+    auto vsr = IsViewSerializable(GetPaperHistory(name).Parse());
+    ASSERT_TRUE(vsr.ok());
+    EXPECT_FALSE(*vsr) << name;
+  }
+}
+
+TEST(ViewSerializabilityTest, MappedH1SIIsViewSerializable) {
+  History mapped = MapSnapshotHistoryToSingleVersion(
+      GetPaperHistory("H1.SI").Parse());
+  auto vsr = IsViewSerializable(mapped);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, BlindWritesSeparateViewFromConflict) {
+  // Classical example: conflict-cyclic but view-serializable thanks to
+  // blind writes — T3's final write masks the T1/T2 tangle.
+  auto h = MustParse("r1[x] w2[x] w1[x] w3[x] c1 c2 c3");
+  EXPECT_FALSE(IsSerializable(h));  // conflict-cyclic
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);  // view-equivalent to T1; T2; T3
+}
+
+TEST(ViewSerializabilityTest, ConflictSerializableImpliesViewSerializable) {
+  auto h = MustParse("r1[x] w1[x] c1 r2[x] w2[x] c2");
+  EXPECT_TRUE(IsSerializable(h));
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, EnumerationCapEnforced) {
+  History big;
+  for (TxnId t = 1; t <= 10; ++t) {
+    big.Append(Action::Write(t, "x"));
+    big.Append(Action::Commit(t));
+  }
+  EXPECT_FALSE(IsViewSerializable(big, /*max_transactions=*/4).ok());
+  EXPECT_TRUE(IsViewSerializable(big, /*max_transactions=*/10).ok());
+}
+
+}  // namespace
+}  // namespace critique
