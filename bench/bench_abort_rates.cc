@@ -18,7 +18,7 @@
 #include <cstdio>
 
 #include "critique/common/random.h"
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/workload/workload.h"
 
@@ -36,14 +36,14 @@ struct LongTxnResult {
 // `short_txns` single-item hot-spot updates.
 LongTxnResult RunLongVsShort(IsolationLevel level, uint64_t seed,
                              size_t long_ops, int short_txns) {
-  auto engine = CreateEngine(level);
+  Database db(level);
   WorkloadOptions opts;
   opts.num_items = 16;
   opts.zipf_theta = 0.9;  // shorts hammer the hot keys
   WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(*engine);
+  (void)gen.LoadInitial(db);
   Rng rng(seed);
-  Runner runner(*engine);
+  Runner runner(db);
   runner.AddProgram(1, gen.MakeUpdateTxn(rng, long_ops));
   for (int t = 0; t < short_txns; ++t) {
     runner.AddProgram(2 + t, gen.MakeUpdateTxn(rng, 1));
@@ -116,22 +116,19 @@ BENCHMARK(BM_LongVsShort)
 void BM_FirstCommitterWinsCheck(benchmark::State& state) {
   // Micro-cost of the FCW commit-time validation as write sets grow.
   const size_t writes = static_cast<size_t>(state.range(0));
-  uint64_t txn = 1;
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
+  Database db(IsolationLevel::kSnapshotIsolation);
   WorkloadOptions opts;
   opts.num_items = 512;
   WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(*engine);
+  (void)gen.LoadInitial(db);
   for (auto _ : state) {
     state.PauseTiming();
-    TxnId t = static_cast<TxnId>(txn++);
-    (void)engine->Begin(t);
+    Transaction txn = db.Begin();
     for (size_t k = 0; k < writes; ++k) {
-      (void)engine->Write(t, WorkloadGenerator::ItemName(k),
-                          Row::Scalar(Value(1)));
+      (void)txn.Put(WorkloadGenerator::ItemName(k), Value(1));
     }
     state.ResumeTiming();
-    (void)engine->Commit(t);
+    (void)txn.Commit();
   }
 }
 BENCHMARK(BM_FirstCommitterWinsCheck)->Arg(4)->Arg(32)->Arg(128);

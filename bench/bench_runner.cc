@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "critique/common/random.h"
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/workload/workload.h"
 
@@ -16,10 +16,10 @@ namespace {
 void BM_ReplayH1Schedule(benchmark::State& state) {
   // Cost of replaying the paper's H1 interleaving end to end.
   for (auto _ : state) {
-    auto engine = CreateEngine(IsolationLevel::kReadCommitted);
-    (void)engine->Load("x", Row::Scalar(Value(50)));
-    (void)engine->Load("y", Row::Scalar(Value(50)));
-    Runner runner(*engine);
+    Database db(IsolationLevel::kReadCommitted);
+    (void)db.Load("x", Value(50));
+    (void)db.Load("y", Value(50));
+    Runner runner(db);
     Program t1;
     t1.Read("x")
         .WriteComputed("x",
@@ -45,13 +45,13 @@ void BM_ManyTransactionsRoundRobin(benchmark::State& state) {
   const int txns = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
-    auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
+    Database db(IsolationLevel::kSnapshotIsolation);
     WorkloadOptions opts;
     opts.num_items = 32;
     WorkloadGenerator gen(opts);
-    (void)gen.LoadInitial(*engine);
+    (void)gen.LoadInitial(db);
     Rng rng(7);
-    Runner runner(*engine);
+    Runner runner(db);
     for (int t = 1; t <= txns; ++t) {
       runner.AddProgram(t, gen.MakeTransferTxn(rng, 1));
     }
@@ -64,11 +64,11 @@ void BM_ManyTransactionsRoundRobin(benchmark::State& state) {
 BENCHMARK(BM_ManyTransactionsRoundRobin)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_ScheduleGeneration(benchmark::State& state) {
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
+  Database db(IsolationLevel::kSnapshotIsolation);
   WorkloadOptions opts;
   WorkloadGenerator gen(opts);
   Rng rng(7);
-  Runner runner(*engine);
+  Runner runner(db);
   for (int t = 1; t <= 16; ++t) {
     runner.AddProgram(t, gen.MakeTransferTxn(rng, 1));
   }
@@ -79,12 +79,12 @@ void BM_ScheduleGeneration(benchmark::State& state) {
 BENCHMARK(BM_ScheduleGeneration);
 
 void BM_HistoryRecordingOverhead(benchmark::State& state) {
-  // Pure engine op cost including history append (read path, SI).
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  (void)engine->Load("x", Row::Scalar(Value(1)));
-  (void)engine->Begin(1);
+  // Session read-path cost: facade dispatch + engine op + history append.
+  Database db(IsolationLevel::kSnapshotIsolation);
+  (void)db.Load("x", Value(1));
+  Transaction txn = db.Begin();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine->Read(1, "x"));
+    benchmark::DoNotOptimize(txn.Get("x"));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -17,7 +17,7 @@
 #include <cstdio>
 
 #include "critique/common/random.h"
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/workload/workload.h"
 
@@ -40,14 +40,14 @@ struct MixResult {
 
 MixResult RunMix(IsolationLevel level, uint64_t seed, int writers,
                  int readers, uint64_t items, double theta) {
-  auto engine = CreateEngine(level);
+  Database db(level);
   WorkloadOptions opts;
   opts.num_items = items;
   opts.zipf_theta = theta;
   WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(*engine);
+  (void)gen.LoadInitial(db);
   Rng rng(seed);
-  Runner runner(*engine);
+  Runner runner(db);
   int t = 1;
   for (int w = 0; w < writers; ++w) {
     runner.AddProgram(t++, gen.MakeTransferTxn(rng, 3));
@@ -59,8 +59,8 @@ MixResult RunMix(IsolationLevel level, uint64_t seed, int writers,
   MixResult out;
   if (!result.ok()) return out;
   out.blocked = result->blocked_retries;
-  out.deadlock_aborts = engine->stats().deadlock_aborts;
-  out.serialization_aborts = engine->stats().serialization_aborts;
+  out.deadlock_aborts = db.stats().deadlock_aborts;
+  out.serialization_aborts = db.stats().serialization_aborts;
   for (const auto& [txn, o] : result->outcomes) {
     (void)txn;
     ++out.total;

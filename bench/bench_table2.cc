@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "critique/common/random.h"
+#include "critique/db/database.h"
 #include "critique/engine/locking_engine.h"
 #include "critique/exec/runner.h"
 #include "critique/harness/report.h"
@@ -30,13 +31,19 @@ void PrintLockTraffic() {
   std::printf("%-36s %10s %10s %10s %10s\n", "Level", "acquired", "blocked",
               "deadlocks", "held@end");
   for (IsolationLevel level : kLockingLevels) {
-    LockingEngine engine(level);
+    // The locking engine is plugged in through the SPI so its lock stats
+    // stay reachable behind the facade.
+    DbOptions options;
+    options.engine_factory = [level] {
+      return std::make_unique<LockingEngine>(level);
+    };
+    Database db(options);
     WorkloadOptions opts;
     opts.num_items = 8;
     WorkloadGenerator gen(opts);
-    if (!gen.LoadInitial(engine).ok()) continue;
+    if (!gen.LoadInitial(db).ok()) continue;
     Rng rng(1);
-    Runner runner(engine);
+    Runner runner(db);
     for (int t = 1; t <= 4; ++t) {
       runner.AddProgram(t, gen.MakeTransferTxn(rng, 5));
     }
@@ -47,7 +54,7 @@ void PrintLockTraffic() {
                   result.status().ToString().c_str());
       continue;
     }
-    LockStats ls = engine.lock_stats();
+    LockStats ls = static_cast<LockingEngine&>(db.engine()).lock_stats();
     std::printf("%-36s %10llu %10llu %10llu %10llu\n",
                 IsolationLevelName(level).c_str(),
                 static_cast<unsigned long long>(ls.acquired),
@@ -58,13 +65,21 @@ void PrintLockTraffic() {
   std::printf("\n");
 }
 
+// Shared bootstrap for the raw-SPI micro benches below (the workload
+// generator's LoadInitial speaks to the facade, not raw engines).
+void LoadItems(Engine& engine, uint64_t n) {
+  WorkloadOptions defaults;
+  for (uint64_t k = 0; k < n; ++k) {
+    (void)engine.Load(WorkloadGenerator::ItemName(k),
+                      Row::Scalar(Value(defaults.initial_balance)));
+  }
+}
+
 void BM_EngineReadPath(benchmark::State& state) {
+  // Raw SPI path (no facade): the substrate cost the session API wraps.
   IsolationLevel level = kLockingLevels[state.range(0)];
   LockingEngine engine(level);
-  WorkloadOptions opts;
-  opts.num_items = 64;
-  WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(engine);
+  LoadItems(engine, 64);
   (void)engine.Begin(1);
   Rng rng(3);
   for (auto _ : state) {
@@ -78,10 +93,7 @@ BENCHMARK(BM_EngineReadPath)->DenseRange(0, 5);
 void BM_EngineWritePath(benchmark::State& state) {
   IsolationLevel level = kLockingLevels[state.range(0)];
   LockingEngine engine(level);
-  WorkloadOptions opts;
-  opts.num_items = 64;
-  WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(engine);
+  LoadItems(engine, 64);
   (void)engine.Begin(1);
   Rng rng(3);
   for (auto _ : state) {
@@ -117,13 +129,17 @@ void BM_FullTransferWorkload(benchmark::State& state) {
   IsolationLevel level = kLockingLevels[state.range(0)];
   for (auto _ : state) {
     state.PauseTiming();
-    LockingEngine engine(level);
+    DbOptions options;
+    options.engine_factory = [level] {
+      return std::make_unique<LockingEngine>(level);
+    };
+    Database db(options);
     WorkloadOptions opts;
     opts.num_items = 16;
     WorkloadGenerator gen(opts);
-    (void)gen.LoadInitial(engine);
+    (void)gen.LoadInitial(db);
     Rng rng(11);
-    Runner runner(engine);
+    Runner runner(db);
     for (int t = 1; t <= 8; ++t) {
       runner.AddProgram(t, gen.MakeTransferTxn(rng, 3));
     }

@@ -11,7 +11,7 @@
 
 #include "critique/analysis/ansi_levels.h"
 #include "critique/common/random.h"
-#include "critique/engine/locking_engine.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/harness/report.h"
 #include "critique/workload/workload.h"
@@ -33,14 +33,14 @@ const LevelRow kRows[] = {
 
 // One random run at `level`; returns the recorded history.
 History RunOnce(IsolationLevel level, uint64_t seed) {
-  LockingEngine engine(level);
+  Database db(level);
   WorkloadOptions opts;
   opts.num_items = 6;
   opts.zipf_theta = 0.8;
   WorkloadGenerator gen(opts);
-  (void)gen.LoadInitial(engine);
+  (void)gen.LoadInitial(db);
   Rng rng(seed);
-  Runner runner(engine);
+  Runner runner(db);
   for (int t = 1; t <= 5; ++t) {
     runner.AddProgram(t, gen.MakeTransferTxn(rng, 2));
   }

@@ -3,11 +3,11 @@
 // Shows which levels let the audit see a torn total of 60, which block,
 // and which read a consistent snapshot — the Section 3 argument, live.
 //
-// Build & run:  ./build/examples/example_bank_transfer
+// Build & run:  ./build/example_bank_transfer
 
 #include <cstdio>
 
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 
 using namespace critique;
@@ -21,11 +21,11 @@ struct Outcome {
 };
 
 Outcome RunH1(IsolationLevel level) {
-  auto engine = CreateEngine(level);
-  (void)engine->Load("x", Row::Scalar(Value(50)));
-  (void)engine->Load("y", Row::Scalar(Value(50)));
+  Database db(level);
+  (void)db.Load("x", Value(50));
+  (void)db.Load("y", Value(50));
 
-  Runner runner(*engine);
+  Runner runner(db);
   Program transfer;  // T1: move 40 from x to y
   transfer.Read("x")
       .WriteComputed("x", [](const TxnLocals& l) {

@@ -1,9 +1,9 @@
 // Black-box isolation diagnosis (Hermitage-style): hand the harness an
-// engine factory and it tells you which published isolation level the
-// engine actually provides, by running every Table 4 anomaly scenario
-// against it.
+// engine — a stock level or anything plugged in through the engine SPI —
+// and it tells you which published isolation level the engine actually
+// provides, by running every Table 4 anomaly scenario against it.
 //
-// Build & run:  ./build/examples/example_diagnose_engine
+// Build & run:  ./build/example_diagnose_engine
 
 #include <cstdio>
 
@@ -15,33 +15,42 @@ using namespace critique;
 int main() {
   std::printf("Diagnosing engines by observable anomalies alone.\n\n");
 
-  struct Subject {
+  // Stock engines go through the level convenience...
+  struct LevelSubject {
     const char* label;
-    EngineFactory factory;
+    IsolationLevel level;
   };
-  const Subject subjects[] = {
+  const LevelSubject levels[] = {
       {"a mystery engine (actually Locking READ COMMITTED)",
-       [] { return CreateEngine(IsolationLevel::kReadCommitted); }},
+       IsolationLevel::kReadCommitted},
       {"a mystery engine (actually Snapshot Isolation)",
-       [] { return CreateEngine(IsolationLevel::kSnapshotIsolation); }},
-      {"a mystery engine (actually SI with eager write conflicts)",
-       [] {
-         SnapshotIsolationOptions opts;
-         opts.eager_write_conflicts = true;
-         return std::make_unique<SnapshotIsolationEngine>(opts);
-       }},
+       IsolationLevel::kSnapshotIsolation},
       {"a mystery engine (actually the SSI extension)",
-       [] { return CreateEngine(IsolationLevel::kSerializableSI); }},
+       IsolationLevel::kSerializableSI},
   };
-
-  for (const Subject& subject : subjects) {
+  for (const LevelSubject& subject : levels) {
     std::printf("---- %s ----\n", subject.label);
-    auto d = DiagnoseEngine(subject.factory);
+    auto d = DiagnoseLevel(subject.level);
     if (!d.ok()) {
       std::printf("diagnosis failed: %s\n\n", d.status().ToString().c_str());
       continue;
     }
     std::printf("%s\n", d->ToString().c_str());
+  }
+
+  // ...while custom builds plug in through the engine SPI — the same hook
+  // `DbOptions::engine_factory` accepts.
+  std::printf("---- a mystery engine (actually SI with eager write "
+              "conflicts) ----\n");
+  auto d = DiagnoseEngine([] {
+    SnapshotIsolationOptions opts;
+    opts.eager_write_conflicts = true;
+    return std::make_unique<SnapshotIsolationEngine>(opts);
+  });
+  if (d.ok()) {
+    std::printf("%s\n", d->ToString().c_str());
+  } else {
+    std::printf("diagnosis failed: %s\n\n", d.status().ToString().c_str());
   }
 
   std::printf(

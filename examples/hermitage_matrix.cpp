@@ -3,7 +3,7 @@
 // published table, and the Figure 2 hierarchy — the whole paper in one
 // executable.
 //
-// Build & run:  ./build/examples/example_hermitage_matrix
+// Build & run:  ./build/example_hermitage_matrix
 
 #include <cstdio>
 

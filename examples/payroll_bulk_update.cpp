@@ -5,11 +5,11 @@
 // raise, and the predicate lock serializes them at every locking level,
 // while Snapshot Isolation resolves it with First-Committer-Wins.
 //
-// Build & run:  ./build/examples/example_payroll_bulk_update
+// Build & run:  ./build/example_payroll_bulk_update
 
 #include <cstdio>
 
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 
 using namespace critique;
 
@@ -27,33 +27,32 @@ Row GiveRaise(const Row& row) {
 }
 
 void RunAt(IsolationLevel level) {
-  auto e = CreateEngine(level);
-  (void)e->Load("ann", Row().Set("dept", "sales").Set("salary", 100));
-  (void)e->Load("bob", Row().Set("dept", "sales").Set("salary", 100));
-  (void)e->Load("cai", Row().Set("dept", "eng").Set("salary", 100));
+  Database db(level);
+  (void)db.Load("ann", Row().Set("dept", "sales").Set("salary", 100));
+  (void)db.Load("bob", Row().Set("dept", "sales").Set("salary", 100));
+  (void)db.Load("cai", Row().Set("dept", "eng").Set("salary", 100));
 
   // Payroll starts the bulk raise (w1[Sales]).
-  (void)e->Begin(1);
-  auto raised = e->UpdateWhere(1, "Sales", Sales(), GiveRaise);
+  Transaction payroll = db.Begin();
+  auto raised = payroll.UpdateWhere("Sales", Sales(), GiveRaise);
 
   // HR tries to move cai into sales mid-raise.
-  (void)e->Begin(2);
+  Transaction hr = db.Begin();
   Status transfer =
-      e->Write(2, "cai", Row().Set("dept", "sales").Set("salary", 100));
+      hr.Put("cai", Row().Set("dept", "sales").Set("salary", 100));
 
   std::string hr_note = transfer.ok() ? "proceeded" : transfer.ToString();
-  (void)e->Commit(1);
+  (void)payroll.Commit();
   if (transfer.IsWouldBlock()) {
-    transfer = e->Write(2, "cai",
-                        Row().Set("dept", "sales").Set("salary", 100));
+    transfer = hr.Put("cai", Row().Set("dept", "sales").Set("salary", 100));
     hr_note += ", then proceeded after c1";
   }
-  Status hr_commit = e->Commit(2);
+  Status hr_commit = hr.Commit();
 
-  // Final payroll state.
-  (void)e->Begin(9);
-  auto rows = e->ReadPredicate(9, "Sales", Sales());
-  (void)e->Commit(9);
+  // Final payroll state through a fresh read-only session.
+  Transaction reader = db.Begin();
+  auto rows = reader.GetWhere("Sales", Sales());
+  (void)reader.Commit();
 
   std::printf("%s\n", IsolationLevelName(level).c_str());
   std::printf("  raise touched %zu rows; HR transfer %s; HR commit %s\n",

@@ -9,70 +9,66 @@
 // First-Committer-Wins abort; garbage collection then reclaims versions no
 // live snapshot needs.
 //
-// Build & run:  ./build/examples/example_time_travel
+// Build & run:  ./build/example_time_travel
 
 #include <cstdio>
 
+#include "critique/db/database.h"
 #include "critique/engine/si_engine.h"
 
 using namespace critique;
 
 int main() {
-  SnapshotIsolationEngine engine;
-  (void)engine.Load("ledger", Row::Scalar(Value(0)));
+  Database db(IsolationLevel::kSnapshotIsolation);
+  (void)db.Load("ledger", Value(0));
 
   // A year of deposits, remembering the timestamp after each quarter.
   Timestamp quarter_ts[4];
-  TxnId txn = 1;
   for (int quarter = 0; quarter < 4; ++quarter) {
     for (int deposit = 0; deposit < 3; ++deposit) {
-      TxnId t = txn++;
-      (void)engine.Begin(t);
-      auto current = engine.Read(t, "ledger");
-      int64_t balance =
-          static_cast<int64_t>(*(*current)->scalar().AsNumeric());
-      (void)engine.Write(t, "ledger", Row::Scalar(Value(balance + 100)));
-      (void)engine.Commit(t);
+      Transaction txn = db.Begin();
+      auto current = txn.GetScalar("ledger");
+      int64_t balance = static_cast<int64_t>(*current->AsNumeric());
+      (void)txn.Put("ledger", Value(balance + 100));
+      (void)txn.Commit();
     }
-    quarter_ts[quarter] = engine.Now();
+    quarter_ts[quarter] = *db.CurrentTimestamp();
   }
 
   std::printf("Ledger history: 12 deposits of 100, one snapshot per "
               "quarter.\n\n");
   for (int quarter = 0; quarter < 4; ++quarter) {
-    TxnId t = txn++;
-    (void)engine.BeginAt(t, quarter_ts[quarter]);
-    auto balance = engine.Read(t, "ledger");
+    auto historical = db.BeginAtTimestamp(quarter_ts[quarter]);
+    auto balance = historical->GetScalar("ledger");
     std::printf("  as of Q%d close: balance = %s\n", quarter + 1,
-                (*balance)->scalar().ToString().c_str());
-    (void)engine.Commit(t);
+                balance->ToString().c_str());
+    (void)historical->Commit();
   }
 
   // A historical reader is never blocked by live writers...
-  TxnId historian = txn++;
-  (void)engine.BeginAt(historian, quarter_ts[0]);
-  TxnId writer = txn++;
-  (void)engine.Begin(writer);
-  (void)engine.Write(writer, "ledger", Row::Scalar(Value(9999)));
-  auto old_view = engine.Read(historian, "ledger");
+  auto historian = db.BeginAtTimestamp(quarter_ts[0]);
+  Transaction writer = db.Begin();
+  (void)writer.Put("ledger", Value(9999));
+  auto old_view = historian->GetScalar("ledger");
   std::printf("\nwhile a writer holds a pending update, the Q1 historian "
               "still reads %s without waiting\n",
-              (*old_view)->scalar().ToString().c_str());
-  (void)engine.Commit(writer);
-  (void)engine.Commit(historian);
+              old_view->ToString().c_str());
+  (void)writer.Commit();
+  (void)historian->Commit();
 
   // ...but an old-timestamp WRITER must abort (First-Committer-Wins).
-  TxnId revisionist = txn++;
-  (void)engine.BeginAt(revisionist, quarter_ts[0]);
-  (void)engine.Write(revisionist, "ledger", Row::Scalar(Value(-1)));
-  Status s = engine.Commit(revisionist);
+  auto revisionist = db.BeginAtTimestamp(quarter_ts[0]);
+  (void)revisionist->Put("ledger", Value(-1));
+  Status s = revisionist->Commit();
   std::printf("a Q1-timestamped writer trying to rewrite history: %s\n",
               s.ToString().c_str());
 
-  // Garbage collection: with no live snapshots, old versions fold away.
-  size_t before = engine.VersionCount();
-  size_t dropped = engine.GarbageCollect();
+  // Garbage collection is engine maintenance, reached through the SPI
+  // escape hatch: with no live snapshots, old versions fold away.
+  auto& si = dynamic_cast<SnapshotIsolationEngine&>(db.engine());
+  size_t before = si.VersionCount();
+  size_t dropped = si.GarbageCollect();
   std::printf("\ngarbage collection: %zu versions -> %zu (dropped %zu)\n",
-              before, engine.VersionCount(), dropped);
+              before, si.VersionCount(), dropped);
   return 0;
 }

@@ -9,12 +9,12 @@
 // The SSI extension (the future-work direction this paper seeded) refuses
 // the same interleaving.
 //
-// Build & run:  ./build/examples/example_write_skew_oncall
+// Build & run:  ./build/example_write_skew_oncall
 
 #include <cstdio>
 
 #include "critique/analysis/mv_analysis.h"
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 
 using namespace critique;
@@ -36,23 +36,21 @@ Program SignOffTxn(const ItemId& self) {
     // Application-level constraint check against the transaction's view.
     if (ctx.locals.GetInt("OnCall.count") < 2) {
       // Would leave the ward empty: refuse (abort).
-      return ctx.engine.Abort(ctx.txn).ok()
-                 ? Status::OK()
-                 : Status::Internal("abort failed");
+      return ctx.txn.Rollback().ok() ? Status::OK()
+                                     : Status::Internal("abort failed");
     }
-    return ctx.engine.Write(ctx.txn, self,
-                            Row().Set("oncall", false).Set("name", self));
+    return ctx.txn.Put(self, Row().Set("oncall", false).Set("name", self));
   });
   p.Commit();
   return p;
 }
 
 void RunAt(IsolationLevel level) {
-  auto engine = CreateEngine(level);
-  (void)engine->Load("alice", Row().Set("oncall", true).Set("name", "alice"));
-  (void)engine->Load("bob", Row().Set("oncall", true).Set("name", "bob"));
+  Database db(level);
+  (void)db.Load("alice", Row().Set("oncall", true).Set("name", "alice"));
+  (void)db.Load("bob", Row().Set("oncall", true).Set("name", "bob"));
 
-  Runner runner(*engine);
+  Runner runner(db);
   runner.AddProgram(1, SignOffTxn("alice"));
   runner.AddProgram(2, SignOffTxn("bob"));
   // Both check the roster before either signs off (H5's interleaving).
@@ -64,9 +62,9 @@ void RunAt(IsolationLevel level) {
   }
 
   // Count doctors still on call.
-  (void)engine->Begin(90);
-  auto roster = engine->ReadPredicate(90, "Final", OnCall());
-  (void)engine->Commit(90);
+  Transaction reader = db.Begin();
+  auto roster = reader.GetWhere("Final", OnCall());
+  (void)reader.Commit();
   size_t remaining = roster.ok() ? roster->size() : 0;
 
   std::printf("%-36s alice:%-9s bob:%-9s on call after: %zu  %s\n",
@@ -93,10 +91,10 @@ int main() {
   // Show the rw-antidependency cycle behind the SI failure.
   std::printf("\nUnder SI the multiversion serialization graph closes an\n"
               "rw-only cycle (the hazard SSI instruments):\n");
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  (void)engine->Load("alice", Row().Set("oncall", true));
-  (void)engine->Load("bob", Row().Set("oncall", true));
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSnapshotIsolation);
+  (void)db.Load("alice", Row().Set("oncall", true));
+  (void)db.Load("bob", Row().Set("oncall", true));
+  Runner runner(db);
   runner.AddProgram(1, SignOffTxn("alice"));
   runner.AddProgram(2, SignOffTxn("bob"));
   auto result = runner.Run(ParseSchedule("1 2 1 2 1 2"));

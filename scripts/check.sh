@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI check: configure, build and test the whole tree with warnings as
+# errors.  This is the tier-1 verify pipeline (ROADMAP.md) plus
+# -Wall -Wextra -Werror, suitable for a CI job:
+#
+#   ./scripts/check.sh [build-dir]
+#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DCRITIQUE_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "check.sh: all green"

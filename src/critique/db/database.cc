@@ -1,0 +1,316 @@
+#include "critique/db/database.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "critique/engine/engine_factory.h"
+
+namespace critique {
+namespace {
+
+// Contract violations on the facade are programming errors; fail fast with
+// a diagnostic in every build type (assert() vanishes under NDEBUG, which
+// is the default RelWithDebInfo configuration).
+void CheckOrDie(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "critique::Database contract violation: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Database::Database(DbOptions options)
+    : engine_(options.engine_factory ? options.engine_factory()
+                                     : CreateEngine(options.isolation)),
+      retry_(options.retry_policy ? std::move(options.retry_policy)
+                                  : DefaultRetryPolicy()),
+      rng_(options.seed) {
+  CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
+}
+
+Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
+    : engine_(std::move(engine)),
+      retry_(options.retry_policy ? std::move(options.retry_policy)
+                                  : DefaultRetryPolicy()),
+      rng_(options.seed) {
+  CheckOrDie(engine_ != nullptr, "null engine handed to Database");
+}
+
+Database::Database(Database&& other) noexcept
+    : engine_(std::move(other.engine_)),
+      retry_(std::move(other.retry_)),
+      rng_(other.rng_),
+      next_id_(other.next_id_),
+      execute_retries_(other.execute_retries_),
+      open_txns_(other.open_txns_) {
+  // Open Transaction handles hold a raw back-pointer to their database:
+  // moving it out from under them would dangle every one of them.
+  CheckOrDie(open_txns_ == 0, "Database moved while transactions are open");
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  CheckOrDie(open_txns_ == 0 && other.open_txns_ == 0,
+             "Database moved while transactions are open");
+  if (this != &other) {
+    engine_ = std::move(other.engine_);
+    retry_ = std::move(other.retry_);
+    rng_ = other.rng_;
+    next_id_ = other.next_id_;
+    execute_retries_ = other.execute_retries_;
+    open_txns_ = other.open_txns_;
+  }
+  return *this;
+}
+
+Transaction Database::Begin() {
+  TxnId id = next_id_++;
+  Status s = engine_->Begin(id);
+  // A fresh id never collides; a failure here means the engine refuses new
+  // transactions entirely, and the inactive handle surfaces that on use.
+  return Transaction(this, id, s.ok());
+}
+
+Result<Transaction> Database::BeginWithId(TxnId id) {
+  CRITIQUE_RETURN_NOT_OK(engine_->Begin(id));
+  if (id >= next_id_) next_id_ = id + 1;
+  Transaction txn(this, id, true);
+  txn.blocked_op_retry_ = false;  // manual sessions: the schedule decides
+  return txn;
+}
+
+Result<Transaction> Database::BeginAtTimestamp(Timestamp ts) {
+  TxnId id = next_id_++;
+  CRITIQUE_RETURN_NOT_OK(engine_->BeginAt(id, ts));
+  return Transaction(this, id, true);
+}
+
+std::optional<Timestamp> Database::CurrentTimestamp() const {
+  return engine_->SnapshotTimestamp();
+}
+
+Status Database::Execute(const std::function<Status(Transaction&)>& body) {
+  for (int attempt = 1;; ++attempt) {
+    Transaction txn = Begin();
+    Status s = body(txn);
+    // A body that ends its own transaction (Commit, Rollback, or an
+    // engine-side abort it chose to accept) is respected; otherwise commit
+    // on success, roll back on failure.
+    if (s.ok() && txn.active()) s = txn.Commit();
+    if (txn.active()) (void)txn.Rollback();
+    if (s.ok()) return s;
+    if (!retry_->RetryTransaction(s, attempt)) return s;
+    ++execute_retries_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction::Transaction(Database* db, TxnId id, bool active)
+    : db_(db), id_(id), active_(active) {
+  if (active_ && db_ != nullptr) ++db_->open_txns_;
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      id_(other.id_),
+      active_(other.active_),
+      blocked_op_retry_(other.blocked_op_retry_) {
+  // Ownership (and the open-transaction count slot) transfers wholesale.
+  other.db_ = nullptr;
+  other.active_ = false;
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this != &other) {
+    if (active_ && db_ != nullptr) (void)db_->engine_->Abort(id_);
+    Finish();
+    db_ = other.db_;
+    id_ = other.id_;
+    active_ = other.active_;
+    blocked_op_retry_ = other.blocked_op_retry_;
+    other.db_ = nullptr;
+    other.active_ = false;
+  }
+  return *this;
+}
+
+Transaction::~Transaction() {
+  if (active_ && db_ != nullptr) (void)db_->engine_->Abort(id_);
+  Finish();
+}
+
+void Transaction::Finish() {
+  if (active_) {
+    active_ = false;
+    if (db_ != nullptr) --db_->open_txns_;
+  }
+}
+
+void Transaction::ObserveTerminalStatus(const Status& s) {
+  // kDeadlock / kSerializationFailure: the engine already rolled us back.
+  // kTransactionAborted: the engine says we are not active; agree.
+  if (s.IsDeadlock() || s.IsSerializationFailure() ||
+      s.IsTransactionAborted()) {
+    Finish();
+  }
+}
+
+template <typename Op>
+Status Transaction::RunOp(Op&& op) {
+  if (db_ == nullptr) {
+    return Status::TransactionAborted("moved-from transaction handle");
+  }
+  if (!active_) {
+    return Status::TransactionAborted("transaction already finished");
+  }
+  int attempt = 0;
+  for (;;) {
+    Status s = op();
+    ++attempt;
+    if (s.IsWouldBlock() && blocked_op_retry_ &&
+        db_->retry_->RetryBlockedOp(attempt)) {
+      continue;
+    }
+    ObserveTerminalStatus(s);
+    return s;
+  }
+}
+
+Result<std::optional<Row>> Transaction::Get(const ItemId& id) {
+  std::optional<Row> out;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->Read(id_, id);
+    if (!r.ok()) return r.status();
+    out = std::move(r).value();
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<Value> Transaction::GetScalar(const ItemId& id) {
+  CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> row, Get(id));
+  if (!row.has_value()) return Value();
+  return row->scalar();
+}
+
+Result<std::vector<std::pair<ItemId, Row>>> Transaction::GetWhere(
+    const std::string& name, const Predicate& pred) {
+  std::vector<std::pair<ItemId, Row>> out;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->ReadPredicate(id_, name, pred);
+    if (!r.ok()) return r.status();
+    out = std::move(r).value();
+    return Status::OK();
+  }));
+  return out;
+}
+
+Status Transaction::Put(const ItemId& id, Row row) {
+  return RunOp([&] { return db_->engine_->Write(id_, id, row); });
+}
+
+Status Transaction::Put(const ItemId& id, Value v) {
+  return Put(id, Row::Scalar(std::move(v)));
+}
+
+Status Transaction::Insert(const ItemId& id, Row row) {
+  return RunOp([&] { return db_->engine_->Insert(id_, id, row); });
+}
+
+Status Transaction::Erase(const ItemId& id) {
+  return RunOp([&] { return db_->engine_->Delete(id_, id); });
+}
+
+Status Transaction::Update(
+    const ItemId& id,
+    const std::function<Row(const std::optional<Row>&)>& transform) {
+  return RunOp([&] { return db_->engine_->Update(id_, id, transform); });
+}
+
+Result<size_t> Transaction::UpdateWhere(
+    const std::string& name, const Predicate& pred,
+    const std::function<Row(const Row&)>& transform) {
+  size_t out = 0;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->UpdateWhere(id_, name, pred, transform);
+    if (!r.ok()) return r.status();
+    out = *r;
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<size_t> Transaction::DeleteWhere(const std::string& name,
+                                        const Predicate& pred) {
+  size_t out = 0;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->DeleteWhere(id_, name, pred);
+    if (!r.ok()) return r.status();
+    out = *r;
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<std::optional<Row>> Transaction::Fetch(const ItemId& id) {
+  std::optional<Row> out;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->FetchCursor(id_, id);
+    if (!r.ok()) return r.status();
+    out = std::move(r).value();
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<std::optional<Row>> Transaction::FetchNamed(const std::string& cursor,
+                                                   const ItemId& id) {
+  std::optional<Row> out;
+  CRITIQUE_RETURN_NOT_OK(RunOp([&] {
+    auto r = db_->engine_->FetchCursorNamed(id_, cursor, id);
+    if (!r.ok()) return r.status();
+    out = std::move(r).value();
+    return Status::OK();
+  }));
+  return out;
+}
+
+Status Transaction::PutCursor(const ItemId& id, Row row) {
+  return RunOp([&] { return db_->engine_->WriteCursor(id_, id, row); });
+}
+
+Status Transaction::PutCursor(const ItemId& id, Value v) {
+  return PutCursor(id, Row::Scalar(std::move(v)));
+}
+
+Status Transaction::CloseCursor() {
+  return RunOp([&] { return db_->engine_->CloseCursor(id_); });
+}
+
+Status Transaction::CloseCursorNamed(const std::string& cursor) {
+  return RunOp([&] { return db_->engine_->CloseCursorNamed(id_, cursor); });
+}
+
+Status Transaction::Commit() {
+  Status s = RunOp([&] { return db_->engine_->Commit(id_); });
+  if (!s.IsWouldBlock()) Finish();
+  return s;
+}
+
+Status Transaction::Rollback() {
+  if (db_ == nullptr) {
+    return Status::TransactionAborted("moved-from transaction handle");
+  }
+  if (!active_) return Status::OK();
+  Finish();
+  return db_->engine_->Abort(id_);
+}
+
+}  // namespace critique

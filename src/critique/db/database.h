@@ -1,0 +1,166 @@
+#ifndef CRITIQUE_DB_DATABASE_H_
+#define CRITIQUE_DB_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "critique/common/clock.h"
+#include "critique/common/random.h"
+#include "critique/db/retry_policy.h"
+#include "critique/db/transaction.h"
+#include "critique/engine/engine.h"
+#include "critique/engine/isolation.h"
+
+namespace critique {
+
+/// The engine SPI hook: produces the implementation a `Database` runs on.
+/// Defaults to the built-in factory for `DbOptions::isolation`; supply your
+/// own to plug in a custom engine (ablations, instrumented engines,
+/// future backends) without clients noticing.
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+/// \brief Construction-time configuration of a `Database` session facade.
+struct DbOptions {
+  DbOptions() = default;
+  /// Convenience: options for a stock engine at `level`.
+  explicit DbOptions(IsolationLevel level) : isolation(level) {}
+
+  /// Which stock engine to build when `engine_factory` is not set.
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+
+  /// Engine SPI: overrides `isolation` when set.
+  EngineFactory engine_factory;
+
+  /// Client-side retry protocol; null selects `DefaultRetryPolicy()`.
+  std::shared_ptr<const RetryPolicy> retry_policy;
+
+  /// Seed of the facade's deterministic RNG (schedule shuffles, jitter).
+  uint64_t seed = 1;
+};
+
+/// \brief The public session facade over the engine SPI.
+///
+/// The paper's central argument is that isolation levels must be judged by
+/// the histories an engine actually produces; for that, every client —
+/// runner, harness, examples, benches — has to drive engines uniformly and
+/// record histories identically.  `Database` owns one engine instance
+/// (built through the SPI factory), hands out move-only RAII `Transaction`
+/// handles with auto-assigned ids, and centralizes the retry protocol that
+/// callers used to hand-roll around `kWouldBlock` / `kDeadlock` /
+/// `kSerializationFailure`.
+///
+/// Two driving styles coexist:
+///
+///  * `Execute(body)` — the closure style real MVCC stores expose: run the
+///    body in a fresh transaction, commit, and on a retryable failure roll
+///    back and re-run under the `RetryPolicy`;
+///  * `Begin()` / `BeginWithId(t)` — explicit session handles for the
+///    paper's step-wise interleavings (the `Runner` path), where the
+///    schedule, not a policy, decides who advances.
+///
+/// Movable (so factories can return one by value) but must not be moved
+/// while transactions are open — open `Transaction` handles point back at
+/// their database, so the move operations assert none exist; not copyable.
+class Database {
+ public:
+  /// A serializable-by-default database.
+  Database() : Database(DbOptions()) {}
+  /// A database running the stock engine for `level`.
+  explicit Database(IsolationLevel level) : Database(DbOptions(level)) {}
+  /// Requires that the engine factory (or the built-in one for
+  /// `options.isolation`) produces a non-null engine; aborts with a
+  /// diagnostic otherwise (in every build type).
+  explicit Database(DbOptions options);
+
+  /// A database over an already-built engine (the non-factory SPI form);
+  /// `options.engine_factory` and `options.isolation` are ignored.
+  /// `engine` must be non-null.
+  Database(std::unique_ptr<Engine> engine, DbOptions options);
+
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Engine display name ("Locking READ COMMITTED (Degree 2)", ...).
+  std::string name() const { return engine_->name(); }
+
+  /// The isolation level the underlying engine implements.
+  IsolationLevel level() const { return engine_->level(); }
+
+  /// Loads an initial row before any transaction begins (bootstrap only).
+  Status Load(const ItemId& id, Row row) {
+    return engine_->Load(id, std::move(row));
+  }
+
+  /// Loads an initial scalar item.
+  Status Load(const ItemId& id, Value v) {
+    return engine_->Load(id, Row::Scalar(std::move(v)));
+  }
+
+  /// Starts a transaction with the next free id.
+  Transaction Begin();
+
+  /// Starts a transaction with an explicit id — the manual-interleaving
+  /// path for the paper's schedules, where "T1" must be history subscript
+  /// 1.  Fails on id reuse.  Sessions begun this way surface `kWouldBlock`
+  /// immediately, bypassing the policy's op-level retry budget: the
+  /// schedule (e.g. the `Runner`), not the `RetryPolicy`, decides when a
+  /// blocked step runs again.
+  Result<Transaction> BeginWithId(TxnId id);
+
+  /// Time travel (Section 4.2): a transaction reading the historical
+  /// snapshot `ts`.  FailedPrecondition unless the engine is multiversion
+  /// with timestamped snapshots (Snapshot Isolation / SSI).
+  Result<Transaction> BeginAtTimestamp(Timestamp ts);
+
+  /// The latest committed snapshot timestamp, when the engine keeps one.
+  std::optional<Timestamp> CurrentTimestamp() const;
+
+  /// Runs `body` in a fresh transaction and commits it (unless the body
+  /// already finished the transaction itself).  On a retryable failure —
+  /// lock timeout, deadlock victim, First-Committer-Wins / SSI refusal —
+  /// rolls back and re-runs the body while the `RetryPolicy` allows.
+  /// Returns the first non-retryable status, or the last failure when
+  /// retries are exhausted.
+  Status Execute(const std::function<Status(Transaction&)>& body);
+
+  /// How many times `Execute` re-ran a body after a retryable failure.
+  uint64_t execute_retries() const { return execute_retries_; }
+
+  /// The history recorded by the engine so far.
+  const History& history() const { return engine_->history(); }
+
+  /// Engine operation counters (see `EngineStats::ToString`).
+  const EngineStats& stats() const { return engine_->stats(); }
+
+  /// The retry protocol in force.
+  const RetryPolicy& retry_policy() const { return *retry_; }
+
+  /// The facade's deterministic RNG (seeded from `DbOptions::seed`).
+  Rng& rng() { return rng_; }
+
+  /// SPI escape hatch for engine-specific maintenance and tests.  Clients
+  /// of the session API should not need it.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// Open (still-active) transaction handles pointing at this database.
+  int open_transactions() const { return open_txns_; }
+
+ private:
+  friend class Transaction;
+
+  std::unique_ptr<Engine> engine_;
+  std::shared_ptr<const RetryPolicy> retry_;
+  Rng rng_;
+  TxnId next_id_ = 1;
+  uint64_t execute_retries_ = 0;
+  int open_txns_ = 0;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_DB_DATABASE_H_

@@ -1,0 +1,20 @@
+#include "critique/db/retry_policy.h"
+
+namespace critique {
+
+bool IsRetryableStatus(const Status& s) {
+  return s.IsWouldBlock() || s.IsDeadlock() || s.IsSerializationFailure();
+}
+
+std::string LimitedRetryPolicy::name() const {
+  return "limited(" + std::to_string(max_txn_retries_) + "," +
+         std::to_string(max_blocked_op_retries_) + ")";
+}
+
+std::shared_ptr<const RetryPolicy> DefaultRetryPolicy() {
+  static const std::shared_ptr<const RetryPolicy> kDefault =
+      std::make_shared<LimitedRetryPolicy>();
+  return kDefault;
+}
+
+}  // namespace critique

@@ -1,0 +1,88 @@
+#ifndef CRITIQUE_DB_RETRY_POLICY_H_
+#define CRITIQUE_DB_RETRY_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "critique/common/status.h"
+
+namespace critique {
+
+/// True for the statuses an engine uses to ask the client to try again:
+/// lock waits (`kWouldBlock`), deadlock-victim aborts (`kDeadlock`) and
+/// FCW / FWW / SSI refusals (`kSerializationFailure`).  Everything else
+/// (NotFound, InvalidArgument, ...) is a semantic answer, never retried.
+bool IsRetryableStatus(const Status& s);
+
+/// \brief Pluggable client-side retry protocol for the `Database` facade.
+///
+/// The paper's engines are cooperative: they answer `kWouldBlock` instead
+/// of parking a thread, abort deadlock victims, and refuse snapshot
+/// conflicts at commit.  Every client used to re-implement the resulting
+/// retry protocol by hand; the policy centralizes both halves of it:
+///
+///  * *operation-level* — whether `Transaction` should immediately re-issue
+///    an operation answered `kWouldBlock` (useful once other sessions can
+///    progress concurrently; pointless — and defaulted off — in the
+///    single-threaded cooperative model, where the `Runner` interleaves
+///    blocked steps across transactions instead);
+///  * *transaction-level* — whether `Database::Execute` should roll back
+///    and re-run a transaction body that failed with a retryable status,
+///    the restart loop every real MVCC store asks applications to write.
+class RetryPolicy {
+ public:
+  virtual ~RetryPolicy() = default;
+
+  /// Display name ("no-retry", "limited(8)").
+  virtual std::string name() const = 0;
+
+  /// Re-issue an operation answered `kWouldBlock`?  `attempt` is the
+  /// number of tries already made (>= 1).
+  virtual bool RetryBlockedOp(int attempt) const = 0;
+
+  /// Re-run an `Execute` body whose attempt failed with retryable status
+  /// `s`?  `attempt` is the number of body runs already made (>= 1).
+  virtual bool RetryTransaction(const Status& s, int attempt) const = 0;
+};
+
+/// Never retries anything: every status surfaces to the caller unchanged.
+/// The policy the step-wise `Runner` path relies on.
+class NoRetryPolicy : public RetryPolicy {
+ public:
+  std::string name() const override { return "no-retry"; }
+  bool RetryBlockedOp(int) const override { return false; }
+  bool RetryTransaction(const Status&, int) const override { return false; }
+};
+
+/// Retries retryable failures a bounded number of times.
+class LimitedRetryPolicy : public RetryPolicy {
+ public:
+  explicit LimitedRetryPolicy(int max_txn_retries = 8,
+                              int max_blocked_op_retries = 0)
+      : max_txn_retries_(max_txn_retries),
+        max_blocked_op_retries_(max_blocked_op_retries) {}
+
+  std::string name() const override;
+
+  bool RetryBlockedOp(int attempt) const override {
+    return attempt <= max_blocked_op_retries_;
+  }
+  bool RetryTransaction(const Status& s, int attempt) const override {
+    return IsRetryableStatus(s) && attempt <= max_txn_retries_;
+  }
+
+  int max_txn_retries() const { return max_txn_retries_; }
+  int max_blocked_op_retries() const { return max_blocked_op_retries_; }
+
+ private:
+  int max_txn_retries_;
+  int max_blocked_op_retries_;
+};
+
+/// The default: `LimitedRetryPolicy(8, 0)` — restart aborted transaction
+/// bodies up to 8 times, never spin on a blocked operation.
+std::shared_ptr<const RetryPolicy> DefaultRetryPolicy();
+
+}  // namespace critique
+
+#endif  // CRITIQUE_DB_RETRY_POLICY_H_

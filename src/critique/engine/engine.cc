@@ -1,6 +1,23 @@
 #include "critique/engine/engine.h"
 
+#include <ostream>
+
 namespace critique {
+
+std::string EngineStats::ToString() const {
+  return "reads=" + std::to_string(reads) +
+         " predicate_reads=" + std::to_string(predicate_reads) +
+         " writes=" + std::to_string(writes) +
+         " commits=" + std::to_string(commits) +
+         " aborts=" + std::to_string(aborts) +
+         " deadlock_aborts=" + std::to_string(deadlock_aborts) +
+         " serialization_aborts=" + std::to_string(serialization_aborts) +
+         " blocked_ops=" + std::to_string(blocked_ops);
+}
+
+std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
+  return os << stats.ToString();
+}
 
 Status Engine::Update(
     TxnId txn, const ItemId& id,

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "critique/common/clock.h"
 #include "critique/common/result.h"
 #include "critique/common/status.h"
 #include "critique/engine/isolation.h"
@@ -27,7 +29,22 @@ struct EngineStats {
   uint64_t deadlock_aborts = 0;   ///< victim aborts by the lock manager
   uint64_t serialization_aborts = 0;  ///< FCW / FWW / SSI aborts
   uint64_t blocked_ops = 0;       ///< operations answered kWouldBlock
+
+  /// All aborts, whatever initiated them.
+  uint64_t total_aborts() const {
+    return aborts + deadlock_aborts + serialization_aborts;
+  }
+
+  /// Transactions that reached a terminal state (commit or any abort) —
+  /// the invariant the runner tests assert: commits + total_aborts() must
+  /// equal the number of finished transactions.
+  uint64_t finished_txns() const { return commits + total_aborts(); }
+
+  /// One line: "reads=3 predicate_reads=0 writes=2 commits=1 ...".
+  std::string ToString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const EngineStats& stats);
 
 /// \brief The transaction-engine interface every isolation implementation
 /// satisfies: the locking levels of Table 2, Snapshot Isolation
@@ -69,6 +86,23 @@ class Engine {
   /// Starts transaction `txn` (ids must be unique per engine instance and
   /// >= 1; 0 is the initial-state pseudo-transaction).
   virtual Status Begin(TxnId txn) = 0;
+
+  /// Time travel (Section 4.2): starts `txn` reading the historical
+  /// snapshot `ts`.  A capability of timestamped multiversion engines
+  /// (Snapshot Isolation / SSI — including any decorator wrapping one);
+  /// everything else refuses with FailedPrecondition.
+  virtual Status BeginAt(TxnId txn, Timestamp ts) {
+    (void)txn;
+    (void)ts;
+    return Status::FailedPrecondition(name() +
+                                      " keeps no timestamped history");
+  }
+
+  /// The latest committed snapshot timestamp, when the engine keeps one
+  /// (the "now" a historical `BeginAt` is relative to); nullopt otherwise.
+  virtual std::optional<Timestamp> SnapshotTimestamp() const {
+    return std::nullopt;
+  }
 
   /// Reads one item; nullopt when absent (or deleted at the snapshot).
   virtual Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) = 0;

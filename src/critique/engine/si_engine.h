@@ -49,7 +49,11 @@ class SnapshotIsolationEngine : public Engine {
   /// Time travel (Section 4.2): begin a transaction whose snapshot is the
   /// historical timestamp `ts` ("taking a historical perspective of the
   /// database — while never blocking or being blocked by writes").
-  Status BeginAt(TxnId txn, Timestamp ts);
+  Status BeginAt(TxnId txn, Timestamp ts) override;
+
+  std::optional<Timestamp> SnapshotTimestamp() const override {
+    return clock_.Now();
+  }
 
   Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) override;
   Result<std::vector<std::pair<ItemId, Row>>> ReadPredicate(

@@ -13,7 +13,7 @@ Value ScalarOf(const std::optional<Row>& row) {
 Program& Program::Read(const ItemId& item, const std::string& save_as) {
   const std::string key = save_as.empty() ? item : save_as;
   steps_.push_back({StepKind::kOperation, [item, key](StepContext& ctx) {
-                      auto r = ctx.engine.Read(ctx.txn, item);
+                      auto r = ctx.txn.Get(item);
                       if (!r.ok()) return r.status();
                       ctx.locals.Set(key, ScalarOf(*r));
                       return Status::OK();
@@ -23,7 +23,7 @@ Program& Program::Read(const ItemId& item, const std::string& save_as) {
 
 Program& Program::ReadPredicate(const std::string& name, Predicate pred) {
   steps_.push_back({StepKind::kOperation, [name, pred](StepContext& ctx) {
-                      auto r = ctx.engine.ReadPredicate(ctx.txn, name, pred);
+                      auto r = ctx.txn.GetWhere(name, pred);
                       if (!r.ok()) return r.status();
                       std::vector<ItemId> ids;
                       for (const auto& [id, row] : *r) {
@@ -42,7 +42,7 @@ Program& Program::ReadPredicateSum(const std::string& name, Predicate pred,
                                    const std::string& column) {
   steps_.push_back(
       {StepKind::kOperation, [name, pred, column](StepContext& ctx) {
-         auto r = ctx.engine.ReadPredicate(ctx.txn, name, pred);
+         auto r = ctx.txn.GetWhere(name, pred);
          if (!r.ok()) return r.status();
          std::vector<ItemId> ids;
          double sum = 0;
@@ -61,14 +61,14 @@ Program& Program::ReadPredicateSum(const std::string& name, Predicate pred,
 
 Program& Program::Write(const ItemId& item, Value v) {
   steps_.push_back({StepKind::kOperation, [item, v](StepContext& ctx) {
-                      return ctx.engine.Write(ctx.txn, item, Row::Scalar(v));
+                      return ctx.txn.Put(item, v);
                     }});
   return *this;
 }
 
 Program& Program::WriteRow(const ItemId& item, Row row) {
   steps_.push_back({StepKind::kOperation, [item, row](StepContext& ctx) {
-                      return ctx.engine.Write(ctx.txn, item, row);
+                      return ctx.txn.Put(item, row);
                     }});
   return *this;
 }
@@ -77,7 +77,7 @@ Program& Program::WriteComputed(const ItemId& item,
                                 std::function<Value(const TxnLocals&)> fn) {
   steps_.push_back(
       {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
-         return ctx.engine.Write(ctx.txn, item, Row::Scalar(fn(ctx.locals)));
+         return ctx.txn.Put(item, fn(ctx.locals));
        }});
   return *this;
 }
@@ -86,7 +86,7 @@ Program& Program::WriteRowComputed(const ItemId& item,
                                    std::function<Row(const TxnLocals&)> fn) {
   steps_.push_back(
       {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
-         return ctx.engine.Write(ctx.txn, item, fn(ctx.locals));
+         return ctx.txn.Put(item, fn(ctx.locals));
        }});
   return *this;
 }
@@ -95,7 +95,7 @@ Program& Program::UpdateStatement(
     const ItemId& item, std::function<Row(const std::optional<Row>&)> fn) {
   steps_.push_back(
       {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
-         return ctx.engine.Update(ctx.txn, item, fn);
+         return ctx.txn.Update(item, fn);
        }});
   return *this;
 }
@@ -113,14 +113,14 @@ Program& Program::UpdateAddStatement(const ItemId& item, int64_t delta) {
 
 Program& Program::InsertRow(const ItemId& item, Row row) {
   steps_.push_back({StepKind::kOperation, [item, row](StepContext& ctx) {
-                      return ctx.engine.Insert(ctx.txn, item, row);
+                      return ctx.txn.Insert(item, row);
                     }});
   return *this;
 }
 
 Program& Program::Delete(const ItemId& item) {
   steps_.push_back({StepKind::kOperation, [item](StepContext& ctx) {
-                      return ctx.engine.Delete(ctx.txn, item);
+                      return ctx.txn.Erase(item);
                     }});
   return *this;
 }
@@ -128,7 +128,7 @@ Program& Program::Delete(const ItemId& item) {
 Program& Program::Fetch(const ItemId& item, const std::string& save_as) {
   const std::string key = save_as.empty() ? item : save_as;
   steps_.push_back({StepKind::kOperation, [item, key](StepContext& ctx) {
-                      auto r = ctx.engine.FetchCursor(ctx.txn, item);
+                      auto r = ctx.txn.Fetch(item);
                       if (!r.ok()) return r.status();
                       ctx.locals.Set(key, ScalarOf(*r));
                       return Status::OK();
@@ -136,41 +136,59 @@ Program& Program::Fetch(const ItemId& item, const std::string& save_as) {
   return *this;
 }
 
+Program& Program::FetchNamed(const std::string& cursor, const ItemId& item,
+                             const std::string& save_as) {
+  const std::string key = save_as.empty() ? item : save_as;
+  steps_.push_back(
+      {StepKind::kOperation, [cursor, item, key](StepContext& ctx) {
+         auto r = ctx.txn.FetchNamed(cursor, item);
+         if (!r.ok()) return r.status();
+         ctx.locals.Set(key, ScalarOf(*r));
+         return Status::OK();
+       }});
+  return *this;
+}
+
 Program& Program::WriteCursorComputed(
     const ItemId& item, std::function<Value(const TxnLocals&)> fn) {
   steps_.push_back(
       {StepKind::kOperation, [item, fn = std::move(fn)](StepContext& ctx) {
-         return ctx.engine.WriteCursor(ctx.txn, item,
-                                       Row::Scalar(fn(ctx.locals)));
+         return ctx.txn.PutCursor(item, fn(ctx.locals));
        }});
   return *this;
 }
 
 Program& Program::WriteCursor(const ItemId& item, Value v) {
   steps_.push_back({StepKind::kOperation, [item, v](StepContext& ctx) {
-                      return ctx.engine.WriteCursor(ctx.txn, item,
-                                                    Row::Scalar(v));
+                      return ctx.txn.PutCursor(item, v);
                     }});
   return *this;
 }
 
 Program& Program::CloseCursor() {
   steps_.push_back({StepKind::kOperation, [](StepContext& ctx) {
-                      return ctx.engine.CloseCursor(ctx.txn);
+                      return ctx.txn.CloseCursor();
+                    }});
+  return *this;
+}
+
+Program& Program::CloseCursorNamed(const std::string& cursor) {
+  steps_.push_back({StepKind::kOperation, [cursor](StepContext& ctx) {
+                      return ctx.txn.CloseCursorNamed(cursor);
                     }});
   return *this;
 }
 
 Program& Program::Commit() {
   steps_.push_back({StepKind::kCommit, [](StepContext& ctx) {
-                      return ctx.engine.Commit(ctx.txn);
+                      return ctx.txn.Commit();
                     }});
   return *this;
 }
 
 Program& Program::Abort() {
   steps_.push_back({StepKind::kAbort, [](StepContext& ctx) {
-                      return ctx.engine.Abort(ctx.txn);
+                      return ctx.txn.Rollback();
                     }});
   return *this;
 }

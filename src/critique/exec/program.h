@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "critique/engine/engine.h"
+#include "critique/db/transaction.h"
 #include "critique/model/predicate.h"
 #include "critique/model/value.h"
 
@@ -50,10 +50,10 @@ class TxnLocals {
 /// outcomes).
 enum class StepKind { kOperation, kCommit, kAbort };
 
-/// The execution context handed to each step.
+/// The execution context handed to each step: the transaction's session
+/// handle (which carries its identity) and its scratch space.
 struct StepContext {
-  Engine& engine;
-  TxnId txn;
+  Transaction& txn;
   TxnLocals& locals;
 };
 
@@ -116,6 +116,10 @@ class Program {
   /// Cursor fetch (`rc`); saves the scalar like Read.
   Program& Fetch(const ItemId& item, const std::string& save_as = "");
 
+  /// Named-cursor fetch (Section 4.1's multi-cursor technique).
+  Program& FetchNamed(const std::string& cursor, const ItemId& item,
+                      const std::string& save_as = "");
+
   /// Cursor write (`wc`) of a computed scalar.
   Program& WriteCursorComputed(const ItemId& item,
                                std::function<Value(const TxnLocals&)> fn);
@@ -124,6 +128,10 @@ class Program {
   Program& WriteCursor(const ItemId& item, Value v);
 
   Program& CloseCursor();
+
+  /// Closes one named cursor.
+  Program& CloseCursorNamed(const std::string& cursor);
+
   Program& Commit();
   Program& Abort();
 

@@ -36,14 +36,14 @@ Status Runner::Advance(TxnId txn, bool* progressed) {
   TxnRun& run = it->second;
   if (run.finished || run.next_step >= run.program.size()) return Status::OK();
 
-  if (!run.began) {
-    CRITIQUE_RETURN_NOT_OK(engine_.Begin(txn));
-    run.began = true;
+  if (!run.session.has_value()) {
+    CRITIQUE_ASSIGN_OR_RETURN(Transaction session, db_.BeginWithId(txn));
+    run.session.emplace(std::move(session));
     *progressed = true;
   }
 
   const ProgramStep& step = run.program.steps()[run.next_step];
-  StepContext ctx{engine_, txn, run.locals};
+  StepContext ctx{*run.session, run.locals};
   Status s = step.run(ctx);
   run.last_status = s;
 
@@ -121,7 +121,7 @@ Result<RunResult> Runner::Run(const std::vector<TxnId>& schedule) {
     out.final_status[t] = run.last_status;
     out.locals[t] = run.locals;
   }
-  out.history = engine_.history();
+  out.history = db_.history();
   out.blocked_retries = blocked_retries_;
   return out;
 }

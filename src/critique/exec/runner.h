@@ -2,11 +2,13 @@
 #define CRITIQUE_EXEC_RUNNER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "critique/common/random.h"
 #include "critique/common/result.h"
+#include "critique/db/database.h"
 #include "critique/exec/program.h"
 
 namespace critique {
@@ -54,9 +56,14 @@ struct RunResult {
 /// `Begin` is issued lazily at a transaction's first step, so Snapshot
 /// Isolation start timestamps follow the schedule order, as in the paper's
 /// histories.
+///
+/// The runner drives the engine exclusively through `Database` sessions:
+/// each program runs in a `Transaction` obtained via `BeginWithId` (the
+/// paper's histories need "T1" to be subscript 1), and the schedule — not
+/// the database's `RetryPolicy` — decides when a blocked step is retried.
 class Runner {
  public:
-  explicit Runner(Engine& engine) : engine_(engine) {}
+  explicit Runner(Database& db) : db_(db) {}
 
   /// Registers `program` as transaction `txn`.
   void AddProgram(TxnId txn, Program program);
@@ -76,8 +83,8 @@ class Runner {
   struct TxnRun {
     Program program;
     TxnLocals locals;
+    std::optional<Transaction> session;  ///< RAII handle; begun lazily
     size_t next_step = 0;
-    bool began = false;
     bool finished = false;
     TxnOutcome outcome = TxnOutcome::kCommitted;
     Status last_status;
@@ -87,7 +94,7 @@ class Runner {
   /// changed (success or abort).  Returns non-OK only on fatal errors.
   Status Advance(TxnId txn, bool* progressed);
 
-  Engine& engine_;
+  Database& db_;
   std::map<TxnId, TxnRun> txns_;
   uint64_t blocked_retries_ = 0;
 };

@@ -1,15 +1,24 @@
 #include "critique/harness/diagnosis.h"
 
 #include "critique/analysis/mv_analysis.h"
+#include "critique/engine/engine_factory.h"
 
 namespace critique {
 
 Result<VariantOutcome> RunVariantOn(const EngineFactory& factory,
                                     const ScenarioVariant& variant) {
+  if (!factory) return Status::InvalidArgument("null engine factory");
   std::unique_ptr<Engine> engine = factory();
-  if (!engine) return Status::InvalidArgument("factory returned null");
-  CRITIQUE_RETURN_NOT_OK(variant.load(*engine));
-  Runner runner(*engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("factory returned null");
+  }
+  DbOptions options;
+  // The runner's schedule decides when blocked steps are retried; the
+  // database must not second-guess it.
+  options.retry_policy = std::make_shared<NoRetryPolicy>();
+  Database db(std::move(engine), std::move(options));
+  CRITIQUE_RETURN_NOT_OK(variant.load(db));
+  Runner runner(db);
   variant.add_programs(runner);
   CRITIQUE_ASSIGN_OR_RETURN(RunResult run, runner.Run(variant.schedule));
 
@@ -23,7 +32,7 @@ Result<VariantOutcome> RunVariantOn(const EngineFactory& factory,
     }
   }
   out.any_block = run.blocked_retries > 0;
-  switch (engine->level()) {
+  switch (db.level()) {
     case IsolationLevel::kSnapshotIsolation:
     case IsolationLevel::kSerializableSI:
       out.analyzed = MapSnapshotHistoryToSingleVersion(run.history);
@@ -35,7 +44,7 @@ Result<VariantOutcome> RunVariantOn(const EngineFactory& factory,
       out.analyzed = run.history;
   }
   out.detected = ExhibitedPhenomena(out.analyzed);
-  out.anomaly = variant.anomaly(run, *engine);
+  out.anomaly = variant.anomaly(run, db);
   return out;
 }
 
@@ -109,6 +118,10 @@ Result<Diagnosis> DiagnoseEngine(const EngineFactory& factory) {
     }
   }
   return d;
+}
+
+Result<Diagnosis> DiagnoseLevel(IsolationLevel level) {
+  return DiagnoseEngine([level] { return CreateEngine(level); });
 }
 
 }  // namespace critique

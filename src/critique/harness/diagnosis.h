@@ -8,15 +8,17 @@
 #include <string>
 #include <vector>
 
+#include "critique/db/database.h"
 #include "critique/harness/matrix.h"
 
 namespace critique {
 
-/// A factory producing fresh instances of the engine under test.
-using EngineFactory = std::function<std::unique_ptr<Engine>()>;
-
-/// Runs `variant` against a fresh engine from `factory` (the generalized
-/// form of the level-based overload).
+/// The engine SPI hook (`EngineFactory`, from the db layer) is the probe
+/// input: diagnosis is black-box over whatever engines the SPI produces.
+///
+/// Runs `variant` against a fresh engine from `factory`, wrapped in a
+/// no-retry `Database` session facade (the generalized form of the
+/// level-based overload).
 Result<VariantOutcome> RunVariantOn(const EngineFactory& factory,
                                     const ScenarioVariant& variant);
 
@@ -49,6 +51,10 @@ struct Diagnosis {
 /// row against all known level rows (paper Table 4 plus the extended
 /// expectations).
 Result<Diagnosis> DiagnoseEngine(const EngineFactory& factory);
+
+/// Convenience: diagnoses the stock engine for `level` (the self-check —
+/// every built-in engine must identify its own published row).
+Result<Diagnosis> DiagnoseLevel(IsolationLevel level);
 
 }  // namespace critique
 

@@ -1,5 +1,6 @@
 #include "critique/harness/scenario.h"
 
+#include "critique/engine/engine_factory.h"
 #include "critique/harness/diagnosis.h"
 
 namespace critique {

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "critique/analysis/phenomena.h"
-#include "critique/engine/engine_factory.h"
 #include "critique/exec/runner.h"
 
 namespace critique {
@@ -19,15 +18,18 @@ namespace critique {
 /// inspects observed values and final state — independent of the
 /// phenomenon detectors, which are applied to the recorded history as a
 /// cross-check.
+///
+/// Both hooks receive the session facade, never a raw engine: scenarios
+/// stay engine-agnostic, which is what lets the same library probe every
+/// backend the SPI can produce.
 struct ScenarioVariant {
   std::string name;
-  std::function<Status(Engine&)> load;
+  std::function<Status(Database&)> load;
   std::function<void(Runner&)> add_programs;
   std::vector<TxnId> schedule;
   /// True when the anomaly semantically occurred.  May begin fresh
-  /// read-only transactions (ids >= 90) on the engine to inspect final
-  /// state.
-  std::function<bool(const RunResult&, Engine&)> anomaly;
+  /// read-only transactions on the database to inspect final state.
+  std::function<bool(const RunResult&, Database&)> anomaly;
 };
 
 /// \brief A Table 4 column: the anomaly plus every variant used to probe it.

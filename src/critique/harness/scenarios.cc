@@ -1,5 +1,7 @@
 // The Table 4 scenario library: one executable scenario per anomaly column,
 // with the variants that realize the paper's "Sometimes Possible" cells.
+// Scenarios drive engines exclusively through the Database/Transaction
+// session API, so they run unchanged against any backend the SPI produces.
 
 #include "critique/harness/scenario.h"
 
@@ -10,20 +12,20 @@ namespace {
 // Shared helpers
 // ---------------------------------------------------------------------------
 
-Status LoadScalar(Engine& e, const ItemId& id, int64_t v) {
-  return e.Load(id, Row::Scalar(Value(v)));
+Status LoadScalar(Database& db, const ItemId& id, int64_t v) {
+  return db.Load(id, Value(v));
 }
 
 // Reads the final committed scalar of `id` through a fresh transaction.
-int64_t FinalInt(Engine& e, const ItemId& id, TxnId reader) {
-  if (!e.Begin(reader).ok()) return 0;
-  auto r = e.Read(reader, id);
+int64_t FinalInt(Database& db, const ItemId& id) {
+  Transaction txn = db.Begin();
+  auto v = txn.GetScalar(id);
   int64_t out = 0;
-  if (r.ok() && r->has_value()) {
-    auto num = (*r)->scalar().AsNumeric();
+  if (v.ok()) {
+    auto num = v->AsNumeric();
     if (num.has_value()) out = static_cast<int64_t>(*num);
   }
-  (void)e.Commit(reader);
+  (void)txn.Commit();
   return out;
 }
 
@@ -41,9 +43,9 @@ std::function<Value(const TxnLocals&)> AddTo(const std::string& var,
 AnomalyScenario MakeP0() {
   ScenarioVariant v;
   v.name = "interleaved constant writes";
-  v.load = [](Engine& e) {
-    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 0));
-    return LoadScalar(e, "y", 0);
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 0));
+    return LoadScalar(db, "y", 0);
   };
   v.add_programs = [](Runner& r) {
     Program t1;
@@ -55,10 +57,10 @@ AnomalyScenario MakeP0() {
   };
   // w1[x] w2[x] w2[y] c2 w1[y] c1.
   v.schedule = ParseSchedule("1 2 2 2 1 1");
-  v.anomaly = [](const RunResult&, Engine& e) {
+  v.anomaly = [](const RunResult&, Database& db) {
     // Each transaction alone maintains x == y; interleaved dirty writes
     // leave x != y.
-    return FinalInt(e, "x", 90) != FinalInt(e, "y", 91);
+    return FinalInt(db, "x") != FinalInt(db, "y");
   };
   return AnomalyScenario{Phenomenon::kP0, "P0 Dirty Write", {std::move(v)}};
 }
@@ -70,9 +72,9 @@ AnomalyScenario MakeP0() {
 AnomalyScenario MakeP1() {
   ScenarioVariant v;
   v.name = "audit overlapping aborted transfer";
-  v.load = [](Engine& e) {
-    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
-    return LoadScalar(e, "y", 50);
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 50));
+    return LoadScalar(db, "y", 50);
   };
   v.add_programs = [](Runner& r) {
     Program t1;  // transfer 40 from x to y, then ROLLBACK
@@ -84,7 +86,7 @@ AnomalyScenario MakeP1() {
   };
   // w1[x] r2[x] r2[y] c2 w1[y] a1.
   v.schedule = ParseSchedule("1 2 2 2 1 1");
-  v.anomaly = [](const RunResult& run, Engine&) {
+  v.anomaly = [](const RunResult& run, Database&) {
     if (!run.Committed(2)) return false;
     return run.locals.at(2).GetInt("x2") + run.locals.at(2).GetInt("y2") !=
            100;
@@ -99,7 +101,7 @@ AnomalyScenario MakeP1() {
 ScenarioVariant LostUpdateVariant(bool cursors, const std::string& name) {
   ScenarioVariant v;
   v.name = name;
-  v.load = [](Engine& e) { return LoadScalar(e, "x", 100); };
+  v.load = [](Database& db) { return LoadScalar(db, "x", 100); };
   v.add_programs = [cursors](Runner& r) {
     Program t1, t2;
     if (cursors) {
@@ -114,11 +116,11 @@ ScenarioVariant LostUpdateVariant(bool cursors, const std::string& name) {
   };
   // H4: r1[x] r2[x] w2[x] c2 w1[x] c1.
   v.schedule = ParseSchedule("1 2 2 2 1 1");
-  v.anomaly = [](const RunResult& run, Engine& e) {
+  v.anomaly = [](const RunResult& run, Database& db) {
     // Every committed increment must be reflected in the final balance.
     int64_t expected = 100 + (run.Committed(1) ? 30 : 0) +
                        (run.Committed(2) ? 20 : 0);
-    return FinalInt(e, "x", 90) != expected;
+    return FinalInt(db, "x") != expected;
   };
   return v;
 }
@@ -144,7 +146,7 @@ AnomalyScenario MakeP4() {
 ScenarioVariant FuzzyReadVariant(bool cursors, const std::string& name) {
   ScenarioVariant v;
   v.name = name;
-  v.load = [](Engine& e) { return LoadScalar(e, "x", 50); };
+  v.load = [](Database& db) { return LoadScalar(db, "x", 50); };
   v.add_programs = [cursors](Runner& r) {
     Program t1;
     if (cursors) {
@@ -159,7 +161,7 @@ ScenarioVariant FuzzyReadVariant(bool cursors, const std::string& name) {
   };
   // r1[x] w2[x] c2 r1[x] c1.
   v.schedule = ParseSchedule("1 2 2 1 1");
-  v.anomaly = [](const RunResult& run, Engine&) {
+  v.anomaly = [](const RunResult& run, Database&) {
     if (!run.Committed(1)) return false;
     return run.locals.at(1).GetInt("first") !=
            run.locals.at(1).GetInt("second");
@@ -186,8 +188,8 @@ Predicate ActiveEmployees() {
 ScenarioVariant PhantomRereadVariant() {
   ScenarioVariant v;
   v.name = "predicate re-read (ANSI A3 form)";
-  v.load = [](Engine& e) {
-    return e.Load("e1", Row().Set("active", true));
+  v.load = [](Database& db) {
+    return db.Load("e1", Row().Set("active", true));
   };
   v.add_programs = [](Runner& r) {
     Program t1;
@@ -201,7 +203,7 @@ ScenarioVariant PhantomRereadVariant() {
   };
   // r1[P] w2[insert e2 to P] c2 r1[P] c1.
   v.schedule = ParseSchedule("1 2 2 1 1");
-  v.anomaly = [](const RunResult& run, Engine&) {
+  v.anomaly = [](const RunResult& run, Database&) {
     if (!run.Committed(1)) return false;
     return run.locals.at(1).GetInt("First.count") !=
            run.locals.at(1).GetInt("Second.count");
@@ -221,8 +223,8 @@ Program GuardedTaskInsert(const ItemId& task_id) {
   p.ReadPredicateSum("Tasks", JobTasks(), "hours");
   p.Custom(StepKind::kOperation, [task_id](StepContext& ctx) {
     if (ctx.locals.GetInt("Tasks.sum") + 1 > 8) return Status::OK();
-    return ctx.engine.Insert(ctx.txn, task_id,
-                             Row().Set("task", true).Set("hours", 1));
+    return ctx.txn.Insert(task_id,
+                          Row().Set("task", true).Set("hours", 1));
   });
   p.Commit();
   return p;
@@ -231,9 +233,9 @@ Program GuardedTaskInsert(const ItemId& task_id) {
 ScenarioVariant PhantomConstraintVariant() {
   ScenarioVariant v;
   v.name = "disjoint inserts under a sum constraint";
-  v.load = [](Engine& e) {
+  v.load = [](Database& db) {
     // One task of 7 hours; the constraint caps the predicate's sum at 8.
-    return e.Load("t1", Row().Set("task", true).Set("hours", 7));
+    return db.Load("t1", Row().Set("task", true).Set("hours", 7));
   };
   v.add_programs = [](Runner& r) {
     r.AddProgram(1, GuardedTaskInsert("ta"));
@@ -241,10 +243,10 @@ ScenarioVariant PhantomConstraintVariant() {
   };
   // r1[P] r2[P] w1[insert ta] w2[insert tb] c1 c2.
   v.schedule = ParseSchedule("1 2 1 2 1 2");
-  v.anomaly = [](const RunResult&, Engine& e) {
+  v.anomaly = [](const RunResult&, Database& db) {
     // Final sum of committed tasks must stay <= 8.
-    if (!e.Begin(90).ok()) return false;
-    auto r = e.ReadPredicate(90, "Final", JobTasks());
+    Transaction txn = db.Begin();
+    auto r = txn.GetWhere("Final", JobTasks());
     int64_t sum = 0;
     if (r.ok()) {
       for (const auto& [id, row] : *r) {
@@ -253,7 +255,7 @@ ScenarioVariant PhantomConstraintVariant() {
         if (h.has_value()) sum += static_cast<int64_t>(*h);
       }
     }
-    (void)e.Commit(90);
+    (void)txn.Commit();
     return sum > 8;
   };
   return v;
@@ -273,9 +275,9 @@ AnomalyScenario MakeP3() {
 AnomalyScenario MakeA5A() {
   ScenarioVariant v;
   v.name = "audit split across a committed transfer";
-  v.load = [](Engine& e) {
-    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
-    return LoadScalar(e, "y", 50);
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 50));
+    return LoadScalar(db, "y", 50);
   };
   v.add_programs = [](Runner& r) {
     Program t1;
@@ -287,7 +289,7 @@ AnomalyScenario MakeA5A() {
   };
   // r1[x] w2[x] w2[y] c2 r1[y] c1.
   v.schedule = ParseSchedule("1 2 2 2 1 1");
-  v.anomaly = [](const RunResult& run, Engine&) {
+  v.anomaly = [](const RunResult& run, Database&) {
     if (!run.Committed(1)) return false;
     return run.locals.at(1).GetInt("x1") + run.locals.at(1).GetInt("y1") !=
            100;
@@ -313,8 +315,7 @@ Program GuardedWithdrawal(const ItemId& target, const std::string& x_var,
              if (x + y < 100) return Status::OK();  // would overdraw: skip
              int64_t current = ctx.locals.GetInt(target == "x" ? x_var
                                                                : y_var);
-             return ctx.engine.Write(ctx.txn, target,
-                                     Row::Scalar(Value(current - 90)));
+             return ctx.txn.Put(target, Value(current - 90));
            });
   p.Commit();
   return p;
@@ -323,9 +324,9 @@ Program GuardedWithdrawal(const ItemId& target, const std::string& x_var,
 ScenarioVariant WriteSkewVariant(bool cursors, const std::string& name) {
   ScenarioVariant v;
   v.name = name;
-  v.load = [](Engine& e) {
-    CRITIQUE_RETURN_NOT_OK(LoadScalar(e, "x", 50));
-    return LoadScalar(e, "y", 50);
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 50));
+    return LoadScalar(db, "y", 50);
   };
   v.add_programs = [cursors](Runner& r) {
     Program t1, t2;
@@ -347,9 +348,9 @@ ScenarioVariant WriteSkewVariant(bool cursors, const std::string& name) {
   };
   // H5: r1[x] r1[y] r2[x] r2[y] w1[y] w2[x] c1 c2.
   v.schedule = ParseSchedule("1 1 2 2 1 2 1 2");
-  v.anomaly = [](const RunResult& run, Engine& e) {
+  v.anomaly = [](const RunResult& run, Database& db) {
     if (!(run.Committed(1) && run.Committed(2))) return false;
-    return FinalInt(e, "x", 90) + FinalInt(e, "y", 91) <= 0;
+    return FinalInt(db, "x") + FinalInt(db, "y") <= 0;
   };
   return v;
 }

@@ -11,10 +11,10 @@ ItemId WorkloadGenerator::ItemName(uint64_t k) {
   return "i" + std::to_string(k);
 }
 
-Status WorkloadGenerator::LoadInitial(Engine& engine) const {
+Status WorkloadGenerator::LoadInitial(Database& db) const {
   for (uint64_t k = 0; k < options_.num_items; ++k) {
     CRITIQUE_RETURN_NOT_OK(
-        engine.Load(ItemName(k), Row::Scalar(Value(options_.initial_balance))));
+        db.Load(ItemName(k), Value(options_.initial_balance)));
   }
   return Status::OK();
 }
@@ -103,22 +103,19 @@ Program WorkloadGenerator::MakeAuditTxn() const {
   return p;
 }
 
-int64_t WorkloadGenerator::TotalBalance(Engine& engine, uint64_t num_items,
-                                        TxnId reader) {
-  if (!engine.Begin(reader).ok()) return -1;
+int64_t WorkloadGenerator::TotalBalance(Database& db, uint64_t num_items) {
+  Transaction txn = db.Begin();
+  if (!txn.active()) return -1;
   int64_t sum = 0;
   for (uint64_t k = 0; k < num_items; ++k) {
-    auto r = engine.Read(reader, ItemName(k));
-    if (!r.ok()) {
-      (void)engine.Abort(reader);
-      return -1;
-    }
+    auto r = txn.Get(ItemName(k));
+    if (!r.ok()) return -1;  // RAII rollback
     if (r->has_value()) {
       auto v = (*r)->scalar().AsNumeric();
       if (v.has_value()) sum += static_cast<int64_t>(*v);
     }
   }
-  (void)engine.Commit(reader);
+  (void)txn.Commit();
   return sum;
 }
 

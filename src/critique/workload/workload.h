@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "critique/common/random.h"
+#include "critique/db/database.h"
 #include "critique/exec/program.h"
 #include "critique/workload/zipf.h"
 
@@ -33,8 +34,8 @@ class WorkloadGenerator {
   /// Item id for index `k` ("i0", "i1", ...).
   static ItemId ItemName(uint64_t k);
 
-  /// Loads the initial table into `engine`.
-  Status LoadInitial(Engine& engine) const;
+  /// Loads the initial table into `db`.
+  Status LoadInitial(Database& db) const;
 
   /// A read-write transaction: `ops_per_txn` operations over
   /// Zipf-distributed keys; writes are read-modify-write increments.
@@ -55,10 +56,9 @@ class WorkloadGenerator {
   /// inconsistent-analysis experiments); stores the sum under "sum".
   Program MakeAuditTxn() const;
 
-  /// Sum of all committed balances via a fresh transaction (id >= 1000
-  /// recommended); -1 on failure.
-  static int64_t TotalBalance(Engine& engine, uint64_t num_items,
-                              TxnId reader);
+  /// Sum of all committed balances via a fresh (auto-id) transaction;
+  /// -1 on failure.
+  static int64_t TotalBalance(Database& db, uint64_t num_items);
 
  private:
   WorkloadOptions options_;

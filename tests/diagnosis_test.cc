@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "critique/engine/engine_factory.h"
 #include "critique/engine/locking_engine.h"
 #include "critique/engine/si_engine.h"
 #include "critique/harness/diagnosis.h"
@@ -37,6 +38,15 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+TEST(DiagnosisTest, NullFactoryProductIsAGracefulError) {
+  // A factory that yields no engine must surface InvalidArgument from the
+  // probe machinery, never a crash.
+  auto out = RunVariantOn([] { return std::unique_ptr<Engine>(); },
+                          Table4Scenarios()[0].variants[0]);
+  EXPECT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+}
 
 TEST(DiagnosisTest, KnownAliases) {
   // Cursor Stability and Oracle Read Consistency share an anomaly row:

@@ -19,6 +19,17 @@ Value FinalScalar(Engine& engine, const ItemId& id, TxnId reader = 77) {
   return r->has_value() ? (*r)->scalar() : Value();
 }
 
+
+// Wraps a locking engine in a session facade; the tests reach the raw
+// engine through db.engine() for level-specific assertions.
+Database MakeDb(IsolationLevel level) {
+  DbOptions options;
+  options.engine_factory = [level] {
+    return std::make_unique<LockingEngine>(level);
+  };
+  return Database(options);
+}
+
 // T1 transfers 40 from x to y; T2 reads both and records the sum (H1's
 // inconsistent analysis shape).
 void AddTransferAndAudit(Runner& runner) {
@@ -96,10 +107,11 @@ TEST(LockingEngineTest, HistoryRecordsImagesAndValues) {
 // --- Inconsistent analysis (H1) across levels -------------------------------
 
 TEST(LockingEngineTest, ReadUncommittedAllowsDirtyReadOfTransfer) {
-  LockingEngine e(IsolationLevel::kReadUncommitted);
+  Database db = MakeDb(IsolationLevel::kReadUncommitted);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   AddTransferAndAudit(runner);
   auto result = runner.Run(ParseSchedule(kH1Schedule));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -115,10 +127,11 @@ TEST(LockingEngineTest, ReadUncommittedAllowsDirtyReadOfTransfer) {
 }
 
 TEST(LockingEngineTest, ReadCommittedBlocksDirtyRead) {
-  LockingEngine e(IsolationLevel::kReadCommitted);
+  Database db = MakeDb(IsolationLevel::kReadCommitted);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   AddTransferAndAudit(runner);
   auto result = runner.Run(ParseSchedule(kH1Schedule));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -132,10 +145,11 @@ TEST(LockingEngineTest, ReadCommittedBlocksDirtyRead) {
 }
 
 TEST(LockingEngineTest, SerializableRunIsSerializable) {
-  LockingEngine e(IsolationLevel::kSerializable);
+  Database db = MakeDb(IsolationLevel::kSerializable);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   AddTransferAndAudit(runner);
   auto result = runner.Run(ParseSchedule(kH1Schedule));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -148,10 +162,11 @@ TEST(LockingEngineTest, SerializableRunIsSerializable) {
 // --- Dirty write (P0) --------------------------------------------------------
 
 TEST(LockingEngineTest, Degree0AllowsDirtyWrite) {
-  LockingEngine e(IsolationLevel::kDegree0);
+  Database db = MakeDb(IsolationLevel::kDegree0);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(0))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(0))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(1)).Write("y", Value(1)).Commit();
   Program t2;
@@ -168,10 +183,11 @@ TEST(LockingEngineTest, Degree0AllowsDirtyWrite) {
 
 TEST(LockingEngineTest, Degree1PreventsDirtyWrite) {
   // Even Locking READ UNCOMMITTED holds long write locks (Remark 3).
-  LockingEngine e(IsolationLevel::kReadUncommitted);
+  Database db = MakeDb(IsolationLevel::kReadUncommitted);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(0))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(0))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(1)).Write("y", Value(1)).Commit();
   Program t2;
@@ -188,9 +204,10 @@ TEST(LockingEngineTest, Degree1PreventsDirtyWrite) {
 // --- Lost update (P4) --------------------------------------------------------
 
 TEST(LockingEngineTest, ReadCommittedAllowsLostUpdate) {
-  LockingEngine e(IsolationLevel::kReadCommitted);
+  Database db = MakeDb(IsolationLevel::kReadCommitted);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").WriteComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -211,9 +228,10 @@ TEST(LockingEngineTest, ReadCommittedAllowsLostUpdate) {
 }
 
 TEST(LockingEngineTest, RepeatableReadPreventsLostUpdateViaDeadlock) {
-  LockingEngine e(IsolationLevel::kRepeatableRead);
+  Database db = MakeDb(IsolationLevel::kRepeatableRead);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").WriteComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -238,9 +256,10 @@ TEST(LockingEngineTest, RepeatableReadPreventsLostUpdateViaDeadlock) {
 // --- Cursor Stability (P4C) --------------------------------------------------
 
 TEST(LockingEngineTest, CursorStabilityPreventsCursorLostUpdate) {
-  LockingEngine e(IsolationLevel::kCursorStability);
+  Database db = MakeDb(IsolationLevel::kCursorStability);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Fetch("x").WriteCursorComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -259,9 +278,10 @@ TEST(LockingEngineTest, CursorStabilityPreventsCursorLostUpdate) {
 }
 
 TEST(LockingEngineTest, ReadCommittedAllowsCursorLostUpdate) {
-  LockingEngine e(IsolationLevel::kReadCommitted);
+  Database db = MakeDb(IsolationLevel::kReadCommitted);
+  auto& e = static_cast<LockingEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Fetch("x").WriteCursorComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);

@@ -19,10 +19,9 @@ Result<VariantOutcome> RunVariantRandomized(IsolationLevel level,
                                             uint64_t seed) {
   ScenarioVariant shuffled = variant;
   // Build a runner once to learn program sizes, then shuffle a schedule.
-  auto engine = CreateEngine(level);
-  if (!engine) return Status::InvalidArgument("no engine");
-  CRITIQUE_RETURN_NOT_OK(variant.load(*engine));
-  Runner probe(*engine);
+  Database db(level);
+  CRITIQUE_RETURN_NOT_OK(variant.load(db));
+  Runner probe(db);
   variant.add_programs(probe);
   Rng rng(seed);
   shuffled.schedule = probe.RandomSchedule(rng);

@@ -20,7 +20,7 @@
 #include "critique/analysis/mv_analysis.h"
 #include "critique/analysis/phenomena.h"
 #include "critique/analysis/view.h"
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/workload/workload.h"
 
@@ -40,11 +40,11 @@ RandomRun RunRandomTransfers(IsolationLevel level, uint64_t seed,
   opts.num_items = num_items;
   opts.zipf_theta = 0.6;  // mild hot spot to force conflicts
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(level);
-  EXPECT_TRUE(gen.LoadInitial(*engine).ok());
+  Database db(level);
+  EXPECT_TRUE(gen.LoadInitial(db).ok());
 
   Rng rng(seed);
-  Runner runner(*engine);
+  Runner runner(db);
   for (int t = 1; t <= num_txns; ++t) {
     runner.AddProgram(t, gen.MakeTransferTxn(rng, rng.UniformRange(1, 10)));
   }
@@ -57,8 +57,7 @@ RandomRun RunRandomTransfers(IsolationLevel level, uint64_t seed,
   out.result = std::move(*result);
   out.initial_total =
       static_cast<int64_t>(num_items) * opts.initial_balance;
-  out.final_total =
-      WorkloadGenerator::TotalBalance(*engine, num_items, 1000);
+  out.final_total = WorkloadGenerator::TotalBalance(db, num_items);
   return out;
 }
 
@@ -156,11 +155,11 @@ TEST_P(SnapshotAuditSweep, AuditsAlwaysConsistentUnderSI) {
   WorkloadOptions opts;
   opts.num_items = 6;
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  ASSERT_TRUE(gen.LoadInitial(*engine).ok());
+  Database db(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(gen.LoadInitial(db).ok());
 
   Rng rng(seed);
-  Runner runner(*engine);
+  Runner runner(db);
   for (int t = 1; t <= 4; ++t) {
     runner.AddProgram(t, gen.MakeTransferTxn(rng, rng.UniformRange(1, 20)));
   }
@@ -189,10 +188,10 @@ TEST(SnapshotAuditContrast, ReadCommittedAuditsCanTear) {
     WorkloadOptions opts;
     opts.num_items = 6;
     WorkloadGenerator gen(opts);
-    auto engine = CreateEngine(IsolationLevel::kReadCommitted);
-    ASSERT_TRUE(gen.LoadInitial(*engine).ok());
+    Database db(IsolationLevel::kReadCommitted);
+    ASSERT_TRUE(gen.LoadInitial(db).ok());
     Rng rng(seed);
-    Runner runner(*engine);
+    Runner runner(db);
     for (int t = 1; t <= 4; ++t) {
       runner.AddProgram(t, gen.MakeTransferTxn(rng, rng.UniformRange(1, 20)));
     }

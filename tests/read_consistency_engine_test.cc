@@ -19,6 +19,17 @@ Value FinalScalar(Engine& engine, const ItemId& id, TxnId reader) {
   return r->has_value() ? (*r)->scalar() : Value();
 }
 
+
+// Wraps a read-consistency engine in a session facade; tests reach the
+// raw engine through db.engine() for statement-snapshot assertions.
+Database MakeDb() {
+  DbOptions options;
+  options.engine_factory = [] {
+    return std::make_unique<ReadConsistencyEngine>();
+  };
+  return Database(options);
+}
+
 TEST(RCEngineTest, StatementLevelSnapshotAdvances) {
   ReadConsistencyEngine e;
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
@@ -68,9 +79,10 @@ TEST(RCEngineTest, FirstWriterWinsBlocksSecondWriter) {
 TEST(RCEngineTest, GeneralLostUpdatePossible) {
   // Application-level read-then-write across statements: P4 (the paper:
   // Read Consistency "allows ... general lost updates (P4)").
-  ReadConsistencyEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<ReadConsistencyEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").WriteComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -92,9 +104,10 @@ TEST(RCEngineTest, GeneralLostUpdatePossible) {
 TEST(RCEngineTest, UpdateStatementHasWriteConsistency) {
   // Statement-level UPDATE recomputes against the latest committed value
   // after the lock wait — no lost update between two UPDATE statements.
-  ReadConsistencyEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<ReadConsistencyEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.UpdateAddStatement("x", 30).Commit();
   Program t2;
@@ -111,9 +124,10 @@ TEST(RCEngineTest, UpdateStatementHasWriteConsistency) {
 TEST(RCEngineTest, CursorLostUpdatePrevented) {
   // FetchCursor is SELECT ... FOR UPDATE: P4C cannot arise (Section 4.3:
   // Read Consistency "disallows cursor lost updates (P4C)").
-  ReadConsistencyEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<ReadConsistencyEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Fetch("x").WriteCursorComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -157,10 +171,11 @@ TEST(RCEngineTest, ReadSkewPossible) {
 }
 
 TEST(RCEngineTest, WriteWriteDeadlockResolved) {
-  ReadConsistencyEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<ReadConsistencyEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(0))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(0))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(1)).Write("y", Value(1)).Commit();
   Program t2;

@@ -1,14 +1,57 @@
 // Runner / Program tests: schedule semantics, lazy begins, blocked-step
-// retries, drain, outcome classification, schedule helpers.
+// retries, drain, outcome classification, schedule helpers, and the
+// stats/outcome consistency contract between the facade's counters and the
+// runner's outcome classification.
 
 #include <gtest/gtest.h>
 
-#include "critique/engine/engine_factory.h"
+#include <algorithm>
+
+#include "critique/db/database.h"
 #include "critique/engine/locking_engine.h"
 #include "critique/exec/runner.h"
 
 namespace critique {
 namespace {
+
+Database LockingDb(IsolationLevel level) {
+  DbOptions options;
+  options.engine_factory = [level] {
+    return std::make_unique<LockingEngine>(level);
+  };
+  return Database(options);
+}
+
+// The invariant the EngineStats satellite promises: every transaction the
+// runner classified must be visible in the engine counters, and commits
+// plus aborts must add up to the number of finished transactions.
+void ExpectStatsMatchOutcomes(const Database& db, const RunResult& result) {
+  uint64_t committed = 0, app_aborted = 0, deadlocked = 0, serialization = 0;
+  for (const auto& [txn, outcome] : result.outcomes) {
+    (void)txn;
+    switch (outcome) {
+      case TxnOutcome::kCommitted:
+        ++committed;
+        break;
+      case TxnOutcome::kAbortedByApplication:
+        ++app_aborted;
+        break;
+      case TxnOutcome::kAbortedDeadlockVictim:
+        ++deadlocked;
+        break;
+      case TxnOutcome::kAbortedSerialization:
+        ++serialization;
+        break;
+    }
+  }
+  const EngineStats& stats = db.stats();
+  EXPECT_EQ(stats.commits, committed) << stats.ToString();
+  EXPECT_EQ(stats.aborts, app_aborted) << stats.ToString();
+  EXPECT_EQ(stats.deadlock_aborts, deadlocked) << stats.ToString();
+  EXPECT_EQ(stats.serialization_aborts, serialization) << stats.ToString();
+  EXPECT_EQ(stats.finished_txns(), result.outcomes.size())
+      << stats.ToString();
+}
 
 TEST(ParseScheduleTest, ParsesTokens) {
   EXPECT_EQ(ParseSchedule("1 2 1"), (std::vector<TxnId>{1, 2, 1}));
@@ -35,8 +78,8 @@ TEST(TxnLocalsTest, GetSetDefaults) {
 }
 
 TEST(RunnerTest, UnknownTxnInScheduleFails) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  Runner runner(db);
   Program p;
   p.Commit();
   runner.AddProgram(1, std::move(p));
@@ -45,9 +88,9 @@ TEST(RunnerTest, UnknownTxnInScheduleFails) {
 }
 
 TEST(RunnerTest, DrainCompletesUnscheduledSteps) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  (void)engine->Load("x", Row::Scalar(Value(1)));
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
   Program p;
   p.Read("x").Write("x", Value(2)).Commit();
   runner.AddProgram(1, std::move(p));
@@ -56,14 +99,15 @@ TEST(RunnerTest, DrainCompletesUnscheduledSteps) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->Committed(1));
   EXPECT_EQ(result->history.size(), 3u);
+  ExpectStatsMatchOutcomes(db, *result);
 }
 
 TEST(RunnerTest, BeginFollowsScheduleOrder) {
   // Under SI the snapshot is taken at the first step: T2 beginning after
   // T1's commit must see T1's write.
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  (void)engine->Load("x", Row::Scalar(Value(1)));
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSnapshotIsolation);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(2)).Commit();
   Program t2;
@@ -75,9 +119,9 @@ TEST(RunnerTest, BeginFollowsScheduleOrder) {
   EXPECT_EQ(result->locals.at(2).GetInt("seen"), 2);
 
   // Reversed: T2 begins first and must NOT see it.
-  auto engine2 = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  (void)engine2->Load("x", Row::Scalar(Value(1)));
-  Runner runner2(*engine2);
+  Database db2(IsolationLevel::kSnapshotIsolation);
+  (void)db2.Load("x", Value(1));
+  Runner runner2(db2);
   Program t1b;
   t1b.Write("x", Value(2)).Commit();
   Program t2b;
@@ -90,9 +134,9 @@ TEST(RunnerTest, BeginFollowsScheduleOrder) {
 }
 
 TEST(RunnerTest, BlockedStepRetriesAndSucceeds) {
-  LockingEngine engine(IsolationLevel::kReadCommitted);
-  (void)engine.Load("x", Row::Scalar(Value(1)));
-  Runner runner(engine);
+  Database db = LockingDb(IsolationLevel::kReadCommitted);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(2)).Commit();
   Program t2;
@@ -105,12 +149,13 @@ TEST(RunnerTest, BlockedStepRetriesAndSucceeds) {
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->blocked_retries, 0u);
   EXPECT_EQ(result->locals.at(2).GetInt("seen"), 2);
+  ExpectStatsMatchOutcomes(db, *result);
 }
 
 TEST(RunnerTest, OutcomeClassification) {
-  LockingEngine engine(IsolationLevel::kRepeatableRead);
-  (void)engine.Load("x", Row::Scalar(Value(1)));
-  Runner runner(engine);
+  Database db = LockingDb(IsolationLevel::kRepeatableRead);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
   Program t1;  // will deadlock against t2
   t1.Read("x").WriteComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 1);
@@ -135,12 +180,13 @@ TEST(RunnerTest, OutcomeClassification) {
   }
   EXPECT_EQ(deadlock_victims, 1);
   EXPECT_EQ(committed, 1);
+  ExpectStatsMatchOutcomes(db, *result);
 }
 
 TEST(RunnerTest, SerializationOutcome) {
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  (void)engine->Load("x", Row::Scalar(Value(1)));
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSnapshotIsolation);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
   Program t1;
   t1.Write("x", Value(2)).Commit();
   Program t2;
@@ -152,11 +198,12 @@ TEST(RunnerTest, SerializationOutcome) {
   EXPECT_EQ(result->outcomes.at(1), TxnOutcome::kCommitted);
   EXPECT_EQ(result->outcomes.at(2), TxnOutcome::kAbortedSerialization);
   EXPECT_TRUE(result->final_status.at(2).IsSerializationFailure());
+  ExpectStatsMatchOutcomes(db, *result);
 }
 
 TEST(RunnerTest, RoundRobinCoversAllSteps) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  Runner runner(db);
   Program t1;
   t1.Write("a", Value(1)).Commit();  // 2 steps
   Program t2;
@@ -170,8 +217,8 @@ TEST(RunnerTest, RoundRobinCoversAllSteps) {
 }
 
 TEST(RunnerTest, RandomScheduleIsPermutationOfSteps) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  Runner runner(db);
   Program t1;
   t1.Write("a", Value(1)).Commit();
   Program t2;
@@ -186,8 +233,8 @@ TEST(RunnerTest, RandomScheduleIsPermutationOfSteps) {
 }
 
 TEST(RunnerTest, FatalStepErrorSurfacesAsRunError) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  Runner runner(db);
   Program p;
   p.Delete("never_existed").Commit();
   runner.AddProgram(1, std::move(p));
@@ -197,17 +244,36 @@ TEST(RunnerTest, FatalStepErrorSurfacesAsRunError) {
 }
 
 TEST(RunnerTest, UpdateStatementStep) {
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  (void)engine->Load("x", Row::Scalar(Value(10)));
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSerializable);
+  (void)db.Load("x", Value(10));
+  Runner runner(db);
   Program p;
   p.UpdateAddStatement("x", 7).Commit();
   runner.AddProgram(1, std::move(p));
   auto result = runner.Run(runner.RoundRobinSchedule());
   ASSERT_TRUE(result.ok());
-  (void)engine->Begin(9);
-  auto r = engine->Read(9, "x");
-  EXPECT_TRUE((*r)->scalar().Equals(Value(17)));
+  Transaction reader = db.Begin();
+  auto r = reader.GetScalar("x");
+  EXPECT_TRUE(r->Equals(Value(17)));
+  (void)reader.Commit();
+}
+
+TEST(RunnerTest, ExplicitIdsAndAutoIdsCoexist) {
+  // A runner using explicit ids 1..2 must not collide with auto-assigned
+  // inspection sessions begun afterwards.
+  Database db(IsolationLevel::kSerializable);
+  (void)db.Load("x", Value(1));
+  Runner runner(db);
+  Program t1;
+  t1.Write("x", Value(2)).Commit();
+  Program t2;
+  t2.Read("x").Commit();
+  runner.AddProgram(1, std::move(t1));
+  runner.AddProgram(2, std::move(t2));
+  ASSERT_TRUE(runner.Run(runner.RoundRobinSchedule()).ok());
+  Transaction after = db.Begin();
+  EXPECT_GT(after.id(), 2);
+  (void)after.Commit();
 }
 
 TEST(TxnOutcomeTest, Names) {

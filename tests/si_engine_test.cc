@@ -20,6 +20,17 @@ Value FinalScalar(Engine& engine, const ItemId& id, TxnId reader) {
   return r->has_value() ? (*r)->scalar() : Value();
 }
 
+
+// Wraps an SI engine in a session facade; tests reach the raw engine
+// through db.engine() for snapshot/GC-specific assertions.
+Database MakeDb(SnapshotIsolationOptions opts = {}) {
+  DbOptions options;
+  options.engine_factory = [opts] {
+    return std::make_unique<SnapshotIsolationEngine>(opts);
+  };
+  return Database(options);
+}
+
 TEST(SIEngineTest, SnapshotReadsAreStable) {
   SnapshotIsolationEngine e;
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
@@ -79,9 +90,10 @@ TEST(SIEngineTest, FirstCommitterWins) {
 }
 
 TEST(SIEngineTest, LostUpdatePrevented) {
-  SnapshotIsolationEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<SnapshotIsolationEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(100))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").WriteComputed("x", [](const TxnLocals& l) {
       return Value(l.GetInt("x") + 30);
@@ -126,10 +138,11 @@ TEST(SIEngineTest, H1SITranscriptMatchesPaper) {
 TEST(SIEngineTest, WriteSkewAdmitted) {
   // H5: disjoint write sets pass First-Committer-Wins; the x+y > 0
   // constraint breaks — A5B is the price of SI (Remark 9).
-  SnapshotIsolationEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<SnapshotIsolationEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;  // withdraw 90 against the joint balance, debiting y
   t1.Read("x").Read("y").WriteComputed("y", [](const TxnLocals& l) {
       return Value(l.GetInt("y") - 90);
@@ -162,10 +175,11 @@ TEST(SIEngineTest, WriteSkewAdmitted) {
 TEST(SIEngineTest, SsiRefusesWriteSkew) {
   SnapshotIsolationOptions opts;
   opts.ssi = true;
-  SnapshotIsolationEngine e(opts);
+  Database db = MakeDb(opts);
+  auto& e = static_cast<SnapshotIsolationEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").Read("y").WriteComputed("y", [](const TxnLocals& l) {
       return Value(l.GetInt("y") - 90);
@@ -297,10 +311,11 @@ TEST(SIEngineTest, GarbageCollectionRespectsActiveSnapshots) {
 }
 
 TEST(SIEngineTest, HistoriesValidateAsSnapshotHistories) {
-  SnapshotIsolationEngine e;
+  Database db = MakeDb();
+  auto& e = static_cast<SnapshotIsolationEngine&>(db.engine());
   ASSERT_TRUE(e.Load("x", Row::Scalar(Value(50))).ok());
   ASSERT_TRUE(e.Load("y", Row::Scalar(Value(50))).ok());
-  Runner runner(e);
+  Runner runner(db);
   Program t1;
   t1.Read("x").Write("y", Value(1)).Commit();
   Program t2;

@@ -5,7 +5,7 @@
 
 #include <map>
 
-#include "critique/engine/engine_factory.h"
+#include "critique/db/database.h"
 #include "critique/exec/runner.h"
 #include "critique/workload/workload.h"
 #include "critique/workload/zipf.h"
@@ -46,24 +46,24 @@ TEST(WorkloadTest, LoadInitialPopulatesItems) {
   opts.num_items = 8;
   opts.initial_balance = 25;
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  ASSERT_TRUE(gen.LoadInitial(*engine).ok());
-  EXPECT_EQ(WorkloadGenerator::TotalBalance(*engine, 8, 1000), 8 * 25);
+  Database db(IsolationLevel::kSerializable);
+  ASSERT_TRUE(gen.LoadInitial(db).ok());
+  EXPECT_EQ(WorkloadGenerator::TotalBalance(db, 8), 8 * 25);
 }
 
 TEST(WorkloadTest, TransferPreservesTotalWhenSerial) {
   WorkloadOptions opts;
   opts.num_items = 4;
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(IsolationLevel::kSerializable);
-  ASSERT_TRUE(gen.LoadInitial(*engine).ok());
+  Database db(IsolationLevel::kSerializable);
+  ASSERT_TRUE(gen.LoadInitial(db).ok());
   Rng rng(11);
-  Runner runner(*engine);
+  Runner runner(db);
   runner.AddProgram(1, gen.MakeTransferTxn(rng, 10));
   runner.AddProgram(2, gen.MakeTransferTxn(rng, 5));
   auto result = runner.Run(runner.RoundRobinSchedule());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(WorkloadGenerator::TotalBalance(*engine, 4, 1000), 4 * 100);
+  EXPECT_EQ(WorkloadGenerator::TotalBalance(db, 4), 4 * 100);
 }
 
 TEST(WorkloadTest, AuditComputesSum) {
@@ -71,9 +71,9 @@ TEST(WorkloadTest, AuditComputesSum) {
   opts.num_items = 3;
   opts.initial_balance = 7;
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  ASSERT_TRUE(gen.LoadInitial(*engine).ok());
-  Runner runner(*engine);
+  Database db(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(gen.LoadInitial(db).ok());
+  Runner runner(db);
   runner.AddProgram(1, gen.MakeAuditTxn());
   auto result = runner.Run(runner.RoundRobinSchedule());
   ASSERT_TRUE(result.ok());
@@ -104,15 +104,15 @@ TEST(WorkloadTest, ReadOnlyTxnHasNoWrites) {
   WorkloadOptions opts;
   opts.num_items = 8;
   WorkloadGenerator gen(opts);
-  auto engine = CreateEngine(IsolationLevel::kSnapshotIsolation);
-  ASSERT_TRUE(gen.LoadInitial(*engine).ok());
+  Database db(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(gen.LoadInitial(db).ok());
   Rng rng(5);
-  Runner runner(*engine);
+  Runner runner(db);
   runner.AddProgram(1, gen.MakeReadOnlyTxn(rng, 5));
   auto result = runner.Run(runner.RoundRobinSchedule());
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(engine->stats().writes, 0u);
-  EXPECT_EQ(engine->stats().reads, 5u);
+  EXPECT_EQ(db.stats().writes, 0u);
+  EXPECT_EQ(db.stats().reads, 5u);
 }
 
 }  // namespace
