@@ -16,7 +16,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
+#include "critique/common/json_writer.h"
 #include "critique/common/random.h"
 #include "critique/db/database.h"
 #include "critique/exec/runner.h"
@@ -60,15 +64,18 @@ LongTxnResult RunLongVsShort(IsolationLevel level, uint64_t seed,
   return out;
 }
 
-void PrintAbortSweep() {
-  std::printf(
-      "Long update transaction vs 8 short hot-spot updates (16 items,\n"
-      "zipf 0.9, 50 seeds per point).  'long %%' = long txn commit rate,\n"
-      "'short %%' = short txn commit rate, 'blocked' = total lock waits.\n\n");
+struct SweepPoint {
+  std::string level;
+  size_t len = 0;
+  double long_commit_rate = 0;
+  double short_commit_rate = 0;
+  uint64_t blocked = 0;
+};
+
+std::vector<SweepPoint> RunAbortSweep() {
+  std::vector<SweepPoint> points;
   const IsolationLevel levels[] = {IsolationLevel::kSnapshotIsolation,
                                    IsolationLevel::kSerializable};
-  std::printf("%-34s %8s %8s %8s %10s\n", "Level", "len", "long %", "short %",
-              "blocked");
   for (IsolationLevel level : levels) {
     for (size_t len : {2, 4, 8, 12}) {
       int long_ok = 0, short_ok = 0, short_total = 0;
@@ -81,12 +88,30 @@ void PrintAbortSweep() {
         short_total += r.short_total;
         blocked += r.blocked;
       }
-      std::printf("%-34s %8zu %7d%% %7d%% %10llu\n",
-                  IsolationLevelName(level).c_str(), len,
-                  100 * long_ok / kSeeds,
-                  short_total ? 100 * short_ok / short_total : 0,
-                  static_cast<unsigned long long>(blocked));
+      SweepPoint p;
+      p.level = IsolationLevelName(level);
+      p.len = len;
+      p.long_commit_rate = static_cast<double>(long_ok) / kSeeds;
+      p.short_commit_rate =
+          short_total ? static_cast<double>(short_ok) / short_total : 0;
+      p.blocked = blocked;
+      points.push_back(std::move(p));
     }
+  }
+  return points;
+}
+
+void PrintAbortSweep(const std::vector<SweepPoint>& points) {
+  std::printf(
+      "Long update transaction vs 8 short hot-spot updates (16 items,\n"
+      "zipf 0.9, 50 seeds per point).  'long %%' = long txn commit rate,\n"
+      "'short %%' = short txn commit rate, 'blocked' = total lock waits.\n\n");
+  std::printf("%-34s %8s %8s %8s %10s\n", "Level", "len", "long %", "short %",
+              "blocked");
+  for (const SweepPoint& p : points) {
+    std::printf("%-34s %8zu %7.0f%% %7.0f%% %10llu\n", p.level.c_str(), p.len,
+                100 * p.long_commit_rate, 100 * p.short_commit_rate,
+                static_cast<unsigned long long>(p.blocked));
   }
   std::printf(
       "\nExpected shape (paper): under SI the long transaction's commit\n"
@@ -94,6 +119,28 @@ void PrintAbortSweep() {
       "short transactions sail through unblocked; under locking the long\n"
       "transaction mostly survives but short transactions queue behind\n"
       "its locks (large 'blocked' column).\n\n");
+}
+
+std::string SweepToJson(const std::vector<SweepPoint>& points) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench"); w.String("abort_rates");
+  w.Key("short_txns"); w.Int(8);
+  w.Key("seeds"); w.Int(50);
+  w.Key("points");
+  w.BeginArray();
+  for (const SweepPoint& p : points) {
+    w.BeginObject();
+    w.Key("level"); w.String(p.level);
+    w.Key("long_txn_len"); w.UInt(p.len);
+    w.Key("long_commit_rate"); w.Double(p.long_commit_rate);
+    w.Key("short_commit_rate"); w.Double(p.short_commit_rate);
+    w.Key("blocked"); w.UInt(p.blocked);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 void BM_LongVsShort(benchmark::State& state) {
@@ -137,9 +184,15 @@ BENCHMARK(BM_FirstCommitterWinsCheck)->Arg(4)->Arg(32)->Arg(128);
 }  // namespace critique
 
 int main(int argc, char** argv) {
+  auto json_path = critique::bench::TakeJsonFlag(argc, argv);
+
   std::printf("==== Section 4.2: abort behaviour — long vs short update "
               "transactions ====\n\n");
-  critique::PrintAbortSweep();
+  auto points = critique::RunAbortSweep();
+  critique::PrintAbortSweep(points);
+  if (json_path.has_value()) {
+    critique::bench::WriteJsonFile(*json_path, critique::SweepToJson(points));
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

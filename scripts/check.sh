@@ -3,16 +3,38 @@
 # errors.  This is the tier-1 verify pipeline (ROADMAP.md) plus
 # -Wall -Wextra -Werror, suitable for a CI job:
 #
-#   ./scripts/check.sh [build-dir]
+#   ./scripts/check.sh [--tsan | --asan] [build-dir]
+#
+#   --tsan   build and test under ThreadSanitizer (certifies the blocking
+#            concurrent session API; see tests/concurrency_test.cc)
+#   --asan   build and test under AddressSanitizer
 #
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-check}"
+
+SANITIZER=""
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) SANITIZER="thread" ;;
+    --asan) SANITIZER="address" ;;
+    --*) echo "unknown option: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+if [[ -z "$BUILD_DIR" ]]; then
+  case "$SANITIZER" in
+    thread) BUILD_DIR="build-tsan" ;;
+    address) BUILD_DIR="build-asan" ;;
+    *) BUILD_DIR="build-check" ;;
+  esac
+fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S . -DCRITIQUE_WERROR=ON
+cmake -B "$BUILD_DIR" -S . -DCRITIQUE_WERROR=ON \
+  -DCRITIQUE_SANITIZER="$SANITIZER"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "check.sh: all green"
+echo "check.sh: all green${SANITIZER:+ (sanitizer: $SANITIZER)}"

@@ -1,0 +1,104 @@
+#include "critique/common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace critique {
+
+std::string JsonWriter::Escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::NextValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::Open(char c) {
+  NextValue();
+  out_ += c;
+  has_value_.push_back(false);
+}
+
+void JsonWriter::Close(char c) {
+  if (!has_value_.empty()) has_value_.pop_back();
+  out_ += c;
+}
+
+void JsonWriter::Key(std::string_view k) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view v) {
+  NextValue();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t v) {
+  NextValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::UInt(uint64_t v) {
+  NextValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Double(double v) {
+  NextValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  NextValue();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  NextValue();
+  out_ += "null";
+}
+
+}  // namespace critique

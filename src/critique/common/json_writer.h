@@ -1,0 +1,70 @@
+#ifndef CRITIQUE_COMMON_JSON_WRITER_H_
+#define CRITIQUE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace critique {
+
+/// \brief A minimal streaming JSON emitter for machine-readable bench and
+/// report output (`bench_* --json <path>`).
+///
+/// Produces standards-compliant JSON: strings are escaped, commas are
+/// managed by nesting state, non-finite doubles degrade to `null` (JSON
+/// has no NaN/Inf).  Usage is push-style:
+///
+/// ```cpp
+/// JsonWriter w;
+/// w.BeginObject();
+/// w.Key("threads"); w.Int(8);
+/// w.Key("engines"); w.BeginArray();
+///   w.BeginObject(); w.Key("name"); w.String("SI"); w.EndObject();
+/// w.EndArray();
+/// w.EndObject();
+/// w.str();  // the document
+/// ```
+///
+/// No validation beyond comma/nesting management: emitting a syntactically
+/// ill-formed sequence (e.g. two keys in a row) is a caller bug.
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  /// Emits `"k":` inside an object.
+  void Key(std::string_view k);
+
+  void String(std::string_view v);
+  void Int(int64_t v);
+  void UInt(uint64_t v);
+  /// Finite doubles render with up to 6 significant digits of fraction;
+  /// NaN / Inf render as null.
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+
+  /// JSON string-escapes `v` (no surrounding quotes).
+  static std::string Escape(std::string_view v);
+
+ private:
+  void Open(char c);
+  void Close(char c);
+  void NextValue();  ///< comma management before a value/key
+
+  std::string out_;
+  /// One frame per open object/array: whether a value was emitted at this
+  /// nesting depth (drives comma placement).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_COMMON_JSON_WRITER_H_

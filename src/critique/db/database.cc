@@ -29,46 +29,57 @@ Database::Database(DbOptions options)
                                      : CreateEngine(options.isolation)),
       retry_(options.retry_policy ? std::move(options.retry_policy)
                                   : DefaultRetryPolicy()),
+      mode_(options.mode),
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
+  if (mode_ == ConcurrencyMode::kBlocking) {
+    engine_->SetConcurrency({true, options.lock_wait_timeout});
+  }
 }
 
 Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
     : engine_(std::move(engine)),
       retry_(options.retry_policy ? std::move(options.retry_policy)
                                   : DefaultRetryPolicy()),
+      mode_(options.mode),
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "null engine handed to Database");
+  if (mode_ == ConcurrencyMode::kBlocking) {
+    engine_->SetConcurrency({true, options.lock_wait_timeout});
+  }
 }
 
 Database::Database(Database&& other) noexcept
     : engine_(std::move(other.engine_)),
       retry_(std::move(other.retry_)),
+      mode_(other.mode_),
       rng_(other.rng_),
-      next_id_(other.next_id_),
-      execute_retries_(other.execute_retries_),
-      open_txns_(other.open_txns_) {
+      next_id_(other.next_id_.load()),
+      execute_retries_(other.execute_retries_.load()),
+      open_txns_(other.open_txns_.load()) {
   // Open Transaction handles hold a raw back-pointer to their database:
   // moving it out from under them would dangle every one of them.
-  CheckOrDie(open_txns_ == 0, "Database moved while transactions are open");
+  CheckOrDie(open_txns_.load() == 0,
+             "Database moved while transactions are open");
 }
 
 Database& Database::operator=(Database&& other) noexcept {
-  CheckOrDie(open_txns_ == 0 && other.open_txns_ == 0,
+  CheckOrDie(open_txns_.load() == 0 && other.open_txns_.load() == 0,
              "Database moved while transactions are open");
   if (this != &other) {
     engine_ = std::move(other.engine_);
     retry_ = std::move(other.retry_);
+    mode_ = other.mode_;
     rng_ = other.rng_;
-    next_id_ = other.next_id_;
-    execute_retries_ = other.execute_retries_;
-    open_txns_ = other.open_txns_;
+    next_id_.store(other.next_id_.load());
+    execute_retries_.store(other.execute_retries_.load());
+    open_txns_.store(other.open_txns_.load());
   }
   return *this;
 }
 
 Transaction Database::Begin() {
-  TxnId id = next_id_++;
+  TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Status s = engine_->Begin(id);
   // A fresh id never collides; a failure here means the engine refuses new
   // transactions entirely, and the inactive handle surfaces that on use.
@@ -76,17 +87,30 @@ Transaction Database::Begin() {
 }
 
 Result<Transaction> Database::BeginWithId(TxnId id) {
+  // Reserve the id (bump next_id_ past it) BEFORE telling the engine:
+  // done in the other order, a concurrent Begin() could draw the same id
+  // and get a spuriously dead session.  Ids stay reserved even when the
+  // engine refuses (a gap in the sequence is harmless).
+  TxnId cur = next_id_.load(std::memory_order_relaxed);
+  while (id >= cur &&
+         !next_id_.compare_exchange_weak(cur, id + 1,
+                                         std::memory_order_relaxed)) {
+  }
   CRITIQUE_RETURN_NOT_OK(engine_->Begin(id));
-  if (id >= next_id_) next_id_ = id + 1;
   Transaction txn(this, id, true);
   txn.blocked_op_retry_ = false;  // manual sessions: the schedule decides
   return txn;
 }
 
 Result<Transaction> Database::BeginAtTimestamp(Timestamp ts) {
-  TxnId id = next_id_++;
+  TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   CRITIQUE_RETURN_NOT_OK(engine_->BeginAt(id, ts));
   return Transaction(this, id, true);
+}
+
+Rng Database::ForkRng() {
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  return Rng(rng_.Next());
 }
 
 std::optional<Timestamp> Database::CurrentTimestamp() const {
@@ -104,7 +128,7 @@ Status Database::Execute(const std::function<Status(Transaction&)>& body) {
     if (txn.active()) (void)txn.Rollback();
     if (s.ok()) return s;
     if (!retry_->RetryTransaction(s, attempt)) return s;
-    ++execute_retries_;
+    execute_retries_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -114,7 +138,9 @@ Status Database::Execute(const std::function<Status(Transaction&)>& body) {
 
 Transaction::Transaction(Database* db, TxnId id, bool active)
     : db_(db), id_(id), active_(active) {
-  if (active_ && db_ != nullptr) ++db_->open_txns_;
+  if (active_ && db_ != nullptr) {
+    db_->open_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Transaction::Transaction(Transaction&& other) noexcept
@@ -149,7 +175,9 @@ Transaction::~Transaction() {
 void Transaction::Finish() {
   if (active_) {
     active_ = false;
-    if (db_ != nullptr) --db_->open_txns_;
+    if (db_ != nullptr) {
+      db_->open_txns_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 }
 

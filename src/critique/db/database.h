@@ -1,8 +1,11 @@
 #ifndef CRITIQUE_DB_DATABASE_H_
 #define CRITIQUE_DB_DATABASE_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -21,6 +24,21 @@ namespace critique {
 /// future backends) without clients noticing.
 using EngineFactory = std::function<std::unique_ptr<Engine>()>;
 
+/// How sessions resolve lock conflicts (see `Database` thread-safety
+/// notes).
+enum class ConcurrencyMode {
+  /// Single-threaded cooperative protocol: conflicting operations answer
+  /// `kWouldBlock` and the caller (typically the step-wise `Runner`)
+  /// decides when to retry.  The default, and the mode every paper
+  /// schedule runs under.
+  kCooperative,
+  /// Thread-safe blocking protocol: conflicting operations park the
+  /// calling thread in the lock manager (deadlock detection + lock-wait
+  /// timeout) while other sessions keep running.  Drive one `Database`
+  /// from as many threads as you like, one transaction per thread.
+  kBlocking,
+};
+
 /// \brief Construction-time configuration of a `Database` session facade.
 struct DbOptions {
   DbOptions() = default;
@@ -38,6 +56,15 @@ struct DbOptions {
 
   /// Seed of the facade's deterministic RNG (schedule shuffles, jitter).
   uint64_t seed = 1;
+
+  /// Lock-conflict handling; `kBlocking` makes the database safe to drive
+  /// from many threads at once.
+  ConcurrencyMode mode = ConcurrencyMode::kCooperative;
+
+  /// Blocking mode only: how long one lock wait may last before it is
+  /// answered `kWouldBlock` ("lock wait timeout") and surfaces to the
+  /// retry protocol as an ordinary retryable failure.
+  std::chrono::milliseconds lock_wait_timeout{250};
 };
 
 /// \brief The public session facade over the engine SPI.
@@ -59,6 +86,29 @@ struct DbOptions {
 ///  * `Begin()` / `BeginWithId(t)` — explicit session handles for the
 ///    paper's step-wise interleavings (the `Runner` path), where the
 ///    schedule, not a policy, decides who advances.
+///
+/// Thread-safety guarantees (`ConcurrencyMode::kBlocking`):
+///
+///  * `Begin`, `BeginAtTimestamp`, `Execute`, `ForkRng`, and every
+///    `Transaction` operation are safe to call from any thread, provided
+///    each `Transaction` handle is driven by one thread at a time (the
+///    universal "one session per thread" contract).  Transaction ids, the
+///    open-transaction count, and the `execute_retries` counter are
+///    atomic; the engines serialize operation bodies internally and park
+///    lock waits outside their latches.
+///  * `rng()` hands out the facade's single deterministic RNG and is NOT
+///    synchronized: it belongs to the cooperative single-threaded style
+///    (the `Runner` path).  Concurrent workers call `ForkRng()` once per
+///    thread instead, which derives an independent deterministic stream
+///    under an internal mutex.
+///  * `history()` / `stats()` are cheap reference views for quiescent
+///    callers (no sessions in flight); while threads are mid-transaction
+///    use `HistorySnapshot()` / `StatsSnapshot()`.
+///  * Construction, destruction, and moves are not thread-safe; finish
+///    all sessions first (moves assert no transaction is open).
+///
+/// In the default `kCooperative` mode the facade is single-threaded and
+/// conflicting operations answer `kWouldBlock` for the schedule to retry.
 ///
 /// Movable (so factories can return one by value) but must not be moved
 /// while transactions are open — open `Transaction` handles point back at
@@ -89,6 +139,9 @@ class Database {
 
   /// The isolation level the underlying engine implements.
   IsolationLevel level() const { return engine_->level(); }
+
+  /// The lock-conflict handling mode this database was built with.
+  ConcurrencyMode mode() const { return mode_; }
 
   /// Loads an initial row before any transaction begins (bootstrap only).
   Status Load(const ItemId& id, Row row) {
@@ -127,20 +180,35 @@ class Database {
   /// retries are exhausted.
   Status Execute(const std::function<Status(Transaction&)>& body);
 
-  /// How many times `Execute` re-ran a body after a retryable failure.
-  uint64_t execute_retries() const { return execute_retries_; }
+  /// How many times `Execute` re-ran a body after a retryable failure
+  /// (across all threads).
+  uint64_t execute_retries() const {
+    return execute_retries_.load(std::memory_order_relaxed);
+  }
 
-  /// The history recorded by the engine so far.
+  /// The history recorded by the engine so far (quiescent view; see the
+  /// thread-safety notes).
   const History& history() const { return engine_->history(); }
 
-  /// Engine operation counters (see `EngineStats::ToString`).
+  /// Engine operation counters (quiescent view).
   const EngineStats& stats() const { return engine_->stats(); }
+
+  /// Copies safe to take while sessions are in flight.
+  History HistorySnapshot() const { return engine_->HistorySnapshot(); }
+  EngineStats StatsSnapshot() const { return engine_->StatsSnapshot(); }
 
   /// The retry protocol in force.
   const RetryPolicy& retry_policy() const { return *retry_; }
 
   /// The facade's deterministic RNG (seeded from `DbOptions::seed`).
+  /// Cooperative single-threaded use only — concurrent workers take a
+  /// `ForkRng()` stream each instead.
   Rng& rng() { return rng_; }
+
+  /// Derives an independent deterministic RNG stream from the facade RNG
+  /// (mutex-guarded; safe from any thread).  Typical use: one fork per
+  /// worker thread, taken before or after — never during — a run.
+  Rng ForkRng();
 
   /// SPI escape hatch for engine-specific maintenance and tests.  Clients
   /// of the session API should not need it.
@@ -148,17 +216,21 @@ class Database {
   const Engine& engine() const { return *engine_; }
 
   /// Open (still-active) transaction handles pointing at this database.
-  int open_transactions() const { return open_txns_; }
+  int open_transactions() const {
+    return open_txns_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Transaction;
 
   std::unique_ptr<Engine> engine_;
   std::shared_ptr<const RetryPolicy> retry_;
+  ConcurrencyMode mode_ = ConcurrencyMode::kCooperative;
+  std::mutex rng_mu_;  ///< guards rng_ for ForkRng
   Rng rng_;
-  TxnId next_id_ = 1;
-  uint64_t execute_retries_ = 0;
-  int open_txns_ = 0;
+  std::atomic<TxnId> next_id_{1};
+  std::atomic<uint64_t> execute_retries_{0};
+  std::atomic<int> open_txns_{0};
 };
 
 }  // namespace critique

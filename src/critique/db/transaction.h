@@ -31,12 +31,18 @@ class Database;
 ///
 ///  * an operation answered `kWouldBlock` left the engine unchanged and is
 ///    re-issued while the database's `RetryPolicy` allows (off by default;
-///    the step-wise `Runner` interleaves blocked steps instead);
+///    the step-wise `Runner` interleaves blocked steps instead — and in
+///    `ConcurrencyMode::kBlocking` the engine itself waits, so
+///    `kWouldBlock` only surfaces as a lock-wait timeout);
 ///  * `kDeadlock` / `kSerializationFailure` mean the engine already rolled
 ///    the transaction back — the handle marks itself finished so the
 ///    destructor stays quiet and later calls answer `kTransactionAborted`.
 ///
 /// Whole-transaction restarts live one level up, in `Database::Execute`.
+///
+/// Thread-safety: a handle may be used from any thread, but only one
+/// thread at a time — "one session per thread" (see the `Database`
+/// thread-safety notes).
 class Transaction {
  public:
   Transaction(Transaction&& other) noexcept;

@@ -1,9 +1,11 @@
 #ifndef CRITIQUE_ENGINE_ENGINE_H_
 #define CRITIQUE_ENGINE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,6 +16,7 @@
 #include "critique/common/status.h"
 #include "critique/engine/isolation.h"
 #include "critique/history/history.h"
+#include "critique/lock/lock_manager.h"
 #include "critique/model/predicate.h"
 #include "critique/model/row.h"
 
@@ -46,16 +49,72 @@ struct EngineStats {
 
 std::ostream& operator<<(std::ostream& os, const EngineStats& stats);
 
+/// How an engine resolves lock conflicts; set through
+/// `Engine::SetConcurrency` before any session starts.
+struct EngineConcurrency {
+  /// When true, lock conflicts park the calling thread (condition-variable
+  /// wait with deadlock detection) instead of answering `kWouldBlock`.
+  bool blocking_locks = false;
+
+  /// Blocking mode only: how long a lock wait may last before the engine
+  /// gives up and answers `kWouldBlock` ("lock wait timeout"), which the
+  /// session layer treats as a retryable whole-transaction failure.
+  std::chrono::milliseconds lock_wait_timeout{250};
+};
+
+/// \brief Serializes history appends and stats updates across concurrent
+/// sessions.
+///
+/// Engines mutate their recorded history and operation counters through
+/// this recorder only, so the pair stays consistent however many threads
+/// drive the engine.  The reference accessors are cheap views for quiescent
+/// callers (no sessions in flight — the normal read-the-results point);
+/// `HistorySnapshot` / `StatsSnapshot` copy under the recorder mutex for
+/// mid-run observers.
+class EngineRecorder {
+ public:
+  /// Appends `a`, bumping `*counter` (when non-null) atomically with it.
+  void Record(Action a, uint64_t EngineStats::*counter = nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (counter != nullptr) ++(stats_.*counter);
+    history_.Append(std::move(a));
+  }
+
+  /// Bumps `*counter` by `n` with no history append.
+  void Count(uint64_t EngineStats::*counter, uint64_t n = 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    (stats_.*counter) += n;
+  }
+
+  const History& history() const { return history_; }
+  const EngineStats& stats() const { return stats_; }
+
+  History HistorySnapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return history_;
+  }
+  EngineStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  History history_;
+  EngineStats stats_;
+};
+
 /// \brief The transaction-engine interface every isolation implementation
 /// satisfies: the locking levels of Table 2, Snapshot Isolation
 /// (Section 4.2), Oracle Read Consistency (Section 4.3) and the SSI
 /// extension.
 ///
-/// Cooperative protocol (single caller thread or external synchronization):
+/// Conflict protocol:
 ///
 ///  * `kWouldBlock` — the operation did nothing; the caller may retry it
 ///    later (after other transactions progress).  Models waiting on a
-///    conflicting lock.
+///    conflicting lock in cooperative mode; in blocking mode it is only
+///    answered after a lock wait timed out.
 ///  * `kDeadlock` — the lock manager chose this transaction as a deadlock
 ///    victim; the engine has already rolled it back (undo applied, locks
 ///    released, `a<t>` recorded).
@@ -65,14 +124,33 @@ std::ostream& operator<<(std::ostream& os, const EngineStats& stats);
 ///  * `kTransactionAborted` — operation on a transaction that is not
 ///    active (never begun, already finished, or rolled back earlier).
 ///
+/// Thread-safety contract (the stock engines all honor it): every
+/// operation is safe to call from any thread, provided each transaction is
+/// driven by one thread at a time.  Implementations serialize operation
+/// bodies behind an internal latch and route every history append / stats
+/// update through the `EngineRecorder`; in blocking mode, lock waits park
+/// *outside* the latch so other sessions keep running while a thread
+/// sleeps.  `SetConcurrency` must be called before the first session
+/// begins (the `Database` facade does this from its constructor).
+///
 /// Every executed operation is recorded into `history()` with observed
 /// values, row images, and (for multiversion engines) version subscripts,
 /// so any run can be fed to the analysis layer: the engines *produce*
 /// histories, the detectors *judge* them, and the two views must agree —
-/// the property the test suite leans on hardest.
+/// the property the test suite leans on hardest.  Concurrent runs record
+/// the engine's own linearization of the actions, so the recorded history
+/// is judged exactly like a cooperative one.
 class Engine {
  public:
   virtual ~Engine() = default;
+
+  /// Selects cooperative (`kWouldBlock`) vs blocking lock-conflict
+  /// handling.  Call before any session starts; engines without locks
+  /// (Snapshot Isolation) accept and ignore it.
+  virtual void SetConcurrency(EngineConcurrency c) { concurrency_ = c; }
+
+  /// The conflict-handling mode in force.
+  const EngineConcurrency& concurrency() const { return concurrency_; }
 
   /// Engine display name ("Locking READ COMMITTED (Degree 2)", ...).
   virtual std::string name() const { return IsolationLevelName(level()); }
@@ -183,14 +261,37 @@ class Engine {
   /// Rolls back (application-initiated ROLLBACK).
   virtual Status Abort(TxnId txn) = 0;
 
-  /// The history recorded so far.
-  const History& history() const { return history_; }
+  /// The history recorded so far.  Reference view for quiescent callers;
+  /// use `HistorySnapshot` while sessions are in flight.
+  const History& history() const { return recorder_.history(); }
 
-  const EngineStats& stats() const { return stats_; }
+  /// Operation counters.  Reference view for quiescent callers; use
+  /// `StatsSnapshot` while sessions are in flight.
+  const EngineStats& stats() const { return recorder_.stats(); }
+
+  /// Copies of history / stats taken under the recorder mutex, safe while
+  /// other threads are mid-operation.
+  History HistorySnapshot() const { return recorder_.HistorySnapshot(); }
+  EngineStats StatsSnapshot() const { return recorder_.StatsSnapshot(); }
 
  protected:
-  History history_;
-  EngineStats stats_;
+  /// Shared lock-acquisition protocol for lock-based engines: cooperative
+  /// `TryAcquire`, or — in blocking mode — `Acquire` parked with the
+  /// caller's latch `lk` dropped (and re-taken before returning), so
+  /// conflicting sessions can run their releasing operations.  `timeout`
+  /// is this call's wait budget (callers redoing an acquire pass the
+  /// remaining budget, so one operation never waits longer than the
+  /// configured lock-wait timeout in total); non-positive budgets answer
+  /// `kWouldBlock` immediately on conflict.  Counts `blocked_ops` on a
+  /// conflict answer; on a deadlock verdict counts `deadlock_aborts` and
+  /// runs `rollback_requester` under the re-taken latch before returning.
+  Result<LockHandle> AcquireLockWithProtocol(
+      LockManager& lm, std::unique_lock<std::mutex>& lk, const LockSpec& spec,
+      std::chrono::milliseconds timeout,
+      const std::function<void()>& rollback_requester);
+
+  EngineRecorder recorder_;
+  EngineConcurrency concurrency_;
 };
 
 }  // namespace critique

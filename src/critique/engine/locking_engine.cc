@@ -19,11 +19,13 @@ LockingEngine::LockingEngine(IsolationLevel level)
 }
 
 Status LockingEngine::Load(const ItemId& id, Row row) {
+  std::unique_lock<std::mutex> lk(mu_);
   store_.Put(id, std::move(row));
   return Status::OK();
 }
 
 Status LockingEngine::Begin(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -51,45 +53,59 @@ void LockingEngine::Rollback(TxnId txn) {
   st.active = false;
   st.cursors.clear();
   lock_manager_.ReleaseAll(txn);
-  history_.Append(Action::Abort(txn));
+  recorder_.Record(Action::Abort(txn));
 }
 
-Result<LockHandle> LockingEngine::Acquire(TxnId txn, const LockSpec& spec) {
-  Result<LockHandle> r = lock_manager_.TryAcquire(spec);
-  if (r.ok()) return r;
-  if (r.status().IsWouldBlock()) {
-    ++stats_.blocked_ops;
-    return r;
+Result<LockHandle> LockingEngine::Acquire(std::unique_lock<std::mutex>& lk,
+                                          TxnId txn, const LockSpec& spec) {
+  // One wait budget for the whole operation, shared across image-redo
+  // iterations: an operation may never wait longer than the configured
+  // lock-wait timeout in total.
+  const auto deadline =
+      std::chrono::steady_clock::now() + concurrency_.lock_wait_timeout;
+  LockSpec cur = spec;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    Result<LockHandle> r = AcquireLockWithProtocol(
+        lock_manager_, lk, cur, remaining, [&] { Rollback(txn); });
+    if (!r.ok() || !concurrency_.blocking_locks || !cur.is_item) return r;
+    // Blocking mode: the wait (and the conflict decisions that granted
+    // the lock) ran with the latch dropped, so the item's before-image in
+    // the spec may predate the grant.  Image precision is what makes
+    // predicate-vs-item conflicts phantom-exact (Section 2.3), both for
+    // this request and for later requests checked against the now-held
+    // lock — so on staleness, drop the grant and redo the acquire with
+    // the fresh image.
+    std::optional<Row> now = store_.Get(cur.item);
+    if (now == cur.before_image) return r;
+    lock_manager_.Release(*r);
+    cur.before_image = std::move(now);
   }
-  if (r.status().IsDeadlock()) {
-    ++stats_.deadlock_aborts;
-    Rollback(txn);
-  }
-  return r;
 }
 
-Result<std::optional<Row>> LockingEngine::DoRead(TxnId txn, const ItemId& id,
-                                                 Action::Type type,
-                                                 const std::string& cursor) {
+Result<std::optional<Row>> LockingEngine::DoRead(
+    std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+    Action::Type type, const std::string& cursor) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
 
   LockHandle handle = 0;
   if (policy_.read_locks) {
     LockSpec spec = LockSpec::ReadItem(txn, id, store_.Get(id));
-    CRITIQUE_ASSIGN_OR_RETURN(handle, Acquire(txn, spec));
+    CRITIQUE_ASSIGN_OR_RETURN(handle, Acquire(lk, txn, spec));
   }
 
+  // Post-lock read: in blocking mode the wait released the latch, so the
+  // image attached to the lock request may predate the grant.
   std::optional<Row> row = store_.Get(id);
   Action a = type == Action::Type::kCursorRead
                  ? Action::CursorRead(txn, id, HistoryValue(row))
                  : Action::Read(txn, id, HistoryValue(row));
-  history_.Append(std::move(a));
-  ++stats_.reads;
+  recorder_.Record(std::move(a), &EngineStats::reads);
 
   if (type == Action::Type::kCursorRead && policy_.cursor_stability) {
     // The cursor moved: drop the previous position's lock, hold this one.
-    CursorState& cs = st.cursors[cursor];
+    CursorState& cs = txns_[txn].cursors[cursor];
     if (cs.lock != 0) lock_manager_.Release(cs.lock);
     cs.item = id;
     cs.lock = handle;  // held until the cursor moves or closes
@@ -100,27 +116,31 @@ Result<std::optional<Row>> LockingEngine::DoRead(TxnId txn, const ItemId& id,
 }
 
 Result<std::optional<Row>> LockingEngine::Read(TxnId txn, const ItemId& id) {
-  return DoRead(txn, id, Action::Type::kRead);
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoRead(lk, txn, id, Action::Type::kRead);
 }
 
 Result<std::optional<Row>> LockingEngine::FetchCursor(TxnId txn,
                                                       const ItemId& id) {
-  return DoRead(txn, id, Action::Type::kCursorRead, "");
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoRead(lk, txn, id, Action::Type::kCursorRead, "");
 }
 
 Result<std::optional<Row>> LockingEngine::FetchCursorNamed(
     TxnId txn, const std::string& cursor, const ItemId& id) {
-  return DoRead(txn, id, Action::Type::kCursorRead, cursor);
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoRead(lk, txn, id, Action::Type::kCursorRead, cursor);
 }
 
 Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
     TxnId txn, const std::string& name, const Predicate& pred) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
 
   LockHandle handle = 0;
   if (policy_.read_locks) {
     CRITIQUE_ASSIGN_OR_RETURN(
-        handle, Acquire(txn, LockSpec::ReadPredicate(txn, pred)));
+        handle, Acquire(lk, txn, LockSpec::ReadPredicate(txn, pred)));
   }
 
   auto rows = store_.Scan(pred);
@@ -129,8 +149,7 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
     (void)row;
     a.read_set.push_back(id);
   }
-  history_.Append(std::move(a));
-  ++stats_.predicate_reads;
+  recorder_.Record(std::move(a), &EngineStats::predicate_reads);
 
   if (handle != 0 && policy_.pred_read == LockDuration::kShort) {
     lock_manager_.Release(handle);
@@ -138,16 +157,30 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
   return rows;
 }
 
-Status LockingEngine::DoWrite(TxnId txn, const ItemId& id,
-                              std::optional<Row> new_row, Action::Type type,
-                              bool is_insert) {
+Status LockingEngine::DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn,
+                              const ItemId& id, std::optional<Row> new_row,
+                              Action::Type type, bool is_insert) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
 
   std::optional<Row> before = store_.Get(id);
   LockSpec spec = LockSpec::WriteItem(txn, id, before, new_row);
-  CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle, Acquire(txn, spec));
+  CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle, Acquire(lk, txn, spec));
 
+  // The X lock now serializes writers of `id`: this is the first point
+  // where existence can be decided from committed (or own) state, and
+  // where the before-image for undo/history is stable.
+  before = store_.Get(id);
+  if (is_insert && before.has_value()) {
+    lock_manager_.Release(handle);
+    return Status::FailedPrecondition("insert: item '" + id + "' exists");
+  }
+  const bool is_delete = !new_row.has_value();
+  if (is_delete && !before.has_value()) {
+    lock_manager_.Release(handle);
+    return Status::NotFound("delete: item '" + id + "' absent");
+  }
+
+  TxnState& st = txns_[txn];
   st.undo.push_back(UndoRecord{id, before});
   if (new_row.has_value()) {
     store_.Put(id, *new_row);
@@ -161,8 +194,7 @@ Status LockingEngine::DoWrite(TxnId txn, const ItemId& id,
   a.before_image = std::move(before);
   a.after_image = std::move(new_row);
   a.is_insert = is_insert;
-  history_.Append(std::move(a));
-  ++stats_.writes;
+  recorder_.Record(std::move(a), &EngineStats::writes);
 
   if (policy_.write == LockDuration::kShort) {
     lock_manager_.Release(handle);  // Degree 0: action atomicity only
@@ -171,41 +203,41 @@ Status LockingEngine::DoWrite(TxnId txn, const ItemId& id,
 }
 
 Status LockingEngine::Write(TxnId txn, const ItemId& id, Row row) {
-  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/false);
 }
 
 Status LockingEngine::Insert(TxnId txn, const ItemId& id, Row row) {
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  if (store_.Contains(id)) {
-    return Status::FailedPrecondition("insert: item '" + id + "' exists");
-  }
-  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+  // No pre-lock existence check: the store is single-version and
+  // in-place, so pre-lock state may be another transaction's uncommitted
+  // write — only DoWrite's post-X-lock re-check can decide the
+  // precondition without reading dirty data.
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/true);
 }
 
 Status LockingEngine::Delete(TxnId txn, const ItemId& id) {
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  if (!store_.Contains(id)) {
-    return Status::NotFound("delete: item '" + id + "' absent");
-  }
-  return DoWrite(txn, id, std::nullopt, Action::Type::kWrite,
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::nullopt, Action::Type::kWrite,
                  /*is_insert=*/false);
 }
 
 Result<size_t> LockingEngine::DoPredicateWrite(
-    TxnId txn, const std::string& name, const Predicate& pred,
+    std::unique_lock<std::mutex>& lk, TxnId txn, const std::string& name,
+    const Predicate& pred,
     const std::function<std::optional<Row>(const Row&)>& transform) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
 
   // "Write locks on data items and predicates (always the same)": the
   // bulk write takes a Write predicate lock covering current rows and
   // phantoms alike.
-  CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle,
-                            Acquire(txn, LockSpec::WritePredicate(txn, pred)));
+  CRITIQUE_ASSIGN_OR_RETURN(
+      LockHandle handle, Acquire(lk, txn, LockSpec::WritePredicate(txn, pred)));
 
-  auto rows = store_.Scan(pred);
+  TxnState& st = txns_[txn];
+  auto rows = store_.Scan(pred);  // post-lock scan
   Action a = Action::PredicateWrite(txn, name, pred);
   for (const auto& [id, row] : rows) {
     st.undo.push_back(UndoRecord{id, row});
@@ -216,9 +248,9 @@ Result<size_t> LockingEngine::DoPredicateWrite(
       store_.Erase(id);
     }
     a.read_set.push_back(id);
-    ++stats_.writes;
   }
-  history_.Append(std::move(a));
+  recorder_.Count(&EngineStats::writes, rows.size());
+  recorder_.Record(std::move(a));
 
   if (policy_.write == LockDuration::kShort) lock_manager_.Release(handle);
   return rows.size();
@@ -227,8 +259,9 @@ Result<size_t> LockingEngine::DoPredicateWrite(
 Result<size_t> LockingEngine::UpdateWhere(
     TxnId txn, const std::string& name, const Predicate& pred,
     const std::function<Row(const Row&)>& transform) {
+  std::unique_lock<std::mutex> lk(mu_);
   return DoPredicateWrite(
-      txn, name, pred,
+      lk, txn, name, pred,
       [&transform](const Row& row) -> std::optional<Row> {
         return transform(row);
       });
@@ -236,8 +269,9 @@ Result<size_t> LockingEngine::UpdateWhere(
 
 Result<size_t> LockingEngine::DeleteWhere(TxnId txn, const std::string& name,
                                           const Predicate& pred) {
+  std::unique_lock<std::mutex> lk(mu_);
   return DoPredicateWrite(
-      txn, name, pred,
+      lk, txn, name, pred,
       [](const Row&) -> std::optional<Row> { return std::nullopt; });
 }
 
@@ -245,7 +279,8 @@ Status LockingEngine::WriteCursor(TxnId txn, const ItemId& id, Row row) {
   // "The Fetching transaction can update the row, and in that case a write
   // lock will be held on the row until the transaction commits" — DoWrite
   // takes the long X lock; the cursor's S lock is subsumed.
-  return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kCursorWrite,
                  /*is_insert=*/false);
 }
 
@@ -254,6 +289,7 @@ Status LockingEngine::CloseCursor(TxnId txn) {
 }
 
 Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
   auto it = st.cursors.find(cursor);
@@ -265,21 +301,22 @@ Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
 }
 
 Status LockingEngine::Commit(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
   st.active = false;
   st.undo.clear();
   st.cursors.clear();
-  history_.Append(Action::Commit(txn));
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   lock_manager_.ReleaseAll(txn);
-  ++stats_.commits;
   return Status::OK();
 }
 
 Status LockingEngine::Abort(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
-  ++stats_.aborts;
+  recorder_.Count(&EngineStats::aborts);
   return Status::OK();
 }
 

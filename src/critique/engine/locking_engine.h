@@ -2,6 +2,7 @@
 #define CRITIQUE_ENGINE_LOCKING_ENGINE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,11 @@ namespace critique {
 /// predicate-lock conflicts phantom-precise; rollback restores
 /// before-images in LIFO order (possible exactly because long write locks
 /// preclude P0, Section 3).
+///
+/// Thread-safe per the `Engine` contract: an internal latch serializes
+/// operation bodies; in blocking mode lock waits run with the latch
+/// dropped, so concurrent sessions progress (and release locks) while a
+/// thread is parked in the lock manager.
 class LockingEngine : public Engine {
  public:
   /// Creates an engine for one of the Table 2 levels (asserts otherwise).
@@ -78,35 +84,46 @@ class LockingEngine : public Engine {
   };
 
   /// Status when `txn` is not active (kTransactionAborted) or OK.
+  /// Requires `mu_` held.
   Status CheckActive(TxnId txn) const;
 
   /// Rolls `txn` back: undo LIFO, release locks, record `a<txn>`.
+  /// Requires `mu_` held.
   void Rollback(TxnId txn);
 
   /// Acquire with engine-side handling: on kDeadlock the transaction is
-  /// rolled back before the status is returned.
-  Result<LockHandle> Acquire(TxnId txn, const LockSpec& spec);
+  /// rolled back before the status is returned.  In blocking mode the wait
+  /// runs with `lk` (the engine latch) dropped, so store/txn state read
+  /// before the call may be stale afterwards — re-read under the re-taken
+  /// latch.
+  Result<LockHandle> Acquire(std::unique_lock<std::mutex>& lk, TxnId txn,
+                             const LockSpec& spec);
 
   /// Shared write path for Write / Insert / Delete / WriteCursor
-  /// (`new_row == nullopt` deletes).
-  Status DoWrite(TxnId txn, const ItemId& id, std::optional<Row> new_row,
-                 Action::Type type, bool is_insert);
+  /// (`new_row == nullopt` deletes).  Requires `lk` held on entry.
+  Status DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+                 std::optional<Row> new_row, Action::Type type,
+                 bool is_insert);
 
   /// Shared bulk-write path for UpdateWhere / DeleteWhere.  Takes a long
   /// Write predicate lock, then applies `transform` (nullopt result
   /// deletes) to every matching row under one recorded `w<t>[P]` action.
   Result<size_t> DoPredicateWrite(
-      TxnId txn, const std::string& name, const Predicate& pred,
+      std::unique_lock<std::mutex>& lk, TxnId txn, const std::string& name,
+      const Predicate& pred,
       const std::function<std::optional<Row>(const Row&)>& transform);
 
   /// Shared read path for Read / FetchCursor (`cursor` names the cursor
-  /// when `type` is kCursorRead).
-  Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
+  /// when `type` is kCursorRead).  Requires `lk` held on entry.
+  Result<std::optional<Row>> DoRead(std::unique_lock<std::mutex>& lk,
+                                    TxnId txn, const ItemId& id,
                                     Action::Type type,
                                     const std::string& cursor = "");
 
   IsolationLevel level_;
   LockingPolicy policy_;
+  /// Latch over store_/txns_ and operation bodies (see class comment).
+  mutable std::mutex mu_;
   SingleVersionStore store_;
   LockManager lock_manager_;
   std::map<TxnId, TxnState> txns_;

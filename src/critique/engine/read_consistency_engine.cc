@@ -11,11 +11,13 @@ std::optional<Value> HistoryValue(const std::optional<Row>& row) {
 }  // namespace
 
 Status ReadConsistencyEngine::Load(const ItemId& id, Row row) {
+  std::unique_lock<std::mutex> lk(mu_);
   store_.Bootstrap(id, std::move(row), clock_.Tick());
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Begin(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -38,25 +40,20 @@ void ReadConsistencyEngine::Rollback(TxnId txn) {
   txns_[txn].active = false;
   store_.AbortTxn(txn);
   lock_manager_.ReleaseAll(txn);
-  history_.Append(Action::Abort(txn));
+  recorder_.Record(Action::Abort(txn));
 }
 
 Result<LockHandle> ReadConsistencyEngine::AcquireWriteLock(
-    TxnId txn, const ItemId& id, std::optional<Row> after) {
+    std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+    std::optional<Row> after) {
   std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
   LockSpec spec = LockSpec::WriteItem(txn, id, std::move(before),
                                       std::move(after));
-  Result<LockHandle> r = lock_manager_.TryAcquire(spec);
-  if (r.ok()) return r;
-  if (r.status().IsWouldBlock()) {
-    ++stats_.blocked_ops;
-    return r;
-  }
-  if (r.status().IsDeadlock()) {
-    ++stats_.deadlock_aborts;
-    Rollback(txn);
-  }
-  return r;
+  // (No image-staleness redo here: this engine takes no predicate locks,
+  // so its conflicts are decided by item identity alone.)
+  return AcquireLockWithProtocol(lock_manager_, lk, spec,
+                                 concurrency_.lock_wait_timeout,
+                                 [&] { Rollback(txn); });
 }
 
 Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
@@ -76,22 +73,23 @@ Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
       a.value = HistoryValue(row);
     }
   }
-  history_.Append(std::move(a));
-  ++stats_.reads;
+  recorder_.Record(std::move(a), &EngineStats::reads);
   return row;
 }
 
 Result<std::optional<Row>> ReadConsistencyEngine::Read(TxnId txn,
                                                        const ItemId& id) {
+  std::unique_lock<std::mutex> lk(mu_);
   return DoRead(txn, id, Action::Type::kRead);
 }
 
 Result<std::optional<Row>> ReadConsistencyEngine::FetchCursor(
     TxnId txn, const ItemId& id) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   // SELECT ... FOR UPDATE: the write lock at fetch is what rules out P4C.
   CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
-                            AcquireWriteLock(txn, id, std::nullopt));
+                            AcquireWriteLock(lk, txn, id, std::nullopt));
   (void)h;  // long duration; released at commit/abort
   return DoRead(txn, id, Action::Type::kCursorRead);
 }
@@ -99,6 +97,7 @@ Result<std::optional<Row>> ReadConsistencyEngine::FetchCursor(
 Result<std::vector<std::pair<ItemId, Row>>>
 ReadConsistencyEngine::ReadPredicate(TxnId txn, const std::string& name,
                                      const Predicate& pred) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   const Timestamp stmt_ts = clock_.Now();
   auto rows = store_.Scan(pred, stmt_ts, txn);
@@ -107,21 +106,35 @@ ReadConsistencyEngine::ReadPredicate(TxnId txn, const std::string& name,
     (void)row;
     a.read_set.push_back(id);
   }
-  history_.Append(std::move(a));
-  ++stats_.predicate_reads;
+  recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   return rows;
 }
 
-Status ReadConsistencyEngine::DoWrite(TxnId txn, const ItemId& id,
+Status ReadConsistencyEngine::DoWrite(std::unique_lock<std::mutex>& lk,
+                                      TxnId txn, const ItemId& id,
                                       std::optional<Row> new_row,
                                       Action::Type type, bool is_insert,
                                       bool already_locked) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   if (!already_locked) {
     CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
-                              AcquireWriteLock(txn, id, new_row));
-    (void)h;
+                              AcquireWriteLock(lk, txn, id, new_row));
+    // A blocking wait released the latch, so the Insert/Delete
+    // preconditions checked before it may have been decided by a
+    // concurrent committer; the granted X lock now makes the re-check
+    // stable.
+    const std::optional<Row> committed = store_.Read(id, clock_.Now(), txn);
+    if (is_insert && committed.has_value()) {
+      lock_manager_.Release(h);
+      return Status::FailedPrecondition("insert: item '" + id + "' exists");
+    }
+    if (!new_row.has_value() && !committed.has_value()) {
+      lock_manager_.Release(h);
+      return Status::NotFound("delete: item '" + id + "' absent");
+    }
   }
+  // Post-lock read: statement-level write consistency against the latest
+  // committed value at lock-grant time.
   std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
   if (new_row.has_value()) {
     store_.Write(id, *new_row, txn);
@@ -135,76 +148,82 @@ Status ReadConsistencyEngine::DoWrite(TxnId txn, const ItemId& id,
   a.before_image = std::move(before);
   a.after_image = std::move(new_row);
   a.is_insert = is_insert;
-  history_.Append(std::move(a));
-  ++stats_.writes;
+  recorder_.Record(std::move(a), &EngineStats::writes);
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Write(TxnId txn, const ItemId& id, Row row) {
-  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/false, /*already_locked=*/false);
 }
 
 Status ReadConsistencyEngine::Insert(TxnId txn, const ItemId& id, Row row) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   if (store_.Read(id, clock_.Now(), txn).has_value()) {
     return Status::FailedPrecondition("insert: item '" + id + "' exists");
   }
-  return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/true, /*already_locked=*/false);
 }
 
 Status ReadConsistencyEngine::Delete(TxnId txn, const ItemId& id) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   if (!store_.Read(id, clock_.Now(), txn).has_value()) {
     return Status::NotFound("delete: item '" + id + "' absent");
   }
-  return DoWrite(txn, id, std::nullopt, Action::Type::kWrite,
+  return DoWrite(lk, txn, id, std::nullopt, Action::Type::kWrite,
                  /*is_insert=*/false, /*already_locked=*/false);
 }
 
 Status ReadConsistencyEngine::WriteCursor(TxnId txn, const ItemId& id,
                                           Row row) {
   // The fetch already holds the write lock.
-  return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
+  std::unique_lock<std::mutex> lk(mu_);
+  return DoWrite(lk, txn, id, std::move(row), Action::Type::kCursorWrite,
                  /*is_insert=*/false, /*already_locked=*/true);
 }
 
 Status ReadConsistencyEngine::CloseCursor(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   return CheckActive(txn);
 }
 
 Status ReadConsistencyEngine::Update(
     TxnId txn, const ItemId& id,
     const std::function<Row(const std::optional<Row>&)>& transform) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   // Statement-level write consistency: lock first, then apply the
   // transform to the most recent committed value ("the underlying
   // mechanism recomputes the appropriate version of the row as of the
   // statement timestamp").
   CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
-                            AcquireWriteLock(txn, id, std::nullopt));
+                            AcquireWriteLock(lk, txn, id, std::nullopt));
   (void)h;
   CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> current,
                             DoRead(txn, id, Action::Type::kRead));
-  return DoWrite(txn, id, transform(current), Action::Type::kWrite,
+  return DoWrite(lk, txn, id, transform(current), Action::Type::kWrite,
                  /*is_insert=*/false, /*already_locked=*/true);
 }
 
 Status ReadConsistencyEngine::Commit(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   txns_[txn].active = false;
   store_.CommitTxn(txn, clock_.Tick());
-  history_.Append(Action::Commit(txn));
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   lock_manager_.ReleaseAll(txn);
-  ++stats_.commits;
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Abort(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
-  ++stats_.aborts;
+  recorder_.Count(&EngineStats::aborts);
   return Status::OK();
 }
 

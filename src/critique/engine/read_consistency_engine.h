@@ -2,6 +2,7 @@
 #define CRITIQUE_ENGINE_READ_CONSISTENCY_ENGINE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,10 @@ namespace critique {
 ///  * still allows non-repeatable reads (P2/P3), *general* lost updates
 ///    (P4, via application-level read-then-write across statements) and
 ///    read skew (A5A).
+///
+/// Thread-safe per the `Engine` contract: an internal latch serializes
+/// operation bodies; in blocking mode write-lock waits run with the latch
+/// dropped so concurrent sessions keep progressing.
 class ReadConsistencyEngine : public Engine {
  public:
   ReadConsistencyEngine() = default;
@@ -58,15 +63,21 @@ class ReadConsistencyEngine : public Engine {
     bool active = false;
   };
 
+  // Private helpers require `mu_` held; AcquireWriteLock and DoWrite may
+  // drop and re-take `lk` around a blocking lock wait.
   Status CheckActive(TxnId txn) const;
   void Rollback(TxnId txn);
-  Result<LockHandle> AcquireWriteLock(TxnId txn, const ItemId& id,
+  Result<LockHandle> AcquireWriteLock(std::unique_lock<std::mutex>& lk,
+                                      TxnId txn, const ItemId& id,
                                       std::optional<Row> after);
-  Status DoWrite(TxnId txn, const ItemId& id, std::optional<Row> new_row,
-                 Action::Type type, bool is_insert, bool already_locked);
+  Status DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+                 std::optional<Row> new_row, Action::Type type, bool is_insert,
+                 bool already_locked);
   Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
                                     Action::Type type);
 
+  /// Latch over clock_/store_/txns_ and operation bodies.
+  mutable std::mutex mu_;
   LogicalClock clock_;
   MultiVersionStore store_;
   LockManager lock_manager_;

@@ -15,15 +15,22 @@ SnapshotIsolationEngine::SnapshotIsolationEngine(
     : options_(options) {}
 
 Status SnapshotIsolationEngine::Load(const ItemId& id, Row row) {
+  std::lock_guard<std::mutex> lk(mu_);
   store_.Bootstrap(id, std::move(row), clock_.Tick());
   return Status::OK();
 }
 
 Status SnapshotIsolationEngine::Begin(TxnId txn) {
-  return BeginAt(txn, clock_.Tick());
+  std::lock_guard<std::mutex> lk(mu_);
+  return BeginAtLocked(txn, clock_.Tick());
 }
 
 Status SnapshotIsolationEngine::BeginAt(TxnId txn, Timestamp ts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return BeginAtLocked(txn, ts);
+}
+
+Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -50,8 +57,7 @@ Status SnapshotIsolationEngine::AbortInternal(TxnId txn, Status reason) {
   st.active = false;
   st.aborted = true;
   store_.AbortTxn(txn);
-  history_.Append(Action::Abort(txn));
-  ++stats_.serialization_aborts;
+  recorder_.Record(Action::Abort(txn), &EngineStats::serialization_aborts);
   return reason;
 }
 
@@ -138,27 +144,29 @@ Result<std::optional<Row>> SnapshotIsolationEngine::DoRead(TxnId txn,
       a.value = HistoryValue(row);
     }
   }
-  history_.Append(std::move(a));
+  recorder_.Record(std::move(a), &EngineStats::reads);
   st.read_set.insert(id);
   TrackReadConflicts(txn, id);
-  ++stats_.reads;
   return row;
 }
 
 Result<std::optional<Row>> SnapshotIsolationEngine::Read(TxnId txn,
                                                          const ItemId& id) {
+  std::lock_guard<std::mutex> lk(mu_);
   return DoRead(txn, id, Action::Type::kRead);
 }
 
 Result<std::optional<Row>> SnapshotIsolationEngine::FetchCursor(
     TxnId txn, const ItemId& id) {
   // Snapshot reads never block; a cursor adds nothing under SI.
+  std::lock_guard<std::mutex> lk(mu_);
   return DoRead(txn, id, Action::Type::kCursorRead);
 }
 
 Result<std::vector<std::pair<ItemId, Row>>>
 SnapshotIsolationEngine::ReadPredicate(TxnId txn, const std::string& name,
                                        const Predicate& pred) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
 
@@ -185,8 +193,7 @@ SnapshotIsolationEngine::ReadPredicate(TxnId txn, const std::string& name,
       }
     }
   }
-  history_.Append(std::move(a));
-  ++stats_.predicate_reads;
+  recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   return rows;
 }
 
@@ -219,18 +226,19 @@ Status SnapshotIsolationEngine::DoWrite(TxnId txn, const ItemId& id,
   a.before_image = before;
   a.after_image = new_row;
   a.is_insert = is_insert;
-  history_.Append(std::move(a));
+  recorder_.Record(std::move(a), &EngineStats::writes);
   TrackWriteConflicts(txn, id, before, new_row);
-  ++stats_.writes;
   return Status::OK();
 }
 
 Status SnapshotIsolationEngine::Write(TxnId txn, const ItemId& id, Row row) {
+  std::lock_guard<std::mutex> lk(mu_);
   return DoWrite(txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/false);
 }
 
 Status SnapshotIsolationEngine::Insert(TxnId txn, const ItemId& id, Row row) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   if (store_.Read(id, txns_[txn].start_ts, txn).has_value()) {
     return Status::FailedPrecondition("insert: item '" + id +
@@ -241,6 +249,7 @@ Status SnapshotIsolationEngine::Insert(TxnId txn, const ItemId& id, Row row) {
 }
 
 Status SnapshotIsolationEngine::Delete(TxnId txn, const ItemId& id) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   if (!store_.Read(id, txns_[txn].start_ts, txn).has_value()) {
     return Status::NotFound("delete: item '" + id + "' not visible");
@@ -252,6 +261,7 @@ Status SnapshotIsolationEngine::Delete(TxnId txn, const ItemId& id) {
 Result<size_t> SnapshotIsolationEngine::UpdateWhere(
     TxnId txn, const std::string& name, const Predicate& pred,
     const std::function<Row(const Row&)>& transform) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
   auto rows = store_.Scan(pred, st.start_ts, txn);
@@ -263,15 +273,16 @@ Result<size_t> SnapshotIsolationEngine::UpdateWhere(
     st.write_set.insert(id);
     a.read_set.push_back(id);
     TrackWriteConflicts(txn, id, row, next);
-    ++stats_.writes;
   }
-  history_.Append(std::move(a));
+  recorder_.Count(&EngineStats::writes, rows.size());
+  recorder_.Record(std::move(a));
   return rows.size();
 }
 
 Result<size_t> SnapshotIsolationEngine::DeleteWhere(TxnId txn,
                                                     const std::string& name,
                                                     const Predicate& pred) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
   auto rows = store_.Scan(pred, st.start_ts, txn);
@@ -282,23 +293,28 @@ Result<size_t> SnapshotIsolationEngine::DeleteWhere(TxnId txn,
     st.write_set.insert(id);
     a.read_set.push_back(id);
     TrackWriteConflicts(txn, id, row, std::nullopt);
-    ++stats_.writes;
   }
-  history_.Append(std::move(a));
+  recorder_.Count(&EngineStats::writes, rows.size());
+  recorder_.Record(std::move(a));
   return rows.size();
 }
 
 Status SnapshotIsolationEngine::WriteCursor(TxnId txn, const ItemId& id,
                                             Row row) {
+  std::lock_guard<std::mutex> lk(mu_);
   return DoWrite(txn, id, std::move(row), Action::Type::kCursorWrite,
                  /*is_insert=*/false);
 }
 
 Status SnapshotIsolationEngine::CloseCursor(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
   return CheckActive(txn);
 }
 
 Status SnapshotIsolationEngine::Commit(TxnId txn) {
+  // The latch makes First-Committer-Wins validation and the commit itself
+  // one atomic step with respect to concurrent committers.
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
 
@@ -324,23 +340,23 @@ Status SnapshotIsolationEngine::Commit(TxnId txn) {
   st.active = false;
   st.committed = true;
   store_.CommitTxn(txn, st.commit_ts);
-  history_.Append(Action::Commit(txn));
-  ++stats_.commits;
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   return Status::OK();
 }
 
 Status SnapshotIsolationEngine::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   TxnState& st = txns_[txn];
   st.active = false;
   st.aborted = true;
   store_.AbortTxn(txn);
-  history_.Append(Action::Abort(txn));
-  ++stats_.aborts;
+  recorder_.Record(Action::Abort(txn), &EngineStats::aborts);
   return Status::OK();
 }
 
 size_t SnapshotIsolationEngine::GarbageCollect() {
+  std::lock_guard<std::mutex> lk(mu_);
   Timestamp watermark = clock_.Now();
   for (const auto& [t, st] : txns_) {
     (void)t;

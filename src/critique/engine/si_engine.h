@@ -2,6 +2,7 @@
 #define CRITIQUE_ENGINE_SI_ENGINE_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -34,6 +35,11 @@ struct SnapshotIsolationOptions {
 /// "A transaction running in Snapshot Isolation is never blocked attempting
 /// a read": no operation of this engine ever returns kWouldBlock; conflicts
 /// surface only as kSerializationFailure aborts.
+///
+/// Thread-safe per the `Engine` contract: one internal latch serializes
+/// operation bodies (nothing ever waits inside it — SI has no lock waits),
+/// which also makes the First-Committer-Wins validate-then-commit step
+/// atomic under concurrent sessions.
 class SnapshotIsolationEngine : public Engine {
  public:
   explicit SnapshotIsolationEngine(SnapshotIsolationOptions options = {});
@@ -101,6 +107,8 @@ class SnapshotIsolationEngine : public Engine {
     std::set<TxnId> out_to;
   };
 
+  // Private helpers all require `mu_` held.
+  Status BeginAtLocked(TxnId txn, Timestamp ts);
   Status CheckActive(TxnId txn) const;
   Status AbortInternal(TxnId txn, Status reason);
   Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
@@ -121,6 +129,8 @@ class SnapshotIsolationEngine : public Engine {
   bool SsiPivot(const TxnState& st) const;
 
   SnapshotIsolationOptions options_;
+  /// Latch over clock_/store_/txns_ and operation bodies.
+  mutable std::mutex mu_;
   LogicalClock clock_;
   MultiVersionStore store_;
   std::map<TxnId, TxnState> txns_;

@@ -97,13 +97,23 @@ std::vector<TxnId> LockManager::BlockersLocked(const LockSpec& spec) const {
 }
 
 bool LockManager::WouldDeadlock(TxnId requester) const {
-  // DFS over waits_for_ from the requester; a path back to the requester
-  // is a cycle that the newly recorded edges just closed.
+  // DFS from the requester; a path back to the requester is a cycle that
+  // the newly recorded edges just closed.  Parked waiters' edges are
+  // recomputed live from their waiting spec — their waits_for_ entries
+  // can be stale (recorded before releases that happened while they
+  // slept).
   std::set<TxnId> visited;
-  std::function<bool(TxnId)> reaches = [&](TxnId u) -> bool {
+  auto successors = [&](TxnId u) -> std::set<TxnId> {
+    auto w = waiting_.find(u);
+    if (w != waiting_.end()) {
+      std::vector<TxnId> live = BlockersLocked(w->second);
+      return std::set<TxnId>(live.begin(), live.end());
+    }
     auto it = waits_for_.find(u);
-    if (it == waits_for_.end()) return false;
-    for (TxnId v : it->second) {
+    return it == waits_for_.end() ? std::set<TxnId>{} : it->second;
+  };
+  std::function<bool(TxnId)> reaches = [&](TxnId u) -> bool {
+    for (TxnId v : successors(u)) {
       if (v == requester) return true;
       if (visited.insert(v).second && reaches(v)) return true;
     }
@@ -112,20 +122,27 @@ bool LockManager::WouldDeadlock(TxnId requester) const {
   return reaches(requester);
 }
 
+LockHandle LockManager::GrantLocked(const LockSpec& spec) {
+  HeldLock h;
+  h.handle = next_handle_++;
+  h.spec = spec;
+  held_.push_back(std::move(h));
+  ++stats_.acquired;
+  return held_.back().handle;
+}
+
+std::string LockManager::Describe(const LockSpec& spec) {
+  return spec.is_item ? "item '" + spec.item + "'"
+                      : "predicate " + spec.pred->ToString();
+}
+
 Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
   std::lock_guard<std::mutex> guard(mu_);
   // Fresh conflict picture each attempt: drop this txn's stale wait edges.
   waits_for_.erase(spec.txn);
 
   std::vector<TxnId> blockers = BlockersLocked(spec);
-  if (blockers.empty()) {
-    HeldLock h;
-    h.handle = next_handle_++;
-    h.spec = spec;
-    held_.push_back(std::move(h));
-    ++stats_.acquired;
-    return held_.back().handle;
-  }
+  if (blockers.empty()) return GrantLocked(spec);
 
   for (TxnId b : blockers) waits_for_[spec.txn].insert(b);
   if (WouldDeadlock(spec.txn)) {
@@ -136,11 +153,56 @@ Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
     return Status::Deadlock(msg);
   }
   ++stats_.blocked;
-  std::string msg = (spec.is_item ? "item '" + spec.item + "'"
-                                  : "predicate " + spec.pred->ToString());
-  msg += " locked by";
+  std::string msg = Describe(spec) + " locked by";
   for (TxnId b : blockers) msg += " T" + std::to_string(b);
   return Status::WouldBlock(msg);
+}
+
+Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
+                                        std::chrono::milliseconds timeout) {
+  // Waiters sleep in bounded slices: every release notifies the condition
+  // variable, and the slice bound guarantees deadlock detection re-runs
+  // even if a wake-up is lost to scheduling, so a cycle formed while this
+  // thread slept (its recorded edges going stale) can never hang the run.
+  constexpr std::chrono::milliseconds kRecheckSlice{50};
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  waiting_[spec.txn] = spec;  // deadlock detection reads our edges live
+  auto leave = [&](auto result) {
+    waiting_.erase(spec.txn);
+    waits_for_.erase(spec.txn);
+    return result;
+  };
+  bool counted_wait = false;
+  for (;;) {
+    // Fresh conflict picture each round-trip through the wait loop.
+    waits_for_.erase(spec.txn);
+    std::vector<TxnId> blockers = BlockersLocked(spec);
+    if (blockers.empty()) return leave(Result<LockHandle>(GrantLocked(spec)));
+
+    for (TxnId b : blockers) waits_for_[spec.txn].insert(b);
+    if (WouldDeadlock(spec.txn)) {
+      ++stats_.deadlocks;
+      std::string msg = "deadlock: T" + std::to_string(spec.txn) + " waits on";
+      for (TxnId b : blockers) msg += " T" + std::to_string(b);
+      return leave(Result<LockHandle>(Status::Deadlock(msg)));
+    }
+    if (!counted_wait) {
+      ++stats_.blocked;  // one wait episode, however many re-checks
+      counted_wait = true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      ++stats_.timeouts;
+      std::string msg = "lock wait timeout (" + std::to_string(timeout.count()) +
+                        "ms): " + Describe(spec) + " locked by";
+      for (TxnId b : blockers) msg += " T" + std::to_string(b);
+      return leave(Result<LockHandle>(Status::WouldBlock(msg)));
+    }
+    cv_.wait_for(lk, std::min<std::chrono::steady_clock::duration>(
+                         deadline - now, kRecheckSlice));
+  }
 }
 
 void LockManager::Release(LockHandle handle) {
@@ -151,6 +213,9 @@ void LockManager::Release(LockHandle handle) {
   if (it != held_.end()) {
     held_.erase(it);
     ++stats_.released;
+    // Only parked waiters consume notifications; don't pay for a
+    // broadcast on the cooperative hot path.
+    if (!waiting_.empty()) cv_.notify_all();
   }
 }
 
@@ -167,6 +232,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     (void)t;
     targets.erase(txn);
   }
+  if (!waiting_.empty()) cv_.notify_all();
 }
 
 std::vector<TxnId> LockManager::Blockers(const LockSpec& spec) const {

@@ -1,6 +1,8 @@
 #ifndef CRITIQUE_LOCK_LOCK_MANAGER_H_
 #define CRITIQUE_LOCK_LOCK_MANAGER_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -63,27 +65,42 @@ struct LockSpec {
 /// Counters exposed for benchmarks and tests.
 struct LockStats {
   uint64_t acquired = 0;
-  uint64_t blocked = 0;
+  uint64_t blocked = 0;   ///< conflicts: failed TryAcquire calls + waits begun
   uint64_t deadlocks = 0;
   uint64_t released = 0;
+  uint64_t timeouts = 0;  ///< blocking acquires that hit the wait timeout
 };
 
 /// \brief A table-less lock manager with item and predicate locks, a
 /// waits-for graph, and deterministic deadlock handling.
 ///
-/// `TryAcquire` never blocks the calling thread.  On conflict it records
-/// waits-for edges from the requester to every conflicting holder and
-/// answers `WouldBlock` — unless granting the wait would close a cycle, in
-/// which case it answers `Deadlock` and the caller (the engine) aborts the
-/// requesting transaction (deterministic requester-as-victim policy).
-/// Cooperative runners retry `WouldBlock` steps when other transactions
-/// make progress; threaded callers can spin/yield.
+/// Two acquisition protocols share one conflict/waits-for core:
 ///
-/// Thread-safe.
+///  * `TryAcquire` never blocks the calling thread.  On conflict it records
+///    waits-for edges from the requester to every conflicting holder and
+///    answers `WouldBlock` — unless granting the wait would close a cycle,
+///    in which case it answers `Deadlock` and the caller (the engine)
+///    aborts the requesting transaction (deterministic requester-as-victim
+///    policy).  Cooperative runners retry `WouldBlock` steps when other
+///    transactions make progress.
+///  * `Acquire` parks the calling thread on a condition variable until the
+///    conflict clears, the wait would close a waits-for cycle (`Deadlock`,
+///    same requester-as-victim policy), or `timeout` elapses (`WouldBlock`
+///    carrying a lock-wait-timeout message — the caller treats it like any
+///    other retryable conflict).  Every release notifies all waiters, and
+///    each waiter re-runs deadlock detection when it re-checks, so cycles
+///    formed while threads sleep are still caught.
+///
+/// Thread-safe; at most one in-flight acquire per transaction at a time
+/// (a transaction is one session driven by one thread).
 class LockManager {
  public:
   /// Non-blocking acquire; see class comment for the protocol.
   Result<LockHandle> TryAcquire(const LockSpec& spec);
+
+  /// Blocking acquire; see class comment for the protocol.
+  Result<LockHandle> Acquire(const LockSpec& spec,
+                             std::chrono::milliseconds timeout);
 
   /// Releases one granted lock (no-op on unknown handles).
   void Release(LockHandle handle);
@@ -113,9 +130,22 @@ class LockManager {
   std::vector<TxnId> BlockersLocked(const LockSpec& spec) const;
   bool WouldDeadlock(TxnId requester) const;
 
+  /// Grants `spec` (caller verified there is no conflict).
+  LockHandle GrantLocked(const LockSpec& spec);
+
+  /// "item 'x'" / "predicate <p>" for conflict messages.
+  static std::string Describe(const LockSpec& spec);
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signalled on every release
   std::vector<HeldLock> held_;
   std::map<TxnId, std::set<TxnId>> waits_for_;
+  /// Requests currently parked in `Acquire`.  Deadlock detection computes
+  /// these waiters' conflict edges live from the spec instead of trusting
+  /// `waits_for_`, whose recorded edges go stale while a thread sleeps
+  /// (a partial release could otherwise manufacture phantom cycles or
+  /// hide real ones until the next re-check slice).
+  std::map<TxnId, LockSpec> waiting_;
   LockHandle next_handle_ = 1;
   LockStats stats_;
 };

@@ -1,0 +1,114 @@
+#include "critique/workload/parallel_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace critique {
+namespace {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string ParallelRunStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%d thr %llu/%llu ok aborts=%.1f%% %.0f txn/s "
+                "p50=%.0fus p90=%.0fus p99=%.0fus",
+                threads, static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(attempts), 100 * abort_rate(),
+                txns_per_second(), latency.p50_us, latency.p90_us,
+                latency.p99_us);
+  return buf;
+}
+
+ParallelDriver::ParallelDriver(Database& db, ParallelDriverOptions options)
+    : db_(db), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
+  struct WorkerResult {
+    uint64_t committed = 0;
+    uint64_t failed = 0;
+    std::vector<double> latencies_us;
+  };
+
+  const int threads = options_.threads;
+  const uint64_t per_thread = options_.txns_per_thread;
+
+  // Fork the per-thread RNG streams up front: deterministic whatever order
+  // the threads later interleave in.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) rngs.push_back(db_.ForkRng());
+
+  const EngineStats before = db_.StatsSnapshot();
+  const uint64_t retries_before = db_.execute_retries();
+
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        WorkerResult& out = results[static_cast<size_t>(t)];
+        out.latencies_us.reserve(per_thread);
+        Rng& rng = rngs[static_cast<size_t>(t)];
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          Status s = db_.Execute(
+              [&](Transaction& txn) { return body(txn, rng); });
+          const auto t1 = std::chrono::steady_clock::now();
+          out.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          if (s.ok()) {
+            ++out.committed;
+          } else {
+            ++out.failed;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ParallelRunStats stats;
+  stats.threads = threads;
+  stats.elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(threads) * per_thread);
+  for (const WorkerResult& r : results) {
+    stats.committed += r.committed;
+    stats.failed += r.failed;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  stats.attempts = stats.committed + stats.failed;
+  stats.retries = db_.execute_retries() - retries_before;
+
+  const EngineStats after = db_.StatsSnapshot();
+  stats.engine_commits = after.commits - before.commits;
+  stats.engine_aborts = after.total_aborts() - before.total_aborts();
+
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency.p50_us = PercentileSorted(latencies, 0.50);
+  stats.latency.p90_us = PercentileSorted(latencies, 0.90);
+  stats.latency.p99_us = PercentileSorted(latencies, 0.99);
+  stats.latency.max_us = latencies.empty() ? 0 : latencies.back();
+  return stats;
+}
+
+}  // namespace critique

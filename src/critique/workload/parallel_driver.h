@@ -1,0 +1,95 @@
+#ifndef CRITIQUE_WORKLOAD_PARALLEL_DRIVER_H_
+#define CRITIQUE_WORKLOAD_PARALLEL_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "critique/common/random.h"
+#include "critique/db/database.h"
+
+namespace critique {
+
+/// Configuration of one `ParallelDriver::Run`.
+struct ParallelDriverOptions {
+  int threads = 8;                 ///< OS threads driving sessions
+  uint64_t txns_per_thread = 100;  ///< `Execute` calls per thread
+};
+
+/// Latency percentiles over the `Execute` calls of a run, microseconds.
+/// Each sample is one whole `Execute` — body runs, lock waits, and policy
+/// retries included — which is the latency an application would see.
+struct LatencySummary {
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// What one `ParallelDriver::Run` did and how fast.
+///
+/// Client-side counters (`attempts`/`committed`/`failed`/`retries`) come
+/// from the driver's own bookkeeping; `engine_commits`/`engine_aborts` are
+/// the engine's stats deltas over the run.  The two views must agree:
+/// every attempt plus every retry begins exactly one engine transaction,
+/// so `engine_commits + engine_aborts == attempts + retries` — the
+/// consistency property the concurrency stress tests assert.
+struct ParallelRunStats {
+  int threads = 0;
+  uint64_t attempts = 0;   ///< Execute calls (all threads)
+  uint64_t committed = 0;  ///< Execute calls that returned OK
+  uint64_t failed = 0;     ///< Execute calls that gave up
+  uint64_t retries = 0;    ///< extra body runs forced by retryable failures
+  uint64_t engine_commits = 0;
+  uint64_t engine_aborts = 0;  ///< all abort kinds (app/deadlock/serialization)
+  double elapsed_seconds = 0;
+  LatencySummary latency;
+
+  /// Committed transactions per wall-clock second.
+  double txns_per_second() const {
+    return elapsed_seconds > 0 ? static_cast<double>(committed) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+
+  /// Fraction of engine transactions that aborted (any cause).
+  double abort_rate() const {
+    const uint64_t finished = engine_commits + engine_aborts;
+    return finished > 0 ? static_cast<double>(engine_aborts) / finished : 0.0;
+  }
+
+  /// One line: "8 thr 1600/1600 ok aborts=12.5% 35k txn/s p50=180us ...".
+  std::string ToString() const;
+};
+
+/// A transaction body runnable by any worker: operations against `txn`
+/// drawing randomness from the worker's own deterministic `rng`.
+using TxnBody = std::function<Status(Transaction&, Rng&)>;
+
+/// \brief Drives N OS threads of closure-style `Execute` bodies against
+/// one `Database` — the blocking-mode counterpart of the step-wise
+/// cooperative `Runner`.
+///
+/// Each thread gets an independent deterministic RNG stream (forked from
+/// the database RNG before the threads start, so a run is as reproducible
+/// as scheduling allows) and calls `Database::Execute(body)`
+/// `txns_per_thread` times, timing every call.  The database should be in
+/// `ConcurrencyMode::kBlocking`; cooperative databases work only at
+/// `threads == 1`.
+class ParallelDriver {
+ public:
+  ParallelDriver(Database& db, ParallelDriverOptions options);
+
+  /// Runs the workload to completion and reports what happened.
+  ParallelRunStats Run(const TxnBody& body);
+
+  const ParallelDriverOptions& options() const { return options_; }
+
+ private:
+  Database& db_;
+  ParallelDriverOptions options_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_WORKLOAD_PARALLEL_DRIVER_H_

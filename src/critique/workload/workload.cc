@@ -85,6 +85,45 @@ Program WorkloadGenerator::MakeTransferTxn(Rng& rng, int64_t amount) const {
   return p;
 }
 
+namespace {
+
+// Scalar payload of an item read, defaulting absent rows to 0.
+Result<int64_t> ReadBalance(Transaction& txn, const ItemId& item) {
+  CRITIQUE_ASSIGN_OR_RETURN(Value v, txn.GetScalar(item));
+  auto n = v.AsNumeric();
+  return n.has_value() ? static_cast<int64_t>(*n) : int64_t{0};
+}
+
+}  // namespace
+
+Status WorkloadGenerator::ApplyMixedTxn(Transaction& txn, Rng& rng) const {
+  for (size_t op = 0; op < options_.ops_per_txn; ++op) {
+    ItemId item = ItemName(zipf_.Next(rng));
+    if (rng.Chance(options_.write_fraction)) {
+      CRITIQUE_ASSIGN_OR_RETURN(int64_t cur, ReadBalance(txn, item));
+      CRITIQUE_RETURN_NOT_OK(txn.Put(item, Value(cur + 1)));
+    } else {
+      CRITIQUE_RETURN_NOT_OK(txn.Get(item).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkloadGenerator::ApplyTransferTxn(Transaction& txn, Rng& rng,
+                                           int64_t amount) const {
+  uint64_t from = zipf_.Next(rng);
+  uint64_t to = zipf_.Next(rng);
+  if (options_.num_items > 1) {
+    while (to == from) to = zipf_.Next(rng);
+  }
+  ItemId src = ItemName(from), dst = ItemName(to);
+  CRITIQUE_ASSIGN_OR_RETURN(int64_t src_bal, ReadBalance(txn, src));
+  CRITIQUE_RETURN_NOT_OK(txn.Put(src, Value(src_bal - amount)));
+  CRITIQUE_ASSIGN_OR_RETURN(int64_t dst_bal, ReadBalance(txn, dst));
+  CRITIQUE_RETURN_NOT_OK(txn.Put(dst, Value(dst_bal + amount)));
+  return Status::OK();
+}
+
 Program WorkloadGenerator::MakeAuditTxn() const {
   Program p;
   const uint64_t n = options_.num_items;

@@ -52,6 +52,21 @@ class WorkloadGenerator {
   /// distinct random items, preserving the global sum invariant.
   Program MakeTransferTxn(Rng& rng, int64_t amount) const;
 
+  // --- closure-style bodies (Database::Execute / ParallelDriver) ------------
+  //
+  // The same transaction shapes as the Program builders above, expressed
+  // as `Execute` bodies so threaded drivers can run them: same Zipf key
+  // choice, same read / read-modify-write mix, deterministic in the
+  // caller's Rng.
+
+  /// Runs one mixed transaction's operations inside `txn` (no commit; the
+  /// caller — typically `Database::Execute` — owns the terminal).
+  Status ApplyMixedTxn(Transaction& txn, Rng& rng) const;
+
+  /// Runs one balance-preserving transfer of `amount` between two distinct
+  /// random items inside `txn` (no commit).
+  Status ApplyTransferTxn(Transaction& txn, Rng& rng, int64_t amount) const;
+
   /// An audit transaction reading every item (the invariant check of the
   /// inconsistent-analysis experiments); stores the sum under "sum".
   Program MakeAuditTxn() const;

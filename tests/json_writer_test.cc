@@ -1,0 +1,68 @@
+#include "critique/common/json_writer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace critique {
+namespace {
+
+TEST(JsonWriterTest, NestedObjectAndArrayCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("throughput");
+  w.Key("threads");
+  w.Int(8);
+  w.Key("engines");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name");
+  w.String("SI");
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("name");
+  w.String("Locking");
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"bench\":\"throughput\",\"threads\":8,\"engines\":"
+            "[{\"name\":\"SI\",\"ok\":true},{\"name\":\"Locking\"}]}");
+}
+
+TEST(JsonWriterTest, TopLevelArrayOfScalars) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.Double(2.5);
+  w.Null();
+  w.UInt(7);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1,2.5,null,7]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("msg");
+  w.String("a\"b\\c\nd\te");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"msg\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(INFINITY);
+  w.Double(0.125);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,0.125]");
+}
+
+}  // namespace
+}  // namespace critique
