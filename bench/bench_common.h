@@ -19,6 +19,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace critique {
 namespace bench {
@@ -79,6 +80,62 @@ inline double TakeDoubleFlag(int& argc, char** argv, const char* name,
   double out = std::strtod(v->c_str(), &end);
   if (end == v->c_str() || *end != '\0') {
     std::fprintf(stderr, "bad number for %s: '%s'\n", name, v->c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Extracts a comma-separated list of non-negative integers
+/// (`--shards 1,2,4`), with a default.  Exits on malformed input — a
+/// sweep silently dropping configurations would corrupt the perf
+/// trajectory.
+inline std::vector<int64_t> TakeIntListFlag(
+    int& argc, char** argv, const char* name,
+    const std::vector<int64_t>& fallback) {
+  auto v = TakeFlagValue(argc, argv, name);
+  if (!v.has_value()) return fallback;
+  std::vector<int64_t> out;
+  const char* p = v->c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    int64_t x = std::strtoll(p, &end, 10);
+    if (end == p || x < 0 || (*end != '\0' && *end != ',')) {
+      std::fprintf(stderr, "bad integer list for %s: '%s'\n", name,
+                   v->c_str());
+      std::exit(2);
+    }
+    out.push_back(x);
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty list for %s\n", name);
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Extracts a comma-separated list of doubles (`--cross-shard 0,0.2,0.5`),
+/// with a default.  Exits on malformed input.
+inline std::vector<double> TakeDoubleListFlag(
+    int& argc, char** argv, const char* name,
+    const std::vector<double>& fallback) {
+  auto v = TakeFlagValue(argc, argv, name);
+  if (!v.has_value()) return fallback;
+  std::vector<double> out;
+  const char* p = v->c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    double x = std::strtod(p, &end);
+    if (end == p || (*end != '\0' && *end != ',')) {
+      std::fprintf(stderr, "bad number list for %s: '%s'\n", name,
+                   v->c_str());
+      std::exit(2);
+    }
+    out.push_back(x);
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty list for %s\n", name);
     std::exit(2);
   }
   return out;

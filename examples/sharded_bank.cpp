@@ -1,0 +1,81 @@
+// A bank partitioned across four shards: accounts are hash-routed to
+// independent engines, and a transfer whose two accounts land on
+// different shards commits through the two-phase-commit coordinator.
+//
+// The run throws four OS threads of transfers (half of them forced
+// cross-shard) at the facade and verifies the invariant partitioning must
+// not break: the global total balance is exactly what it was before —
+// every 2PC commit moved both halves of its transfer or neither.  The
+// same sweep also shows both commit paths in the stats: single-shard
+// commits skip the coordinator entirely.
+//
+// Try `--help`-free knobs by editing the constants; for the full
+// shard-count / cross-shard-ratio sweep, run `bench_sharding`.
+
+#include <cstdio>
+
+#include "critique/shard/sharded_database.h"
+#include "critique/workload/parallel_driver.h"
+#include "critique/workload/workload.h"
+
+using namespace critique;
+
+namespace {
+
+constexpr int kShards = 4;
+constexpr uint64_t kAccounts = 32;
+constexpr double kCrossShardProb = 0.5;
+
+int RunLevel(IsolationLevel level) {
+  ShardedDbOptions opts(kShards, level);
+  opts.shard_options.mode = ConcurrencyMode::kBlocking;
+  opts.shard_options.lock_wait_timeout = std::chrono::milliseconds(2000);
+  opts.seed = 7;
+  ShardedDatabase db(opts);
+
+  WorkloadOptions wopts;
+  wopts.num_items = kAccounts;
+  WorkloadGenerator gen(wopts);
+  if (!gen.LoadInitial(db).ok()) return 1;
+  const int64_t initial = WorkloadGenerator::TotalBalance(db, kAccounts);
+
+  ParallelDriverOptions dopts;
+  dopts.threads = 4;
+  dopts.txns_per_thread = 40;
+  ShardedParallelDriver driver(db, dopts);
+  ParallelRunStats run = driver.Run([&gen](ShardedTransaction& txn, Rng& rng) {
+    return gen.ApplyShardedTransferTxn(txn, rng, /*amount=*/5,
+                                       kCrossShardProb);
+  });
+
+  const int64_t final_sum = WorkloadGenerator::TotalBalance(db, kAccounts);
+  const CoordinatorStats coord = db.coordinator().stats();
+  std::printf("%-26s %s\n", db.shard(0).name().c_str(), run.ToString().c_str());
+  std::printf("%-26s %d shards: %llu single-shard commits, %llu 2PC commits "
+              "(%llu aborted, %llu prepare refusals)\n", "", kShards,
+              static_cast<unsigned long long>(db.single_shard_commits()),
+              static_cast<unsigned long long>(coord.committed),
+              static_cast<unsigned long long>(coord.aborted),
+              static_cast<unsigned long long>(coord.prepare_failures));
+  std::printf("%-26s total balance %lld -> %lld (%s)\n", "",
+              static_cast<long long>(initial),
+              static_cast<long long>(final_sum),
+              initial == final_sum ? "preserved" : "VIOLATED");
+  return initial == final_sum ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Sharded bank: cross-shard transfers through 2PC ====\n\n");
+  int rc = 0;
+  rc |= RunLevel(IsolationLevel::kSnapshotIsolation);
+  rc |= RunLevel(IsolationLevel::kSerializable);
+  std::printf(
+      "\nEvery transfer debits one shard and credits another; the global\n"
+      "sum survives only because prepare/commit make the split atomic.\n"
+      "What 2PC does NOT buy is a global snapshot — see tests/shard_test.cc\n"
+      "for the cross-shard write skew and fractured reads per-shard SI\n"
+      "still admits.\n");
+  return rc;
+}

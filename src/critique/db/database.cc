@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "critique/engine/engine_factory.h"
 
@@ -33,7 +34,8 @@ Database::Database(DbOptions options)
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
   if (mode_ == ConcurrencyMode::kBlocking) {
-    engine_->SetConcurrency({true, options.lock_wait_timeout});
+    engine_->SetConcurrency({true, options.lock_wait_timeout,
+                             options.deadlock_check_interval});
   }
 }
 
@@ -45,7 +47,8 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "null engine handed to Database");
   if (mode_ == ConcurrencyMode::kBlocking) {
-    engine_->SetConcurrency({true, options.lock_wait_timeout});
+    engine_->SetConcurrency({true, options.lock_wait_timeout,
+                             options.deadlock_check_interval});
   }
 }
 
@@ -129,6 +132,10 @@ Status Database::Execute(const std::function<Status(Transaction&)>& body) {
     if (s.ok()) return s;
     if (!retry_->RetryTransaction(s, attempt)) return s;
     execute_retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto delay = retry_->RetryDelay(attempt);
+    if (delay > std::chrono::microseconds::zero()) {
+      std::this_thread::sleep_for(delay);
+    }
   }
 }
 
@@ -339,6 +346,34 @@ Status Transaction::Rollback() {
   if (!active_) return Status::OK();
   Finish();
   return db_->engine_->Abort(id_);
+}
+
+Status Transaction::Prepare() {
+  return RunOp([&] { return db_->engine_->Prepare(id_); });
+}
+
+Status Transaction::CommitPrepared() {
+  if (db_ == nullptr) {
+    return Status::TransactionAborted("moved-from transaction handle");
+  }
+  if (!active_) {
+    return Status::TransactionAborted("transaction already finished");
+  }
+  Status s = db_->engine_->CommitPrepared(id_);
+  if (s.ok()) Finish();
+  return s;
+}
+
+Status Transaction::AbortPrepared() {
+  if (db_ == nullptr) {
+    return Status::TransactionAborted("moved-from transaction handle");
+  }
+  if (!active_) {
+    return Status::TransactionAborted("transaction already finished");
+  }
+  Status s = db_->engine_->AbortPrepared(id_);
+  if (s.ok()) Finish();
+  return s;
 }
 
 }  // namespace critique

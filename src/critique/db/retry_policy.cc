@@ -1,5 +1,7 @@
 #include "critique/db/retry_policy.h"
 
+#include <cstdint>
+
 namespace critique {
 
 bool IsRetryableStatus(const Status& s) {
@@ -9,6 +11,27 @@ bool IsRetryableStatus(const Status& s) {
 std::string LimitedRetryPolicy::name() const {
   return "limited(" + std::to_string(max_txn_retries_) + "," +
          std::to_string(max_blocked_op_retries_) + ")";
+}
+
+std::string ExponentialBackoffRetryPolicy::name() const {
+  return "backoff(" + std::to_string(max_txn_retries()) + "," +
+         std::to_string(base().count()) + "us.." +
+         std::to_string(cap().count()) + "us)";
+}
+
+std::chrono::microseconds ExponentialBackoffRetryPolicy::RetryDelay(
+    int attempt) const {
+  if (attempt < 1 || base_.count() == 0) {
+    return std::chrono::microseconds::zero();
+  }
+  // Saturate *before* multiplying: once base * 2^doublings would pass the
+  // cap it can only sleep `cap`, and testing `base > cap >> doublings`
+  // decides that without ever forming an overflowing (UB) product.
+  const int doublings = attempt - 1;
+  if (doublings >= 63 || base_.count() > (cap_.count() >> doublings)) {
+    return cap_;
+  }
+  return std::chrono::microseconds(base_.count() * (int64_t{1} << doublings));
 }
 
 std::shared_ptr<const RetryPolicy> DefaultRetryPolicy() {

@@ -1,6 +1,7 @@
 #ifndef CRITIQUE_DB_RETRY_POLICY_H_
 #define CRITIQUE_DB_RETRY_POLICY_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -43,6 +44,14 @@ class RetryPolicy {
   /// Re-run an `Execute` body whose attempt failed with retryable status
   /// `s`?  `attempt` is the number of body runs already made (>= 1).
   virtual bool RetryTransaction(const Status& s, int attempt) const = 0;
+
+  /// How long `Execute` should sleep before re-running the body after
+  /// `attempt` failed runs (>= 1).  Zero — the default — restarts
+  /// immediately; backoff policies override it to shed contention.
+  virtual std::chrono::microseconds RetryDelay(int attempt) const {
+    (void)attempt;
+    return std::chrono::microseconds::zero();
+  }
 };
 
 /// Never retries anything: every status surfaces to the caller unchanged.
@@ -77,6 +86,35 @@ class LimitedRetryPolicy : public RetryPolicy {
  private:
   int max_txn_retries_;
   int max_blocked_op_retries_;
+};
+
+/// A `LimitedRetryPolicy` that sleeps exponentially longer before each
+/// body restart: `base * 2^(attempt-1)`, saturating at `cap`.  The delay
+/// sequence is deterministic and non-decreasing — the property the retry
+/// tests assert — and bounded, so a retry storm under heavy contention
+/// degrades into a paced trickle instead of a spin.
+class ExponentialBackoffRetryPolicy : public LimitedRetryPolicy {
+ public:
+  explicit ExponentialBackoffRetryPolicy(
+      int max_txn_retries = 8,
+      std::chrono::microseconds base = std::chrono::microseconds(100),
+      std::chrono::microseconds cap = std::chrono::milliseconds(10))
+      : LimitedRetryPolicy(max_txn_retries),
+        base_(base < std::chrono::microseconds::zero()
+                  ? std::chrono::microseconds::zero()
+                  : base),
+        cap_(cap < base_ ? base_ : cap) {}
+
+  std::string name() const override;
+
+  std::chrono::microseconds RetryDelay(int attempt) const override;
+
+  std::chrono::microseconds base() const { return base_; }
+  std::chrono::microseconds cap() const { return cap_; }
+
+ private:
+  std::chrono::microseconds base_;
+  std::chrono::microseconds cap_;
 };
 
 /// The default: `LimitedRetryPolicy(8, 0)` — restart aborted transaction

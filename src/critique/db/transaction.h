@@ -130,6 +130,24 @@ class Transaction {
   /// Rolls back; OK (and a no-op) when already finished.
   Status Rollback();
 
+  // --- two-phase commit (shard/TxnCoordinator participant protocol) --------
+  //
+  // Prepare moves the engine transaction in doubt: the handle stays
+  // nominally active but every further operation — including the
+  // destructor's rollback — is refused by the engine until the
+  // coordinator's decision arrives, so an in-doubt participant survives
+  // its session.  On `kSerializationFailure` (prepare-time validation
+  // refused) the engine already rolled back and the handle is finished.
+
+  /// Phase 1: validate and pin in doubt.
+  Status Prepare();
+
+  /// Phase 2, commit decision; finishes the handle on success.
+  Status CommitPrepared();
+
+  /// Phase 2, abort decision; finishes the handle on success.
+  Status AbortPrepared();
+
  private:
   friend class Database;
   Transaction(Database* db, TxnId id, bool active);

@@ -26,7 +26,7 @@ Result<LockHandle> Engine::AcquireLockWithProtocol(
   Result<LockHandle> r = [&]() -> Result<LockHandle> {
     if (!concurrency_.blocking_locks) return lm.TryAcquire(spec);
     lk.unlock();
-    auto waited = lm.Acquire(spec, timeout);
+    auto waited = lm.Acquire(spec, timeout, concurrency_.deadlock_check_interval);
     lk.lock();
     return waited;
   }();

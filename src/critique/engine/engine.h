@@ -60,6 +60,11 @@ struct EngineConcurrency {
   /// gives up and answers `kWouldBlock` ("lock wait timeout"), which the
   /// session layer treats as a retryable whole-transaction failure.
   std::chrono::milliseconds lock_wait_timeout{250};
+
+  /// Blocking mode only: how often a parked lock waiter re-runs deadlock
+  /// detection even when no release notification arrived (the bound that
+  /// catches cycles formed while threads sleep).
+  std::chrono::milliseconds deadlock_check_interval{50};
 };
 
 /// \brief Serializes history appends and stats updates across concurrent
@@ -260,6 +265,51 @@ class Engine {
 
   /// Rolls back (application-initiated ROLLBACK).
   virtual Status Abort(TxnId txn) = 0;
+
+  // --- two-phase-commit participant protocol -------------------------------
+  //
+  // A distributed coordinator (shard/TxnCoordinator) ends a transaction in
+  // two steps: `Prepare` runs every validation that could still refuse the
+  // commit and moves the transaction into a *prepared* (in-doubt) state —
+  // locks stay held, pending versions stay pending, and every further
+  // operation (including plain Commit/Abort) answers FailedPrecondition
+  // until the coordinator's decision arrives as `CommitPrepared` or
+  // `AbortPrepared`.  After an OK `Prepare`, `CommitPrepared` must not
+  // fail: prepare is the participant's last chance to say no.
+  //
+  // The base-class defaults implement the *trivial participant* for
+  // engines whose `Commit` cannot fail (pure lock schedulers): `Prepare`
+  // validates nothing and leaves the transaction active, the decision
+  // calls forward to `Commit`/`Abort`, and nothing is ever in doubt.
+  // Caveat: a trivial participant cannot survive a coordinator crash —
+  // after the crash the session layer rolls its still-active transaction
+  // back, which is the correct presumed-abort answer for a crash *before*
+  // the decision but breaks atomicity if a commit was already logged
+  // (other participants recover forward).  Every stock engine therefore
+  // overrides the protocol with a real prepared state; the default exists
+  // for custom SPI engines that never see a crashing coordinator.  Engines
+  // with a fallible commit (First-Committer-Wins, SSI) must override all
+  // four regardless.
+
+  /// Phase 1: validate and move `txn` to the prepared (in-doubt) state.
+  /// Retryable refusals (`kSerializationFailure`, ...) mean the engine
+  /// already rolled the transaction back, exactly as a failed `Commit`.
+  virtual Status Prepare(TxnId txn) {
+    (void)txn;
+    return Status::OK();
+  }
+
+  /// Phase 2, commit decision: finishes a prepared transaction.  Must
+  /// succeed after an OK `Prepare`.
+  virtual Status CommitPrepared(TxnId txn) { return Commit(txn); }
+
+  /// Phase 2, abort decision: rolls back a prepared transaction.
+  virtual Status AbortPrepared(TxnId txn) { return Abort(txn); }
+
+  /// Transactions prepared but not yet decided — what a recovering
+  /// coordinator must resolve (presumed abort: no logged decision means
+  /// abort).  Sorted ascending.
+  virtual std::vector<TxnId> InDoubtTransactions() const { return {}; }
 
   /// The history recorded so far.  Reference view for quiescent callers;
   /// use `HistorySnapshot` while sessions are in flight.

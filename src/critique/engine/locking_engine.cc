@@ -41,6 +41,21 @@ Status LockingEngine::CheckActive(TxnId txn) const {
     return Status::TransactionAborted("txn " + std::to_string(txn) +
                                       " is not active");
   }
+  if (it->second.prepared) {
+    return Status::FailedPrecondition(
+        "txn " + std::to_string(txn) +
+        " is prepared (in doubt); only CommitPrepared/AbortPrepared may end "
+        "it");
+  }
+  return Status::OK();
+}
+
+Status LockingEngine::CheckPrepared(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active || !it->second.prepared) {
+    return Status::FailedPrecondition("txn " + std::to_string(txn) +
+                                      " is not prepared");
+  }
   return Status::OK();
 }
 
@@ -318,6 +333,48 @@ Status LockingEngine::Abort(TxnId txn) {
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
   return Status::OK();
+}
+
+Status LockingEngine::Prepare(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  // A lock scheduler's commit cannot fail: every conflict was already
+  // resolved when the lock was granted.  Prepare therefore only pins the
+  // transaction — locks stay held, undo stays applicable — until the
+  // coordinator's decision.
+  txns_[txn].prepared = true;
+  return Status::OK();
+}
+
+Status LockingEngine::CommitPrepared(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  TxnState& st = txns_[txn];
+  st.prepared = false;
+  st.active = false;
+  st.undo.clear();
+  st.cursors.clear();
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+  lock_manager_.ReleaseAll(txn);
+  return Status::OK();
+}
+
+Status LockingEngine::AbortPrepared(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  txns_[txn].prepared = false;
+  Rollback(txn);
+  recorder_.Count(&EngineStats::aborts);
+  return Status::OK();
+}
+
+std::vector<TxnId> LockingEngine::InDoubtTransactions() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<TxnId> out;
+  for (const auto& [t, st] : txns_) {
+    if (st.active && st.prepared) out.push_back(t);
+  }
+  return out;
 }
 
 }  // namespace critique

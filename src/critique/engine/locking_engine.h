@@ -60,6 +60,17 @@ class LockingEngine : public Engine {
   Status Commit(TxnId txn) override;
   Status Abort(TxnId txn) override;
 
+  // 2PC participant protocol: `Prepare` pins the transaction in doubt with
+  // every lock still held (a lock scheduler's commit cannot fail, so
+  // prepare validates nothing but freezes the transaction until the
+  // coordinator decides); the locks held across the in-doubt window are
+  // exactly what keeps other transactions from observing or clobbering
+  // uncommitted state.
+  Status Prepare(TxnId txn) override;
+  Status CommitPrepared(TxnId txn) override;
+  Status AbortPrepared(TxnId txn) override;
+  std::vector<TxnId> InDoubtTransactions() const override;
+
   /// The active policy (a row of Table 2).
   const LockingPolicy& policy() const { return policy_; }
 
@@ -77,15 +88,22 @@ class LockingEngine : public Engine {
 
   struct TxnState {
     bool active = false;
+    /// Prepared (in-doubt) by a 2PC coordinator: locks held, undo kept,
+    /// every operation but CommitPrepared/AbortPrepared refused.
+    bool prepared = false;
     std::vector<UndoRecord> undo;
     /// One entry per open cursor; "" is the default cursor.  Each holds
     /// the read lock on its current item under Cursor Stability.
     std::map<std::string, CursorState> cursors;
   };
 
-  /// Status when `txn` is not active (kTransactionAborted) or OK.
-  /// Requires `mu_` held.
+  /// Status when `txn` is not active (kTransactionAborted) or is prepared
+  /// (kFailedPrecondition — in doubt, only the coordinator may end it) or
+  /// OK.  Requires `mu_` held.
   Status CheckActive(TxnId txn) const;
+
+  /// Status unless `txn` is prepared (in doubt).  Requires `mu_` held.
+  Status CheckPrepared(TxnId txn) const;
 
   /// Rolls `txn` back: undo LIFO, release locks, record `a<txn>`.
   /// Requires `mu_` held.

@@ -33,6 +33,21 @@ Status ReadConsistencyEngine::CheckActive(TxnId txn) const {
     return Status::TransactionAborted("txn " + std::to_string(txn) +
                                       " is not active");
   }
+  if (it->second.prepared) {
+    return Status::FailedPrecondition(
+        "txn " + std::to_string(txn) +
+        " is prepared (in doubt); only CommitPrepared/AbortPrepared may end "
+        "it");
+  }
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::CheckPrepared(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active || !it->second.prepared) {
+    return Status::FailedPrecondition("txn " + std::to_string(txn) +
+                                      " is not prepared");
+  }
   return Status::OK();
 }
 
@@ -225,6 +240,43 @@ Status ReadConsistencyEngine::Abort(TxnId txn) {
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
   return Status::OK();
+}
+
+Status ReadConsistencyEngine::Prepare(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  txns_[txn].prepared = true;
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  TxnState& st = txns_[txn];
+  st.prepared = false;
+  st.active = false;
+  store_.CommitTxn(txn, clock_.Tick());
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+  lock_manager_.ReleaseAll(txn);
+  return Status::OK();
+}
+
+Status ReadConsistencyEngine::AbortPrepared(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  txns_[txn].prepared = false;
+  Rollback(txn);
+  recorder_.Count(&EngineStats::aborts);
+  return Status::OK();
+}
+
+std::vector<TxnId> ReadConsistencyEngine::InDoubtTransactions() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<TxnId> out;
+  for (const auto& [t, st] : txns_) {
+    if (st.active && st.prepared) out.push_back(t);
+  }
+  return out;
 }
 
 }  // namespace critique

@@ -56,16 +56,29 @@ class ReadConsistencyEngine : public Engine {
   Status Commit(TxnId txn) override;
   Status Abort(TxnId txn) override;
 
+  // 2PC participant protocol: like the locking engine, commit cannot fail
+  // (conflicts were resolved at write-lock grant), so `Prepare` only pins
+  // the transaction in doubt with its write locks held until the
+  // coordinator's decision.
+  Status Prepare(TxnId txn) override;
+  Status CommitPrepared(TxnId txn) override;
+  Status AbortPrepared(TxnId txn) override;
+  std::vector<TxnId> InDoubtTransactions() const override;
+
   LockStats lock_stats() const { return lock_manager_.stats(); }
 
  private:
   struct TxnState {
     bool active = false;
+    /// Prepared (in doubt) by a 2PC coordinator: locks held, every
+    /// operation but CommitPrepared/AbortPrepared refused.
+    bool prepared = false;
   };
 
   // Private helpers require `mu_` held; AcquireWriteLock and DoWrite may
   // drop and re-take `lk` around a blocking lock wait.
   Status CheckActive(TxnId txn) const;
+  Status CheckPrepared(TxnId txn) const;
   void Rollback(TxnId txn);
   Result<LockHandle> AcquireWriteLock(std::unique_lock<std::mutex>& lk,
                                       TxnId txn, const ItemId& id,

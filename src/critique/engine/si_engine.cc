@@ -49,6 +49,12 @@ Status SnapshotIsolationEngine::CheckActive(TxnId txn) const {
     return Status::TransactionAborted("txn " + std::to_string(txn) +
                                       " is not active");
   }
+  if (it->second.prepared) {
+    return Status::FailedPrecondition(
+        "txn " + std::to_string(txn) +
+        " is prepared (in doubt); only CommitPrepared/AbortPrepared may end "
+        "it");
+  }
   return Status::OK();
 }
 
@@ -311,11 +317,7 @@ Status SnapshotIsolationEngine::CloseCursor(TxnId txn) {
   return CheckActive(txn);
 }
 
-Status SnapshotIsolationEngine::Commit(TxnId txn) {
-  // The latch makes First-Committer-Wins validation and the commit itself
-  // one atomic step with respect to concurrent committers.
-  std::lock_guard<std::mutex> lk(mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+Status SnapshotIsolationEngine::ValidateForCommit(TxnId txn) {
   TxnState& st = txns_[txn];
 
   // First-Committer-Wins: some transaction with a Commit-Timestamp inside
@@ -329,19 +331,101 @@ Status SnapshotIsolationEngine::Commit(TxnId txn) {
     }
   }
 
+  // In-doubt reservation: a *prepared* transaction has validated its write
+  // set but not yet published a commit timestamp.  A later committer
+  // overlapping that write set would slip past the timestamp check above
+  // and both would install — a lost update First-Committer-Wins exists to
+  // prevent.  The prepared side must stay committable (it already said
+  // yes), so the requester aborts.
+  for (const auto& [u, ust] : txns_) {
+    if (u == txn || !ust.prepared) continue;
+    for (const ItemId& id : st.write_set) {
+      if (ust.write_set.count(id)) {
+        return AbortInternal(
+            txn, Status::SerializationFailure(
+                     "first-committer-wins: '" + id + "' is reserved by " +
+                     "prepared (in-doubt) txn " + std::to_string(u)));
+      }
+    }
+  }
+
   if (options_.ssi && SsiPivot(st)) {
     return AbortInternal(
         txn,
         Status::SerializationFailure(
             "ssi: pivot in an rw-antidependency dangerous structure"));
   }
+  return Status::OK();
+}
 
+Status SnapshotIsolationEngine::Commit(TxnId txn) {
+  // The latch makes First-Committer-Wins validation and the commit itself
+  // one atomic step with respect to concurrent committers.
+  std::lock_guard<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  CRITIQUE_RETURN_NOT_OK(ValidateForCommit(txn));
+  TxnState& st = txns_[txn];
   st.commit_ts = clock_.Tick();
   st.active = false;
   st.committed = true;
   store_.CommitTxn(txn, st.commit_ts);
   recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   return Status::OK();
+}
+
+Status SnapshotIsolationEngine::Prepare(TxnId txn) {
+  // Validation runs here, not at CommitPrepared: prepare is the
+  // participant's last chance to refuse, and the decision must then be
+  // infallible.  The latch makes validate-then-mark atomic against
+  // concurrent committers and preparers.
+  std::lock_guard<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  CRITIQUE_RETURN_NOT_OK(ValidateForCommit(txn));
+  txns_[txn].prepared = true;
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::CheckPrepared(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.active || !it->second.prepared) {
+    return Status::FailedPrecondition("txn " + std::to_string(txn) +
+                                      " is not prepared");
+  }
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::CommitPrepared(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  TxnState& st = txns_[txn];
+  st.prepared = false;
+  st.commit_ts = clock_.Tick();
+  st.active = false;
+  st.committed = true;
+  store_.CommitTxn(txn, st.commit_ts);
+  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+  return Status::OK();
+}
+
+Status SnapshotIsolationEngine::AbortPrepared(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  TxnState& st = txns_[txn];
+  st.prepared = false;
+  st.active = false;
+  st.aborted = true;
+  store_.AbortTxn(txn);
+  recorder_.Record(Action::Abort(txn), &EngineStats::aborts);
+  return Status::OK();
+}
+
+std::vector<TxnId> SnapshotIsolationEngine::InDoubtTransactions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TxnId> out;
+  for (const auto& [t, st] : txns_) {
+    if (st.active && st.prepared) out.push_back(t);
+  }
+  return out;
 }
 
 Status SnapshotIsolationEngine::Abort(TxnId txn) {

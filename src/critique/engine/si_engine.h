@@ -78,6 +78,30 @@ class SnapshotIsolationEngine : public Engine {
   Status Commit(TxnId txn) override;
   Status Abort(TxnId txn) override;
 
+  // 2PC participant protocol.  `Prepare` runs the First-Committer-Wins
+  // check (and the SSI pivot check) *now* and freezes the transaction in
+  // doubt; `CommitPrepared` then only assigns the commit timestamp and
+  // installs versions, so it cannot fail.  Because a prepared transaction
+  // has validated but not yet published, any other transaction whose
+  // write set overlaps a prepared write set is refused at its own
+  // prepare/commit (kSerializationFailure): the in-doubt window acts as a
+  // commit-order reservation on the prepared write set, preserving
+  // First-Committer-Wins across the coordinator boundary.  Reads are
+  // untouched — pending versions stay invisible and "a transaction
+  // running in Snapshot Isolation is never blocked attempting a read".
+  //
+  // SSI caveat: the pivot check runs at prepare; an rw-antidependency
+  // closing a dangerous structure *during* the in-doubt window is only
+  // caught if the other participant's own validation sees it.  Full
+  // closure needs global certification — exactly why per-shard SSI does
+  // not compose into global serializability without a coordinator-level
+  // check (see shard/README notes); per-shard Locking SERIALIZABLE does,
+  // because its locks are held across the window.
+  Status Prepare(TxnId txn) override;
+  Status CommitPrepared(TxnId txn) override;
+  Status AbortPrepared(TxnId txn) override;
+  std::vector<TxnId> InDoubtTransactions() const override;
+
   /// Latest committed timestamp (the "now" a new snapshot would see).
   Timestamp Now() const { return clock_.Now(); }
 
@@ -95,6 +119,9 @@ class SnapshotIsolationEngine : public Engine {
     bool active = false;
     bool committed = false;
     bool aborted = false;
+    /// Prepared (in doubt): validated, pending versions reserved, waiting
+    /// for the coordinator's decision.
+    bool prepared = false;
     Timestamp start_ts = kInvalidTimestamp;
     Timestamp commit_ts = kInvalidTimestamp;
     std::set<ItemId> write_set;
@@ -110,7 +137,13 @@ class SnapshotIsolationEngine : public Engine {
   // Private helpers all require `mu_` held.
   Status BeginAtLocked(TxnId txn, Timestamp ts);
   Status CheckActive(TxnId txn) const;
+  Status CheckPrepared(TxnId txn) const;
   Status AbortInternal(TxnId txn, Status reason);
+
+  /// First-Committer-Wins + in-doubt reservation + SSI pivot validation —
+  /// the checks shared by one-phase Commit and Prepare.  On failure the
+  /// transaction is aborted and the refusal status returned.
+  Status ValidateForCommit(TxnId txn);
   Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
                                     Action::Type type);
   Status DoWrite(TxnId txn, const ItemId& id, std::optional<Row> new_row,

@@ -159,12 +159,14 @@ Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
 }
 
 Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
-                                        std::chrono::milliseconds timeout) {
+                                        std::chrono::milliseconds timeout,
+                                        std::chrono::milliseconds recheck) {
   // Waiters sleep in bounded slices: every release notifies the condition
   // variable, and the slice bound guarantees deadlock detection re-runs
   // even if a wake-up is lost to scheduling, so a cycle formed while this
   // thread slept (its recorded edges going stale) can never hang the run.
-  constexpr std::chrono::milliseconds kRecheckSlice{50};
+  const std::chrono::milliseconds kRecheckSlice =
+      recheck.count() > 0 ? recheck : std::chrono::milliseconds(50);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
 
   std::unique_lock<std::mutex> lk(mu_);

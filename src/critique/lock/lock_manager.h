@@ -98,9 +98,13 @@ class LockManager {
   /// Non-blocking acquire; see class comment for the protocol.
   Result<LockHandle> TryAcquire(const LockSpec& spec);
 
-  /// Blocking acquire; see class comment for the protocol.
-  Result<LockHandle> Acquire(const LockSpec& spec,
-                             std::chrono::milliseconds timeout);
+  /// Blocking acquire; see class comment for the protocol.  `recheck`
+  /// bounds how long a parked waiter may sleep before re-running deadlock
+  /// detection even without a release notification (the engine exposes it
+  /// as `EngineConcurrency::deadlock_check_interval`).
+  Result<LockHandle> Acquire(
+      const LockSpec& spec, std::chrono::milliseconds timeout,
+      std::chrono::milliseconds recheck = std::chrono::milliseconds(50));
 
   /// Releases one granted lock (no-op on unknown handles).
   void Release(LockHandle handle);

@@ -1,0 +1,45 @@
+#ifndef CRITIQUE_SHARD_SHARD_ROUTER_H_
+#define CRITIQUE_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "critique/model/row.h"
+
+namespace critique {
+
+/// \brief Deterministic hash partitioning of the keyspace across N shards.
+///
+/// FNV-1a over the item id, reduced modulo the shard count.  The mapping
+/// is a pure function of (id, num_shards): every layer — facade, workload
+/// generator, benches, tests — computes the same placement without
+/// coordination, which is what lets the workload generator *construct*
+/// same-shard and cross-shard key pairs on purpose.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards)
+      : num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// The shard owning `id`, in [0, num_shards).
+  int ShardOf(const ItemId& id) const {
+    return static_cast<int>(Fnv1a(id) % static_cast<uint64_t>(num_shards_));
+  }
+
+  /// 64-bit FNV-1a — stable across platforms and runs.
+  static uint64_t Fnv1a(const ItemId& id) {
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : id) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,147 @@
+#include "critique/shard/shard_scenarios.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace critique {
+
+Result<std::pair<ItemId, ItemId>> PickCrossShardPair(
+    const ShardRouter& router) {
+  if (router.num_shards() < 2) {
+    return Status::InvalidArgument(
+        "cross-shard scenarios need at least 2 shards");
+  }
+  const ItemId first = "acct0";
+  const int first_shard = router.ShardOf(first);
+  for (int k = 1; k < 256; ++k) {
+    ItemId candidate = "acct" + std::to_string(k);
+    if (router.ShardOf(candidate) != first_shard) {
+      return std::make_pair(first, candidate);
+    }
+  }
+  return Status::Internal("no cross-shard pair among 256 candidate names");
+}
+
+Result<ShardScenarioOutcome> RunCrossShardWriteSkew(ShardedDatabase& db) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto pair, PickCrossShardPair(db.router()));
+  const ItemId x = pair.first;
+  const ItemId y = pair.second;
+  CRITIQUE_RETURN_NOT_OK(db.Load(x, Value(50)));
+  CRITIQUE_RETURN_NOT_OK(db.Load(y, Value(50)));
+
+  ShardScenarioOutcome out;
+  ShardedTransaction t1 = db.Begin();
+  ShardedTransaction t2 = db.Begin();
+
+  // Both transactions audit the joint constraint x + y >= 0 and, seeing
+  // total 100, each withdraws 100 from its own item — the A5B shape, with
+  // the two items on different shards.
+  CRITIQUE_ASSIGN_OR_RETURN(Value v1x, t1.GetScalar(x));
+  CRITIQUE_ASSIGN_OR_RETURN(Value v1y, t1.GetScalar(y));
+  CRITIQUE_ASSIGN_OR_RETURN(Value v2x, t2.GetScalar(x));
+  CRITIQUE_ASSIGN_OR_RETURN(Value v2y, t2.GetScalar(y));
+  if (v1x.AsInt() + v1y.AsInt() < 100 || v2x.AsInt() + v2y.AsInt() < 100) {
+    return Status::Internal("scenario setup: unexpected initial balances");
+  }
+
+  Status w1 = t1.Put(x, Value(v1x.AsInt() - 100));
+  Status w2 = t2.Put(y, Value(v2y.AsInt() - 100));
+
+  if (w1.IsWouldBlock() && w2.IsWouldBlock()) {
+    // Cross-shard deadlock: shard(x) has T1 waiting on T2's read lock,
+    // shard(y) has T2 waiting on T1's — neither local waits-for graph
+    // sees the cycle.  Play the distributed resolver: sacrifice T2.
+    out.blocked = true;
+    out.aborted = true;
+    CRITIQUE_RETURN_NOT_OK(t2.Rollback());
+    w1 = t1.Put(x, Value(v1x.AsInt() - 100));
+  } else if (w1.IsWouldBlock() || w2.IsWouldBlock()) {
+    out.blocked = true;
+  }
+
+  // Resolve T1 then T2.  A write still parked on the other transaction's
+  // locks gets one retry once that transaction finished; a write that
+  // stays blocked means its transaction is sacrificed (the lock-wait
+  // timeout answer).  A transaction that never wrote cannot produce the
+  // anomaly.
+  auto resolve = [&out](ShardedTransaction& txn, Status& w,
+                        const std::function<Status()>& retry) {
+    if (w.IsWouldBlock() && txn.active()) w = retry();
+    if (w.ok()) {
+      if (!txn.Commit().ok()) out.aborted = true;
+    } else if (txn.active()) {
+      (void)txn.Rollback();
+      out.aborted = true;
+    }
+  };
+  resolve(t1, w1, [&] { return t1.Put(x, Value(v1x.AsInt() - 100)); });
+  resolve(t2, w2, [&] { return t2.Put(y, Value(v2y.AsInt() - 100)); });
+
+  // Judge the final state with a fresh global read.
+  ShardedTransaction audit = db.Begin();
+  CRITIQUE_ASSIGN_OR_RETURN(Value fx, audit.GetScalar(x));
+  CRITIQUE_ASSIGN_OR_RETURN(Value fy, audit.GetScalar(y));
+  CRITIQUE_RETURN_NOT_OK(audit.Commit());
+  const int64_t total = fx.AsInt() + fy.AsInt();
+  out.anomaly = total < 0;
+  out.detail = "final " + x + "=" + fx.ToString() + " " + y + "=" +
+               fy.ToString() + " (sum " + std::to_string(total) +
+               ", constraint sum >= 0)";
+  return out;
+}
+
+Result<ShardScenarioOutcome> RunFracturedRead(ShardedDatabase& db) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto pair, PickCrossShardPair(db.router()));
+  const ItemId x = pair.first;
+  const ItemId y = pair.second;
+  CRITIQUE_RETURN_NOT_OK(db.Load(x, Value(100)));
+  CRITIQUE_RETURN_NOT_OK(db.Load(y, Value(100)));
+
+  ShardScenarioOutcome out;
+  ShardedTransaction reader = db.Begin();
+  ShardedTransaction writer = db.Begin();
+
+  // The reader audits the invariant x + y == 200, touching shard(x) first;
+  // its shard(y) snapshot is only taken later — after the writer's
+  // atomically-committed transfer, if the engines allow the overlap.
+  CRITIQUE_ASSIGN_OR_RETURN(Value rx, reader.GetScalar(x));
+
+  // Writer: move 50 from x to y, committed atomically through 2PC.
+  CRITIQUE_ASSIGN_OR_RETURN(Value wx, writer.GetScalar(x));
+  Status wput = writer.Put(x, Value(wx.AsInt() - 50));
+
+  if (wput.IsWouldBlock()) {
+    // Locking shards: the reader's long read lock on x holds the transfer
+    // off until the audit is done — that blocking is exactly what buys
+    // the consistent global read.
+    out.blocked = true;
+    CRITIQUE_ASSIGN_OR_RETURN(Value ry, reader.GetScalar(y));
+    CRITIQUE_RETURN_NOT_OK(reader.Commit());
+    out.anomaly = rx.AsInt() + ry.AsInt() != 200;
+    out.detail = "reader saw " + std::to_string(rx.AsInt()) + " + " +
+                 std::to_string(ry.AsInt()) + " (transfer blocked behind it)";
+    // Let the transfer finish so the scenario leaves a clean final state.
+    CRITIQUE_RETURN_NOT_OK(writer.Put(x, Value(wx.AsInt() - 50)));
+    CRITIQUE_ASSIGN_OR_RETURN(Value wy, writer.GetScalar(y));
+    CRITIQUE_RETURN_NOT_OK(writer.Put(y, Value(wy.AsInt() + 50)));
+    CRITIQUE_RETURN_NOT_OK(writer.Commit());
+    return out;
+  }
+  CRITIQUE_RETURN_NOT_OK(wput);
+  CRITIQUE_ASSIGN_OR_RETURN(Value wy, writer.GetScalar(y));
+  CRITIQUE_RETURN_NOT_OK(writer.Put(y, Value(wy.AsInt() + 50)));
+  CRITIQUE_RETURN_NOT_OK(writer.Commit());  // 2PC: debit+credit atomic
+
+  // Only now does the reader touch shard(y): its snapshot there postdates
+  // the commit the shard(x) snapshot predates.
+  CRITIQUE_ASSIGN_OR_RETURN(Value ry, reader.GetScalar(y));
+  CRITIQUE_RETURN_NOT_OK(reader.Commit());
+  out.anomaly = rx.AsInt() + ry.AsInt() != 200;
+  out.detail = "reader saw " + std::to_string(rx.AsInt()) + " + " +
+               std::to_string(ry.AsInt()) + " = " +
+               std::to_string(rx.AsInt() + ry.AsInt()) +
+               " across an atomic transfer preserving 200";
+  return out;
+}
+
+}  // namespace critique

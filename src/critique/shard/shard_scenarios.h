@@ -1,0 +1,53 @@
+#ifndef CRITIQUE_SHARD_SHARD_SCENARIOS_H_
+#define CRITIQUE_SHARD_SHARD_SCENARIOS_H_
+
+#include <string>
+#include <utility>
+
+#include "critique/shard/sharded_database.h"
+
+namespace critique {
+
+/// \brief Outcome of one cross-shard anomaly probe.
+///
+/// The probes generalize the paper's single-site anomaly scenarios
+/// (harness/scenarios.cc) across coordinator boundaries: a fixed pair of
+/// items on *different* shards, a fixed interleaving, and a semantic
+/// judgment over observed values and final state.  What they demonstrate:
+///
+///  * per-shard Snapshot Isolation does NOT compose — each shard's local
+///    history is impeccable SI, yet the global run exhibits write skew
+///    (A5B across shards) and fractured reads of an atomically-committed
+///    transfer (a non-atomic "global snapshot", impossible on one SI
+///    site);
+///  * per-shard Locking SERIALIZABLE + 2PC DOES compose — locks held
+///    through the in-doubt window make the global history serializable,
+///    at the price of blocking and cross-shard deadlocks that only the
+///    lock-wait machinery (not any single shard's waits-for graph) can
+///    break.
+struct ShardScenarioOutcome {
+  bool anomaly = false;  ///< the global invariant was violated
+  bool blocked = false;  ///< some step answered kWouldBlock (locks engaged)
+  bool aborted = false;  ///< some transaction was sacrificed to proceed
+  std::string detail;    ///< human-readable account of what happened
+};
+
+/// First pair of generated account names living on different shards
+/// (InvalidArgument when the router has a single shard).
+Result<std::pair<ItemId, ItemId>> PickCrossShardPair(const ShardRouter& router);
+
+/// Cross-shard write skew (the paper's A5B, split across shards): items x
+/// and y on different shards, constraint x + y >= 0, two transactions
+/// each checking the joint balance and withdrawing from *their own* item.
+/// Loads its own data — call on a freshly constructed facade.
+Result<ShardScenarioOutcome> RunCrossShardWriteSkew(ShardedDatabase& db);
+
+/// Non-atomic global snapshot: a reader overlaps an atomically-committed
+/// (2PC) cross-shard transfer and may observe the debit without the
+/// credit — per-shard snapshots are taken at first touch, not at one
+/// global instant.  Loads its own data — call on a fresh facade.
+Result<ShardScenarioOutcome> RunFracturedRead(ShardedDatabase& db);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_SHARD_SHARD_SCENARIOS_H_

@@ -1,0 +1,317 @@
+#include "critique/shard/sharded_database.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+namespace critique {
+namespace {
+
+// Contract violations on the facade are programming errors; fail fast with
+// a diagnostic in every build type (same policy as `Database`).
+void CheckOrDie(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "critique::ShardedDatabase contract violation: %s\n",
+                 what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedDatabase
+// ---------------------------------------------------------------------------
+
+ShardedDatabase::ShardedDatabase(ShardedDbOptions options)
+    : router_(options.num_shards),
+      retry_(options.retry_policy ? std::move(options.retry_policy)
+                                  : DefaultRetryPolicy()),
+      rng_(options.seed) {
+  CheckOrDie(options.num_shards >= 1, "num_shards must be >= 1");
+  CheckOrDie(options.per_shard.empty() ||
+                 options.per_shard.size() ==
+                     static_cast<size_t>(options.num_shards),
+             "per_shard options must match num_shards");
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    DbOptions o = options.per_shard.empty()
+                      ? options.shard_options
+                      : options.per_shard[static_cast<size_t>(i)];
+    // Independent deterministic stream per shard, whatever the template's
+    // seed was.
+    o.seed = options.seed * 1000003u + static_cast<uint64_t>(i) + 1;
+    shards_.push_back(std::make_unique<Database>(std::move(o)));
+  }
+}
+
+ShardedTransaction ShardedDatabase::Begin() {
+  TxnId gid = next_gid_.fetch_add(1, std::memory_order_relaxed);
+  return ShardedTransaction(this, gid);
+}
+
+Status ShardedDatabase::Execute(
+    const std::function<Status(ShardedTransaction&)>& body) {
+  for (int attempt = 1;; ++attempt) {
+    ShardedTransaction txn = Begin();
+    Status s = body(txn);
+    if (s.ok() && txn.active()) s = txn.Commit();
+    if (txn.active()) (void)txn.Rollback();
+    if (s.ok()) return s;
+    if (!retry_->RetryTransaction(s, attempt)) return s;
+    execute_retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto delay = retry_->RetryDelay(attempt);
+    if (delay > std::chrono::microseconds::zero()) {
+      std::this_thread::sleep_for(delay);
+    }
+  }
+}
+
+ShardedDatabase::RecoveryReport ShardedDatabase::RecoverInDoubt() {
+  RecoveryReport rep;
+  // gid -> (decision, participants resolved) so the coordinator's log can
+  // be cleaned up and its recovery counters updated per global txn.
+  std::map<TxnId, std::pair<bool, uint64_t>> resolved;
+  for (auto& shard : shards_) {
+    Engine& engine = shard->engine();
+    for (TxnId gid : engine.InDoubtTransactions()) {
+      // Presumed abort: only an explicitly logged commit decision rolls an
+      // in-doubt participant forward.
+      const bool commit = coordinator_.DecisionFor(gid).value_or(false);
+      Status s = commit ? engine.CommitPrepared(gid)
+                        : engine.AbortPrepared(gid);
+      if (!s.ok()) continue;  // raced with another resolver; nothing leaked
+      if (commit) {
+        ++rep.committed;
+      } else {
+        ++rep.aborted;
+      }
+      auto& entry = resolved[gid];
+      entry.first = commit;
+      ++entry.second;
+    }
+  }
+  for (const auto& [gid, outcome] : resolved) {
+    coordinator_.CountRecovery(outcome.first, outcome.second);
+    if (outcome.first) coordinator_.ForgetDecision(gid);
+  }
+  return rep;
+}
+
+EngineStats ShardedDatabase::StatsAggregate() const {
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    const EngineStats s = shard->StatsSnapshot();
+    total.reads += s.reads;
+    total.predicate_reads += s.predicate_reads;
+    total.writes += s.writes;
+    total.commits += s.commits;
+    total.aborts += s.aborts;
+    total.deadlock_aborts += s.deadlock_aborts;
+    total.serialization_aborts += s.serialization_aborts;
+    total.blocked_ops += s.blocked_ops;
+  }
+  return total;
+}
+
+Rng ShardedDatabase::ForkRng() {
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  return Rng(rng_.Next());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedTransaction
+// ---------------------------------------------------------------------------
+
+ShardedTransaction::ShardedTransaction(ShardedDatabase* db, TxnId gid)
+    : db_(db), gid_(gid), active_(true) {
+  parts_.resize(static_cast<size_t>(db->num_shards()));
+}
+
+ShardedTransaction::ShardedTransaction(ShardedTransaction&& other) noexcept
+    : db_(other.db_),
+      gid_(other.gid_),
+      active_(other.active_),
+      parts_(std::move(other.parts_)) {
+  other.db_ = nullptr;
+  other.active_ = false;
+  other.parts_.clear();
+}
+
+ShardedTransaction& ShardedTransaction::operator=(
+    ShardedTransaction&& other) noexcept {
+  if (this != &other) {
+    AbortParts();
+    db_ = other.db_;
+    gid_ = other.gid_;
+    active_ = other.active_;
+    parts_ = std::move(other.parts_);
+    other.db_ = nullptr;
+    other.active_ = false;
+    other.parts_.clear();
+  }
+  return *this;
+}
+
+ShardedTransaction::~ShardedTransaction() { AbortParts(); }
+
+void ShardedTransaction::AbortParts() {
+  for (auto& part : parts_) {
+    if (part.has_value() && part->active()) (void)part->Rollback();
+  }
+  active_ = false;
+}
+
+int ShardedTransaction::shards_touched() const {
+  int n = 0;
+  for (const auto& part : parts_) {
+    if (part.has_value()) ++n;
+  }
+  return n;
+}
+
+Result<Transaction*> ShardedTransaction::Part(int shard) {
+  auto& slot = parts_[static_cast<size_t>(shard)];
+  if (!slot.has_value()) {
+    // The same global id on every shard: each shard's history subscripts
+    // the same global transaction identically, and in-doubt participants
+    // are resolvable against the coordinator log by id alone.
+    CRITIQUE_ASSIGN_OR_RETURN(Transaction t,
+                              db_->shard(shard).BeginWithId(gid_));
+    slot.emplace(std::move(t));
+  }
+  return &*slot;
+}
+
+Status ShardedTransaction::ObservePartStatus(Status s) {
+  // A participant the engine already finished (deadlock victim,
+  // serialization refusal, dead handle) dooms the global transaction:
+  // abort everyone now so no half of it lingers.  `kWouldBlock` is not
+  // terminal — the operation did nothing and may be retried.
+  if (s.IsDeadlock() || s.IsSerializationFailure() ||
+      s.IsTransactionAborted()) {
+    AbortParts();
+  }
+  return s;
+}
+
+Result<std::optional<Row>> ShardedTransaction::Get(const ItemId& id) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(db_->ShardOf(id)));
+  auto r = part->Get(id);
+  if (!r.ok()) return ObservePartStatus(r.status());
+  return r;
+}
+
+Result<Value> ShardedTransaction::GetScalar(const ItemId& id) {
+  CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> row, Get(id));
+  if (!row.has_value()) return Value();
+  return row->scalar();
+}
+
+Result<std::vector<std::pair<ItemId, Row>>> ShardedTransaction::GetWhere(
+    const std::string& name, const Predicate& pred) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  std::vector<std::pair<ItemId, Row>> out;
+  for (int s = 0; s < db_->num_shards(); ++s) {
+    CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(s));
+    auto r = part->GetWhere(name, pred);
+    if (!r.ok()) return ObservePartStatus(r.status());
+    auto rows = std::move(r).value();
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return out;
+}
+
+Status ShardedTransaction::Put(const ItemId& id, Row row) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(db_->ShardOf(id)));
+  return ObservePartStatus(part->Put(id, std::move(row)));
+}
+
+Status ShardedTransaction::Put(const ItemId& id, Value v) {
+  return Put(id, Row::Scalar(std::move(v)));
+}
+
+Status ShardedTransaction::Insert(const ItemId& id, Row row) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(db_->ShardOf(id)));
+  return ObservePartStatus(part->Insert(id, std::move(row)));
+}
+
+Status ShardedTransaction::Erase(const ItemId& id) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(db_->ShardOf(id)));
+  return ObservePartStatus(part->Erase(id));
+}
+
+Status ShardedTransaction::Update(
+    const ItemId& id,
+    const std::function<Row(const std::optional<Row>&)>& transform) {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(Transaction * part, Part(db_->ShardOf(id)));
+  return ObservePartStatus(part->Update(id, transform));
+}
+
+Status ShardedTransaction::Commit() {
+  if (!active_) {
+    return Status::TransactionAborted("sharded transaction finished");
+  }
+
+  std::vector<Transaction*> open;
+  for (auto& part : parts_) {
+    if (part.has_value() && part->active()) open.push_back(&*part);
+  }
+
+  if (open.empty()) {  // read-nothing transaction: trivially committed
+    active_ = false;
+    return Status::OK();
+  }
+
+  if (open.size() == 1) {
+    // Single-shard fast path: the shard's own commit is the whole
+    // protocol.  A cooperative `kWouldBlock` leaves the handle usable for
+    // the schedule to retry, exactly like `Transaction::Commit`.
+    Status s = open.front()->Commit();
+    if (s.IsWouldBlock()) return s;
+    active_ = false;
+    if (s.ok()) {
+      db_->single_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status s = db_->coordinator_.Commit(gid_, open);
+  // On success or global abort every participant handle is finished.  On a
+  // failpoint "crash" (`kInternal`) prepared participants survive their
+  // handles: the rollback below is refused engine-side and they stay in
+  // doubt for RecoverInDoubt.
+  AbortParts();
+  return s;
+}
+
+Status ShardedTransaction::Rollback() {
+  if (db_ == nullptr) {
+    return Status::TransactionAborted("moved-from sharded transaction");
+  }
+  if (!active_) return Status::OK();
+  AbortParts();
+  return Status::OK();
+}
+
+}  // namespace critique

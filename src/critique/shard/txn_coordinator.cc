@@ -1,0 +1,110 @@
+#include "critique/shard/txn_coordinator.h"
+
+namespace critique {
+
+std::string CoordinatorStats::ToString() const {
+  return "started=" + std::to_string(started) +
+         " committed=" + std::to_string(committed) +
+         " aborted=" + std::to_string(aborted) +
+         " prepare_failures=" + std::to_string(prepare_failures) +
+         " crashes=" + std::to_string(crashes) +
+         " recovered_commits=" + std::to_string(recovered_commits) +
+         " recovered_aborts=" + std::to_string(recovered_aborts);
+}
+
+Status TxnCoordinator::Commit(TxnId gid,
+                              const std::vector<Transaction*>& parts) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.started;
+  }
+
+  // Phase 1: prepare in shard order.  A refusal means the refusing engine
+  // already rolled its participant back (or the participant was already
+  // dead); everyone else must now abort too.
+  for (size_t i = 0; i < parts.size(); ++i) {
+    Status s = parts[i]->Prepare();
+    if (s.ok()) continue;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.prepare_failures;
+    ++stats_.aborted;
+    // Global abort.  Prepared predecessors take the abort decision;
+    // unprepared successors (and the refuser, if its handle survived) roll
+    // back plainly.  Presumed abort: nothing to log.
+    for (size_t j = 0; j < i; ++j) (void)parts[j]->AbortPrepared();
+    for (size_t j = i; j < parts.size(); ++j) {
+      if (parts[j]->active()) (void)parts[j]->Rollback();
+    }
+    return s;
+  }
+
+  CoordinatorFailpoint fp;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fp = failpoint_;
+    if (fp == CoordinatorFailpoint::kBeforeDecision) {
+      ++stats_.crashes;
+    } else {
+      decisions_[gid] = true;
+      if (fp == CoordinatorFailpoint::kAfterDecision) ++stats_.crashes;
+    }
+  }
+  if (fp == CoordinatorFailpoint::kBeforeDecision) {
+    return Status::Internal(
+        "coordinator crashed before logging a decision for gid " +
+        std::to_string(gid) + "; participants left in doubt");
+  }
+  if (fp == CoordinatorFailpoint::kAfterDecision) {
+    return Status::Internal(
+        "coordinator crashed after logging commit for gid " +
+        std::to_string(gid) + "; participants left in doubt");
+  }
+
+  // Phase 2: deliver the decision.  Prepare promised this cannot fail; a
+  // participant disagreeing is a protocol bug worth surfacing loudly.
+  for (Transaction* p : parts) {
+    Status s = p->CommitPrepared();
+    if (!s.ok()) {
+      return Status::Internal("participant refused CommitPrepared for gid " +
+                              std::to_string(gid) + ": " + s.ToString());
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_.erase(gid);  // all acknowledged; presumed abort forgets
+  ++stats_.committed;
+  return Status::OK();
+}
+
+std::optional<bool> TxnCoordinator::DecisionFor(TxnId gid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = decisions_.find(gid);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TxnCoordinator::ForgetDecision(TxnId gid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_.erase(gid);
+}
+
+void TxnCoordinator::CountRecovery(bool committed, uint64_t participants) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (committed) {
+    stats_.recovered_commits += participants;
+  } else {
+    stats_.recovered_aborts += participants;
+  }
+}
+
+void TxnCoordinator::set_failpoint(CoordinatorFailpoint f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  failpoint_ = f;
+}
+
+CoordinatorStats TxnCoordinator::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace critique

@@ -1,0 +1,94 @@
+#ifndef CRITIQUE_SHARD_TXN_COORDINATOR_H_
+#define CRITIQUE_SHARD_TXN_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "critique/common/status.h"
+#include "critique/db/transaction.h"
+
+namespace critique {
+
+/// Injectable coordinator "crash" points for the in-doubt recovery tests:
+/// the coordinator stops mid-protocol, returns `kInternal`, and leaves its
+/// prepared participants in doubt for `ShardedDatabase::RecoverInDoubt` to
+/// resolve.
+enum class CoordinatorFailpoint {
+  kNone,
+  /// Crash after every participant prepared but before the commit decision
+  /// is logged.  Presumed abort: recovery finds no decision and aborts.
+  kBeforeDecision,
+  /// Crash after the commit decision is logged but before any participant
+  /// learned it.  Recovery finds the decision and commits.
+  kAfterDecision,
+};
+
+/// Counters exposed for benches and tests.
+struct CoordinatorStats {
+  uint64_t started = 0;           ///< cross-shard commits attempted
+  uint64_t committed = 0;         ///< full 2PC rounds that committed
+  uint64_t aborted = 0;           ///< global aborts (a participant refused)
+  uint64_t prepare_failures = 0;  ///< participants that refused prepare
+  uint64_t crashes = 0;           ///< failpoint-injected crashes
+  uint64_t recovered_commits = 0; ///< in-doubt participants recovered forward
+  uint64_t recovered_aborts = 0;  ///< in-doubt participants presumed-aborted
+
+  /// One line: "started=12 committed=10 aborted=2 ...".
+  std::string ToString() const;
+};
+
+/// \brief The two-phase-commit coordinator for cross-shard transactions.
+///
+/// Phase 1 prepares every participant in shard order; any refusal turns
+/// into a *global abort* — already-prepared participants get
+/// `AbortPrepared`, unprepared ones roll back, and the refusing status
+/// (typically `kSerializationFailure`, retryable) is returned so the
+/// session layer's `RetryPolicy` restarts the whole transaction.  Phase 2
+/// logs the commit decision, then delivers `CommitPrepared` to every
+/// participant; after all acknowledge, the decision is forgotten.
+///
+/// The decision log implements **presumed abort**: an in-doubt participant
+/// whose global transaction has no logged decision must abort.  Only the
+/// window between logging and the last acknowledgement keeps an entry, so
+/// the log stays O(in-flight cross-shard transactions).
+///
+/// Thread-safe: the decision log and counters are mutex-guarded; the
+/// participant calls themselves run on the caller's thread (one global
+/// transaction is one session driven by one thread, the same contract as
+/// everywhere else).
+class TxnCoordinator {
+ public:
+  /// Runs 2PC over `parts` (the per-shard sessions of global transaction
+  /// `gid`).  All participant handles are finished on return except when a
+  /// failpoint "crash" leaves prepared ones in doubt.
+  Status Commit(TxnId gid, const std::vector<Transaction*>& parts);
+
+  /// The logged decision for `gid`: true = commit; nullopt = no decision,
+  /// which presumed abort reads as "abort".
+  std::optional<bool> DecisionFor(TxnId gid) const;
+
+  /// Drops `gid`'s log entry once every in-doubt participant is resolved.
+  void ForgetDecision(TxnId gid);
+
+  /// Record recovery outcomes (called by `ShardedDatabase::RecoverInDoubt`).
+  void CountRecovery(bool committed, uint64_t participants);
+
+  /// Installs (or clears, with kNone) a crash point.  Sticky until reset.
+  void set_failpoint(CoordinatorFailpoint f);
+
+  CoordinatorStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<TxnId, bool> decisions_;
+  CoordinatorFailpoint failpoint_ = CoordinatorFailpoint::kNone;
+  CoordinatorStats stats_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_SHARD_TXN_COORDINATOR_H_

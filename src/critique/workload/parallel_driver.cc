@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "critique/shard/sharded_database.h"
+
 namespace critique {
 namespace {
 
@@ -18,43 +20,19 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-}  // namespace
-
-std::string ParallelRunStats::ToString() const {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "%d thr %llu/%llu ok aborts=%.1f%% %.0f txn/s "
-                "p50=%.0fus p90=%.0fus p99=%.0fus",
-                threads, static_cast<unsigned long long>(committed),
-                static_cast<unsigned long long>(attempts), 100 * abort_rate(),
-                txns_per_second(), latency.p50_us, latency.p90_us,
-                latency.p99_us);
-  return buf;
-}
-
-ParallelDriver::ParallelDriver(Database& db, ParallelDriverOptions options)
-    : db_(db), options_(options) {
-  if (options_.threads < 1) options_.threads = 1;
-}
-
-ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
+/// The thread/timing/percentile core both drivers share: `per_thread`
+/// calls of `one_txn(rng)` on each of `threads` workers, each worker
+/// owning the pre-forked RNG stream of matching index.  Fills every field
+/// of the stats except the engine-side deltas and `retries`, which only
+/// the caller can take.
+ParallelRunStats RunWorkers(int threads, uint64_t per_thread,
+                            std::vector<Rng>& rngs,
+                            const std::function<Status(Rng&)>& one_txn) {
   struct WorkerResult {
     uint64_t committed = 0;
     uint64_t failed = 0;
     std::vector<double> latencies_us;
   };
-
-  const int threads = options_.threads;
-  const uint64_t per_thread = options_.txns_per_thread;
-
-  // Fork the per-thread RNG streams up front: deterministic whatever order
-  // the threads later interleave in.
-  std::vector<Rng> rngs;
-  rngs.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) rngs.push_back(db_.ForkRng());
-
-  const EngineStats before = db_.StatsSnapshot();
-  const uint64_t retries_before = db_.execute_retries();
 
   std::vector<WorkerResult> results(static_cast<size_t>(threads));
   const auto start = std::chrono::steady_clock::now();
@@ -68,8 +46,7 @@ ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
         Rng& rng = rngs[static_cast<size_t>(t)];
         for (uint64_t i = 0; i < per_thread; ++i) {
           const auto t0 = std::chrono::steady_clock::now();
-          Status s = db_.Execute(
-              [&](Transaction& txn) { return body(txn, rng); });
+          Status s = one_txn(rng);
           const auto t1 = std::chrono::steady_clock::now();
           out.latencies_us.push_back(
               std::chrono::duration<double, std::micro>(t1 - t0).count());
@@ -97,17 +74,84 @@ ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
                      r.latencies_us.end());
   }
   stats.attempts = stats.committed + stats.failed;
-  stats.retries = db_.execute_retries() - retries_before;
-
-  const EngineStats after = db_.StatsSnapshot();
-  stats.engine_commits = after.commits - before.commits;
-  stats.engine_aborts = after.total_aborts() - before.total_aborts();
 
   std::sort(latencies.begin(), latencies.end());
   stats.latency.p50_us = PercentileSorted(latencies, 0.50);
   stats.latency.p90_us = PercentileSorted(latencies, 0.90);
   stats.latency.p99_us = PercentileSorted(latencies, 0.99);
   stats.latency.max_us = latencies.empty() ? 0 : latencies.back();
+  return stats;
+}
+
+}  // namespace
+
+std::string ParallelRunStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%d thr %llu/%llu ok aborts=%.1f%% %.0f txn/s "
+                "p50=%.0fus p90=%.0fus p99=%.0fus",
+                threads, static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(attempts), 100 * abort_rate(),
+                txns_per_second(), latency.p50_us, latency.p90_us,
+                latency.p99_us);
+  return buf;
+}
+
+ParallelDriver::ParallelDriver(Database& db, ParallelDriverOptions options)
+    : db_(db), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
+  // Fork the per-thread RNG streams up front: deterministic whatever order
+  // the threads later interleave in.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) rngs.push_back(db_.ForkRng());
+
+  const EngineStats before = db_.StatsSnapshot();
+  const uint64_t retries_before = db_.execute_retries();
+
+  ParallelRunStats stats =
+      RunWorkers(options_.threads, options_.txns_per_thread, rngs,
+                 [&](Rng& rng) {
+                   return db_.Execute(
+                       [&](Transaction& txn) { return body(txn, rng); });
+                 });
+  stats.retries = db_.execute_retries() - retries_before;
+
+  const EngineStats after = db_.StatsSnapshot();
+  stats.engine_commits = after.commits - before.commits;
+  stats.engine_aborts = after.total_aborts() - before.total_aborts();
+  return stats;
+}
+
+ShardedParallelDriver::ShardedParallelDriver(ShardedDatabase& db,
+                                             ParallelDriverOptions options)
+    : db_(db), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+ParallelRunStats ShardedParallelDriver::Run(const ShardedTxnBody& body) {
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) rngs.push_back(db_.ForkRng());
+
+  const EngineStats before = db_.StatsAggregate();
+  const uint64_t retries_before = db_.execute_retries();
+
+  ParallelRunStats stats =
+      RunWorkers(options_.threads, options_.txns_per_thread, rngs,
+                 [&](Rng& rng) {
+                   return db_.Execute([&](ShardedTransaction& txn) {
+                     return body(txn, rng);
+                   });
+                 });
+  stats.retries = db_.execute_retries() - retries_before;
+
+  const EngineStats after = db_.StatsAggregate();
+  stats.engine_commits = after.commits - before.commits;
+  stats.engine_aborts = after.total_aborts() - before.total_aborts();
   return stats;
 }
 

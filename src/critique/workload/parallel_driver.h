@@ -10,6 +10,10 @@
 
 namespace critique {
 
+// Referenced only; the shard layer's headers stay out of this one.
+class ShardedDatabase;
+class ShardedTransaction;
+
 /// Configuration of one `ParallelDriver::Run`.
 struct ParallelDriverOptions {
   int threads = 8;                 ///< OS threads driving sessions
@@ -87,6 +91,34 @@ class ParallelDriver {
 
  private:
   Database& db_;
+  ParallelDriverOptions options_;
+};
+
+/// A transaction body against a sharded facade; the body decides (through
+/// its key choices) whether the transaction stays on one shard or commits
+/// through the 2PC coordinator.
+using ShardedTxnBody = std::function<Status(ShardedTransaction&, Rng&)>;
+
+/// \brief The sharded counterpart of `ParallelDriver`: N OS threads of
+/// `ShardedDatabase::Execute` bodies against one sharded facade (shards in
+/// blocking mode), with the same latency/throughput accounting.
+///
+/// `engine_commits`/`engine_aborts` aggregate across every shard, so the
+/// reconciliation invariant becomes: each cross-shard commit records one
+/// engine commit *per participant shard* — the sharding tests assert the
+/// weaker, always-true direction that client commits never exceed engine
+/// commits.
+class ShardedParallelDriver {
+ public:
+  ShardedParallelDriver(ShardedDatabase& db, ParallelDriverOptions options);
+
+  /// Runs the workload to completion and reports what happened.
+  ParallelRunStats Run(const ShardedTxnBody& body);
+
+  const ParallelDriverOptions& options() const { return options_; }
+
+ private:
+  ShardedDatabase& db_;
   ParallelDriverOptions options_;
 };
 

@@ -1,5 +1,7 @@
 #include "critique/workload/workload.h"
 
+#include "critique/shard/sharded_database.h"
+
 #include <set>
 
 namespace critique {
@@ -140,6 +142,64 @@ Program WorkloadGenerator::MakeAuditTxn() const {
   });
   p.Commit();
   return p;
+}
+
+Status WorkloadGenerator::LoadInitial(ShardedDatabase& db) const {
+  for (uint64_t k = 0; k < options_.num_items; ++k) {
+    CRITIQUE_RETURN_NOT_OK(
+        db.Load(ItemName(k), Value(options_.initial_balance)));
+  }
+  return Status::OK();
+}
+
+Status WorkloadGenerator::ApplyShardedTransferTxn(ShardedTransaction& txn,
+                                                  Rng& rng, int64_t amount,
+                                                  double cross_shard_prob) const {
+  const ShardRouter& router = txn.database().router();
+  uint64_t from = zipf_.Next(rng);
+  const int src_shard = router.ShardOf(ItemName(from));
+  const bool want_cross =
+      router.num_shards() > 1 && rng.Chance(cross_shard_prob);
+
+  // Draw the destination until it lands on the wanted side of the shard
+  // boundary.  Bounded redraws: hash placement may be lopsided for tiny
+  // tables, and a transfer with an imperfect placement is still a valid
+  // transfer — determinism and forward progress beat exact mix ratios.
+  uint64_t to = zipf_.Next(rng);
+  for (int draws = 0; draws < 64; ++draws) {
+    const bool distinct = to != from || options_.num_items == 1;
+    const bool is_cross = router.ShardOf(ItemName(to)) != src_shard;
+    if (distinct && is_cross == want_cross) break;
+    to = zipf_.Next(rng);
+  }
+  if (to == from && options_.num_items > 1) {
+    to = (from + 1) % options_.num_items;
+  }
+
+  ItemId src = ItemName(from), dst = ItemName(to);
+  CRITIQUE_ASSIGN_OR_RETURN(Value src_val, txn.GetScalar(src));
+  const int64_t src_bal = src_val.is_null() ? 0 : src_val.AsInt();
+  CRITIQUE_RETURN_NOT_OK(txn.Put(src, Value(src_bal - amount)));
+  CRITIQUE_ASSIGN_OR_RETURN(Value dst_val, txn.GetScalar(dst));
+  const int64_t dst_bal = dst_val.is_null() ? 0 : dst_val.AsInt();
+  CRITIQUE_RETURN_NOT_OK(txn.Put(dst, Value(dst_bal + amount)));
+  return Status::OK();
+}
+
+int64_t WorkloadGenerator::TotalBalance(ShardedDatabase& db,
+                                        uint64_t num_items) {
+  ShardedTransaction txn = db.Begin();
+  int64_t sum = 0;
+  for (uint64_t k = 0; k < num_items; ++k) {
+    auto r = txn.Get(ItemName(k));
+    if (!r.ok()) return -1;  // RAII rollback
+    if (r->has_value()) {
+      auto v = (*r)->scalar().AsNumeric();
+      if (v.has_value()) sum += static_cast<int64_t>(*v);
+    }
+  }
+  if (!txn.Commit().ok()) return -1;
+  return sum;
 }
 
 int64_t WorkloadGenerator::TotalBalance(Database& db, uint64_t num_items) {

@@ -11,6 +11,11 @@
 
 namespace critique {
 
+// The sharded bodies only take references; keep workload.h free of the
+// shard layer's headers (workload.cc includes them).
+class ShardedDatabase;
+class ShardedTransaction;
+
 /// Parameters of the synthetic transaction mixes used by the benchmark
 /// harness for the Section 4.2 performance claims (readers never block /
 /// are never blocked under SI; long update transactions starve under
@@ -66,6 +71,25 @@ class WorkloadGenerator {
   /// Runs one balance-preserving transfer of `amount` between two distinct
   /// random items inside `txn` (no commit).
   Status ApplyTransferTxn(Transaction& txn, Rng& rng, int64_t amount) const;
+
+  // --- sharded counterparts -------------------------------------------------
+
+  /// Loads the initial table into every shard (routed by the facade).
+  Status LoadInitial(ShardedDatabase& db) const;
+
+  /// Runs one balance-preserving transfer inside a sharded transaction:
+  /// with probability `cross_shard_prob` the two accounts are *forced*
+  /// onto different shards (the transaction commits through 2PC),
+  /// otherwise onto the same shard (single-shard fast path) — the knob
+  /// the sharding benches sweep.  Falls back gracefully when the facade
+  /// has a single shard.
+  Status ApplyShardedTransferTxn(ShardedTransaction& txn, Rng& rng,
+                                 int64_t amount,
+                                 double cross_shard_prob) const;
+
+  /// Sum of all committed balances via a fresh global transaction; -1 on
+  /// failure.
+  static int64_t TotalBalance(ShardedDatabase& db, uint64_t num_items);
 
   /// An audit transaction reading every item (the invariant check of the
   /// inconsistent-analysis experiments); stores the sum under "sum".

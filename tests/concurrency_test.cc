@@ -79,6 +79,39 @@ TEST(LockManagerBlockingTest, TimeoutAnswersWouldBlock) {
   EXPECT_TRUE(h3.ok());
 }
 
+TEST(LockManagerBlockingTest, CustomDbOptionsTimeoutAndCheckInterval) {
+  // The knobs ride DbOptions end to end: a short custom lock-wait timeout
+  // must answer kWouldBlock in roughly that time (not the 250ms default),
+  // and the custom deadlock-check interval must reach the engine.
+  DbOptions opts(IsolationLevel::kSerializable);
+  opts.mode = ConcurrencyMode::kBlocking;
+  opts.lock_wait_timeout = milliseconds(120);
+  opts.deadlock_check_interval = milliseconds(10);
+  Database db(opts);
+  EXPECT_EQ(db.engine().concurrency().lock_wait_timeout, milliseconds(120));
+  EXPECT_EQ(db.engine().concurrency().deadlock_check_interval,
+            milliseconds(10));
+  ASSERT_TRUE(db.Load("x", Value(1)).ok());
+
+  Transaction holder = db.Begin();
+  ASSERT_TRUE(holder.Put("x", Value(2)).ok());  // long X lock until commit
+
+  Transaction contender = db.Begin();
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = contender.Put("x", Value(3));
+  const auto waited = std::chrono::duration_cast<milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_TRUE(s.IsWouldBlock()) << s.ToString();
+  // The wait honored the configured budget: at least ~the timeout (minus
+  // scheduler slop), and nowhere near unbounded.  1-core CI: generous cap.
+  EXPECT_GE(waited, milliseconds(80)) << waited.count() << "ms";
+  EXPECT_LT(waited, milliseconds(5000)) << waited.count() << "ms";
+
+  ASSERT_TRUE(holder.Commit().ok());
+  EXPECT_TRUE(contender.Put("x", Value(3)).ok());  // lock free again
+  EXPECT_TRUE(contender.Commit().ok());
+}
+
 TEST(LockManagerBlockingTest, DeadlockAcrossSleepingWaitersIsDetected) {
   LockManager lm;
   auto hx = lm.TryAcquire(LockSpec::WriteItem(1, "x", std::nullopt,
