@@ -12,7 +12,15 @@
 //
 //   bench_throughput [--threads N] [--txns-per-thread M] [--items K]
 //                    [--theta Z] [--write-fraction F] [--ops-per-txn O]
-//                    [--seed S] [--timeout-ms T] [--json PATH] [--quiet]
+//                    [--seed S] [--timeout-ms T] [--stripes B]
+//                    [--gc-every G] [--json PATH] [--quiet]
+//
+// --stripes sets the lock-table stripe count of the lock-based engines
+// (1 = the old single global table); --gc-every enables kWatermark
+// version GC on the multiversion engines with that commit interval
+// (0 = retain all versions, the default).  The per-engine JSON reports
+// the end-of-run stored version count so the GC effect is visible in the
+// baseline.
 //
 // A plain binary (no google-benchmark dependency): a throughput driver
 // wants one timed run per configuration, not statistical repetition of a
@@ -40,6 +48,8 @@ struct Config {
   uint64_t ops_per_txn = 4;
   uint64_t seed = 1;
   int64_t timeout_ms = 250;
+  int64_t stripes = static_cast<int64_t>(LockManager::kDefaultStripes);
+  int64_t gc_every = 0;  ///< 0 = kRetainAll
   bool quiet = false;
 };
 
@@ -49,6 +59,7 @@ struct EngineResult {
   ParallelRunStats run;
   bool balance_ok = false;   ///< no lost updates: total balance preserved
   bool balance_must_hold = false;  ///< level disallows P4 (Serializable / SI)
+  uint64_t version_count = 0;  ///< stored versions at end of run (MV engines)
 };
 
 EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
@@ -56,6 +67,11 @@ EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
   opts.mode = ConcurrencyMode::kBlocking;
   opts.lock_wait_timeout = std::chrono::milliseconds(cfg.timeout_ms);
   opts.seed = cfg.seed;
+  opts.lock_stripes = static_cast<size_t>(cfg.stripes);
+  if (cfg.gc_every > 0) {
+    opts.version_gc = VersionGcMode::kWatermark;
+    opts.version_gc_interval = static_cast<uint32_t>(cfg.gc_every);
+  }
   Database db(opts);
 
   WorkloadOptions wopts;
@@ -86,6 +102,7 @@ EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
   out.balance_ok = WorkloadGenerator::TotalBalance(db, cfg.items) == expect;
   out.balance_must_hold = level == IsolationLevel::kSerializable ||
                           level == IsolationLevel::kSnapshotIsolation;
+  out.version_count = db.VersionCount();
   return out;
 }
 
@@ -125,6 +142,8 @@ std::string ToJson(const Config& cfg,
   w.Key("ops_per_txn"); w.UInt(cfg.ops_per_txn);
   w.Key("seed"); w.UInt(cfg.seed);
   w.Key("lock_wait_timeout_ms"); w.Int(cfg.timeout_ms);
+  w.Key("lock_stripes"); w.Int(cfg.stripes);
+  w.Key("gc_every"); w.Int(cfg.gc_every);
   w.Key("engines");
   w.BeginArray();
   for (const EngineResult& r : results) {
@@ -147,6 +166,7 @@ std::string ToJson(const Config& cfg,
     w.Key("max"); w.Double(r.run.latency.max_us);
     w.EndObject();
     w.Key("balance_preserved"); w.Bool(r.balance_ok);
+    w.Key("version_count"); w.UInt(r.version_count);
     w.EndObject();
   }
   w.EndArray();
@@ -174,6 +194,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(TakeIntFlag(argc, argv, "--ops-per-txn", 4));
   cfg.seed = static_cast<uint64_t>(TakeIntFlag(argc, argv, "--seed", 1));
   cfg.timeout_ms = TakeIntFlag(argc, argv, "--timeout-ms", 250);
+  cfg.stripes = TakeIntFlag(argc, argv, "--stripes",
+                            static_cast<int64_t>(LockManager::kDefaultStripes));
+  cfg.gc_every = TakeIntFlag(argc, argv, "--gc-every", 0);
   cfg.quiet = TakeBoolFlag(argc, argv, "--quiet");
   if (argc > 1) {
     std::fprintf(stderr, "unknown argument: %s\n", argv[1]);

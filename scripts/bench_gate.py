@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench-baseline regression gate.
+
+Compares a bench's current --json output against the committed baseline
+(BENCH_lock.json / BENCH_mvcc.json / BENCH_throughput.json) and fails on
+regressions beyond a generous tolerance, so only real cliffs — not
+machine noise — break CI.
+
+    bench_gate.py BASELINE CURRENT [--tolerance 0.5]
+
+Rules (see docs/benchmarks.md):
+  * The two documents are walked in parallel; metrics are matched by JSON
+    path (e.g. configs[1].mt_disjoint_ops_per_sec).
+  * Keys ending in `_per_sec` (and `txns_per_sec`) are throughputs:
+    FAIL when current < baseline * (1 - tolerance).
+  * `version_count` / `max_chain_length` are boundedness metrics:
+    FAIL when current > max(baseline * (1 + tolerance), baseline + 8) —
+    the additive slack keeps tiny baselines (a chain of 2) from tripping
+    on +1 jitter.
+  * Latency percentiles and everything else are reported, not gated
+    (they are too machine-dependent for a cross-host gate).
+  * A metric present in the baseline but missing from the current run
+    FAILS: silently dropping a measurement would blind the trajectory.
+
+Exit status: 0 all gated metrics pass, 1 regression, 2 usage/IO error.
+Environment: BENCH_GATE_TOLERANCE overrides the default tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_sec",)
+LOWER_BETTER_KEYS = ("version_count", "max_chain_length")
+
+
+def walk(doc, path=""):
+    """Yields (json_path, leaf_key, value) for every numeric leaf."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            sub = f"{path}.{key}" if path else key
+            yield from walk(value, sub)
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from walk(value, f"{path}[{i}]")
+    elif isinstance(doc, bool):
+        return  # bools are ints in Python; never a gated metric
+    elif isinstance(doc, (int, float)):
+        leaf = path.rsplit(".", 1)[-1]
+        yield path, leaf, float(doc)
+
+
+def direction(leaf_key):
+    if any(leaf_key.endswith(s) for s in HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    if leaf_key in LOWER_BETTER_KEYS:
+        return "lower"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "0.5")),
+        help="fractional regression allowed (default 0.5 = 50%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        with open(args.current) as f:
+            cur_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    current = {path: value for path, _, value in walk(cur_doc)}
+    failures = []
+    checked = 0
+    print(f"bench_gate: {args.baseline} vs {args.current} "
+          f"(tolerance {args.tolerance:.0%})")
+    for path, leaf, base in walk(base_doc):
+        sense = direction(leaf)
+        if sense is None:
+            continue
+        if path not in current:
+            failures.append(f"  MISSING  {path} (baseline {base:.0f})")
+            continue
+        cur = current[path]
+        checked += 1
+        if sense == "higher":
+            floor = base * (1 - args.tolerance)
+            ok = cur >= floor
+            verdict = "ok" if ok else f"REGRESSED (floor {floor:.0f})"
+        else:
+            ceiling = max(base * (1 + args.tolerance), base + 8)
+            ok = cur <= ceiling
+            verdict = "ok" if ok else f"GREW (ceiling {ceiling:.0f})"
+        ratio = (cur / base) if base else float("inf")
+        line = f"  {path}: {base:.0f} -> {cur:.0f} ({ratio:.2f}x) {verdict}"
+        print(line)
+        if not ok:
+            failures.append(line)
+
+    if checked == 0:
+        print("bench_gate: no gated metrics found in baseline", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"bench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f_line in failures:
+            print(f_line, file=sys.stderr)
+        return 1
+    print(f"bench_gate: all {checked} gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

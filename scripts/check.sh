@@ -3,26 +3,40 @@
 # errors.  This is the tier-1 verify pipeline (ROADMAP.md) plus
 # -Wall -Wextra -Werror, suitable for a CI job:
 #
-#   ./scripts/check.sh [--tsan | --asan] [build-dir]
+#   ./scripts/check.sh [--tsan | --asan | --bench] [build-dir]
 #
 #   --tsan   build and test under ThreadSanitizer (certifies the blocking
 #            concurrent session API; see tests/concurrency_test.cc)
 #   --asan   build and test under AddressSanitizer
+#   --bench  build, run the perf-regression benches (bench_lock_manager,
+#            bench_mvcc_store, bench_throughput) with the pinned baseline
+#            configurations, and gate the JSON against the committed
+#            BENCH_*.json baselines via scripts/bench_gate.py (tolerance
+#            via BENCH_GATE_TOLERANCE, default 0.5 = fail on >50%
+#            regression).  See docs/benchmarks.md.
 #
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZER=""
+BENCH=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --tsan) SANITIZER="thread" ;;
     --asan) SANITIZER="address" ;;
+    --bench) BENCH=1 ;;
     --*) echo "unknown option: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [[ "$BENCH" -eq 1 && -n "$SANITIZER" ]]; then
+  echo "--bench cannot be combined with --tsan/--asan: the committed" >&2
+  echo "BENCH_*.json baselines are from non-sanitized builds, so every" >&2
+  echo "metric would spuriously 'regress' under a sanitizer slowdown" >&2
+  exit 2
+fi
 if [[ -z "$BUILD_DIR" ]]; then
   case "$SANITIZER" in
     thread) BUILD_DIR="build-tsan" ;;
@@ -35,6 +49,30 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S . -DCRITIQUE_WERROR=ON \
   -DCRITIQUE_SANITIZER="$SANITIZER"
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [[ "$BENCH" -eq 1 ]]; then
+  # Pinned configurations: these are exactly the runs that produced the
+  # committed BENCH_*.json baselines (docs/benchmarks.md records them).
+  # Keep flags and baselines in lockstep or the gate compares apples to
+  # oranges.
+  "$BUILD_DIR"/bench_lock_manager --stripes 1,16 --threads 4 --items 256 \
+    --held 512 --ops 200000 --blocking-ops 2000 --quiet \
+    --json "$BUILD_DIR/BENCH_lock.json"
+  "$BUILD_DIR"/bench_mvcc_store --txns 20000 --items 64 --gc-every 64 \
+    --chain 1024 --reads 200000 --quiet \
+    --json "$BUILD_DIR/BENCH_mvcc.json"
+  "$BUILD_DIR"/bench_throughput --threads 4 --txns-per-thread 100 \
+    --items 64 --gc-every 64 --quiet \
+    --json "$BUILD_DIR/BENCH_throughput.json"
+
+  python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
+  python3 scripts/bench_gate.py BENCH_mvcc.json "$BUILD_DIR/BENCH_mvcc.json"
+  python3 scripts/bench_gate.py BENCH_throughput.json \
+    "$BUILD_DIR/BENCH_throughput.json"
+  echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
+  exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo "check.sh: all green${SANITIZER:+ (sanitizer: $SANITIZER)}"

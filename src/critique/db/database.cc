@@ -1,5 +1,6 @@
 #include "critique/db/database.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -19,6 +20,18 @@ void CheckOrDie(bool ok, const char* what) {
   }
 }
 
+// Pre-session engine configuration shared by both constructors: the
+// conflict protocol + lock-table striping, then the version-GC policy.
+void ConfigureEngine(Engine& engine, const DbOptions& options) {
+  EngineConcurrency c;
+  c.blocking_locks = options.mode == ConcurrencyMode::kBlocking;
+  c.lock_wait_timeout = options.lock_wait_timeout;
+  c.deadlock_check_interval = options.deadlock_check_interval;
+  c.lock_stripes = options.lock_stripes;
+  engine.SetConcurrency(c);
+  engine.SetVersionGc({options.version_gc, options.version_gc_interval});
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -33,10 +46,8 @@ Database::Database(DbOptions options)
       mode_(options.mode),
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
-  if (mode_ == ConcurrencyMode::kBlocking) {
-    engine_->SetConcurrency({true, options.lock_wait_timeout,
-                             options.deadlock_check_interval});
-  }
+  ConfigureEngine(*engine_, options);
+  track_snapshots_ = engine_->SnapshotTimestamp().has_value();
 }
 
 Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
@@ -46,10 +57,8 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
       mode_(options.mode),
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "null engine handed to Database");
-  if (mode_ == ConcurrencyMode::kBlocking) {
-    engine_->SetConcurrency({true, options.lock_wait_timeout,
-                             options.deadlock_check_interval});
-  }
+  ConfigureEngine(*engine_, options);
+  track_snapshots_ = engine_->SnapshotTimestamp().has_value();
 }
 
 Database::Database(Database&& other) noexcept
@@ -59,9 +68,11 @@ Database::Database(Database&& other) noexcept
       rng_(other.rng_),
       next_id_(other.next_id_.load()),
       execute_retries_(other.execute_retries_.load()),
-      open_txns_(other.open_txns_.load()) {
+      open_txns_(other.open_txns_.load()),
+      track_snapshots_(other.track_snapshots_) {
   // Open Transaction handles hold a raw back-pointer to their database:
-  // moving it out from under them would dangle every one of them.
+  // moving it out from under them would dangle every one of them.  (The
+  // open-snapshot registry is therefore empty on both sides.)
   CheckOrDie(open_txns_.load() == 0,
              "Database moved while transactions are open");
 }
@@ -77,15 +88,25 @@ Database& Database::operator=(Database&& other) noexcept {
     next_id_.store(other.next_id_.load());
     execute_retries_.store(other.execute_retries_.load());
     open_txns_.store(other.open_txns_.load());
+    track_snapshots_ = other.track_snapshots_;
   }
   return *this;
 }
 
 Transaction Database::Begin() {
   TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // The registry entry goes in BEFORE the engine assigns the real start
+  // timestamp (with a bound captured before it could tick): the registry
+  // must never overstate how new an open snapshot is — not even during
+  // the begin window — or a watermark derived from `OldestOpenSnapshot`
+  // could pass a version the nascent snapshot still needs.
+  const std::optional<Timestamp> begin_bound =
+      track_snapshots_ ? engine_->SnapshotTimestamp() : std::nullopt;
+  if (begin_bound.has_value()) RegisterSnapshot(id, *begin_bound);
   Status s = engine_->Begin(id);
   // A fresh id never collides; a failure here means the engine refuses new
   // transactions entirely, and the inactive handle surfaces that on use.
+  if (!s.ok() && begin_bound.has_value()) ForgetSnapshot(id);
   return Transaction(this, id, s.ok());
 }
 
@@ -99,7 +120,15 @@ Result<Transaction> Database::BeginWithId(TxnId id) {
          !next_id_.compare_exchange_weak(cur, id + 1,
                                          std::memory_order_relaxed)) {
   }
-  CRITIQUE_RETURN_NOT_OK(engine_->Begin(id));
+  // Register-before-begin, as in `Begin` (unregister on refusal).
+  const std::optional<Timestamp> begin_bound =
+      track_snapshots_ ? engine_->SnapshotTimestamp() : std::nullopt;
+  if (begin_bound.has_value()) RegisterSnapshot(id, *begin_bound);
+  Status s = engine_->Begin(id);
+  if (!s.ok()) {
+    if (begin_bound.has_value()) ForgetSnapshot(id);
+    return s;
+  }
   Transaction txn(this, id, true);
   txn.blocked_op_retry_ = false;  // manual sessions: the schedule decides
   return txn;
@@ -107,8 +136,41 @@ Result<Transaction> Database::BeginWithId(TxnId id) {
 
 Result<Transaction> Database::BeginAtTimestamp(Timestamp ts) {
   TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  CRITIQUE_RETURN_NOT_OK(engine_->BeginAt(id, ts));
+  // Register-before-begin, as in `Begin` (unregister on refusal).  The
+  // requested ts IS the snapshot bound here.
+  if (track_snapshots_) RegisterSnapshot(id, ts);
+  Status s = engine_->BeginAt(id, ts);
+  if (!s.ok()) {
+    if (track_snapshots_) ForgetSnapshot(id);
+    return s;
+  }
   return Transaction(this, id, true);
+}
+
+void Database::RegisterSnapshot(TxnId id, Timestamp begin_ts) {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  open_snapshots_[id] = begin_ts;
+}
+
+void Database::ForgetSnapshot(TxnId id) {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  open_snapshots_.erase(id);
+}
+
+std::optional<Timestamp> Database::OldestOpenSnapshot() const {
+  if (!track_snapshots_) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    if (!open_snapshots_.empty()) {
+      Timestamp oldest = ~Timestamp{0};
+      for (const auto& [id, ts] : open_snapshots_) {
+        (void)id;
+        oldest = std::min(oldest, ts);
+      }
+      return oldest;
+    }
+  }
+  return engine_->SnapshotTimestamp();
 }
 
 Rng Database::ForkRng() {
@@ -184,6 +246,7 @@ void Transaction::Finish() {
     active_ = false;
     if (db_ != nullptr) {
       db_->open_txns_.fetch_sub(1, std::memory_order_relaxed);
+      if (db_->track_snapshots_) db_->ForgetSnapshot(id_);
     }
   }
 }

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -72,6 +74,21 @@ struct DbOptions {
   /// Smaller values detect cross-session cycles sooner at the cost of more
   /// wake-ups.
   std::chrono::milliseconds deadlock_check_interval{50};
+
+  /// How many independently latched buckets the engine's lock table is
+  /// hash-partitioned into (lock-based engines; 1 = one global table).
+  /// Applies in both concurrency modes.
+  size_t lock_stripes = LockManager::kDefaultStripes;
+
+  /// Version garbage collection for multiversion engines.  The default
+  /// `kRetainAll` keeps every version (exact `BeginAtTimestamp` time
+  /// travel, full diagnostic chains); `kWatermark` prunes versions no
+  /// live or future snapshot can observe, every `version_gc_interval`
+  /// commits, and refuses time travel below the collected floor.
+  VersionGcMode version_gc = VersionGcMode::kRetainAll;
+
+  /// kWatermark only: commits between automatic GC passes.
+  uint32_t version_gc_interval = 64;
 };
 
 /// \brief The public session facade over the engine SPI.
@@ -227,8 +244,33 @@ class Database {
     return open_txns_.load(std::memory_order_relaxed);
   }
 
+  // --- version garbage collection ------------------------------------------
+  //
+  // The facade tracks every open transaction's begin timestamp (for
+  // timestamped engines), so the version-GC low-watermark — the oldest
+  // snapshot any live session can still read — is observable here without
+  // reaching into the engine.  The engine derives the same watermark from
+  // its own transaction table when it prunes; the facade view exists for
+  // observability, tests, and operators.
+
+  /// The begin timestamp of the oldest still-open transaction (a lower
+  /// bound on every open snapshot), or the engine's current timestamp
+  /// when none are open; nullopt for engines without timestamps.
+  std::optional<Timestamp> OldestOpenSnapshot() const;
+
+  /// Runs one version-GC pass on the engine now (any mode); returns the
+  /// number of versions discarded (0 for single-version engines).
+  size_t GarbageCollectVersions() { return engine_->GarbageCollectVersions(); }
+
+  /// Stored version count (0 for single-version engines).
+  size_t VersionCount() const { return engine_->VersionCount(); }
+
  private:
   friend class Transaction;
+
+  /// Open-snapshot registry upkeep (timestamped engines only).
+  void RegisterSnapshot(TxnId id, Timestamp begin_ts);
+  void ForgetSnapshot(TxnId id);
 
   std::unique_ptr<Engine> engine_;
   std::shared_ptr<const RetryPolicy> retry_;
@@ -238,6 +280,11 @@ class Database {
   std::atomic<TxnId> next_id_{1};
   std::atomic<uint64_t> execute_retries_{0};
   std::atomic<int> open_txns_{0};
+  /// Whether the engine keeps timestamped snapshots (decided once at
+  /// construction; snapshot tracking is skipped entirely otherwise).
+  bool track_snapshots_ = false;
+  mutable std::mutex snap_mu_;  ///< guards open_snapshots_
+  std::map<TxnId, Timestamp> open_snapshots_;
 };
 
 }  // namespace critique

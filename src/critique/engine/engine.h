@@ -65,6 +65,42 @@ struct EngineConcurrency {
   /// detection even when no release notification arrived (the bound that
   /// catches cycles formed while threads sleep).
   std::chrono::milliseconds deadlock_check_interval{50};
+
+  /// How many independently latched buckets the engine's lock table is
+  /// hash-partitioned into (lock-based engines only; 1 = the old global
+  /// table).  Applied when `SetConcurrency` runs, i.e. before any session.
+  size_t lock_stripes = LockManager::kDefaultStripes;
+};
+
+/// What a multiversion engine does with versions no live snapshot can see.
+enum class VersionGcMode {
+  /// Keep every version forever: `BeginAtTimestamp` time travel to any
+  /// historical snapshot stays exact, and diagnostic chain dumps show the
+  /// full write history.  The default — correctness layers (paper
+  /// schedules, history/diagnosis) rely on it.
+  kRetainAll,
+  /// Epoch-based pruning: every `commit_interval` commits the engine
+  /// computes a low-watermark from the begin timestamps of the
+  /// transactions still open on it and drops versions no live or future
+  /// snapshot can observe.  Time travel below the collected floor is
+  /// *refused* (FailedPrecondition), never answered from a pruned chain.
+  kWatermark,
+};
+
+/// Version-GC configuration, set through `Engine::SetVersionGc` before
+/// any session starts (the `Database` facade does this from its
+/// constructor, from `DbOptions::version_gc` / `version_gc_interval`).
+struct VersionGcPolicy {
+  VersionGcMode mode = VersionGcMode::kRetainAll;
+  /// kWatermark only: commits between automatic GC passes (the epoch
+  /// length).  0 behaves as 1.
+  uint32_t commit_interval = 64;
+};
+
+/// What version GC has done so far (multiversion engines).
+struct VersionGcStats {
+  uint64_t runs = 0;       ///< GC passes executed (automatic + explicit)
+  uint64_t collected = 0;  ///< versions dropped across all passes
 };
 
 /// \brief Serializes history appends and stats updates across concurrent
@@ -150,12 +186,36 @@ class Engine {
   virtual ~Engine() = default;
 
   /// Selects cooperative (`kWouldBlock`) vs blocking lock-conflict
-  /// handling.  Call before any session starts; engines without locks
-  /// (Snapshot Isolation) accept and ignore it.
+  /// handling and the lock-table stripe count.  Call before any session
+  /// starts; engines without locks (Snapshot Isolation) accept and ignore
+  /// it.
   virtual void SetConcurrency(EngineConcurrency c) { concurrency_ = c; }
 
   /// The conflict-handling mode in force.
   const EngineConcurrency& concurrency() const { return concurrency_; }
+
+  /// Configures version garbage collection.  Call before any session
+  /// starts; engines without version chains (the locking levels) accept
+  /// and ignore it.
+  virtual void SetVersionGc(const VersionGcPolicy& p) { gc_policy_ = p; }
+
+  /// The version-GC policy in force.
+  const VersionGcPolicy& version_gc() const { return gc_policy_; }
+
+  /// Runs one version-GC pass now (whatever the configured mode), pruning
+  /// with the engine's current low-watermark; returns versions dropped.
+  /// No-op (0) for engines without version chains.
+  virtual size_t GarbageCollectVersions() { return 0; }
+
+  /// Stored version count across all items (0 for single-version engines).
+  virtual size_t VersionCount() const { return 0; }
+
+  /// Longest version chain (0 for single-version engines) — the GC
+  /// boundedness metric.
+  virtual size_t MaxVersionChainLength() const { return 0; }
+
+  /// Version-GC counters (zeros for single-version engines).
+  virtual VersionGcStats version_gc_stats() const { return {}; }
 
   /// Engine display name ("Locking READ COMMITTED (Degree 2)", ...).
   virtual std::string name() const { return IsolationLevelName(level()); }
@@ -342,6 +402,7 @@ class Engine {
 
   EngineRecorder recorder_;
   EngineConcurrency concurrency_;
+  VersionGcPolicy gc_policy_;
 };
 
 }  // namespace critique

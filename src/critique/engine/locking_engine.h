@@ -37,6 +37,13 @@ class LockingEngine : public Engine {
 
   IsolationLevel level() const override { return level_; }
 
+  /// Also applies `c.lock_stripes` to the engine's lock table (legal here:
+  /// SetConcurrency runs before any session starts, so the table is idle).
+  void SetConcurrency(EngineConcurrency c) override {
+    Engine::SetConcurrency(c);
+    (void)lock_manager_.SetStripeCount(c.lock_stripes);
+  }
+
   Status Load(const ItemId& id, Row row) override;
   Status Begin(TxnId txn) override;
   Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) override;

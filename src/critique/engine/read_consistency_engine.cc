@@ -1,5 +1,7 @@
 #include "critique/engine/read_consistency_engine.h"
 
+#include <algorithm>
+
 namespace critique {
 namespace {
 
@@ -52,8 +54,10 @@ Status ReadConsistencyEngine::CheckPrepared(TxnId txn) const {
 }
 
 void ReadConsistencyEngine::Rollback(TxnId txn) {
-  txns_[txn].active = false;
-  store_.AbortTxn(txn);
+  TxnState& st = txns_[txn];
+  st.active = false;
+  store_.AbortTxn(txn, st.write_set);
+  st.write_set.clear();  // the hint is dead once the versions are gone
   lock_manager_.ReleaseAll(txn);
   recorder_.Record(Action::Abort(txn));
 }
@@ -156,6 +160,7 @@ Status ReadConsistencyEngine::DoWrite(std::unique_lock<std::mutex>& lk,
   } else {
     store_.Delete(id, txn);
   }
+  txns_[txn].write_set.insert(id);
   Action a = type == Action::Type::kCursorWrite
                  ? Action::CursorWrite(txn, id, HistoryValue(new_row))
                  : Action::Write(txn, id, HistoryValue(new_row));
@@ -227,10 +232,13 @@ Status ReadConsistencyEngine::Update(
 Status ReadConsistencyEngine::Commit(TxnId txn) {
   std::unique_lock<std::mutex> lk(mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  txns_[txn].active = false;
-  store_.CommitTxn(txn, clock_.Tick());
+  TxnState& st = txns_[txn];
+  st.active = false;
+  store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+  st.write_set.clear();  // the hint is dead once the versions are stamped
   recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   lock_manager_.ReleaseAll(txn);
+  MaybeGcLocked();
   return Status::OK();
 }
 
@@ -255,9 +263,11 @@ Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
   TxnState& st = txns_[txn];
   st.prepared = false;
   st.active = false;
-  store_.CommitTxn(txn, clock_.Tick());
+  store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+  st.write_set.clear();  // the hint is dead once the versions are stamped
   recorder_.Record(Action::Commit(txn), &EngineStats::commits);
   lock_manager_.ReleaseAll(txn);
+  MaybeGcLocked();
   return Status::OK();
 }
 
@@ -277,6 +287,56 @@ std::vector<TxnId> ReadConsistencyEngine::InDoubtTransactions() const {
     if (st.active && st.prepared) out.push_back(t);
   }
   return out;
+}
+
+void ReadConsistencyEngine::MaybeGcLocked() {
+  if (gc_policy_.mode != VersionGcMode::kWatermark) return;
+  const uint32_t interval = std::max<uint32_t>(1, gc_policy_.commit_interval);
+  if (++commits_since_gc_ < interval) return;
+  (void)RunGcLocked();
+}
+
+size_t ReadConsistencyEngine::RunGcLocked() {
+  commits_since_gc_ = 0;
+  // Statement-level reads always take the newest committed value, so no
+  // snapshot ever looks below "now" — the watermark is the clock itself.
+  size_t dropped = store_.GarbageCollect(clock_.Now());
+  ++gc_stats_.runs;
+  gc_stats_.collected += dropped;
+  if (gc_policy_.mode == VersionGcMode::kWatermark) {
+    // Retire finished transaction states.  Duplicate-id detection no
+    // longer covers retired ids (the session facade never reuses an id,
+    // and a sharded global id may legitimately begin here long after
+    // higher ids committed — refusing it would fail a valid txn).
+    for (auto it = txns_.begin(); it != txns_.end();) {
+      if (!it->second.active) {
+        it = txns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+size_t ReadConsistencyEngine::GarbageCollectVersions() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return RunGcLocked();
+}
+
+size_t ReadConsistencyEngine::VersionCount() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return store_.VersionCount();
+}
+
+size_t ReadConsistencyEngine::MaxVersionChainLength() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return store_.MaxChainLength();
+}
+
+VersionGcStats ReadConsistencyEngine::version_gc_stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return gc_stats_;
 }
 
 }  // namespace critique

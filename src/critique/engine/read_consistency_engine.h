@@ -3,6 +3,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,13 @@ class ReadConsistencyEngine : public Engine {
     return IsolationLevel::kOracleReadConsistency;
   }
 
+  /// Also applies `c.lock_stripes` to the engine's lock table (legal here:
+  /// SetConcurrency runs before any session starts, so the table is idle).
+  void SetConcurrency(EngineConcurrency c) override {
+    Engine::SetConcurrency(c);
+    (void)lock_manager_.SetStripeCount(c.lock_stripes);
+  }
+
   Status Load(const ItemId& id, Row row) override;
   Status Begin(TxnId txn) override;
   Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) override;
@@ -67,12 +75,28 @@ class ReadConsistencyEngine : public Engine {
 
   LockStats lock_stats() const { return lock_manager_.stats(); }
 
+  // Version GC.  Read Consistency reads are statement-level (each
+  // statement sees the most recent committed value), so the engine's
+  // low-watermark is simply "now": every committed version below the
+  // newest is invisible to all future statements.  `kWatermark` mode
+  // prunes automatically every `commit_interval` commits and also retires
+  // finished transaction states.
+  size_t GarbageCollectVersions() override;
+  size_t VersionCount() const override;
+  size_t MaxVersionChainLength() const override;
+  VersionGcStats version_gc_stats() const override;
+
  private:
   struct TxnState {
     bool active = false;
     /// Prepared (in doubt) by a 2PC coordinator: locks held, every
     /// operation but CommitPrepared/AbortPrepared refused.
     bool prepared = false;
+    /// Items with pending versions, so commit/abort stamps O(|write set|)
+    /// chains instead of scanning the whole store.  Cleared as soon as
+    /// the terminal consumes it — finished states must not pin per-write
+    /// memory.
+    std::set<ItemId> write_set;
   };
 
   // Private helpers require `mu_` held; AcquireWriteLock and DoWrite may
@@ -89,12 +113,22 @@ class ReadConsistencyEngine : public Engine {
   Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
                                     Action::Type type);
 
+  /// Counts a finished transaction and, in kWatermark mode, runs the
+  /// periodic GC pass.  Requires `mu_` held.
+  void MaybeGcLocked();
+
+  /// One GC pass: prune chains below "now" and retire finished txn
+  /// states.  Requires `mu_` held; returns versions dropped.
+  size_t RunGcLocked();
+
   /// Latch over clock_/store_/txns_ and operation bodies.
   mutable std::mutex mu_;
   LogicalClock clock_;
   MultiVersionStore store_;
   LockManager lock_manager_;
   std::map<TxnId, TxnState> txns_;
+  uint32_t commits_since_gc_ = 0;
+  VersionGcStats gc_stats_;
 };
 
 }  // namespace critique

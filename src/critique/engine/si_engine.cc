@@ -1,5 +1,7 @@
 #include "critique/engine/si_engine.h"
 
+#include <algorithm>
+
 namespace critique {
 namespace {
 
@@ -36,6 +38,16 @@ Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
                                    " already used");
   }
+  if (ts < gc_floor_) {
+    // Accurate in both modes: the floor only rises when a GC pass prunes
+    // (periodic in kWatermark; explicit GarbageCollectVersions in either
+    // mode), so never advise switching to a mode already in force.
+    return Status::FailedPrecondition(
+        "snapshot timestamp " + std::to_string(ts) +
+        " is below the version-GC floor " + std::to_string(gc_floor_) +
+        ": history up to the floor has been pruned (for exact time travel "
+        "stay in VersionGcMode::kRetainAll and run no explicit GC passes)");
+  }
   TxnState st;
   st.active = true;
   st.start_ts = ts;
@@ -62,7 +74,7 @@ Status SnapshotIsolationEngine::AbortInternal(TxnId txn, Status reason) {
   TxnState& st = txns_[txn];
   st.active = false;
   st.aborted = true;
-  store_.AbortTxn(txn);
+  store_.AbortTxn(txn, st.write_set);
   recorder_.Record(Action::Abort(txn), &EngineStats::serialization_aborts);
   return reason;
 }
@@ -368,8 +380,9 @@ Status SnapshotIsolationEngine::Commit(TxnId txn) {
   st.commit_ts = clock_.Tick();
   st.active = false;
   st.committed = true;
-  store_.CommitTxn(txn, st.commit_ts);
+  store_.CommitTxn(txn, st.commit_ts, st.write_set);
   recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+  MaybeGcLocked();
   return Status::OK();
 }
 
@@ -402,8 +415,9 @@ Status SnapshotIsolationEngine::CommitPrepared(TxnId txn) {
   st.commit_ts = clock_.Tick();
   st.active = false;
   st.committed = true;
-  store_.CommitTxn(txn, st.commit_ts);
+  store_.CommitTxn(txn, st.commit_ts, st.write_set);
   recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+  MaybeGcLocked();
   return Status::OK();
 }
 
@@ -414,7 +428,7 @@ Status SnapshotIsolationEngine::AbortPrepared(TxnId txn) {
   st.prepared = false;
   st.active = false;
   st.aborted = true;
-  store_.AbortTxn(txn);
+  store_.AbortTxn(txn, st.write_set);
   recorder_.Record(Action::Abort(txn), &EngineStats::aborts);
   return Status::OK();
 }
@@ -434,19 +448,82 @@ Status SnapshotIsolationEngine::Abort(TxnId txn) {
   TxnState& st = txns_[txn];
   st.active = false;
   st.aborted = true;
-  store_.AbortTxn(txn);
+  store_.AbortTxn(txn, st.write_set);
   recorder_.Record(Action::Abort(txn), &EngineStats::aborts);
   return Status::OK();
 }
 
-size_t SnapshotIsolationEngine::GarbageCollect() {
-  std::lock_guard<std::mutex> lk(mu_);
+void SnapshotIsolationEngine::MaybeGcLocked() {
+  if (gc_policy_.mode != VersionGcMode::kWatermark) return;
+  const uint32_t interval = std::max<uint32_t>(1, gc_policy_.commit_interval);
+  if (++commits_since_gc_ < interval) return;
+  (void)RunGcLocked();
+}
+
+size_t SnapshotIsolationEngine::RunGcLocked() {
+  commits_since_gc_ = 0;
+  // Low-watermark: the oldest begin timestamp still open (prepared
+  // in-doubt participants are active and count), else "now".  Every
+  // version superseded at or below it is invisible to all live snapshots,
+  // and future snapshots only begin at >= now.
   Timestamp watermark = clock_.Now();
   for (const auto& [t, st] : txns_) {
     (void)t;
     if (st.active && st.start_ts < watermark) watermark = st.start_ts;
   }
-  return store_.GarbageCollect(watermark);
+  size_t dropped = store_.GarbageCollect(watermark);
+  gc_floor_ = std::max(gc_floor_, watermark);
+  ++gc_stats_.runs;
+  gc_stats_.collected += dropped;
+
+  if (gc_policy_.mode == VersionGcMode::kWatermark) {
+    // Retire transaction states whose interval ended at or below the
+    // watermark: nothing still active was concurrent with them (any
+    // active T concurrent with committed U has T.start < U.commit, which
+    // would have kept the watermark below U.commit), so no live SSI edge
+    // can need them — a missing neighbour reads as "not live", which is
+    // exactly what these retirees are.  Aborted states are dead already.
+    // Duplicate-id detection no longer covers retired ids (the session
+    // facade's monotonic id assignment never reuses one, and a sharded
+    // global id may legitimately arrive here long after higher ids
+    // committed — refusing it would fail a valid cross-shard txn).
+    std::set<TxnId> retired;
+    for (auto it = txns_.begin(); it != txns_.end();) {
+      const TxnState& st = it->second;
+      const bool dead =
+          st.aborted || (st.committed && st.commit_ts <= watermark);
+      if (!st.active && dead) {
+        retired.insert(it->first);
+        it = txns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!retired.empty()) {
+      // Drop the retirees' SIREAD bookkeeping so SSI memory is bounded
+      // alongside the version chains.
+      for (auto it = readers_.begin(); it != readers_.end();) {
+        for (TxnId t : retired) it->second.erase(t);
+        if (it->second.empty()) {
+          it = readers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      predicate_readers_.erase(
+          std::remove_if(predicate_readers_.begin(), predicate_readers_.end(),
+                         [&](const std::pair<Predicate, TxnId>& pr) {
+                           return retired.count(pr.second) != 0;
+                         }),
+          predicate_readers_.end());
+    }
+  }
+  return dropped;
+}
+
+size_t SnapshotIsolationEngine::GarbageCollectVersions() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return RunGcLocked();
 }
 
 }  // namespace critique

@@ -105,12 +105,46 @@ class SnapshotIsolationEngine : public Engine {
   /// Latest committed timestamp (the "now" a new snapshot would see).
   Timestamp Now() const { return clock_.Now(); }
 
-  /// Drops versions invisible to every active snapshot; returns the number
-  /// of versions discarded.
-  size_t GarbageCollect();
+  // Version GC.  The low-watermark is the smallest begin timestamp of any
+  // transaction still open on this engine (prepared in-doubt participants
+  // included), else "now": versions superseded at or below it are
+  // invisible to every live and future snapshot.  In `kWatermark` mode a
+  // pass runs automatically every `commit_interval` commits (the epoch),
+  // finished transaction states and their SSI SIREAD bookkeeping are
+  // retired alongside the versions, and `BeginAt` below the collected
+  // floor is refused — time travel is never answered from a pruned chain.
+  // In `kRetainAll` (the default) nothing is pruned unless a pass is
+  // requested explicitly.
+
+  /// Runs one GC pass now; returns the number of versions discarded.
+  size_t GarbageCollectVersions() override;
+
+  /// Backwards-compatible alias for `GarbageCollectVersions`.
+  size_t GarbageCollect() { return GarbageCollectVersions(); }
 
   /// Stored version count (GC observability).
-  size_t VersionCount() const { return store_.VersionCount(); }
+  size_t VersionCount() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return store_.VersionCount();
+  }
+
+  /// Longest version chain (GC boundedness metric).
+  size_t MaxVersionChainLength() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return store_.MaxChainLength();
+  }
+
+  VersionGcStats version_gc_stats() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return gc_stats_;
+  }
+
+  /// Highest watermark any GC pass has pruned to; `BeginAt` refuses
+  /// snapshots below it.
+  Timestamp gc_floor() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return gc_floor_;
+  }
 
   const SnapshotIsolationOptions& options() const { return options_; }
 
@@ -161,6 +195,15 @@ class SnapshotIsolationEngine : public Engine {
                            const std::optional<Row>& after);
   bool SsiPivot(const TxnState& st) const;
 
+  /// Counts a commit toward the GC epoch and runs the periodic pass in
+  /// kWatermark mode.  Requires `mu_` held.
+  void MaybeGcLocked();
+
+  /// One GC pass: compute the watermark, prune chains, raise the floor,
+  /// and (kWatermark mode) retire finished transaction states plus their
+  /// SSI bookkeeping.  Requires `mu_` held; returns versions dropped.
+  size_t RunGcLocked();
+
   SnapshotIsolationOptions options_;
   /// Latch over clock_/store_/txns_ and operation bodies.
   mutable std::mutex mu_;
@@ -170,6 +213,9 @@ class SnapshotIsolationEngine : public Engine {
   // SSI SIREAD bookkeeping: item readers and predicate readers.
   std::map<ItemId, std::set<TxnId>> readers_;
   std::vector<std::pair<Predicate, TxnId>> predicate_readers_;
+  uint32_t commits_since_gc_ = 0;
+  Timestamp gc_floor_ = kInvalidTimestamp;  ///< highest pruned watermark
+  VersionGcStats gc_stats_;
 };
 
 }  // namespace critique

@@ -67,7 +67,66 @@ bool PredicateCoversItem(const LockSpec& pred_side, const LockSpec& item_side) {
   return p.MayOverlap(Predicate::KeyIs(item_side.item));
 }
 
+void AddUnique(std::vector<TxnId>& out, TxnId t) {
+  if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+}
+
 }  // namespace
+
+LockManager::LockManager(size_t stripes) {
+  stripes = std::max<size_t>(1, std::min(stripes, kMaxStripes));
+  buckets_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    buckets_.push_back(std::make_unique<Bucket>());
+  }
+}
+
+bool LockManager::SetStripeCount(size_t stripes) {
+  stripes = std::max<size_t>(1, std::min(stripes, kMaxStripes));
+  {
+    auto all = LockAllBuckets();
+    std::lock_guard<std::mutex> gl(graph_mu_);
+    for (const auto& b : buckets_) {
+      if (!b->held.empty() || b->waiters != 0) return false;
+    }
+    if (!pred_held_.empty() || !waiting_.empty()) return false;
+  }
+  // Idle (and, per contract, quiescent: configuration happens before any
+  // session starts), so rebuilding the stripe vector is safe.
+  if (stripes == buckets_.size()) return true;
+  std::vector<std::unique_ptr<Bucket>> next;
+  next.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) next.push_back(std::make_unique<Bucket>());
+  buckets_ = std::move(next);
+  return true;
+}
+
+size_t LockManager::BucketOf(const ItemId& id) const {
+  // FNV-1a over the item bytes, then a splitmix64-style finalizer.  The
+  // finalizer matters: ShardRouter partitions by the same FNV-1a hash
+  // (shard/shard_router.h — not reused here because lock/ sits below
+  // shard/ in the layering), so taking `fnv % stripes` would leave a
+  // shard's lock manager using only the buckets congruent to its own
+  // shard index — the mix decouples the two moduli.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<size_t>(h % buckets_.size());
+}
+
+std::vector<std::unique_lock<std::mutex>> LockManager::LockAllBuckets() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(buckets_.size());
+  for (const auto& b : buckets_) locks.emplace_back(b->mu);
+  return locks;
+}
 
 bool LockManager::SpecsConflict(const LockSpec& held,
                                 const LockSpec& want) const {
@@ -84,29 +143,50 @@ bool LockManager::SpecsConflict(const LockSpec& held,
   return PredicateCoversItem(pred_side, item_side);
 }
 
-std::vector<TxnId> LockManager::BlockersLocked(const LockSpec& spec) const {
+std::vector<TxnId> LockManager::BlockersBucketLocked(
+    const Bucket& b, const LockSpec& spec) const {
   std::vector<TxnId> out;
-  for (const auto& h : held_) {
-    if (SpecsConflict(h.spec, spec)) {
-      if (std::find(out.begin(), out.end(), h.spec.txn) == out.end()) {
-        out.push_back(h.spec.txn);
-      }
-    }
+  for (const auto& h : b.held) {
+    if (SpecsConflict(h.spec, spec)) AddUnique(out, h.spec.txn);
+  }
+  // The predicate side table is safely readable under this bucket's
+  // latch: any mutator holds every bucket latch, including this one.
+  for (const auto& h : pred_held_) {
+    if (SpecsConflict(h.spec, spec)) AddUnique(out, h.spec.txn);
   }
   return out;
 }
 
-bool LockManager::WouldDeadlock(TxnId requester) const {
+std::vector<TxnId> LockManager::BlockersGlobalLocked(
+    const LockSpec& spec) const {
+  if (spec.is_item) {
+    // Item locks on the same item always share a bucket, so the global
+    // view still only needs that bucket plus the predicate table.
+    return BlockersBucketLocked(*buckets_[BucketOf(spec.item)], spec);
+  }
+  std::vector<TxnId> out;
+  for (const auto& b : buckets_) {
+    for (const auto& h : b->held) {
+      if (SpecsConflict(h.spec, spec)) AddUnique(out, h.spec.txn);
+    }
+  }
+  for (const auto& h : pred_held_) {
+    if (SpecsConflict(h.spec, spec)) AddUnique(out, h.spec.txn);
+  }
+  return out;
+}
+
+bool LockManager::WouldDeadlockLocked(TxnId requester) const {
   // DFS from the requester; a path back to the requester is a cycle that
   // the newly recorded edges just closed.  Parked waiters' edges are
-  // recomputed live from their waiting spec — their waits_for_ entries
-  // can be stale (recorded before releases that happened while they
-  // slept).
+  // recomputed live from their waiting spec (legal here: the global view
+  // holds every bucket latch) — their waits_for_ entries can be stale
+  // (recorded before releases that happened while they slept).
   std::set<TxnId> visited;
   auto successors = [&](TxnId u) -> std::set<TxnId> {
     auto w = waiting_.find(u);
     if (w != waiting_.end()) {
-      std::vector<TxnId> live = BlockersLocked(w->second);
+      std::vector<TxnId> live = BlockersGlobalLocked(w->second);
       return std::set<TxnId>(live.begin(), live.end());
     }
     auto it = waits_for_.find(u);
@@ -122,13 +202,45 @@ bool LockManager::WouldDeadlock(TxnId requester) const {
   return reaches(requester);
 }
 
-LockHandle LockManager::GrantLocked(const LockSpec& spec) {
-  HeldLock h;
-  h.handle = next_handle_++;
-  h.spec = spec;
-  held_.push_back(std::move(h));
-  ++stats_.acquired;
-  return held_.back().handle;
+void LockManager::EraseEdgesLocked(TxnId txn) {
+  if (waits_for_.erase(txn) != 0) {
+    edge_txns_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void LockManager::RecordEdgesLocked(TxnId txn,
+                                    const std::vector<TxnId>& blockers) {
+  EraseEdgesLocked(txn);
+  auto& targets = waits_for_[txn];
+  for (TxnId b : blockers) targets.insert(b);
+  edge_txns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LockManager::MaybeClearStaleEdges(TxnId txn) {
+  // Only this transaction's own (single) driving thread records its
+  // edges, so a relaxed zero here proves we have none — the conflict-free
+  // hot path never touches the graph mutex.
+  if (edge_txns_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> gl(graph_mu_);
+  EraseEdgesLocked(txn);
+}
+
+LockHandle LockManager::GrantItemLocked(size_t bi, const LockSpec& spec) {
+  LockHandle h = (next_seq_.fetch_add(1, std::memory_order_relaxed)
+                  << kBucketTagBits) |
+                 (static_cast<LockHandle>(bi) + 1);
+  buckets_[bi]->held.push_back(HeldLock{h, spec});
+  stat_acquired_.fetch_add(1, std::memory_order_relaxed);
+  return h;
+}
+
+LockHandle LockManager::GrantPredLocked(const LockSpec& spec) {
+  LockHandle h = (next_seq_.fetch_add(1, std::memory_order_relaxed)
+                  << kBucketTagBits) |
+                 kPredTag;
+  pred_held_.push_back(HeldLock{h, spec});
+  stat_acquired_.fetch_add(1, std::memory_order_relaxed);
+  return h;
 }
 
 std::string LockManager::Describe(const LockSpec& spec) {
@@ -136,127 +248,278 @@ std::string LockManager::Describe(const LockSpec& spec) {
                       : "predicate " + spec.pred->ToString();
 }
 
+std::string LockManager::JoinTxns(const std::vector<TxnId>& txns) {
+  std::string out;
+  for (TxnId t : txns) out += " T" + std::to_string(t);
+  return out;
+}
+
 Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
-  std::lock_guard<std::mutex> guard(mu_);
-  // Fresh conflict picture each attempt: drop this txn's stale wait edges.
-  waits_for_.erase(spec.txn);
-
-  std::vector<TxnId> blockers = BlockersLocked(spec);
-  if (blockers.empty()) return GrantLocked(spec);
-
-  for (TxnId b : blockers) waits_for_[spec.txn].insert(b);
-  if (WouldDeadlock(spec.txn)) {
-    ++stats_.deadlocks;
-    waits_for_.erase(spec.txn);
-    std::string msg = "deadlock: T" + std::to_string(spec.txn) + " waits on";
-    for (TxnId b : blockers) msg += " T" + std::to_string(b);
-    return Status::Deadlock(msg);
+  if (spec.is_item) {
+    // Fast path: one bucket latch, one bucket scan (plus the — normally
+    // empty — predicate table).
+    const size_t bi = BucketOf(spec.item);
+    std::unique_lock<std::mutex> bl(buckets_[bi]->mu);
+    std::vector<TxnId> blockers = BlockersBucketLocked(*buckets_[bi], spec);
+    if (blockers.empty()) {
+      MaybeClearStaleEdges(spec.txn);  // fresh picture: drop stale edges
+      return GrantItemLocked(bi, spec);
+    }
   }
-  ++stats_.blocked;
-  std::string msg = Describe(spec) + " locked by";
-  for (TxnId b : blockers) msg += " T" + std::to_string(b);
-  return Status::WouldBlock(msg);
+  // Conflict (or predicate spec): take the global view so the conflict
+  // decision, the recorded edges, and deadlock detection are one atomic
+  // picture.
+  auto all = LockAllBuckets();
+  std::lock_guard<std::mutex> gl(graph_mu_);
+  std::vector<TxnId> blockers = BlockersGlobalLocked(spec);
+  if (blockers.empty()) {
+    EraseEdgesLocked(spec.txn);
+    return spec.is_item ? GrantItemLocked(BucketOf(spec.item), spec)
+                        : GrantPredLocked(spec);
+  }
+  RecordEdgesLocked(spec.txn, blockers);
+  if (WouldDeadlockLocked(spec.txn)) {
+    stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+    EraseEdgesLocked(spec.txn);
+    return Status::Deadlock("deadlock: T" + std::to_string(spec.txn) +
+                            " waits on" + JoinTxns(blockers));
+  }
+  stat_blocked_.fetch_add(1, std::memory_order_relaxed);
+  return Status::WouldBlock(Describe(spec) + " locked by" + JoinTxns(blockers));
 }
 
 Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
                                         std::chrono::milliseconds timeout,
                                         std::chrono::milliseconds recheck) {
-  // Waiters sleep in bounded slices: every release notifies the condition
-  // variable, and the slice bound guarantees deadlock detection re-runs
-  // even if a wake-up is lost to scheduling, so a cycle formed while this
-  // thread slept (its recorded edges going stale) can never hang the run.
+  // Waiters sleep in bounded slices on their bucket's condition variable:
+  // every relevant release notifies it, and the slice bound guarantees the
+  // global deadlock probe re-runs even if a wake-up is lost to scheduling,
+  // so a cycle formed while this thread slept (its recorded edges going
+  // stale) can never hang the run.
   const std::chrono::milliseconds kRecheckSlice =
       recheck.count() > 0 ? recheck : std::chrono::milliseconds(50);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
 
-  std::unique_lock<std::mutex> lk(mu_);
-  waiting_[spec.txn] = spec;  // deadlock detection reads our edges live
-  auto leave = [&](auto result) {
-    waiting_.erase(spec.txn);
-    waits_for_.erase(spec.txn);
-    return result;
-  };
+  // Predicate waiters park on bucket 0 by convention; see the class
+  // comment for the (slice-bounded) notification contract.
+  const size_t bi = spec.is_item ? BucketOf(spec.item) : 0;
+  Bucket& park = *buckets_[bi];
   bool counted_wait = false;
-  for (;;) {
-    // Fresh conflict picture each round-trip through the wait loop.
-    waits_for_.erase(spec.txn);
-    std::vector<TxnId> blockers = BlockersLocked(spec);
-    if (blockers.empty()) return leave(Result<LockHandle>(GrantLocked(spec)));
+  bool registered = false;
 
-    for (TxnId b : blockers) waits_for_[spec.txn].insert(b);
-    if (WouldDeadlock(spec.txn)) {
-      ++stats_.deadlocks;
-      std::string msg = "deadlock: T" + std::to_string(spec.txn) + " waits on";
-      for (TxnId b : blockers) msg += " T" + std::to_string(b);
-      return leave(Result<LockHandle>(Status::Deadlock(msg)));
+  // Requires graph_mu_; undoes the waiter registration and edges.
+  auto deregister_locked = [&] {
+    if (registered) {
+      waiting_.erase(spec.txn);
+      if (!spec.is_item) pred_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      registered = false;
+    }
+    EraseEdgesLocked(spec.txn);
+  };
+
+  std::unique_lock<std::mutex> bl(park.mu, std::defer_lock);
+  for (;;) {
+    if (spec.is_item) {
+      // Bucket-local attempt (reused with the latch still held right
+      // after a wake-up).
+      if (!bl.owns_lock()) bl.lock();
+      std::vector<TxnId> blockers = BlockersBucketLocked(park, spec);
+      if (blockers.empty()) {
+        if (registered ||
+            edge_txns_.load(std::memory_order_relaxed) > 0) {
+          std::lock_guard<std::mutex> gl(graph_mu_);
+          deregister_locked();
+        }
+        return GrantItemLocked(bi, spec);
+      }
+      bl.unlock();
+    }
+
+    // Conflict: global view for the grant/edges/deadlock decision.
+    auto all = LockAllBuckets();
+    std::unique_lock<std::mutex> gl(graph_mu_);
+    std::vector<TxnId> blockers = BlockersGlobalLocked(spec);
+    if (blockers.empty()) {
+      deregister_locked();
+      return spec.is_item ? GrantItemLocked(bi, spec) : GrantPredLocked(spec);
+    }
+    if (!registered) {
+      waiting_[spec.txn] = spec;  // deadlock detection reads our edges live
+      if (!spec.is_item) pred_waiters_.fetch_add(1, std::memory_order_relaxed);
+      registered = true;
+    }
+    RecordEdgesLocked(spec.txn, blockers);
+    if (WouldDeadlockLocked(spec.txn)) {
+      stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      deregister_locked();
+      return Status::Deadlock("deadlock: T" + std::to_string(spec.txn) +
+                              " waits on" + JoinTxns(blockers));
     }
     if (!counted_wait) {
-      ++stats_.blocked;  // one wait episode, however many re-checks
-      counted_wait = true;
+      stat_blocked_.fetch_add(1, std::memory_order_relaxed);
+      counted_wait = true;  // one wait episode, however many re-checks
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
-      ++stats_.timeouts;
-      std::string msg = "lock wait timeout (" + std::to_string(timeout.count()) +
-                        "ms): " + Describe(spec) + " locked by";
-      for (TxnId b : blockers) msg += " T" + std::to_string(b);
-      return leave(Result<LockHandle>(Status::WouldBlock(msg)));
+      stat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      deregister_locked();
+      return Status::WouldBlock(
+          "lock wait timeout (" + std::to_string(timeout.count()) +
+          "ms): " + Describe(spec) + " locked by" + JoinTxns(blockers));
     }
-    cv_.wait_for(lk, std::min<std::chrono::steady_clock::duration>(
-                         deadline - now, kRecheckSlice));
+
+    // Park on the bucket: keep its latch, drop everything else (graph
+    // first, then the other buckets — unlock order is unconstrained).
+    ++park.waiters;
+    gl.unlock();
+    bl = std::move(all[bi]);
+    for (auto& l : all) {
+      if (l.owns_lock()) l.unlock();
+    }
+    park.cv.wait_for(bl, std::min<std::chrono::steady_clock::duration>(
+                             deadline - now, kRecheckSlice));
+    --park.waiters;
+    if (!spec.is_item) bl.unlock();  // predicate retry goes straight global
   }
 }
 
 void LockManager::Release(LockHandle handle) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = std::find_if(held_.begin(), held_.end(), [&](const HeldLock& h) {
-    return h.handle == handle;
-  });
-  if (it != held_.end()) {
-    held_.erase(it);
-    ++stats_.released;
-    // Only parked waiters consume notifications; don't pay for a
-    // broadcast on the cooperative hot path.
-    if (!waiting_.empty()) cv_.notify_all();
+  if (handle == 0) return;
+  const uint64_t tag = handle & ((1u << kBucketTagBits) - 1);
+  bool erased = false;
+  if (tag == kPredTag) {
+    // Predicate release: side-table mutation needs the global view; every
+    // bucket's waiters might have been blocked by it.
+    auto all = LockAllBuckets();
+    auto it = std::find_if(
+        pred_held_.begin(), pred_held_.end(),
+        [&](const HeldLock& h) { return h.handle == handle; });
+    if (it != pred_held_.end()) {
+      pred_held_.erase(it);
+      erased = true;
+      for (const auto& b : buckets_) {
+        if (b->waiters > 0) b->cv.notify_all();
+      }
+    }
+  } else {
+    const size_t bi = static_cast<size_t>(tag) - 1;
+    if (bi >= buckets_.size()) return;
+    Bucket& b = *buckets_[bi];
+    std::lock_guard<std::mutex> bl(b.mu);
+    auto it = std::find_if(b.held.begin(), b.held.end(), [&](const HeldLock& h) {
+      return h.handle == handle;
+    });
+    if (it != b.held.end()) {
+      b.held.erase(it);
+      erased = true;
+      if (b.waiters > 0) b.cv.notify_all();
+    }
+  }
+  if (erased) {
+    stat_released_.fetch_add(1, std::memory_order_relaxed);
+    // A parked predicate waiter (on bucket 0) may be blocked by an item
+    // lock in any bucket; this unlatched poke can race with its pre-wait
+    // window, which the recheck slice bounds.
+    if (tag != kPredTag && pred_waiters_.load(std::memory_order_relaxed) > 0) {
+      buckets_[0]->cv.notify_all();
+    }
   }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  size_t before = held_.size();
-  held_.erase(std::remove_if(
-                  held_.begin(), held_.end(),
-                  [&](const HeldLock& h) { return h.spec.txn == txn; }),
-              held_.end());
-  stats_.released += before - held_.size();
-  waits_for_.erase(txn);
-  for (auto& [t, targets] : waits_for_) {
-    (void)t;
-    targets.erase(txn);
+  size_t erased = 0;
+  bool any_pred = false;
+  {
+    std::lock_guard<std::mutex> bl(buckets_[0]->mu);
+    any_pred = !pred_held_.empty();
   }
-  if (!waiting_.empty()) cv_.notify_all();
+  auto erase_from = [&](std::vector<HeldLock>& held) {
+    size_t before = held.size();
+    held.erase(std::remove_if(
+                   held.begin(), held.end(),
+                   [&](const HeldLock& h) { return h.spec.txn == txn; }),
+               held.end());
+    return before - held.size();
+  };
+  if (any_pred) {
+    // The transaction may hold predicate locks: take the global view once.
+    auto all = LockAllBuckets();
+    for (const auto& b : buckets_) {
+      size_t n = erase_from(b->held);
+      erased += n;
+      if (n != 0 && b->waiters > 0) b->cv.notify_all();
+    }
+    size_t n = erase_from(pred_held_);
+    erased += n;
+    if (n != 0) {
+      for (const auto& b : buckets_) {
+        if (b->waiters > 0) b->cv.notify_all();
+      }
+    }
+  } else {
+    // Common case (no predicate locks anywhere): one bucket at a time.
+    for (const auto& b : buckets_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      size_t n = erase_from(b->held);
+      erased += n;
+      if (n != 0 && b->waiters > 0) b->cv.notify_all();
+    }
+  }
+  stat_released_.fetch_add(erased, std::memory_order_relaxed);
+  if (erased != 0 && pred_waiters_.load(std::memory_order_relaxed) > 0) {
+    buckets_[0]->cv.notify_all();
+  }
+  // Clear the transaction's edges, and edges other transactions recorded
+  // against it (they will recompute on their next attempt/recheck).
+  std::lock_guard<std::mutex> gl(graph_mu_);
+  EraseEdgesLocked(txn);
+  for (auto it = waits_for_.begin(); it != waits_for_.end();) {
+    it->second.erase(txn);
+    if (it->second.empty()) {
+      it = waits_for_.erase(it);
+      edge_txns_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<TxnId> LockManager::Blockers(const LockSpec& spec) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return BlockersLocked(spec);
+  auto all = LockAllBuckets();
+  return BlockersGlobalLocked(spec);
 }
 
 size_t LockManager::HeldCount() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return held_.size();
+  size_t n = 0;
+  for (const auto& b : buckets_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->held.size();
+    if (&b == &buckets_.front()) n += pred_held_.size();
+  }
+  return n;
 }
 
 size_t LockManager::HeldCountBy(TxnId txn) const {
-  std::lock_guard<std::mutex> guard(mu_);
   size_t n = 0;
-  for (const auto& h : held_) n += (h.spec.txn == txn);
+  auto count_in = [&](const std::vector<HeldLock>& held) {
+    for (const auto& h : held) n += (h.spec.txn == txn);
+  };
+  for (const auto& b : buckets_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    count_in(b->held);
+    if (&b == &buckets_.front()) count_in(pred_held_);
+  }
   return n;
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return stats_;
+  LockStats s;
+  s.acquired = stat_acquired_.load(std::memory_order_relaxed);
+  s.blocked = stat_blocked_.load(std::memory_order_relaxed);
+  s.deadlocks = stat_deadlocks_.load(std::memory_order_relaxed);
+  s.released = stat_released_.load(std::memory_order_relaxed);
+  s.timeouts = stat_timeouts_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace critique

@@ -1,10 +1,12 @@
 #ifndef CRITIQUE_LOCK_LOCK_MANAGER_H_
 #define CRITIQUE_LOCK_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -71,10 +73,39 @@ struct LockStats {
   uint64_t timeouts = 0;  ///< blocking acquires that hit the wait timeout
 };
 
-/// \brief A table-less lock manager with item and predicate locks, a
-/// waits-for graph, and deterministic deadlock handling.
+/// \brief A striped lock table with item and predicate locks, a waits-for
+/// graph, and deterministic deadlock handling.
 ///
-/// Two acquisition protocols share one conflict/waits-for core:
+/// Layout: held item locks are hash-partitioned across `stripe_count()`
+/// independently latched buckets (the data-item hash picks the bucket, so
+/// two locks on the same item always meet in the same bucket).  The
+/// conflict-free fast path — by far the common case — touches exactly one
+/// bucket mutex and scans only that bucket's held locks, so disjoint
+/// acquires in different buckets neither contend nor lengthen each other's
+/// conflict scans.  Three kinds of state are deliberately *not* striped
+/// and are reached only on slow paths:
+///
+///  * predicate locks, which can conflict with an item in any bucket, live
+///    in a side table mutated only while every bucket latch is held
+///    (ascending order) and readable under any single bucket latch — so
+///    the fast path can still check them without extra locking;
+///  * the waits-for graph (`waits_for_` / `waiting_`) sits behind one
+///    graph mutex, touched only when a conflict was actually found;
+///  * deadlock detection takes the global view (all bucket latches, then
+///    the graph mutex) so it can recompute parked waiters' edges live —
+///    it runs only on the conflict path (cooperative `TryAcquire`) or when
+///    a parked waiter's bucket-local recheck timeout fires (blocking
+///    `Acquire`), never on a granted acquire.
+///
+/// Latch order (strict, everywhere): bucket 0 < bucket 1 < ... <
+/// bucket N-1 < graph mutex.  Waiters park on their item's bucket
+/// condition variable (predicate waiters park on bucket 0 by convention);
+/// releases notify the affected bucket, and cross-bucket notifications
+/// that cannot be made race-free without a global latch are bounded by the
+/// recheck slice — a waiter never sleeps past it without re-running the
+/// full conflict check.
+///
+/// Two acquisition protocols share the conflict/waits-for core:
 ///
 ///  * `TryAcquire` never blocks the calling thread.  On conflict it records
 ///    waits-for edges from the requester to every conflicting holder and
@@ -83,18 +114,41 @@ struct LockStats {
 ///    aborts the requesting transaction (deterministic requester-as-victim
 ///    policy).  Cooperative runners retry `WouldBlock` steps when other
 ///    transactions make progress.
-///  * `Acquire` parks the calling thread on a condition variable until the
-///    conflict clears, the wait would close a waits-for cycle (`Deadlock`,
-///    same requester-as-victim policy), or `timeout` elapses (`WouldBlock`
-///    carrying a lock-wait-timeout message — the caller treats it like any
-///    other retryable conflict).  Every release notifies all waiters, and
-///    each waiter re-runs deadlock detection when it re-checks, so cycles
-///    formed while threads sleep are still caught.
+///  * `Acquire` parks the calling thread on its bucket's condition variable
+///    until the conflict clears, the wait would close a waits-for cycle
+///    (`Deadlock`, same requester-as-victim policy), or `timeout` elapses
+///    (`WouldBlock` carrying a lock-wait-timeout message — the caller
+///    treats it like any other retryable conflict).  Every relevant
+///    release notifies the bucket, and each waiter re-runs global deadlock
+///    detection when its recheck slice fires, so cycles formed while
+///    threads sleep are still caught.
 ///
 /// Thread-safe; at most one in-flight acquire per transaction at a time
 /// (a transaction is one session driven by one thread).
 class LockManager {
  public:
+  /// Default bucket count; `DbOptions::lock_stripes` overrides per
+  /// database.
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit LockManager(size_t stripes = kDefaultStripes);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Re-partitions the table into `stripes` buckets (clamped to
+  /// [1, kMaxStripes]).  Precondition: the manager is QUIESCENT — no
+  /// locks held, no waiters, and no concurrent calls of any kind; the
+  /// engines satisfy this by calling it only from `SetConcurrency`,
+  /// before any session starts.  Returns false (changing nothing) when
+  /// locks or waiters exist, but that refusal is a best-effort guard for
+  /// sequential misuse only: a call racing other operations is undefined
+  /// behaviour (the bucket vector, mutexes included, is rebuilt).
+  bool SetStripeCount(size_t stripes);
+
+  /// Number of hash buckets the item-lock table is partitioned into.
+  size_t stripe_count() const { return buckets_.size(); }
+
   /// Non-blocking acquire; see class comment for the protocol.
   Result<LockHandle> TryAcquire(const LockSpec& spec);
 
@@ -125,33 +179,106 @@ class LockManager {
   LockStats stats() const;
 
  private:
+  /// Handles carry their bucket in the low byte (0 = the predicate side
+  /// table, i+1 = bucket i), so `Release` goes straight to the right
+  /// latch.  The cap keeps the global view (all bucket latches + the
+  /// graph mutex + a caller's engine latch) comfortably under
+  /// ThreadSanitizer's 64-locks-held-per-thread limit, so the TSan gate
+  /// can certify the slow path too; past ~the core count extra stripes
+  /// buy nothing anyway.
+  static constexpr size_t kMaxStripes = 48;
+  static constexpr uint64_t kBucketTagBits = 8;
+  static constexpr uint64_t kPredTag = 0;
+
   struct HeldLock {
     LockHandle handle;
     LockSpec spec;
   };
 
-  bool SpecsConflict(const LockSpec& held, const LockSpec& want) const;
-  std::vector<TxnId> BlockersLocked(const LockSpec& spec) const;
-  bool WouldDeadlock(TxnId requester) const;
+  /// One stripe: a latch, the item locks hashed here, and the condition
+  /// variable its blocked acquirers park on.
+  struct Bucket {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<HeldLock> held;
+    int waiters = 0;  ///< parked Acquire calls (guarded by mu)
+  };
 
-  /// Grants `spec` (caller verified there is no conflict).
-  LockHandle GrantLocked(const LockSpec& spec);
+  size_t BucketOf(const ItemId& id) const;
+
+  /// Locks every bucket latch in ascending order (the global view).
+  std::vector<std::unique_lock<std::mutex>> LockAllBuckets() const;
+
+  bool SpecsConflict(const LockSpec& held, const LockSpec& want) const;
+
+  /// Conflicting holders of an item spec, scanning only its bucket plus
+  /// the predicate side table.  Requires that bucket's latch.
+  std::vector<TxnId> BlockersBucketLocked(const Bucket& b,
+                                          const LockSpec& spec) const;
+
+  /// Conflicting holders under the global view (any spec kind).  Requires
+  /// every bucket latch.
+  std::vector<TxnId> BlockersGlobalLocked(const LockSpec& spec) const;
+
+  /// Cycle probe from `requester`.  Requires every bucket latch plus the
+  /// graph mutex: parked waiters' edges are recomputed live from their
+  /// waiting spec instead of trusting `waits_for_`, whose recorded edges
+  /// go stale while a thread sleeps.
+  bool WouldDeadlockLocked(TxnId requester) const;
+
+  /// Removes `txn`'s outgoing edges.  Requires the graph mutex.
+  void EraseEdgesLocked(TxnId txn);
+
+  /// Rewrites `txn`'s outgoing edges to `blockers`.  Requires the graph
+  /// mutex.
+  void RecordEdgesLocked(TxnId txn, const std::vector<TxnId>& blockers);
+
+  /// Drops `txn`'s stale cooperative edges after a granted fast-path
+  /// acquire, when any edges exist at all (the atomic probe keeps the
+  /// conflict-free hot path off the graph mutex entirely).
+  void MaybeClearStaleEdges(TxnId txn);
+
+  /// Grants an item lock into bucket `bi` (its latch held) or — with every
+  /// bucket latch held — a predicate lock into the side table.
+  LockHandle GrantItemLocked(size_t bi, const LockSpec& spec);
+  LockHandle GrantPredLocked(const LockSpec& spec);
 
   /// "item 'x'" / "predicate <p>" for conflict messages.
   static std::string Describe(const LockSpec& spec);
+  static std::string JoinTxns(const std::vector<TxnId>& txns);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< signalled on every release
-  std::vector<HeldLock> held_;
+  /// The stripes.  unique_ptr because Bucket (mutex + condvar) is neither
+  /// movable nor copyable; the vector itself is resized only by
+  /// `SetStripeCount` on an idle manager.
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+
+  /// Predicate locks: mutated only with every bucket latch held, readable
+  /// under any single bucket latch (any reader's latch is among the
+  /// mutator's held set).
+  std::vector<HeldLock> pred_held_;
+
+  /// Parked Acquire calls with predicate specs (they park on bucket 0;
+  /// item releases in other buckets poke bucket 0 when this is non-zero).
+  std::atomic<int> pred_waiters_{0};
+
+  /// Graph mutex: guards waits_for_ and waiting_.  Always taken after
+  /// bucket latches, never before.
+  mutable std::mutex graph_mu_;
   std::map<TxnId, std::set<TxnId>> waits_for_;
-  /// Requests currently parked in `Acquire`.  Deadlock detection computes
-  /// these waiters' conflict edges live from the spec instead of trusting
-  /// `waits_for_`, whose recorded edges go stale while a thread sleeps
-  /// (a partial release could otherwise manufacture phantom cycles or
-  /// hide real ones until the next re-check slice).
+  /// Requests currently parked in `Acquire`, for live edge recompute.
   std::map<TxnId, LockSpec> waiting_;
-  LockHandle next_handle_ = 1;
-  LockStats stats_;
+  /// Number of transactions with recorded edges (== waits_for_.size(),
+  /// maintained under graph_mu_): the fast path's "is the graph empty?"
+  /// probe.
+  std::atomic<int> edge_txns_{0};
+
+  std::atomic<LockHandle> next_seq_{1};
+
+  std::atomic<uint64_t> stat_acquired_{0};
+  std::atomic<uint64_t> stat_blocked_{0};
+  std::atomic<uint64_t> stat_deadlocks_{0};
+  std::atomic<uint64_t> stat_released_{0};
+  std::atomic<uint64_t> stat_timeouts_{0};
 };
 
 }  // namespace critique

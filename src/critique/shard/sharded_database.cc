@@ -116,6 +116,27 @@ EngineStats ShardedDatabase::StatsAggregate() const {
   return total;
 }
 
+size_t ShardedDatabase::GarbageCollectVersions() {
+  size_t dropped = 0;
+  for (const auto& shard : shards_) dropped += shard->GarbageCollectVersions();
+  return dropped;
+}
+
+size_t ShardedDatabase::VersionCountAggregate() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->VersionCount();
+  return n;
+}
+
+std::optional<Timestamp> ShardedDatabase::OldestOpenSnapshot() const {
+  std::optional<Timestamp> oldest;
+  for (const auto& shard : shards_) {
+    std::optional<Timestamp> s = shard->OldestOpenSnapshot();
+    if (s.has_value() && (!oldest.has_value() || *s < *oldest)) oldest = s;
+  }
+  return oldest;
+}
+
 Rng ShardedDatabase::ForkRng() {
   std::lock_guard<std::mutex> lk(rng_mu_);
   return Rng(rng_.Next());

@@ -150,6 +150,27 @@ class ShardedDatabase {
   /// is exact when quiescent).
   EngineStats StatsAggregate() const;
 
+  // --- version garbage collection ------------------------------------------
+  //
+  // Per-shard GC is globally safe without coordination: a cross-shard
+  // transaction pins each shard's low-watermark through the engine
+  // session it holds open *on that shard*, and a shard it has not touched
+  // yet will give it a fresh snapshot at first touch — never one below
+  // that shard's own watermark.  (In `kWatermark` mode there is no global
+  // snapshot to preserve in the first place; `kRetainAll` shards keep
+  // everything.)
+
+  /// Runs one version-GC pass on every shard; returns total versions
+  /// dropped.
+  size_t GarbageCollectVersions();
+
+  /// Total stored versions across all shards (exact when quiescent).
+  size_t VersionCountAggregate() const;
+
+  /// The oldest open snapshot across shards that track one (nullopt when
+  /// no shard does) — the facade-level GC low-watermark.
+  std::optional<Timestamp> OldestOpenSnapshot() const;
+
   /// The facade-level retry protocol in force.
   const RetryPolicy& retry_policy() const { return *retry_; }
 

@@ -113,6 +113,17 @@ void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts) {
   }
 }
 
+void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts,
+                                  const std::set<ItemId>& items) {
+  for (const ItemId& id : items) {
+    auto it = chains_.find(id);
+    if (it == chains_.end()) continue;
+    for (auto& v : it->second) {
+      if (!v.committed() && v.creator == txn) v.commit_ts = commit_ts;
+    }
+  }
+}
+
 void MultiVersionStore::AbortTxn(TxnId txn) {
   for (auto& [id, chain] : chains_) {
     (void)id;
@@ -121,6 +132,20 @@ void MultiVersionStore::AbortTxn(TxnId txn) {
                                  return !v.committed() && v.creator == txn;
                                }),
                 chain.end());
+  }
+}
+
+void MultiVersionStore::AbortTxn(TxnId txn, const std::set<ItemId>& items) {
+  for (const ItemId& id : items) {
+    auto it = chains_.find(id);
+    if (it == chains_.end()) continue;
+    auto& chain = it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const Version& v) {
+                                 return !v.committed() && v.creator == txn;
+                               }),
+                chain.end());
+    if (chain.empty()) chains_.erase(it);
   }
 }
 
@@ -138,8 +163,8 @@ std::vector<std::pair<ItemId, Row>> MultiVersionStore::Scan(
 
 size_t MultiVersionStore::GarbageCollect(Timestamp watermark) {
   size_t dropped = 0;
-  for (auto& [id, chain] : chains_) {
-    (void)id;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    auto& chain = it->second;
     // Newest committed version at or below the watermark must survive.
     Timestamp keep_ts = kInvalidTimestamp;
     for (const auto& v : chain) {
@@ -154,6 +179,15 @@ size_t MultiVersionStore::GarbageCollect(Timestamp watermark) {
     chain.erase(std::remove_if(chain.begin(), chain.end(), obsolete),
                 chain.end());
     dropped += before - chain.size();
+    // A lone committed tombstone at/below the watermark reads exactly like
+    // an absent item at every surviving snapshot: drop the whole chain.
+    if (chain.size() == 1 && chain[0].committed() && chain[0].tombstone &&
+        chain[0].commit_ts <= watermark) {
+      ++dropped;
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
   }
   return dropped;
 }
@@ -163,6 +197,15 @@ size_t MultiVersionStore::VersionCount() const {
   for (const auto& [id, chain] : chains_) {
     (void)id;
     n += chain.size();
+  }
+  return n;
+}
+
+size_t MultiVersionStore::MaxChainLength() const {
+  size_t n = 0;
+  for (const auto& [id, chain] : chains_) {
+    (void)id;
+    n = std::max(n, chain.size());
   }
   return n;
 }

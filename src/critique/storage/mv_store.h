@@ -3,6 +3,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "critique/common/clock.h"
@@ -67,11 +68,18 @@ class MultiVersionStore {
   /// a conflict exists when this exceeds the writer's start timestamp.
   Timestamp LatestCommitTs(const ItemId& id) const;
 
-  /// Stamps all of `txn`'s pending versions with `commit_ts`.
+  /// Stamps all of `txn`'s pending versions with `commit_ts`.  The
+  /// hint-free overload scans every chain; engines that track the
+  /// transaction's write set pass it so commit costs O(|write set|), not
+  /// O(items in the store) — the hot-path difference `bench_mvcc_store`
+  /// measures.
   void CommitTxn(TxnId txn, Timestamp commit_ts);
+  void CommitTxn(TxnId txn, Timestamp commit_ts, const std::set<ItemId>& items);
 
-  /// Discards all of `txn`'s pending versions.
+  /// Discards all of `txn`'s pending versions (same hint contract as
+  /// `CommitTxn`).
   void AbortTxn(TxnId txn);
+  void AbortTxn(TxnId txn, const std::set<ItemId>& items);
 
   /// Items (id, row) visible to (`txn`, `ts`) that satisfy `pred`,
   /// in key order.
@@ -80,12 +88,19 @@ class MultiVersionStore {
 
   /// Drops versions no longer visible to any snapshot >= `watermark`
   /// (keeps, per item, the newest committed version at or below the
-  /// watermark, everything newer, and all pending versions).
+  /// watermark, everything newer, and all pending versions).  A chain
+  /// whose only survivor is a committed tombstone at or below the
+  /// watermark is dropped entirely — the item reads as absent at every
+  /// surviving snapshot either way, so deleted keys stop pinning memory.
   /// Returns the number of versions discarded.
   size_t GarbageCollect(Timestamp watermark);
 
   /// Total number of stored versions (across all items).
   size_t VersionCount() const;
+
+  /// Length of the longest version chain (0 when empty) — the GC
+  /// boundedness metric benches and tests assert on.
+  size_t MaxChainLength() const;
 
   /// Number of distinct items with at least one version.
   size_t ItemCount() const { return chains_.size(); }
