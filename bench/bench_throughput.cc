@@ -13,7 +13,7 @@
 //   bench_throughput [--threads N] [--txns-per-thread M] [--items K]
 //                    [--theta Z] [--write-fraction F] [--ops-per-txn O]
 //                    [--seed S] [--timeout-ms T] [--stripes B]
-//                    [--gc-every G] [--json PATH] [--quiet]
+//                    [--gc-every G] [--disjoint] [--json PATH] [--quiet]
 //
 // --stripes sets the lock-table stripe count of the lock-based engines
 // (1 = the old single global table); --gc-every enables kWatermark
@@ -22,10 +22,20 @@
 // the end-of-run stored version count so the GC effect is visible in the
 // baseline.
 //
+// --disjoint additionally runs each engine under a *disjoint-session*
+// workload: every thread owns its own slice of the keyspace, so there is
+// no data contention at all and throughput is bounded purely by how much
+// the engine's internal latching lets independent sessions overlap — the
+// metric the engine-latch split (reader-writer txn table + store latch +
+// striped lock table, replacing one engine-wide mutex) is gated on.
+// Disjoint increments are exactly countable, so the run also asserts
+// sum == initial + committed * ops_per_txn at every level.
+//
 // A plain binary (no google-benchmark dependency): a throughput driver
 // wants one timed run per configuration, not statistical repetition of a
 // micro-kernel.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -50,19 +60,21 @@ struct Config {
   int64_t timeout_ms = 250;
   int64_t stripes = static_cast<int64_t>(LockManager::kDefaultStripes);
   int64_t gc_every = 0;  ///< 0 = kRetainAll
+  bool disjoint = false;  ///< also run the disjoint-session workload
   bool quiet = false;
 };
 
 struct EngineResult {
   std::string name;
   std::string level;
+  std::string workload = "mixed";  ///< "mixed" (zipf transfers) | "disjoint"
   ParallelRunStats run;
   bool balance_ok = false;   ///< no lost updates: total balance preserved
   bool balance_must_hold = false;  ///< level disallows P4 (Serializable / SI)
   uint64_t version_count = 0;  ///< stored versions at end of run (MV engines)
 };
 
-EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
+DbOptions MakeDbOptions(IsolationLevel level, const Config& cfg) {
   DbOptions opts(level);
   opts.mode = ConcurrencyMode::kBlocking;
   opts.lock_wait_timeout = std::chrono::milliseconds(cfg.timeout_ms);
@@ -72,7 +84,60 @@ EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
     opts.version_gc = VersionGcMode::kWatermark;
     opts.version_gc_interval = static_cast<uint32_t>(cfg.gc_every);
   }
-  Database db(opts);
+  return opts;
+}
+
+// Disjoint-session mode: thread t read-modify-writes only items in its own
+// keyspace slice, so the run measures latch overlap, not lock conflicts.
+EngineResult RunEngineDisjoint(IsolationLevel level, const Config& cfg) {
+  Database db(MakeDbOptions(level, cfg));
+
+  WorkloadOptions wopts;
+  wopts.num_items = cfg.items;
+  WorkloadGenerator gen(wopts);
+  (void)gen.LoadInitial(db);
+
+  // Caller guarantees threads <= items (checked in main), so every
+  // thread owns a non-empty, non-overlapping slice.
+  const uint64_t slice = cfg.items / static_cast<uint64_t>(cfg.threads);
+  const uint64_t ops = cfg.ops_per_txn;
+
+  ParallelDriverOptions dopts;
+  dopts.threads = cfg.threads;
+  dopts.txns_per_thread = cfg.txns_per_thread;
+  ParallelDriver driver(db, dopts);
+
+  EngineResult out;
+  out.name = db.name();
+  out.level = IsolationLevelName(level);
+  out.workload = "disjoint";
+  out.run = driver.RunIndexed([&](Transaction& txn, Rng& rng, int thread) {
+    const uint64_t base = static_cast<uint64_t>(thread) * slice;
+    for (uint64_t i = 0; i < ops; ++i) {
+      const ItemId item = WorkloadGenerator::ItemName(
+          base + rng.Uniform(slice));
+      auto v = txn.GetScalar(item);
+      if (!v.ok()) return v.status();
+      auto n = v->AsNumeric();
+      CRITIQUE_RETURN_NOT_OK(txn.Put(
+          item, Value(static_cast<int64_t>(n.value_or(0)) + 1)));
+    }
+    return Status::OK();
+  });
+  // Disjoint increments are exactly countable at every level: each
+  // committed transaction adds ops_per_txn to the total, aborted attempts
+  // roll back cleanly, and no thread can lose another thread's update.
+  const int64_t expect =
+      static_cast<int64_t>(cfg.items) * wopts.initial_balance +
+      static_cast<int64_t>(out.run.committed * ops);
+  out.balance_ok = WorkloadGenerator::TotalBalance(db, cfg.items) == expect;
+  out.balance_must_hold = true;
+  out.version_count = db.VersionCount();
+  return out;
+}
+
+EngineResult RunEngine(IsolationLevel level, const Config& cfg) {
+  Database db(MakeDbOptions(level, cfg));
 
   WorkloadOptions wopts;
   wopts.num_items = cfg.items;
@@ -115,8 +180,10 @@ void PrintHuman(const Config& cfg, const std::vector<EngineResult>& results) {
   std::printf("%-34s %10s %8s %9s %9s %9s %9s\n", "Engine", "txn/s",
               "abort %", "p50 us", "p90 us", "p99 us", "sum ok");
   for (const EngineResult& r : results) {
+    const std::string label =
+        r.workload == "disjoint" ? r.name + " [disjoint]" : r.name;
     std::printf("%-34s %10.0f %7.1f%% %9.0f %9.0f %9.0f %9s\n",
-                r.name.c_str(), r.run.txns_per_second(),
+                label.c_str(), r.run.txns_per_second(),
                 100 * r.run.abort_rate(), r.run.latency.p50_us,
                 r.run.latency.p90_us, r.run.latency.p99_us,
                 r.balance_ok ? "yes" : "NO");
@@ -150,6 +217,7 @@ std::string ToJson(const Config& cfg,
     w.BeginObject();
     w.Key("name"); w.String(r.name);
     w.Key("level"); w.String(r.level);
+    w.Key("workload"); w.String(r.workload);
     w.Key("txns_per_sec"); w.Double(r.run.txns_per_second());
     w.Key("abort_rate"); w.Double(r.run.abort_rate());
     w.Key("committed"); w.UInt(r.run.committed);
@@ -197,9 +265,19 @@ int main(int argc, char** argv) {
   cfg.stripes = TakeIntFlag(argc, argv, "--stripes",
                             static_cast<int64_t>(LockManager::kDefaultStripes));
   cfg.gc_every = TakeIntFlag(argc, argv, "--gc-every", 0);
+  cfg.disjoint = TakeBoolFlag(argc, argv, "--disjoint");
   cfg.quiet = TakeBoolFlag(argc, argv, "--quiet");
   if (argc > 1) {
     std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+    return 2;
+  }
+  if (cfg.disjoint &&
+      static_cast<uint64_t>(cfg.threads) > cfg.items) {
+    std::fprintf(stderr,
+                 "--disjoint needs at least one item per thread "
+                 "(threads=%d > items=%llu): the slices would overlap and "
+                 "the workload would no longer be disjoint\n",
+                 cfg.threads, static_cast<unsigned long long>(cfg.items));
     return 2;
   }
 
@@ -211,6 +289,11 @@ int main(int argc, char** argv) {
   std::vector<EngineResult> results;
   for (IsolationLevel level : levels) {
     results.push_back(RunEngine(level, cfg));
+  }
+  if (cfg.disjoint) {
+    for (IsolationLevel level : levels) {
+      results.push_back(RunEngineDisjoint(level, cfg));
+    }
   }
 
   if (!cfg.quiet) PrintHuman(cfg, results);

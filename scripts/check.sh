@@ -3,7 +3,7 @@
 # errors.  This is the tier-1 verify pipeline (ROADMAP.md) plus
 # -Wall -Wextra -Werror, suitable for a CI job:
 #
-#   ./scripts/check.sh [--tsan | --asan | --bench] [build-dir]
+#   ./scripts/check.sh [--tsan | --asan | --bench | --stress] [build-dir]
 #
 #   --tsan   build and test under ThreadSanitizer (certifies the blocking
 #            concurrent session API; see tests/concurrency_test.cc)
@@ -14,6 +14,12 @@
 #            BENCH_*.json baselines via scripts/bench_gate.py (tolerance
 #            via BENCH_GATE_TOLERANCE, default 0.5 = fail on >50%
 #            regression).  See docs/benchmarks.md.
+#   --stress build under ThreadSanitizer and loop the formerly-flaky SSI
+#            serializability stress test (ConcurrencyTest.
+#            CommittedSerializableHistoriesStaySerializable, which before
+#            the commit-pipeline fix failed ~1/15 TSan runs) STRESS_RUNS
+#            times (default 30).  Zero failures required; any data race
+#            or non-serializable committed history fails the loop.
 #
 set -euo pipefail
 
@@ -21,20 +27,33 @@ cd "$(dirname "$0")/.."
 
 SANITIZER=""
 BENCH=0
+STRESS=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --tsan) SANITIZER="thread" ;;
     --asan) SANITIZER="address" ;;
     --bench) BENCH=1 ;;
+    --stress) STRESS=1 ;;
     --*) echo "unknown option: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [[ "$STRESS" -eq 1 ]]; then
+  # The stress loop is a ThreadSanitizer data-race pin; any other
+  # sanitizer would report green while detecting no races at all.
+  if [[ -n "$SANITIZER" && "$SANITIZER" != "thread" ]]; then
+    echo "--stress runs under ThreadSanitizer; it cannot be combined" >&2
+    echo "with --asan" >&2
+    exit 2
+  fi
+  SANITIZER="thread"
+fi
 if [[ "$BENCH" -eq 1 && -n "$SANITIZER" ]]; then
-  echo "--bench cannot be combined with --tsan/--asan: the committed" >&2
-  echo "BENCH_*.json baselines are from non-sanitized builds, so every" >&2
-  echo "metric would spuriously 'regress' under a sanitizer slowdown" >&2
+  echo "--bench cannot be combined with --tsan/--asan/--stress: the" >&2
+  echo "committed BENCH_*.json baselines are from non-sanitized builds," >&2
+  echo "so every metric would spuriously 'regress' under a sanitizer" >&2
+  echo "slowdown" >&2
   exit 2
 fi
 if [[ -z "$BUILD_DIR" ]]; then
@@ -62,7 +81,7 @@ if [[ "$BENCH" -eq 1 ]]; then
     --chain 1024 --reads 200000 --quiet \
     --json "$BUILD_DIR/BENCH_mvcc.json"
   "$BUILD_DIR"/bench_throughput --threads 4 --txns-per-thread 100 \
-    --items 64 --gc-every 64 --quiet \
+    --items 64 --gc-every 64 --disjoint --quiet \
     --json "$BUILD_DIR/BENCH_throughput.json"
 
   python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
@@ -70,6 +89,20 @@ if [[ "$BENCH" -eq 1 ]]; then
   python3 scripts/bench_gate.py BENCH_throughput.json \
     "$BUILD_DIR/BENCH_throughput.json"
   echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
+  exit 0
+fi
+
+if [[ "$STRESS" -eq 1 ]]; then
+  # The stress loop: the SSI commit-pipeline regression pin.  One gtest
+  # process repeats the test so every iteration reuses the warmed TSan
+  # runtime; --gtest_break_on_failure turns the first bad history into a
+  # non-zero exit.  TSan itself fails the run on any data race.
+  RUNS="${STRESS_RUNS:-30}"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD_DIR"/critique_tests \
+    --gtest_filter='ConcurrencyTest.CommittedSerializableHistoriesStaySerializable' \
+    --gtest_repeat="$RUNS" --gtest_break_on_failure
+  echo "check.sh: stress loop green ($RUNS TSan runs)"
   exit 0
 fi
 

@@ -423,7 +423,11 @@ Status Transaction::CommitPrepared() {
     return Status::TransactionAborted("transaction already finished");
   }
   Status s = db_->engine_->CommitPrepared(id_);
-  if (s.ok()) Finish();
+  // A certifying engine (SSI) may refuse the decision when a dangerous
+  // structure completed while the participant was in doubt; the engine
+  // has then already rolled the transaction back, so the handle is
+  // finished either way.
+  if (s.ok() || s.IsSerializationFailure()) Finish();
   return s;
 }
 

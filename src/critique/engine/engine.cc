@@ -19,29 +19,6 @@ std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
   return os << stats.ToString();
 }
 
-Result<LockHandle> Engine::AcquireLockWithProtocol(
-    LockManager& lm, std::unique_lock<std::mutex>& lk, const LockSpec& spec,
-    std::chrono::milliseconds timeout,
-    const std::function<void()>& rollback_requester) {
-  Result<LockHandle> r = [&]() -> Result<LockHandle> {
-    if (!concurrency_.blocking_locks) return lm.TryAcquire(spec);
-    lk.unlock();
-    auto waited = lm.Acquire(spec, timeout, concurrency_.deadlock_check_interval);
-    lk.lock();
-    return waited;
-  }();
-  if (r.ok()) return r;
-  if (r.status().IsWouldBlock()) {
-    recorder_.Count(&EngineStats::blocked_ops);
-    return r;
-  }
-  if (r.status().IsDeadlock()) {
-    recorder_.Count(&EngineStats::deadlock_aborts);
-    rollback_requester();
-  }
-  return r;
-}
-
 Status Engine::Update(
     TxnId txn, const ItemId& id,
     const std::function<Row(const std::optional<Row>&)>& transform) {

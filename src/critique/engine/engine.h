@@ -334,8 +334,19 @@ class Engine {
   // locks stay held, pending versions stay pending, and every further
   // operation (including plain Commit/Abort) answers FailedPrecondition
   // until the coordinator's decision arrives as `CommitPrepared` or
-  // `AbortPrepared`.  After an OK `Prepare`, `CommitPrepared` must not
-  // fail: prepare is the participant's last chance to say no.
+  // `AbortPrepared`.
+  //
+  // After an OK `Prepare`, `CommitPrepared` must not fail for engines
+  // whose prepared state pins every conflict it validated (lock
+  // schedulers: the locks held across the in-doubt window are the proof).
+  // A *certifying* engine (SSI) cannot promise that: certification is only
+  // complete at publication, so its `CommitPrepared` re-validates and may
+  // answer kSerializationFailure when a dangerous structure completed
+  // while the participant was in doubt — the engine has then already
+  // rolled the participant back, exactly as a failed `Commit`, and the
+  // refusal is an abort *acknowledgement* (the participant is terminal, no
+  // locks or versions leak).  Coordinators must treat such a refusal as a
+  // participant abort, not a protocol error (see shard/TxnCoordinator).
   //
   // The base-class defaults implement the *trivial participant* for
   // engines whose `Commit` cannot fail (pure lock schedulers): `Prepare`
@@ -359,8 +370,10 @@ class Engine {
     return Status::OK();
   }
 
-  /// Phase 2, commit decision: finishes a prepared transaction.  Must
-  /// succeed after an OK `Prepare`.
+  /// Phase 2, commit decision: finishes a prepared transaction.  Succeeds
+  /// after an OK `Prepare` except on a certifying engine, whose
+  /// re-validation may refuse with kSerializationFailure (participant
+  /// already rolled back — see the protocol notes above).
   virtual Status CommitPrepared(TxnId txn) { return Commit(txn); }
 
   /// Phase 2, abort decision: rolls back a prepared transaction.
@@ -395,10 +408,34 @@ class Engine {
   /// `kWouldBlock` immediately on conflict.  Counts `blocked_ops` on a
   /// conflict answer; on a deadlock verdict counts `deadlock_aborts` and
   /// runs `rollback_requester` under the re-taken latch before returning.
+  ///
+  /// `Lk` is any lock wrapper with unlock()/lock() — `std::unique_lock`
+  /// over a mutex, or `std::shared_lock` over the reader-writer table
+  /// latch the stock engines hold during operation bodies.
+  template <typename Lk>
   Result<LockHandle> AcquireLockWithProtocol(
-      LockManager& lm, std::unique_lock<std::mutex>& lk, const LockSpec& spec,
+      LockManager& lm, Lk& lk, const LockSpec& spec,
       std::chrono::milliseconds timeout,
-      const std::function<void()>& rollback_requester);
+      const std::function<void()>& rollback_requester) {
+    Result<LockHandle> r = [&]() -> Result<LockHandle> {
+      if (!concurrency_.blocking_locks) return lm.TryAcquire(spec);
+      lk.unlock();
+      auto waited =
+          lm.Acquire(spec, timeout, concurrency_.deadlock_check_interval);
+      lk.lock();
+      return waited;
+    }();
+    if (r.ok()) return r;
+    if (r.status().IsWouldBlock()) {
+      recorder_.Count(&EngineStats::blocked_ops);
+      return r;
+    }
+    if (r.status().IsDeadlock()) {
+      recorder_.Count(&EngineStats::deadlock_aborts);
+      rollback_requester();
+    }
+    return r;
+  }
 
   EngineRecorder recorder_;
   EngineConcurrency concurrency_;

@@ -19,13 +19,13 @@ LockingEngine::LockingEngine(IsolationLevel level)
 }
 
 Status LockingEngine::Load(const ItemId& id, Row row) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> sl(store_mu_);
   store_.Put(id, std::move(row));
   return Status::OK();
 }
 
 Status LockingEngine::Begin(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -59,20 +59,30 @@ Status LockingEngine::CheckPrepared(TxnId txn) const {
   return Status::OK();
 }
 
+std::optional<Row> LockingEngine::StoreGet(const ItemId& id) const {
+  std::shared_lock<std::shared_mutex> sl(store_mu_);
+  return store_.Get(id);
+}
+
 void LockingEngine::Rollback(TxnId txn) {
-  TxnState& st = txns_[txn];
-  for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
-    store_.ApplyUndo(*it);
+  TxnState& st = txns_.find(txn)->second;
+  {
+    std::unique_lock<std::shared_mutex> sl(store_mu_);
+    for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
+      store_.ApplyUndo(*it);
+    }
+    // Appended under the store latch: a lock-free reader of the restored
+    // values observes them only after the `a<t>` record exists.
+    recorder_.Record(Action::Abort(txn));
   }
   st.undo.clear();
   st.active = false;
   st.cursors.clear();
   lock_manager_.ReleaseAll(txn);
-  recorder_.Record(Action::Abort(txn));
 }
 
-Result<LockHandle> LockingEngine::Acquire(std::unique_lock<std::mutex>& lk,
-                                          TxnId txn, const LockSpec& spec) {
+Result<LockHandle> LockingEngine::Acquire(TableLock& lk, TxnId txn,
+                                          const LockSpec& spec) {
   // One wait budget for the whole operation, shared across image-redo
   // iterations: an operation may never wait longer than the configured
   // lock-wait timeout in total.
@@ -92,35 +102,44 @@ Result<LockHandle> LockingEngine::Acquire(std::unique_lock<std::mutex>& lk,
     // this request and for later requests checked against the now-held
     // lock — so on staleness, drop the grant and redo the acquire with
     // the fresh image.
-    std::optional<Row> now = store_.Get(cur.item);
+    std::optional<Row> now = StoreGet(cur.item);
     if (now == cur.before_image) return r;
     lock_manager_.Release(*r);
     cur.before_image = std::move(now);
   }
 }
 
-Result<std::optional<Row>> LockingEngine::DoRead(
-    std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
-    Action::Type type, const std::string& cursor) {
+Result<std::optional<Row>> LockingEngine::DoRead(TableLock& lk, TxnId txn,
+                                                 const ItemId& id,
+                                                 Action::Type type,
+                                                 const std::string& cursor) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
 
   LockHandle handle = 0;
   if (policy_.read_locks) {
-    LockSpec spec = LockSpec::ReadItem(txn, id, store_.Get(id));
+    LockSpec spec = LockSpec::ReadItem(txn, id, StoreGet(id));
     CRITIQUE_ASSIGN_OR_RETURN(handle, Acquire(lk, txn, spec));
   }
 
   // Post-lock read: in blocking mode the wait released the latch, so the
-  // image attached to the lock request may predate the grant.
-  std::optional<Row> row = store_.Get(id);
-  Action a = type == Action::Type::kCursorRead
-                 ? Action::CursorRead(txn, id, HistoryValue(row))
-                 : Action::Read(txn, id, HistoryValue(row));
-  recorder_.Record(std::move(a), &EngineStats::reads);
+  // image attached to the lock request may predate the grant.  The record
+  // is appended while the store latch is still held, so the history order
+  // of a read and the write whose value it observed can never invert
+  // (levels without read locks can observe uncommitted writes — the
+  // append must then already have happened).
+  std::optional<Row> row;
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    row = store_.Get(id);
+    Action a = type == Action::Type::kCursorRead
+                   ? Action::CursorRead(txn, id, HistoryValue(row))
+                   : Action::Read(txn, id, HistoryValue(row));
+    recorder_.Record(std::move(a), &EngineStats::reads);
+  }
 
   if (type == Action::Type::kCursorRead && policy_.cursor_stability) {
     // The cursor moved: drop the previous position's lock, hold this one.
-    CursorState& cs = txns_[txn].cursors[cursor];
+    CursorState& cs = txns_.find(txn)->second.cursors[cursor];
     if (cs.lock != 0) lock_manager_.Release(cs.lock);
     cs.item = id;
     cs.lock = handle;  // held until the cursor moves or closes
@@ -131,25 +150,25 @@ Result<std::optional<Row>> LockingEngine::DoRead(
 }
 
 Result<std::optional<Row>> LockingEngine::Read(TxnId txn, const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoRead(lk, txn, id, Action::Type::kRead);
 }
 
 Result<std::optional<Row>> LockingEngine::FetchCursor(TxnId txn,
                                                       const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoRead(lk, txn, id, Action::Type::kCursorRead, "");
 }
 
 Result<std::optional<Row>> LockingEngine::FetchCursorNamed(
     TxnId txn, const std::string& cursor, const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoRead(lk, txn, id, Action::Type::kCursorRead, cursor);
 }
 
 Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
     TxnId txn, const std::string& name, const Predicate& pred) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
 
   LockHandle handle = 0;
@@ -158,13 +177,19 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
         handle, Acquire(lk, txn, LockSpec::ReadPredicate(txn, pred)));
   }
 
-  auto rows = store_.Scan(pred);
-  Action a = Action::PredicateRead(txn, name, pred);
-  for (const auto& [id, row] : rows) {
-    (void)row;
-    a.read_set.push_back(id);
+  std::vector<std::pair<ItemId, Row>> rows;
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    rows = store_.Scan(pred);
+    Action a = Action::PredicateRead(txn, name, pred);
+    for (const auto& [id, row] : rows) {
+      (void)row;
+      a.read_set.push_back(id);
+    }
+    // Appended under the store latch: scan and record stay ordered
+    // against every write record (see DoRead).
+    recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   }
-  recorder_.Record(std::move(a), &EngineStats::predicate_reads);
 
   if (handle != 0 && policy_.pred_read == LockDuration::kShort) {
     lock_manager_.Release(handle);
@@ -172,44 +197,53 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
   return rows;
 }
 
-Status LockingEngine::DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn,
-                              const ItemId& id, std::optional<Row> new_row,
-                              Action::Type type, bool is_insert) {
+Status LockingEngine::DoWrite(TableLock& lk, TxnId txn, const ItemId& id,
+                              std::optional<Row> new_row, Action::Type type,
+                              bool is_insert) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
 
-  std::optional<Row> before = store_.Get(id);
+  std::optional<Row> before = StoreGet(id);
   LockSpec spec = LockSpec::WriteItem(txn, id, before, new_row);
   CRITIQUE_ASSIGN_OR_RETURN(LockHandle handle, Acquire(lk, txn, spec));
 
   // The X lock now serializes writers of `id`: this is the first point
   // where existence can be decided from committed (or own) state, and
   // where the before-image for undo/history is stable.
-  before = store_.Get(id);
-  if (is_insert && before.has_value()) {
-    lock_manager_.Release(handle);
-    return Status::FailedPrecondition("insert: item '" + id + "' exists");
-  }
   const bool is_delete = !new_row.has_value();
-  if (is_delete && !before.has_value()) {
+  Status precondition = Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> sl(store_mu_);
+    before = store_.Get(id);
+    if (is_insert && before.has_value()) {
+      precondition =
+          Status::FailedPrecondition("insert: item '" + id + "' exists");
+    } else if (is_delete && !before.has_value()) {
+      precondition = Status::NotFound("delete: item '" + id + "' absent");
+    } else {
+      if (new_row.has_value()) {
+        store_.Put(id, *new_row);
+      } else {
+        store_.Erase(id);
+      }
+      // Recorded before the store latch drops: no reader of this value
+      // (levels without read locks see it immediately) can append its
+      // read ahead of this write in the history.
+      Action a = type == Action::Type::kCursorWrite
+                     ? Action::CursorWrite(txn, id, HistoryValue(new_row))
+                     : Action::Write(txn, id, HistoryValue(new_row));
+      a.before_image = before;
+      a.after_image = new_row;
+      a.is_insert = is_insert;
+      recorder_.Record(std::move(a), &EngineStats::writes);
+    }
+  }
+  if (!precondition.ok()) {
     lock_manager_.Release(handle);
-    return Status::NotFound("delete: item '" + id + "' absent");
+    return precondition;
   }
 
-  TxnState& st = txns_[txn];
-  st.undo.push_back(UndoRecord{id, before});
-  if (new_row.has_value()) {
-    store_.Put(id, *new_row);
-  } else {
-    store_.Erase(id);
-  }
-
-  Action a = type == Action::Type::kCursorWrite
-                 ? Action::CursorWrite(txn, id, HistoryValue(new_row))
-                 : Action::Write(txn, id, HistoryValue(new_row));
-  a.before_image = std::move(before);
-  a.after_image = std::move(new_row);
-  a.is_insert = is_insert;
-  recorder_.Record(std::move(a), &EngineStats::writes);
+  TxnState& st = txns_.find(txn)->second;
+  st.undo.push_back(UndoRecord{id, std::move(before)});
 
   if (policy_.write == LockDuration::kShort) {
     lock_manager_.Release(handle);  // Degree 0: action atomicity only
@@ -218,7 +252,7 @@ Status LockingEngine::DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn,
 }
 
 Status LockingEngine::Write(TxnId txn, const ItemId& id, Row row) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/false);
 }
@@ -228,20 +262,19 @@ Status LockingEngine::Insert(TxnId txn, const ItemId& id, Row row) {
   // in-place, so pre-lock state may be another transaction's uncommitted
   // write — only DoWrite's post-X-lock re-check can decide the
   // precondition without reading dirty data.
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/true);
 }
 
 Status LockingEngine::Delete(TxnId txn, const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::nullopt, Action::Type::kWrite,
                  /*is_insert=*/false);
 }
 
 Result<size_t> LockingEngine::DoPredicateWrite(
-    std::unique_lock<std::mutex>& lk, TxnId txn, const std::string& name,
-    const Predicate& pred,
+    TableLock& lk, TxnId txn, const std::string& name, const Predicate& pred,
     const std::function<std::optional<Row>(const Row&)>& transform) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
 
@@ -251,30 +284,36 @@ Result<size_t> LockingEngine::DoPredicateWrite(
   CRITIQUE_ASSIGN_OR_RETURN(
       LockHandle handle, Acquire(lk, txn, LockSpec::WritePredicate(txn, pred)));
 
-  TxnState& st = txns_[txn];
-  auto rows = store_.Scan(pred);  // post-lock scan
-  Action a = Action::PredicateWrite(txn, name, pred);
-  for (const auto& [id, row] : rows) {
-    st.undo.push_back(UndoRecord{id, row});
-    std::optional<Row> next = transform(row);
-    if (next.has_value()) {
-      store_.Put(id, *next);
-    } else {
-      store_.Erase(id);
+  TxnState& st = txns_.find(txn)->second;
+  size_t rows_touched = 0;
+  {
+    std::unique_lock<std::shared_mutex> sl(store_mu_);
+    Action a = Action::PredicateWrite(txn, name, pred);
+    auto rows = store_.Scan(pred);  // post-lock scan
+    rows_touched = rows.size();
+    for (const auto& [id, row] : rows) {
+      st.undo.push_back(UndoRecord{id, row});
+      std::optional<Row> next = transform(row);
+      if (next.has_value()) {
+        store_.Put(id, *next);
+      } else {
+        store_.Erase(id);
+      }
+      a.read_set.push_back(id);
     }
-    a.read_set.push_back(id);
+    // Appended under the store latch (see DoWrite).
+    recorder_.Count(&EngineStats::writes, rows_touched);
+    recorder_.Record(std::move(a));
   }
-  recorder_.Count(&EngineStats::writes, rows.size());
-  recorder_.Record(std::move(a));
 
   if (policy_.write == LockDuration::kShort) lock_manager_.Release(handle);
-  return rows.size();
+  return rows_touched;
 }
 
 Result<size_t> LockingEngine::UpdateWhere(
     TxnId txn, const std::string& name, const Predicate& pred,
     const std::function<Row(const Row&)>& transform) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoPredicateWrite(
       lk, txn, name, pred,
       [&transform](const Row& row) -> std::optional<Row> {
@@ -284,7 +323,7 @@ Result<size_t> LockingEngine::UpdateWhere(
 
 Result<size_t> LockingEngine::DeleteWhere(TxnId txn, const std::string& name,
                                           const Predicate& pred) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoPredicateWrite(
       lk, txn, name, pred,
       [](const Row&) -> std::optional<Row> { return std::nullopt; });
@@ -294,7 +333,7 @@ Status LockingEngine::WriteCursor(TxnId txn, const ItemId& id, Row row) {
   // "The Fetching transaction can update the row, and in that case a write
   // lock will be held on the row until the transaction commits" — DoWrite
   // takes the long X lock; the cursor's S lock is subsumed.
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kCursorWrite,
                  /*is_insert=*/false);
 }
@@ -304,9 +343,9 @@ Status LockingEngine::CloseCursor(TxnId txn) {
 }
 
 Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
+  TxnState& st = txns_.find(txn)->second;
   auto it = st.cursors.find(cursor);
   if (it != st.cursors.end()) {
     if (it->second.lock != 0) lock_manager_.Release(it->second.lock);
@@ -316,9 +355,9 @@ Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
 }
 
 Status LockingEngine::Commit(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
+  TxnState& st = txns_.find(txn)->second;
   st.active = false;
   st.undo.clear();
   st.cursors.clear();
@@ -328,7 +367,7 @@ Status LockingEngine::Commit(TxnId txn) {
 }
 
 Status LockingEngine::Abort(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
@@ -336,20 +375,20 @@ Status LockingEngine::Abort(TxnId txn) {
 }
 
 Status LockingEngine::Prepare(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   // A lock scheduler's commit cannot fail: every conflict was already
   // resolved when the lock was granted.  Prepare therefore only pins the
   // transaction — locks stay held, undo stays applicable — until the
   // coordinator's decision.
-  txns_[txn].prepared = true;
+  txns_.find(txn)->second.prepared = true;
   return Status::OK();
 }
 
 Status LockingEngine::CommitPrepared(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
-  TxnState& st = txns_[txn];
+  TxnState& st = txns_.find(txn)->second;
   st.prepared = false;
   st.active = false;
   st.undo.clear();
@@ -360,16 +399,18 @@ Status LockingEngine::CommitPrepared(TxnId txn) {
 }
 
 Status LockingEngine::AbortPrepared(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
-  txns_[txn].prepared = false;
+  txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
   return Status::OK();
 }
 
 std::vector<TxnId> LockingEngine::InDoubtTransactions() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Exclusive: this is the one cross-session scan of the registry, so it
+  // must not race the owners' own-state flag writes.
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
   std::vector<TxnId> out;
   for (const auto& [t, st] : txns_) {
     if (st.active && st.prepared) out.push_back(t);

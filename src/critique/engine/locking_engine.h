@@ -3,6 +3,7 @@
 
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,13 @@ namespace critique {
 /// before-images in LIFO order (possible exactly because long write locks
 /// preclude P0, Section 3).
 ///
-/// Thread-safe per the `Engine` contract: an internal latch serializes
-/// operation bodies; in blocking mode lock waits run with the latch
+/// Thread-safe per the `Engine` contract, without an engine-wide latch:
+/// a reader-writer latch over the transaction table (`table_mu_`, held
+/// shared by operation bodies, exclusive only by `Begin` and admin scans)
+/// plus a store latch (`store_mu_`) and the independently striped lock
+/// table.  Logical isolation between sessions comes from the locks
+/// themselves — Table 2's point — so disjoint sessions no longer queue
+/// behind one mutex; in blocking mode lock waits run with the table latch
 /// dropped, so concurrent sessions progress (and release locks) while a
 /// thread is parked in the lock manager.
 class LockingEngine : public Engine {
@@ -104,29 +110,35 @@ class LockingEngine : public Engine {
     std::map<std::string, CursorState> cursors;
   };
 
+  /// The table-latch guard every operation body holds (shared: sessions
+  /// only read the registry and mutate their own entry).
+  using TableLock = std::shared_lock<std::shared_mutex>;
+
   /// Status when `txn` is not active (kTransactionAborted) or is prepared
   /// (kFailedPrecondition — in doubt, only the coordinator may end it) or
-  /// OK.  Requires `mu_` held.
+  /// OK.  Requires `table_mu_` (any mode).
   Status CheckActive(TxnId txn) const;
 
-  /// Status unless `txn` is prepared (in doubt).  Requires `mu_` held.
+  /// Status unless `txn` is prepared (in doubt).  Requires `table_mu_`.
   Status CheckPrepared(TxnId txn) const;
 
   /// Rolls `txn` back: undo LIFO, release locks, record `a<txn>`.
-  /// Requires `mu_` held.
+  /// Requires `table_mu_` shared; takes `store_mu_` internally.
   void Rollback(TxnId txn);
+
+  /// One committed read of the store (takes `store_mu_` shared).
+  std::optional<Row> StoreGet(const ItemId& id) const;
 
   /// Acquire with engine-side handling: on kDeadlock the transaction is
   /// rolled back before the status is returned.  In blocking mode the wait
-  /// runs with `lk` (the engine latch) dropped, so store/txn state read
-  /// before the call may be stale afterwards — re-read under the re-taken
-  /// latch.
-  Result<LockHandle> Acquire(std::unique_lock<std::mutex>& lk, TxnId txn,
-                             const LockSpec& spec);
+  /// runs with `lk` (the shared table latch) dropped, so store/txn state
+  /// read before the call may be stale afterwards — re-read under the
+  /// re-taken latch.
+  Result<LockHandle> Acquire(TableLock& lk, TxnId txn, const LockSpec& spec);
 
   /// Shared write path for Write / Insert / Delete / WriteCursor
   /// (`new_row == nullopt` deletes).  Requires `lk` held on entry.
-  Status DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+  Status DoWrite(TableLock& lk, TxnId txn, const ItemId& id,
                  std::optional<Row> new_row, Action::Type type,
                  bool is_insert);
 
@@ -134,21 +146,28 @@ class LockingEngine : public Engine {
   /// Write predicate lock, then applies `transform` (nullopt result
   /// deletes) to every matching row under one recorded `w<t>[P]` action.
   Result<size_t> DoPredicateWrite(
-      std::unique_lock<std::mutex>& lk, TxnId txn, const std::string& name,
+      TableLock& lk, TxnId txn, const std::string& name,
       const Predicate& pred,
       const std::function<std::optional<Row>(const Row&)>& transform);
 
   /// Shared read path for Read / FetchCursor (`cursor` names the cursor
   /// when `type` is kCursorRead).  Requires `lk` held on entry.
-  Result<std::optional<Row>> DoRead(std::unique_lock<std::mutex>& lk,
-                                    TxnId txn, const ItemId& id,
-                                    Action::Type type,
+  Result<std::optional<Row>> DoRead(TableLock& lk, TxnId txn,
+                                    const ItemId& id, Action::Type type,
                                     const std::string& cursor = "");
 
   IsolationLevel level_;
   LockingPolicy policy_;
-  /// Latch over store_/txns_ and operation bodies (see class comment).
-  mutable std::mutex mu_;
+  /// Reader-writer latch over the transaction-table registry: operation
+  /// bodies hold it shared (each session mutates only its own entry —
+  /// "one session per thread"); `Begin` (insert) and
+  /// `InDoubtTransactions` (cross-session scan) take it exclusive.
+  /// Logical isolation is the lock manager's job, not this latch's.
+  mutable std::shared_mutex table_mu_;
+  /// Latch over the physical store (reads shared, mutations exclusive);
+  /// which sessions may touch which items is already decided by the item
+  /// and predicate locks.  Ordered after `table_mu_`.
+  mutable std::shared_mutex store_mu_;
   SingleVersionStore store_;
   LockManager lock_manager_;
   std::map<TxnId, TxnState> txns_;

@@ -13,13 +13,13 @@ std::optional<Value> HistoryValue(const std::optional<Row>& row) {
 }  // namespace
 
 Status ReadConsistencyEngine::Load(const ItemId& id, Row row) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> sl(store_mu_);
   store_.Bootstrap(id, std::move(row), clock_.Tick());
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Begin(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -54,18 +54,24 @@ Status ReadConsistencyEngine::CheckPrepared(TxnId txn) const {
 }
 
 void ReadConsistencyEngine::Rollback(TxnId txn) {
-  TxnState& st = txns_[txn];
+  TxnState& st = txns_.find(txn)->second;
   st.active = false;
-  store_.AbortTxn(txn, st.write_set);
+  {
+    std::unique_lock<std::shared_mutex> sl(store_mu_);
+    store_.AbortTxn(txn, st.write_set);
+    recorder_.Record(Action::Abort(txn));  // under the latch, see DoRead
+  }
   st.write_set.clear();  // the hint is dead once the versions are gone
   lock_manager_.ReleaseAll(txn);
-  recorder_.Record(Action::Abort(txn));
 }
 
 Result<LockHandle> ReadConsistencyEngine::AcquireWriteLock(
-    std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
-    std::optional<Row> after) {
-  std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
+    TableLock& lk, TxnId txn, const ItemId& id, std::optional<Row> after) {
+  std::optional<Row> before;
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    before = store_.Read(id, clock_.Now(), txn);
+  }
   LockSpec spec = LockSpec::WriteItem(txn, id, std::move(before),
                                       std::move(after));
   // (No image-staleness redo here: this engine takes no predicate locks,
@@ -79,32 +85,37 @@ Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
                                                          const ItemId& id,
                                                          Action::Type type) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  // Statement-level snapshot: the most recent committed value now.
-  const Timestamp stmt_ts = clock_.Now();
-  auto version = store_.ReadVersionInfo(id, stmt_ts, txn);
+  // Statement-level snapshot: the most recent committed value now.  The
+  // record is appended while the store latch is held, so a read can never
+  // precede the publication record of the version it observed.
   std::optional<Row> row;
-  Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
-                                               : Action::Read(txn, id);
-  if (version.has_value()) {
-    a.version = version->creator;
-    if (!version->tombstone) {
-      row = version->row;
-      a.value = HistoryValue(row);
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    std::optional<Version> version =
+        store_.ReadVersionInfo(id, clock_.Now(), txn);
+    Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
+                                                 : Action::Read(txn, id);
+    if (version.has_value()) {
+      a.version = version->creator;
+      if (!version->tombstone) {
+        row = version->row;
+        a.value = HistoryValue(row);
+      }
     }
+    recorder_.Record(std::move(a), &EngineStats::reads);
   }
-  recorder_.Record(std::move(a), &EngineStats::reads);
   return row;
 }
 
 Result<std::optional<Row>> ReadConsistencyEngine::Read(TxnId txn,
                                                        const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoRead(txn, id, Action::Type::kRead);
 }
 
 Result<std::optional<Row>> ReadConsistencyEngine::FetchCursor(
     TxnId txn, const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   // SELECT ... FOR UPDATE: the write lock at fetch is what rules out P4C.
   CRITIQUE_ASSIGN_OR_RETURN(LockHandle h,
@@ -116,21 +127,25 @@ Result<std::optional<Row>> ReadConsistencyEngine::FetchCursor(
 Result<std::vector<std::pair<ItemId, Row>>>
 ReadConsistencyEngine::ReadPredicate(TxnId txn, const std::string& name,
                                      const Predicate& pred) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  const Timestamp stmt_ts = clock_.Now();
-  auto rows = store_.Scan(pred, stmt_ts, txn);
-  Action a = Action::PredicateRead(txn, name, pred);
-  for (const auto& [id, row] : rows) {
-    (void)row;
-    a.read_set.push_back(id);
+  std::vector<std::pair<ItemId, Row>> rows;
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    rows = store_.Scan(pred, clock_.Now(), txn);
+    Action a = Action::PredicateRead(txn, name, pred);
+    for (const auto& [id, row] : rows) {
+      (void)row;
+      a.read_set.push_back(id);
+    }
+    // Appended under the store latch (see DoRead).
+    recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   }
-  recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   return rows;
 }
 
-Status ReadConsistencyEngine::DoWrite(std::unique_lock<std::mutex>& lk,
-                                      TxnId txn, const ItemId& id,
+Status ReadConsistencyEngine::DoWrite(TableLock& lk, TxnId txn,
+                                      const ItemId& id,
                                       std::optional<Row> new_row,
                                       Action::Type type, bool is_insert,
                                       bool already_locked) {
@@ -142,7 +157,11 @@ Status ReadConsistencyEngine::DoWrite(std::unique_lock<std::mutex>& lk,
     // preconditions checked before it may have been decided by a
     // concurrent committer; the granted X lock now makes the re-check
     // stable.
-    const std::optional<Row> committed = store_.Read(id, clock_.Now(), txn);
+    std::optional<Row> committed;
+    {
+      std::shared_lock<std::shared_mutex> sl(store_mu_);
+      committed = store_.Read(id, clock_.Now(), txn);
+    }
     if (is_insert && committed.has_value()) {
       lock_manager_.Release(h);
       return Status::FailedPrecondition("insert: item '" + id + "' exists");
@@ -153,46 +172,56 @@ Status ReadConsistencyEngine::DoWrite(std::unique_lock<std::mutex>& lk,
     }
   }
   // Post-lock read: statement-level write consistency against the latest
-  // committed value at lock-grant time.
-  std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
-  if (new_row.has_value()) {
-    store_.Write(id, *new_row, txn);
-  } else {
-    store_.Delete(id, txn);
+  // committed value at lock-grant time.  Recorded under the store latch
+  // (see DoRead).
+  {
+    std::unique_lock<std::shared_mutex> sl(store_mu_);
+    std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
+    if (new_row.has_value()) {
+      store_.Write(id, *new_row, txn);
+    } else {
+      store_.Delete(id, txn);
+    }
+    Action a = type == Action::Type::kCursorWrite
+                   ? Action::CursorWrite(txn, id, HistoryValue(new_row))
+                   : Action::Write(txn, id, HistoryValue(new_row));
+    a.version = txn;
+    a.before_image = std::move(before);
+    a.after_image = std::move(new_row);
+    a.is_insert = is_insert;
+    recorder_.Record(std::move(a), &EngineStats::writes);
   }
-  txns_[txn].write_set.insert(id);
-  Action a = type == Action::Type::kCursorWrite
-                 ? Action::CursorWrite(txn, id, HistoryValue(new_row))
-                 : Action::Write(txn, id, HistoryValue(new_row));
-  a.version = txn;
-  a.before_image = std::move(before);
-  a.after_image = std::move(new_row);
-  a.is_insert = is_insert;
-  recorder_.Record(std::move(a), &EngineStats::writes);
+  txns_.find(txn)->second.write_set.insert(id);
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Write(TxnId txn, const ItemId& id, Row row) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/false, /*already_locked=*/false);
 }
 
 Status ReadConsistencyEngine::Insert(TxnId txn, const ItemId& id, Row row) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  if (store_.Read(id, clock_.Now(), txn).has_value()) {
-    return Status::FailedPrecondition("insert: item '" + id + "' exists");
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    if (store_.Read(id, clock_.Now(), txn).has_value()) {
+      return Status::FailedPrecondition("insert: item '" + id + "' exists");
+    }
   }
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kWrite,
                  /*is_insert=*/true, /*already_locked=*/false);
 }
 
 Status ReadConsistencyEngine::Delete(TxnId txn, const ItemId& id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  if (!store_.Read(id, clock_.Now(), txn).has_value()) {
-    return Status::NotFound("delete: item '" + id + "' absent");
+  {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    if (!store_.Read(id, clock_.Now(), txn).has_value()) {
+      return Status::NotFound("delete: item '" + id + "' absent");
+    }
   }
   return DoWrite(lk, txn, id, std::nullopt, Action::Type::kWrite,
                  /*is_insert=*/false, /*already_locked=*/false);
@@ -201,20 +230,20 @@ Status ReadConsistencyEngine::Delete(TxnId txn, const ItemId& id) {
 Status ReadConsistencyEngine::WriteCursor(TxnId txn, const ItemId& id,
                                           Row row) {
   // The fetch already holds the write lock.
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return DoWrite(lk, txn, id, std::move(row), Action::Type::kCursorWrite,
                  /*is_insert=*/false, /*already_locked=*/true);
 }
 
 Status ReadConsistencyEngine::CloseCursor(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   return CheckActive(txn);
 }
 
 Status ReadConsistencyEngine::Update(
     TxnId txn, const ItemId& id,
     const std::function<Row(const std::optional<Row>&)>& transform) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   // Statement-level write consistency: lock first, then apply the
   // transform to the most recent committed value ("the underlying
@@ -230,20 +259,32 @@ Status ReadConsistencyEngine::Update(
 }
 
 Status ReadConsistencyEngine::Commit(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_[txn];
-  st.active = false;
-  store_.CommitTxn(txn, clock_.Tick(), st.write_set);
-  st.write_set.clear();  // the hint is dead once the versions are stamped
-  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
-  lock_manager_.ReleaseAll(txn);
-  MaybeGcLocked();
+  bool gc_due = false;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+    TxnState& st = txns_.find(txn)->second;
+    st.active = false;
+    {
+      // Draw the commit timestamp inside the exclusive section that
+      // stamps the versions: a statement snapshot new enough to observe
+      // the timestamp observes the stamped versions too.  The commit
+      // record is appended in the same section, so no read of a stamped
+      // version can precede it in the history.
+      std::unique_lock<std::shared_mutex> sl(store_mu_);
+      store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+      recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+    }
+    st.write_set.clear();  // the hint is dead once the versions are stamped
+    lock_manager_.ReleaseAll(txn);
+    gc_due = GcTick();
+  }
+  if (gc_due) (void)RunGcPass();
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::Abort(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
@@ -251,37 +292,45 @@ Status ReadConsistencyEngine::Abort(TxnId txn) {
 }
 
 Status ReadConsistencyEngine::Prepare(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  txns_[txn].prepared = true;
+  txns_.find(txn)->second.prepared = true;
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
-  TxnState& st = txns_[txn];
-  st.prepared = false;
-  st.active = false;
-  store_.CommitTxn(txn, clock_.Tick(), st.write_set);
-  st.write_set.clear();  // the hint is dead once the versions are stamped
-  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
-  lock_manager_.ReleaseAll(txn);
-  MaybeGcLocked();
+  bool gc_due = false;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+    TxnState& st = txns_.find(txn)->second;
+    st.prepared = false;
+    st.active = false;
+    {
+      std::unique_lock<std::shared_mutex> sl(store_mu_);
+      store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+      recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+    }
+    st.write_set.clear();  // the hint is dead once the versions are stamped
+    lock_manager_.ReleaseAll(txn);
+    gc_due = GcTick();
+  }
+  if (gc_due) (void)RunGcPass();
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::AbortPrepared(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
-  txns_[txn].prepared = false;
+  txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
   return Status::OK();
 }
 
 std::vector<TxnId> ReadConsistencyEngine::InDoubtTransactions() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Exclusive: the one cross-session scan of the registry.
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
   std::vector<TxnId> out;
   for (const auto& [t, st] : txns_) {
     if (st.active && st.prepared) out.push_back(t);
@@ -289,53 +338,67 @@ std::vector<TxnId> ReadConsistencyEngine::InDoubtTransactions() const {
   return out;
 }
 
-void ReadConsistencyEngine::MaybeGcLocked() {
-  if (gc_policy_.mode != VersionGcMode::kWatermark) return;
+bool ReadConsistencyEngine::GcTick() {
+  if (gc_policy_.mode != VersionGcMode::kWatermark) return false;
+  std::lock_guard<std::mutex> gl(gc_mu_);
   const uint32_t interval = std::max<uint32_t>(1, gc_policy_.commit_interval);
-  if (++commits_since_gc_ < interval) return;
-  (void)RunGcLocked();
+  if (++commits_since_gc_ < interval) return false;
+  commits_since_gc_ = 0;
+  return true;
 }
 
-size_t ReadConsistencyEngine::RunGcLocked() {
-  commits_since_gc_ = 0;
-  // Statement-level reads always take the newest committed value, so no
-  // snapshot ever looks below "now" — the watermark is the clock itself.
-  size_t dropped = store_.GarbageCollect(clock_.Now());
-  ++gc_stats_.runs;
-  gc_stats_.collected += dropped;
-  if (gc_policy_.mode == VersionGcMode::kWatermark) {
-    // Retire finished transaction states.  Duplicate-id detection no
-    // longer covers retired ids (the session facade never reuses an id,
-    // and a sharded global id may legitimately begin here long after
-    // higher ids committed — refusing it would fail a valid txn).
-    for (auto it = txns_.begin(); it != txns_.end();) {
-      if (!it->second.active) {
-        it = txns_.erase(it);
-      } else {
-        ++it;
+size_t ReadConsistencyEngine::RunGcPass() {
+  size_t dropped = 0;
+  {
+    std::unique_lock<std::shared_mutex> tl(table_mu_);
+    // Statement-level reads always take the newest committed value, so no
+    // snapshot ever looks below "now" — the watermark is the clock itself.
+    {
+      std::unique_lock<std::shared_mutex> sl(store_mu_);
+      dropped = store_.GarbageCollect(clock_.Now());
+    }
+    if (gc_policy_.mode == VersionGcMode::kWatermark) {
+      // Retire finished transaction states.  Duplicate-id detection no
+      // longer covers retired ids (the session facade never reuses an id,
+      // and a sharded global id may legitimately begin here long after
+      // higher ids committed — refusing it would fail a valid txn).
+      for (auto it = txns_.begin(); it != txns_.end();) {
+        if (!it->second.active) {
+          it = txns_.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
+  }
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    ++gc_stats_.runs;
+    gc_stats_.collected += dropped;
   }
   return dropped;
 }
 
 size_t ReadConsistencyEngine::GarbageCollectVersions() {
-  std::unique_lock<std::mutex> lk(mu_);
-  return RunGcLocked();
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    commits_since_gc_ = 0;  // an explicit pass restarts the epoch
+  }
+  return RunGcPass();
 }
 
 size_t ReadConsistencyEngine::VersionCount() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> sl(store_mu_);
   return store_.VersionCount();
 }
 
 size_t ReadConsistencyEngine::MaxVersionChainLength() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> sl(store_mu_);
   return store_.MaxChainLength();
 }
 
 VersionGcStats ReadConsistencyEngine::version_gc_stats() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> gl(gc_mu_);
   return gc_stats_;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,9 +30,13 @@ namespace critique {
 ///    (P4, via application-level read-then-write across statements) and
 ///    read skew (A5A).
 ///
-/// Thread-safe per the `Engine` contract: an internal latch serializes
-/// operation bodies; in blocking mode write-lock waits run with the latch
-/// dropped so concurrent sessions keep progressing.
+/// Thread-safe per the `Engine` contract, without an engine-wide latch:
+/// the same split the other stock engines use — a reader-writer latch
+/// over the transaction table (shared by operation bodies, exclusive by
+/// `Begin`/admin scans/GC), a store latch whose exclusive section draws
+/// the commit timestamp atomically with version stamping, and the striped
+/// lock table.  In blocking mode write-lock waits run with the table
+/// latch dropped so concurrent sessions keep progressing.
 class ReadConsistencyEngine : public Engine {
  public:
   ReadConsistencyEngine() = default;
@@ -99,36 +104,49 @@ class ReadConsistencyEngine : public Engine {
     std::set<ItemId> write_set;
   };
 
-  // Private helpers require `mu_` held; AcquireWriteLock and DoWrite may
-  // drop and re-take `lk` around a blocking lock wait.
+  /// The table-latch guard every operation body holds (shared).
+  using TableLock = std::shared_lock<std::shared_mutex>;
+
+  // Private helpers require `table_mu_` (shared unless stated otherwise);
+  // AcquireWriteLock and DoWrite may drop and re-take `lk` around a
+  // blocking lock wait.
   Status CheckActive(TxnId txn) const;
   Status CheckPrepared(TxnId txn) const;
+  /// Takes `store_mu_` internally.
   void Rollback(TxnId txn);
-  Result<LockHandle> AcquireWriteLock(std::unique_lock<std::mutex>& lk,
-                                      TxnId txn, const ItemId& id,
+  Result<LockHandle> AcquireWriteLock(TableLock& lk, TxnId txn,
+                                      const ItemId& id,
                                       std::optional<Row> after);
-  Status DoWrite(std::unique_lock<std::mutex>& lk, TxnId txn, const ItemId& id,
+  Status DoWrite(TableLock& lk, TxnId txn, const ItemId& id,
                  std::optional<Row> new_row, Action::Type type, bool is_insert,
                  bool already_locked);
   Result<std::optional<Row>> DoRead(TxnId txn, const ItemId& id,
                                     Action::Type type);
 
-  /// Counts a finished transaction and, in kWatermark mode, runs the
-  /// periodic GC pass.  Requires `mu_` held.
-  void MaybeGcLocked();
+  /// Counts a finished transaction toward the GC epoch; true when a
+  /// periodic pass is due (kWatermark mode).  Takes `gc_mu_`.
+  bool GcTick();
 
   /// One GC pass: prune chains below "now" and retire finished txn
-  /// states.  Requires `mu_` held; returns versions dropped.
-  size_t RunGcLocked();
+  /// states.  Takes `table_mu_` exclusive (and `store_mu_` inside); call
+  /// with no engine latch held.  Returns versions dropped.
+  size_t RunGcPass();
 
-  /// Latch over clock_/store_/txns_ and operation bodies.
-  mutable std::mutex mu_;
+  /// Reader-writer latch over the transaction-table registry (shared by
+  /// operation bodies; exclusive: Begin, InDoubtTransactions, GC).
+  mutable std::shared_mutex table_mu_;
+  /// Latch over the version store.  The commit timestamp is drawn inside
+  /// the exclusive publication section, so a statement snapshot that can
+  /// see the timestamp sees the stamped versions too.
+  mutable std::shared_mutex store_mu_;
+  /// GC epoch counter + stats (leaf latch).
+  mutable std::mutex gc_mu_;
   LogicalClock clock_;
   MultiVersionStore store_;
   LockManager lock_manager_;
   std::map<TxnId, TxnState> txns_;
-  uint32_t commits_since_gc_ = 0;
-  VersionGcStats gc_stats_;
+  uint32_t commits_since_gc_ = 0;  ///< gc_mu_
+  VersionGcStats gc_stats_;        ///< gc_mu_
 };
 
 }  // namespace critique

@@ -82,6 +82,17 @@ ShardedDatabase::RecoveryReport ShardedDatabase::RecoverInDoubt() {
       const bool commit = coordinator_.DecisionFor(gid).value_or(false);
       Status s = commit ? engine.CommitPrepared(gid)
                         : engine.AbortPrepared(gid);
+      if (commit && s.IsSerializationFailure()) {
+        // A certifying participant re-validated at the decision and found
+        // its dangerous structure completed while in doubt: it aborted
+        // itself (terminal, nothing leaked).  The gid still resolves —
+        // recovery must not spin on it — but the participant is an abort,
+        // not a forward roll.
+        ++rep.decision_aborts;
+        coordinator_.CountDecisionAbort();
+        resolved[gid].first = true;
+        continue;
+      }
       if (!s.ok()) continue;  // raced with another resolver; nothing leaked
       if (commit) {
         ++rep.committed;

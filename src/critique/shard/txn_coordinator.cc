@@ -7,6 +7,7 @@ std::string CoordinatorStats::ToString() const {
          " committed=" + std::to_string(committed) +
          " aborted=" + std::to_string(aborted) +
          " prepare_failures=" + std::to_string(prepare_failures) +
+         " decision_aborts=" + std::to_string(decision_aborts) +
          " crashes=" + std::to_string(crashes) +
          " recovered_commits=" + std::to_string(recovered_commits) +
          " recovered_aborts=" + std::to_string(recovered_aborts);
@@ -38,6 +39,10 @@ Status TxnCoordinator::Commit(TxnId gid,
     return s;
   }
 
+  // All participants are prepared (in doubt) and no decision exists yet —
+  // the window the deterministic failpoint exposes to tests.
+  if (in_doubt_hook_) in_doubt_hook_(gid);
+
   CoordinatorFailpoint fp;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -60,18 +65,55 @@ Status TxnCoordinator::Commit(TxnId gid,
         std::to_string(gid) + "; participants left in doubt");
   }
 
-  // Phase 2: deliver the decision.  Prepare promised this cannot fail; a
-  // participant disagreeing is a protocol bug worth surfacing loudly.
+  // Phase 2: deliver the decision.  A lock-scheduler participant can
+  // never refuse here; a certifying (SSI) participant may answer
+  // kSerializationFailure when its dangerous structure completed while in
+  // doubt — it has already rolled itself back (an abort acknowledgement).
+  // The *logged* decision is still commit, so every other participant
+  // still receives CommitPrepared — exactly what crash recovery would do
+  // with the same log — and the retryable refusal surfaces to the session
+  // layer afterwards.  Anything but a serialization refusal is a protocol
+  // bug worth surfacing loudly.
+  Status refusal = Status::OK();
+  uint64_t refused = 0;
+  uint64_t committed_parts = 0;
   for (Transaction* p : parts) {
     Status s = p->CommitPrepared();
-    if (!s.ok()) {
+    if (s.ok()) {
+      ++committed_parts;
+      continue;
+    }
+    if (!s.IsSerializationFailure()) {
       return Status::Internal("participant refused CommitPrepared for gid " +
                               std::to_string(gid) + ": " + s.ToString());
     }
+    if (refusal.ok()) refusal = s;
+    ++refused;
   }
 
   std::lock_guard<std::mutex> lk(mu_);
-  decisions_.erase(gid);  // all acknowledged; presumed abort forgets
+  decisions_.erase(gid);  // all participants terminal; nothing left to recover
+  if (!refusal.ok()) {
+    stats_.decision_aborts += refused;
+    ++stats_.aborted;
+    if (committed_parts == 0) {
+      // Nothing published anywhere: the global transaction is a clean
+      // abort and the serialization refusal is safe to retry.
+      return refusal;
+    }
+    // Some participants durably committed, the refusers aborted: the
+    // decision was *partially applied*.  This must NOT surface as a
+    // retryable status — the session layer's automatic retry would
+    // silently re-apply the committed shards' effects.  Like a
+    // coordinator crash, it surfaces as kInternal for the application to
+    // reconcile (every participant is terminal; nothing is in doubt).
+    return Status::Internal(
+        "commit decision for gid " + std::to_string(gid) +
+        " partially applied: " + std::to_string(committed_parts) +
+        " participant(s) committed, " + std::to_string(refused) +
+        " refused at the decision phase (" + refusal.ToString() +
+        "); cross-shard atomicity was lost — do not blindly retry");
+  }
   ++stats_.committed;
   return Status::OK();
 }
@@ -95,6 +137,11 @@ void TxnCoordinator::CountRecovery(bool committed, uint64_t participants) {
   } else {
     stats_.recovered_aborts += participants;
   }
+}
+
+void TxnCoordinator::CountDecisionAbort() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.decision_aborts;
 }
 
 void TxnCoordinator::set_failpoint(CoordinatorFailpoint f) {

@@ -2,6 +2,7 @@
 #define CRITIQUE_SHARD_TXN_COORDINATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -33,6 +34,10 @@ struct CoordinatorStats {
   uint64_t committed = 0;         ///< full 2PC rounds that committed
   uint64_t aborted = 0;           ///< global aborts (a participant refused)
   uint64_t prepare_failures = 0;  ///< participants that refused prepare
+  /// Participants refused at the *decision* phase: a certifying (SSI)
+  /// engine re-validates at CommitPrepared, and an in-doubt participant
+  /// whose dangerous structure completed while prepared aborts there.
+  uint64_t decision_aborts = 0;
   uint64_t crashes = 0;           ///< failpoint-injected crashes
   uint64_t recovered_commits = 0; ///< in-doubt participants recovered forward
   uint64_t recovered_aborts = 0;  ///< in-doubt participants presumed-aborted
@@ -50,6 +55,30 @@ struct CoordinatorStats {
 /// session layer's `RetryPolicy` restarts the whole transaction.  Phase 2
 /// logs the commit decision, then delivers `CommitPrepared` to every
 /// participant; after all acknowledge, the decision is forgotten.
+///
+/// A certifying participant (SSI) re-validates at `CommitPrepared` and
+/// may refuse with `kSerializationFailure` when a dangerous structure
+/// completed while it was in doubt (engine.h, 2PC protocol notes).  The
+/// refusal is an abort acknowledgement — the participant has already
+/// rolled back — and the *logged* decision is still commit, so the
+/// coordinator keeps delivering `CommitPrepared` to every other
+/// participant (identical to what `RecoverInDoubt` would do from the
+/// same log after a crash: every participant that can commit commits,
+/// refusers abort), and counts each refusal as a `decision_abort`.  The
+/// returned status depends on what was published: if *no* participant
+/// committed, the global transaction is a clean abort and the retryable
+/// `kSerializationFailure` surfaces (the session layer may safely
+/// re-run the body); if some participants committed and others refused,
+/// the decision was partially applied and the coordinator answers
+/// `kInternal` — deliberately non-retryable, because an automatic
+/// re-run would silently re-apply the committed shards' effects.
+/// Serializability of each shard's own history is preserved either way
+/// (that is exactly what the refusing engine enforced); the partial
+/// case costs global atomicity — the same exposure a coordinator crash
+/// between decision deliveries leaves, surfaced the same way (an
+/// `kInternal` answer the application must reconcile).  Per-shard
+/// Locking SERIALIZABLE participants never refuse a decision; see
+/// docs/architecture.md.
 ///
 /// The decision log implements **presumed abort**: an in-doubt participant
 /// whose global transaction has no logged decision must abort.  Only the
@@ -77,8 +106,21 @@ class TxnCoordinator {
   /// Record recovery outcomes (called by `ShardedDatabase::RecoverInDoubt`).
   void CountRecovery(bool committed, uint64_t participants);
 
+  /// Record a participant that refused its logged commit decision at
+  /// `CommitPrepared` (certifying-engine re-validation; see class notes).
+  void CountDecisionAbort();
+
   /// Installs (or clears, with kNone) a crash point.  Sticky until reset.
   void set_failpoint(CoordinatorFailpoint f);
+
+  /// Test failpoint: runs after every participant prepared, before the
+  /// decision is logged — the in-doubt window, made deterministic (the
+  /// callback counterpart of the crash failpoints).  Runs on the
+  /// committing thread with no coordinator lock held; pass nullptr to
+  /// clear.  Install before any commit starts.
+  void set_in_doubt_hook(std::function<void(TxnId)> hook) {
+    in_doubt_hook_ = std::move(hook);
+  }
 
   CoordinatorStats stats() const;
 
@@ -86,6 +128,7 @@ class TxnCoordinator {
   mutable std::mutex mu_;
   std::map<TxnId, bool> decisions_;
   CoordinatorFailpoint failpoint_ = CoordinatorFailpoint::kNone;
+  std::function<void(TxnId)> in_doubt_hook_;  ///< test failpoint
   CoordinatorStats stats_;
 };
 

@@ -27,7 +27,7 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
 /// the caller can take.
 ParallelRunStats RunWorkers(int threads, uint64_t per_thread,
                             std::vector<Rng>& rngs,
-                            const std::function<Status(Rng&)>& one_txn) {
+                            const std::function<Status(Rng&, int)>& one_txn) {
   struct WorkerResult {
     uint64_t committed = 0;
     uint64_t failed = 0;
@@ -46,7 +46,7 @@ ParallelRunStats RunWorkers(int threads, uint64_t per_thread,
         Rng& rng = rngs[static_cast<size_t>(t)];
         for (uint64_t i = 0; i < per_thread; ++i) {
           const auto t0 = std::chrono::steady_clock::now();
-          Status s = one_txn(rng);
+          Status s = one_txn(rng, t);
           const auto t1 = std::chrono::steady_clock::now();
           out.latencies_us.push_back(
               std::chrono::duration<double, std::micro>(t1 - t0).count());
@@ -103,6 +103,14 @@ ParallelDriver::ParallelDriver(Database& db, ParallelDriverOptions options)
 }
 
 ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
+  return RunIndexed(
+      [&body](Transaction& txn, Rng& rng, int thread) {
+        (void)thread;
+        return body(txn, rng);
+      });
+}
+
+ParallelRunStats ParallelDriver::RunIndexed(const TxnBodyIndexed& body) {
   // Fork the per-thread RNG streams up front: deterministic whatever order
   // the threads later interleave in.
   std::vector<Rng> rngs;
@@ -114,9 +122,10 @@ ParallelRunStats ParallelDriver::Run(const TxnBody& body) {
 
   ParallelRunStats stats =
       RunWorkers(options_.threads, options_.txns_per_thread, rngs,
-                 [&](Rng& rng) {
-                   return db_.Execute(
-                       [&](Transaction& txn) { return body(txn, rng); });
+                 [&](Rng& rng, int thread) {
+                   return db_.Execute([&](Transaction& txn) {
+                     return body(txn, rng, thread);
+                   });
                  });
   stats.retries = db_.execute_retries() - retries_before;
 
@@ -142,7 +151,8 @@ ParallelRunStats ShardedParallelDriver::Run(const ShardedTxnBody& body) {
 
   ParallelRunStats stats =
       RunWorkers(options_.threads, options_.txns_per_thread, rngs,
-                 [&](Rng& rng) {
+                 [&](Rng& rng, int thread) {
+                   (void)thread;
                    return db_.Execute([&](ShardedTransaction& txn) {
                      return body(txn, rng);
                    });

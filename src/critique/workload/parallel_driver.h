@@ -70,6 +70,12 @@ struct ParallelRunStats {
 /// drawing randomness from the worker's own deterministic `rng`.
 using TxnBody = std::function<Status(Transaction&, Rng&)>;
 
+/// The thread-aware body form: additionally receives the worker's index
+/// in [0, threads), so a workload can partition the keyspace per thread —
+/// the disjoint-session mode `bench_throughput --disjoint` uses to
+/// measure engine-latch scaling without any data contention.
+using TxnBodyIndexed = std::function<Status(Transaction&, Rng&, int)>;
+
 /// \brief Drives N OS threads of closure-style `Execute` bodies against
 /// one `Database` — the blocking-mode counterpart of the step-wise
 /// cooperative `Runner`.
@@ -86,6 +92,9 @@ class ParallelDriver {
 
   /// Runs the workload to completion and reports what happened.
   ParallelRunStats Run(const TxnBody& body);
+
+  /// Thread-aware form: the body also receives the worker index.
+  ParallelRunStats RunIndexed(const TxnBodyIndexed& body);
 
   const ParallelDriverOptions& options() const { return options_; }
 

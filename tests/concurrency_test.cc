@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "critique/analysis/dependency_graph.h"
+#include "critique/analysis/mv_analysis.h"
 #include "critique/db/database.h"
 #include "critique/lock/lock_manager.h"
 #include "critique/workload/parallel_driver.h"
@@ -310,14 +311,35 @@ TEST(ConcurrencyTest, TransferSumInvariantHolds) {
 TEST(ConcurrencyTest, CommittedSerializableHistoriesStaySerializable) {
   // The property the whole suite leans on — engines produce, detectors
   // judge — extended to true parallelism: whatever interleaving the OS
-  // produced, the committed projection of a Serializable run must pass
-  // the dependency-graph acyclicity check.
+  // produced, the committed projection of a Serializable run must be
+  // serializable *by the criterion that matches the engine's history
+  // kind*.
+  //
+  //  * The locking engine executes in place: its recorded order is the
+  //    lock-serialized single-version execution, so the single-version
+  //    dependency-graph acyclicity check applies directly.
+  //  * The SSI engine records a *multiversion* history, judged by MVSG
+  //    acyclicity ([BHG] Ch. 5 — one-copy serializability, the Section
+  //    4.2 touchstone).  The raw single-version reading this test once
+  //    applied was wrong in both directions there: an old-snapshot read
+  //    recorded after a newer commit is legal SI behavior but parses as a
+  //    backward wr edge (the source of this test's historical ~1/15 TSan
+  //    flake), while a genuine dangerous-structure escape can parse as
+  //    forward edges and hide (tests/ssi_escape_test.cc pins that case
+  //    deterministically).  `scripts/check.sh --stress` loops this test
+  //    30x under TSan to keep it pinned.
   for (IsolationLevel level : {IsolationLevel::kSerializable,
                                IsolationLevel::kSerializableSI}) {
     Database db(BlockingOptions(level, /*seed=*/17));
     StressOutcome out = StressMixed(db, /*threads=*/3, /*per_thread=*/12);
     EXPECT_GT(out.run.committed, 0u) << db.name();
-    EXPECT_TRUE(IsSerializable(db.history())) << db.name();
+    if (level == IsolationLevel::kSerializable) {
+      EXPECT_TRUE(IsSerializable(db.history())) << db.name();
+    } else {
+      EXPECT_TRUE(IsMVSerializable(db.history()))
+          << db.name() << "\n"
+          << MVSerializationGraph::Build(db.history()).ToString();
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #include "critique/analysis/dependency_graph.h"
 #include "critique/analysis/mv_analysis.h"
 #include "critique/engine/locking_engine.h"
+#include "critique/engine/si_engine.h"
 #include "critique/shard/shard_scenarios.h"
 #include "critique/shard/sharded_database.h"
 #include "critique/workload/parallel_driver.h"
@@ -467,6 +468,214 @@ TEST(InDoubtRecoveryTest, HeterogeneousShardsSurviveACrashAfterDecision) {
   EXPECT_EQ(after.GetScalar(x)->AsInt(), 2);
   EXPECT_EQ(after.GetScalar(y)->AsInt(), 2);  // no torn commit
   EXPECT_TRUE(after.Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// The SSI prepare window (commit-pipeline stage 2 at the decision phase)
+// ---------------------------------------------------------------------------
+//
+// An SSI participant validates at Prepare; rw-antidependencies that close
+// a dangerous structure (Cahill et al. 2008) around it *while it is in
+// doubt* — the Ports & Grittner prepared-transaction hazard — can only be
+// seen by the re-validation CommitPrepared runs.  These tests pin the
+// whole contract: the completer of a structure whose pivot is merely
+// *prepared* is admitted (the prepared side absorbs the abort at its
+// decision), the refusal is a terminal abort acknowledgement (nothing
+// leaks, retryable status), and both the coordinator's inline phase 2 and
+// crash recovery plumb it as a decision abort.
+
+// Builds the dangerous structure around an in-doubt participant P on one
+// SSI database: P reads `xr` and writes `xw`; T3 overwrites `xr` and
+// commits first (P -rw-> T3); then T1 reads the old `xw` (T1 -rw-> P) and
+// commits.  On return P is a completed pivot that must abort at its
+// decision.
+void CompleteStructureAroundPrepared(Database& db, const ItemId& xr,
+                                     const ItemId& xw) {
+  Transaction t3 = db.Begin();
+  ASSERT_TRUE(t3.Put(xr, Value(int64_t{1})).ok());
+  ASSERT_TRUE(t3.Commit().ok()) << "T3 (out-neighbour) must commit first";
+  Transaction t1 = db.Begin();
+  auto r = t1.GetScalar(xw);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 0) << "P's pending write must stay invisible";
+  ASSERT_TRUE(t1.Commit().ok())
+      << "the completer is admitted: the merely-prepared pivot absorbs "
+         "the abort at its decision phase";
+}
+
+TEST(SsiPreparedWindowTest, StructureCompletedInDoubtAbortsAtCommitPrepared) {
+  Database db{DbOptions(IsolationLevel::kSerializableSI)};
+  ASSERT_TRUE(db.Load("xr", Value(int64_t{0})).ok());
+  ASSERT_TRUE(db.Load("xw", Value(int64_t{0})).ok());
+
+  Transaction p = db.Begin();
+  ASSERT_TRUE(p.Get("xr").ok());
+  ASSERT_TRUE(p.Put("xw", Value(int64_t{1})).ok());
+  ASSERT_TRUE(p.Prepare().ok()) << "not a pivot yet: prepare must admit";
+
+  CompleteStructureAroundPrepared(db, "xr", "xw");
+
+  Status decision = p.CommitPrepared();
+  EXPECT_TRUE(decision.IsSerializationFailure()) << decision.ToString();
+  EXPECT_FALSE(p.active()) << "the refusal is an abort acknowledgement";
+  EXPECT_TRUE(db.engine().InDoubtTransactions().empty()) << "nothing leaks";
+
+  auto* si = dynamic_cast<SnapshotIsolationEngine*>(&db.engine());
+  ASSERT_NE(si, nullptr);
+  EXPECT_EQ(si->commit_pipeline_stats().decision_aborts, 1u);
+
+  // P's write rolled back; the committed projection stays one-copy
+  // serializable — the point of refusing the decision.
+  Transaction audit = db.Begin();
+  EXPECT_EQ(audit.GetScalar("xw")->AsInt(), 0);
+  EXPECT_EQ(audit.GetScalar("xr")->AsInt(), 1);
+  EXPECT_TRUE(audit.Commit().ok());
+  EXPECT_TRUE(IsMVSerializable(db.history()))
+      << MVSerializationGraph::Build(db.history()).ToString();
+}
+
+TEST(SsiPreparedWindowTest, CoordinatorPlumbsInlineDecisionAbort) {
+  // The same hazard through TxnCoordinator::Commit itself: the structure
+  // completes inside the in-doubt window (deterministic via the
+  // coordinator's failpoint hook), phase 2's CommitPrepared refuses, and
+  // the coordinator turns it into a retryable global abort.
+  Database db{DbOptions(IsolationLevel::kSerializableSI)};
+  ASSERT_TRUE(db.Load("xr", Value(int64_t{0})).ok());
+  ASSERT_TRUE(db.Load("xw", Value(int64_t{0})).ok());
+
+  Transaction p = db.Begin();
+  ASSERT_TRUE(p.Get("xr").ok());
+  ASSERT_TRUE(p.Put("xw", Value(int64_t{1})).ok());
+
+  TxnCoordinator coordinator;
+  coordinator.set_in_doubt_hook([&](TxnId gid) {
+    (void)gid;
+    CompleteStructureAroundPrepared(db, "xr", "xw");
+  });
+  const TxnId gid = p.id();
+  Status s = coordinator.Commit(gid, {&p});
+  coordinator.set_in_doubt_hook(nullptr);
+
+  EXPECT_TRUE(s.IsSerializationFailure()) << s.ToString();
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(coordinator.stats().decision_aborts, 1u);
+  EXPECT_EQ(coordinator.stats().aborted, 1u);
+  EXPECT_EQ(coordinator.stats().committed, 0u);
+  EXPECT_FALSE(coordinator.DecisionFor(gid).has_value())
+      << "the refused decision must not linger in the log";
+  EXPECT_TRUE(db.engine().InDoubtTransactions().empty());
+  EXPECT_TRUE(IsMVSerializable(db.history()));
+}
+
+TEST(SsiPreparedWindowTest, PartiallyAppliedDecisionIsNotRetryable) {
+  // Two participants, one of which completes a dangerous structure while
+  // in doubt: the clean one commits at the decision, the doomed one
+  // refuses.  The decision is now *partially applied*, so the
+  // coordinator must answer non-retryable kInternal — a retryable status
+  // would let the session layer silently re-apply the committed
+  // participant's effects.
+  Database clean{DbOptions(IsolationLevel::kSerializableSI)};
+  Database doomed{DbOptions(IsolationLevel::kSerializableSI)};
+  ASSERT_TRUE(clean.Load("c", Value(int64_t{0})).ok());
+  ASSERT_TRUE(doomed.Load("xr", Value(int64_t{0})).ok());
+  ASSERT_TRUE(doomed.Load("xw", Value(int64_t{0})).ok());
+
+  Transaction pc = clean.Begin();
+  ASSERT_TRUE(pc.Put("c", Value(int64_t{1})).ok());
+  Transaction pd = doomed.Begin();
+  ASSERT_TRUE(pd.Get("xr").ok());
+  ASSERT_TRUE(pd.Put("xw", Value(int64_t{1})).ok());
+
+  TxnCoordinator coordinator;
+  coordinator.set_in_doubt_hook([&](TxnId gid) {
+    (void)gid;
+    CompleteStructureAroundPrepared(doomed, "xr", "xw");
+  });
+  Status s = coordinator.Commit(/*gid=*/1, {&pc, &pd});
+  coordinator.set_in_doubt_hook(nullptr);
+
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  EXPECT_EQ(coordinator.stats().decision_aborts, 1u);
+  EXPECT_EQ(coordinator.stats().committed, 0u);
+  EXPECT_EQ(coordinator.stats().aborted, 1u);
+  // The clean participant's effect is durable, the doomed one rolled
+  // back — the documented (counted, non-silent) atomicity cost.
+  Transaction a1 = clean.Begin();
+  EXPECT_EQ(a1.GetScalar("c")->AsInt(), 1);
+  EXPECT_TRUE(a1.Commit().ok());
+  Transaction a2 = doomed.Begin();
+  EXPECT_EQ(a2.GetScalar("xw")->AsInt(), 0);
+  EXPECT_TRUE(a2.Commit().ok());
+}
+
+TEST(SsiPreparedWindowTest, RecoveryCountsDecisionAbortAcrossShards) {
+  // Cross-shard flavor: a two-shard SSI transaction crashes after the
+  // commit decision is logged; while in doubt, the dangerous structure
+  // completes on one participant's shard.  Recovery rolls the clean
+  // participant forward and records the refused one as a decision abort —
+  // each shard's own history stays serializable, which is exactly what
+  // the refusing engine enforces (the cross-shard atomicity cost is the
+  // documented coordinator caveat).
+  ShardedDatabase db(2, IsolationLevel::kSerializableSI);
+  auto pair = PickCrossShardPair(db.router());
+  ASSERT_TRUE(pair.ok());
+  const ItemId xr = pair->first;   // structure shard
+  const ItemId w = pair->second;   // clean shard
+  // A second key on the structure shard for P's write.
+  ItemId xw;
+  for (int k = 0;; ++k) {
+    ItemId candidate = "xw" + std::to_string(k);
+    if (db.ShardOf(candidate) == db.ShardOf(xr) && candidate != xr) {
+      xw = candidate;
+      break;
+    }
+  }
+  ASSERT_TRUE(db.Load(xr, Value(int64_t{0})).ok());
+  ASSERT_TRUE(db.Load(xw, Value(int64_t{0})).ok());
+  ASSERT_TRUE(db.Load(w, Value(int64_t{0})).ok());
+
+  {
+    ShardedTransaction g = db.Begin();
+    ASSERT_TRUE(g.Get(xr).ok());
+    ASSERT_TRUE(g.Put(xw, Value(int64_t{1})).ok());
+    ASSERT_TRUE(g.Put(w, Value(int64_t{1})).ok());
+    EXPECT_TRUE(g.cross_shard());
+    db.coordinator().set_failpoint(CoordinatorFailpoint::kAfterDecision);
+    EXPECT_TRUE(g.Commit().IsInternal());
+    db.coordinator().set_failpoint(CoordinatorFailpoint::kNone);
+  }
+
+  // While G is in doubt, complete the structure on its xr/xw shard with
+  // two single-shard (fast-path) transactions — through the facade, so
+  // global ids stay in sync with the shard sessions.
+  {
+    ShardedTransaction t3 = db.Begin();
+    ASSERT_TRUE(t3.Put(xr, Value(int64_t{1})).ok());
+    ASSERT_TRUE(t3.Commit().ok()) << "T3 (out-neighbour) commits first";
+    ShardedTransaction t1 = db.Begin();
+    auto r = t1.GetScalar(xw);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->AsInt(), 0) << "G's pending write must stay invisible";
+    ASSERT_TRUE(t1.Commit().ok());
+  }
+
+  auto rep = db.RecoverInDoubt();
+  EXPECT_EQ(rep.decision_aborts, 1u);  // the completed-pivot participant
+  EXPECT_EQ(rep.committed, 1u);        // the clean shard rolled forward
+  EXPECT_EQ(rep.aborted, 0u);
+  EXPECT_EQ(db.coordinator().stats().decision_aborts, 1u);
+  for (int s = 0; s < db.num_shards(); ++s) {
+    EXPECT_TRUE(db.shard(s).engine().InDoubtTransactions().empty());
+    EXPECT_TRUE(IsMVSerializable(db.shard(s).history())) << "shard " << s;
+  }
+  // Recovery converged; a second pass finds nothing.
+  auto again = db.RecoverInDoubt();
+  EXPECT_EQ(again.committed + again.aborted + again.decision_aborts, 0u);
+
+  ShardedTransaction audit = db.Begin();
+  EXPECT_EQ(audit.GetScalar(xw)->AsInt(), 0);  // refused participant undone
+  EXPECT_EQ(audit.GetScalar(w)->AsInt(), 1);   // clean participant forward
+  EXPECT_TRUE(audit.Commit().ok());
 }
 
 // ---------------------------------------------------------------------------
