@@ -3,23 +3,34 @@
 # errors.  This is the tier-1 verify pipeline (ROADMAP.md) plus
 # -Wall -Wextra -Werror, suitable for a CI job:
 #
-#   ./scripts/check.sh [--tsan | --asan | --bench | --stress] [build-dir]
+#   ./scripts/check.sh [--tsan | --asan | --bench | --stress | --crash] \
+#                      [build-dir]
 #
 #   --tsan   build and test under ThreadSanitizer (certifies the blocking
 #            concurrent session API; see tests/concurrency_test.cc)
 #   --asan   build and test under AddressSanitizer
 #   --bench  build, run the perf-regression benches (bench_lock_manager,
-#            bench_mvcc_store, bench_throughput) with the pinned baseline
-#            configurations, and gate the JSON against the committed
-#            BENCH_*.json baselines via scripts/bench_gate.py (tolerance
-#            via BENCH_GATE_TOLERANCE, default 0.5 = fail on >50%
-#            regression).  See docs/benchmarks.md.
+#            bench_mvcc_store, bench_throughput, bench_sharding,
+#            bench_wal) with the pinned baseline configurations, and gate
+#            the JSON against the committed BENCH_*.json baselines via
+#            scripts/bench_gate.py (tolerance via BENCH_GATE_TOLERANCE,
+#            default 0.5 = fail on >50% regression).  See
+#            docs/benchmarks.md.
 #   --stress build under ThreadSanitizer and loop the formerly-flaky SSI
 #            serializability stress test (ConcurrencyTest.
 #            CommittedSerializableHistoriesStaySerializable, which before
 #            the commit-pipeline fix failed ~1/15 TSan runs) STRESS_RUNS
 #            times (default 30).  Zero failures required; any data race
 #            or non-serializable committed history fails the loop.
+#   --crash  build under AddressSanitizer and run the durability crash
+#            matrix: the WAL format/pipeline suite plus every
+#            kill-and-recover test (single-site, group commit, and the
+#            sharded 2PC matrix with a crash injected at each stage of
+#            the commit protocol).  ASan catches recovery touching freed
+#            engine state; the tests themselves assert no acked commit is
+#            lost and no in-doubt transaction leaks locks.  CRASH_FILTER
+#            overrides the gtest filter (CI smoke narrows it; nightly
+#            runs the default full matrix).
 #
 set -euo pipefail
 
@@ -28,6 +39,7 @@ cd "$(dirname "$0")/.."
 SANITIZER=""
 BENCH=0
 STRESS=0
+CRASH=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
@@ -35,10 +47,22 @@ for arg in "$@"; do
     --asan) SANITIZER="address" ;;
     --bench) BENCH=1 ;;
     --stress) STRESS=1 ;;
+    --crash) CRASH=1 ;;
     --*) echo "unknown option: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [[ "$CRASH" -eq 1 ]]; then
+  # The crash matrix is an AddressSanitizer pin: recovery rebuilds engine
+  # state from log bytes, exactly where a stale pointer into the dead
+  # instance would hide.
+  if [[ -n "$SANITIZER" && "$SANITIZER" != "address" ]]; then
+    echo "--crash runs under AddressSanitizer; it cannot be combined" >&2
+    echo "with --tsan/--stress" >&2
+    exit 2
+  fi
+  SANITIZER="address"
+fi
 if [[ "$STRESS" -eq 1 ]]; then
   # The stress loop is a ThreadSanitizer data-race pin; any other
   # sanitizer would report green while detecting no races at all.
@@ -81,14 +105,36 @@ if [[ "$BENCH" -eq 1 ]]; then
     --chain 1024 --reads 200000 --quiet \
     --json "$BUILD_DIR/BENCH_mvcc.json"
   "$BUILD_DIR"/bench_throughput --threads 4 --txns-per-thread 100 \
-    --items 64 --gc-every 64 --disjoint --quiet \
-    --json "$BUILD_DIR/BENCH_throughput.json"
+    --items 64 --gc-every 64 --disjoint --group-commit --fsync-us 100 \
+    --quiet --json "$BUILD_DIR/BENCH_throughput.json"
+  "$BUILD_DIR"/bench_sharding --threads 4 --txns-per-thread 50 \
+    --items 64 --shards 1,2,4 --cross-shard 0,0.2,0.5 --quiet \
+    --json "$BUILD_DIR/BENCH_sharding.json"
+  "$BUILD_DIR"/bench_wal --appends 100000 --syncs 2000 --threads 4 \
+    --commits 50 --fsync-us 200 --replay-txns 5000 --quiet \
+    --json "$BUILD_DIR/BENCH_wal.json"
 
   python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
   python3 scripts/bench_gate.py BENCH_mvcc.json "$BUILD_DIR/BENCH_mvcc.json"
   python3 scripts/bench_gate.py BENCH_throughput.json \
     "$BUILD_DIR/BENCH_throughput.json"
+  python3 scripts/bench_gate.py BENCH_sharding.json \
+    "$BUILD_DIR/BENCH_sharding.json"
+  python3 scripts/bench_gate.py BENCH_wal.json "$BUILD_DIR/BENCH_wal.json"
   echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
+  exit 0
+fi
+
+if [[ "$CRASH" -eq 1 ]]; then
+  # The durability crash matrix under ASan.  The default filter is the
+  # full matrix: WAL format/pipeline unit tests, single-site recovery
+  # across all five isolation levels, the concurrent group-commit
+  # recovery test, and the sharded 2PC crash matrix (a failure injected
+  # at every stage of the commit protocol x {Serializable, SI}).
+  FILTER="${CRASH_FILTER:-WalTest.*:*RecoveryTest*:*CrashMatrix*:*ShardedRecovery*}"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD_DIR"/critique_tests --gtest_filter="$FILTER"
+  echo "check.sh: crash matrix green (filter: $FILTER)"
   exit 0
 fi
 

@@ -48,6 +48,13 @@ Database::Database(DbOptions options)
   CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
   ConfigureEngine(*engine_, options);
   track_snapshots_ = engine_->SnapshotTimestamp().has_value();
+  if (!options.wal_path.empty()) {
+    // A fresh database starts a fresh log (an existing file is an explicit
+    // overwrite; restart-from-log is `Recover`).
+    Result<WalWriter> w = WalWriter::Create(options.wal_path);
+    CheckOrDie(w.ok(), "could not create the WAL file");
+    AttachWal(std::move(w).value(), options);
+  }
 }
 
 Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
@@ -59,10 +66,60 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
   CheckOrDie(engine_ != nullptr, "null engine handed to Database");
   ConfigureEngine(*engine_, options);
   track_snapshots_ = engine_->SnapshotTimestamp().has_value();
+  if (!options.wal_path.empty()) {
+    Result<WalWriter> w = WalWriter::Create(options.wal_path);
+    CheckOrDie(w.ok(), "could not create the WAL file");
+    AttachWal(std::move(w).value(), options);
+  }
+}
+
+void Database::AttachWal(WalWriter writer, const DbOptions& options) {
+  CommitLog::Options log_options;
+  log_options.group_commit = options.group_commit;
+  log_options.fsync_mode = options.fsync_mode;
+  log_options.fsync_latency = options.fsync_latency;
+  wal_ = std::make_unique<CommitLog>(std::move(writer), log_options);
+  engine_->SetWal(wal_.get());
+}
+
+Result<Database> Database::Recover(DbOptions options) {
+  if (options.wal_path.empty()) {
+    return Status::InvalidArgument("Recover requires DbOptions::wal_path");
+  }
+  CRITIQUE_ASSIGN_OR_RETURN(WalReadResult wal,
+                            WalReader::ReadFile(options.wal_path));
+
+  // Build the facade with NO log attached: replay must re-run the logged
+  // transactions through the normal engine API without re-logging them.
+  DbOptions replay_options = options;
+  replay_options.wal_path.clear();
+  Database db(std::move(replay_options));
+  CRITIQUE_ASSIGN_OR_RETURN(WalRecoveryStats stats,
+                            ReplayWal(*db.engine_, wal));
+
+  // Reopen for append behind the intact prefix (the torn tail — bytes a
+  // crash left mid-record — is truncated away), then log onward into the
+  // same file: a later crash recovers through this log again.
+  CRITIQUE_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::OpenForAppend(options.wal_path, wal.valid_bytes));
+  db.AttachWal(std::move(writer), options);
+  db.wal_recovery_ = stats;
+  db.recovered_ = true;
+
+  // The id allocator resumes past every id the log ever mentioned, so new
+  // sessions can never collide with a replayed (or discarded) id.
+  TxnId floor = stats.max_txn + 1;
+  TxnId cur = db.next_id_.load(std::memory_order_relaxed);
+  if (floor > cur) db.next_id_.store(floor, std::memory_order_relaxed);
+  return db;
 }
 
 Database::Database(Database&& other) noexcept
     : engine_(std::move(other.engine_)),
+      wal_(std::move(other.wal_)),
+      wal_recovery_(other.wal_recovery_),
+      recovered_(other.recovered_),
       retry_(std::move(other.retry_)),
       mode_(other.mode_),
       rng_(other.rng_),
@@ -82,6 +139,9 @@ Database& Database::operator=(Database&& other) noexcept {
              "Database moved while transactions are open");
   if (this != &other) {
     engine_ = std::move(other.engine_);
+    wal_ = std::move(other.wal_);
+    wal_recovery_ = other.wal_recovery_;
+    recovered_ = other.recovered_;
     retry_ = std::move(other.retry_);
     mode_ = other.mode_;
     rng_ = other.rng_;
@@ -91,6 +151,14 @@ Database& Database::operator=(Database&& other) noexcept {
     track_snapshots_ = other.track_snapshots_;
   }
   return *this;
+}
+
+Status Database::Load(const ItemId& id, Row row) {
+  // A redo-only log must carry bootstrap rows too (see the header note).
+  // Buffered only: loads become durable with the first commit's sync,
+  // never before any committed work could depend on them.
+  if (wal_ != nullptr) wal_->Append(WalRecord::LoadRow(id, row));
+  return engine_->Load(id, std::move(row));
 }
 
 Transaction Database::Begin() {
@@ -294,8 +362,8 @@ Result<std::optional<Row>> Transaction::Get(const ItemId& id) {
 
 Result<Value> Transaction::GetScalar(const ItemId& id) {
   CRITIQUE_ASSIGN_OR_RETURN(std::optional<Row> row, Get(id));
-  if (!row.has_value()) return Value();
-  return row->scalar();
+  if (row.has_value()) return row->scalar();
+  return Value();
 }
 
 Result<std::vector<std::pair<ItemId, Row>>> Transaction::GetWhere(

@@ -17,6 +17,8 @@
 #include "critique/db/transaction.h"
 #include "critique/engine/engine.h"
 #include "critique/engine/isolation.h"
+#include "critique/wal/commit_log.h"
+#include "critique/wal/recovery.h"
 
 namespace critique {
 
@@ -89,6 +91,26 @@ struct DbOptions {
 
   /// kWatermark only: commits between automatic GC passes.
   uint32_t version_gc_interval = 64;
+
+  // --- durability ----------------------------------------------------------
+
+  /// Write-ahead-log file.  Empty (the default) runs the engine purely in
+  /// memory, the historical behavior.  Non-empty: the constructor starts a
+  /// FRESH log (truncating any existing file — an explicit "new database");
+  /// to restart from an existing log use `Database::Recover`.
+  std::string wal_path;
+
+  /// Group commit (leader/follower batching): many concurrent committers
+  /// share one physical sync.  Off, every committer pays its own sync.
+  bool group_commit = false;
+
+  /// What a physical sync does: kFlush (fwrite+fflush, real-file
+  /// durability), kSimulated (flush + `fsync_latency` sleep, the honest
+  /// device model benches use), kNone (ack before durable).
+  FsyncMode fsync_mode = FsyncMode::kFlush;
+
+  /// kSimulated only: modeled device latency per physical sync.
+  std::chrono::microseconds fsync_latency{25};
 };
 
 /// \brief The public session facade over the engine SPI.
@@ -153,6 +175,16 @@ class Database {
   /// `engine` must be non-null.
   Database(std::unique_ptr<Engine> engine, DbOptions options);
 
+  /// Restart recovery: reads the WAL at `options.wal_path` (required),
+  /// replays its intact prefix into a fresh engine (committed transactions
+  /// roll forward; prepared-but-undecided participants are re-frozen in
+  /// doubt for `RecoverInDoubt` / presumed abort), truncates any torn
+  /// tail, and reopens the log for appending — the recovered database logs
+  /// onward into the same file.  Fails on a log the engine refuses to
+  /// replay (corruption past the CRC layer) or on I/O errors; a missing
+  /// file is an empty log (first boot), not an error.
+  static Result<Database> Recover(DbOptions options);
+
   Database(Database&& other) noexcept;
   Database& operator=(Database&& other) noexcept;
   Database(const Database&) = delete;
@@ -168,13 +200,16 @@ class Database {
   ConcurrencyMode mode() const { return mode_; }
 
   /// Loads an initial row before any transaction begins (bootstrap only).
-  Status Load(const ItemId& id, Row row) {
-    return engine_->Load(id, std::move(row));
-  }
+  /// With a WAL attached the load is also logged, as a `kLoad` record
+  /// (buffered; durable with the next sync or clean shutdown): a
+  /// redo-only log must carry the bootstrap state too, or `Recover`
+  /// would rebuild a database missing every row no transaction ever
+  /// rewrote — the log doubles as the checkpoint this scheme never takes.
+  Status Load(const ItemId& id, Row row);
 
   /// Loads an initial scalar item.
   Status Load(const ItemId& id, Value v) {
-    return engine_->Load(id, Row::Scalar(std::move(v)));
+    return Load(id, Row::Scalar(std::move(v)));
   }
 
   /// Starts a transaction with the next free id.
@@ -265,6 +300,18 @@ class Database {
   /// Stored version count (0 for single-version engines).
   size_t VersionCount() const { return engine_->VersionCount(); }
 
+  // --- durability ----------------------------------------------------------
+
+  /// The commit log, or nullptr when running without a WAL.
+  CommitLog* wal() { return wal_.get(); }
+  const CommitLog* wal() const { return wal_.get(); }
+
+  /// True when this database came from `Recover` (vs a fresh log).
+  bool recovered() const { return recovered_; }
+
+  /// What recovery replayed (all-zero for a fresh database).
+  const WalRecoveryStats& wal_recovery() const { return wal_recovery_; }
+
  private:
   friend class Transaction;
 
@@ -272,7 +319,16 @@ class Database {
   void RegisterSnapshot(TxnId id, Timestamp begin_ts);
   void ForgetSnapshot(TxnId id);
 
+  /// Attaches a freshly built commit log and points the engine at it.
+  void AttachWal(WalWriter writer, const DbOptions& options);
+
   std::unique_ptr<Engine> engine_;
+  /// Heap-allocated so the engine's raw `WalSink*` stays stable across
+  /// facade moves.  Destroyed (flushing cleanly) before the engine, which
+  /// is quiescent by then and never logs from its destructor.
+  std::unique_ptr<CommitLog> wal_;
+  WalRecoveryStats wal_recovery_;
+  bool recovered_ = false;
   std::shared_ptr<const RetryPolicy> retry_;
   ConcurrencyMode mode_ = ConcurrencyMode::kCooperative;
   std::mutex rng_mu_;  ///< guards rng_ for ForkRng

@@ -19,6 +19,7 @@
 #include "critique/lock/lock_manager.h"
 #include "critique/model/predicate.h"
 #include "critique/model/row.h"
+#include "critique/wal/wal_sink.h"
 
 namespace critique {
 
@@ -201,6 +202,16 @@ class Engine {
 
   /// The version-GC policy in force.
   const VersionGcPolicy& version_gc() const { return gc_policy_; }
+
+  /// Attaches the write-ahead-log sink redo records flow into (nullptr
+  /// detaches; the engine then runs purely in memory, the historical
+  /// default).  Call before any session starts — the `Database` facade
+  /// does this when `DbOptions::wal_path` is set.  The emission protocol
+  /// engines follow is documented on `WalSink`.
+  virtual void SetWal(WalSink* wal) { wal_ = wal; }
+
+  /// The attached WAL sink, or nullptr when running without durability.
+  WalSink* wal() const { return wal_; }
 
   /// Runs one version-GC pass now (whatever the configured mode), pruning
   /// with the engine's current low-watermark; returns versions dropped.
@@ -440,6 +451,7 @@ class Engine {
   EngineRecorder recorder_;
   EngineConcurrency concurrency_;
   VersionGcPolicy gc_policy_;
+  WalSink* wal_ = nullptr;  ///< not owned; outlives the engine
 };
 
 }  // namespace critique

@@ -32,6 +32,8 @@ Status LockingEngine::Begin(TxnId txn) {
                                    " already used");
   }
   txns_[txn].active = true;
+  // Informational, buffered with the next sync (see the SI engine).
+  if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
   return Status::OK();
 }
 
@@ -76,6 +78,7 @@ void LockingEngine::Rollback(TxnId txn) {
     recorder_.Record(Action::Abort(txn));
   }
   st.undo.clear();
+  st.redo.clear();
   st.active = false;
   st.cursors.clear();
   lock_manager_.ReleaseAll(txn);
@@ -244,6 +247,7 @@ Status LockingEngine::DoWrite(TableLock& lk, TxnId txn, const ItemId& id,
 
   TxnState& st = txns_.find(txn)->second;
   st.undo.push_back(UndoRecord{id, std::move(before)});
+  if (wal_ != nullptr) st.redo[id] = std::move(new_row);
 
   if (policy_.write == LockDuration::kShort) {
     lock_manager_.Release(handle);  // Degree 0: action atomicity only
@@ -299,6 +303,7 @@ Result<size_t> LockingEngine::DoPredicateWrite(
       } else {
         store_.Erase(id);
       }
+      if (wal_ != nullptr) st.redo[id] = std::move(next);
       a.read_set.push_back(id);
     }
     // Appended under the store latch (see DoWrite).
@@ -355,14 +360,29 @@ Status LockingEngine::CloseCursorNamed(TxnId txn, const std::string& cursor) {
 }
 
 Status LockingEngine::Commit(TxnId txn) {
-  TableLock lk(table_mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  TxnState& st = txns_.find(txn)->second;
-  st.active = false;
-  st.undo.clear();
-  st.cursors.clear();
-  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
-  lock_manager_.ReleaseAll(txn);
+  std::optional<uint64_t> wal_lsn;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+    TxnState& st = txns_.find(txn)->second;
+    st.active = false;
+    st.undo.clear();
+    st.cursors.clear();
+    // Appended before ReleaseAll: a conflicting transaction can only
+    // acquire these locks — and so append its own commit — after this
+    // one's records are in the log, so log order agrees with the lock
+    // schedule (long write locks; Degree 0's short write locks make no
+    // durability-ordering promise, matching its atomicity-only contract).
+    // A single-version store has no commit clock: kInvalidTimestamp.
+    if (wal_ != nullptr && !st.redo.empty()) {
+      wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+      wal_lsn = wal_->Append(WalRecord::Commit(txn, kInvalidTimestamp));
+      st.redo.clear();
+    }
+    recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+    lock_manager_.ReleaseAll(txn);
+  }
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
@@ -375,32 +395,57 @@ Status LockingEngine::Abort(TxnId txn) {
 }
 
 Status LockingEngine::Prepare(TxnId txn) {
-  TableLock lk(table_mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  // A lock scheduler's commit cannot fail: every conflict was already
-  // resolved when the lock was granted.  Prepare therefore only pins the
-  // transaction — locks stay held, undo stays applicable — until the
-  // coordinator's decision.
-  txns_.find(txn)->second.prepared = true;
+  std::optional<uint64_t> wal_lsn;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+    // A lock scheduler's commit cannot fail: every conflict was already
+    // resolved when the lock was granted.  Prepare therefore only pins the
+    // transaction — locks stay held, undo stays applicable — until the
+    // coordinator's decision.
+    TxnState& st = txns_.find(txn)->second;
+    st.prepared = true;
+    if (wal_ != nullptr) {
+      if (!st.redo.empty()) {
+        wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+        st.redo.clear();
+      }
+      wal_lsn = wal_->Append(WalRecord::Prepare(txn));
+    }
+  }
+  // Durable-vote rule: the coordinator only hears "prepared" once the
+  // vote and its redo would survive a crash.
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
 Status LockingEngine::CommitPrepared(TxnId txn) {
-  TableLock lk(table_mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
-  TxnState& st = txns_.find(txn)->second;
-  st.prepared = false;
-  st.active = false;
-  st.undo.clear();
-  st.cursors.clear();
-  recorder_.Record(Action::Commit(txn), &EngineStats::commits);
-  lock_manager_.ReleaseAll(txn);
+  std::optional<uint64_t> wal_lsn;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+    TxnState& st = txns_.find(txn)->second;
+    st.prepared = false;
+    st.active = false;
+    st.undo.clear();
+    st.cursors.clear();
+    // Slim commit: the write set is already durable from Prepare.
+    if (wal_ != nullptr) {
+      wal_lsn = wal_->Append(WalRecord::Commit(txn, kInvalidTimestamp));
+    }
+    recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+    lock_manager_.ReleaseAll(txn);
+  }
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
 Status LockingEngine::AbortPrepared(TxnId txn) {
   TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  // Buffered only (presumed abort): a lost abort record re-restores the
+  // participant in doubt and the next recovery aborts it again.
+  if (wal_ != nullptr) wal_->Append(WalRecord::Abort(txn));
   txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);

@@ -105,6 +105,10 @@ class LockingEngine : public Engine {
     /// every operation but CommitPrepared/AbortPrepared refused.
     bool prepared = false;
     std::vector<UndoRecord> undo;
+    /// Redo after-images (nullopt = tombstone), collected only while a WAL
+    /// sink is attached; drained into a kWriteSet record at Prepare or
+    /// Commit.  Owner-thread-only, like `undo`.
+    std::map<ItemId, std::optional<Row>> redo;
     /// One entry per open cursor; "" is the default cursor.  Each holds
     /// the read lock on its current item under Cursor Stability.
     std::map<std::string, CursorState> cursors;

@@ -26,6 +26,8 @@ Status ReadConsistencyEngine::Begin(TxnId txn) {
                                    " already used");
   }
   txns_[txn].active = true;
+  // Informational, buffered with the next sync (see the SI engine).
+  if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
   return Status::OK();
 }
 
@@ -62,6 +64,7 @@ void ReadConsistencyEngine::Rollback(TxnId txn) {
     recorder_.Record(Action::Abort(txn));  // under the latch, see DoRead
   }
   st.write_set.clear();  // the hint is dead once the versions are gone
+  st.redo.clear();
   lock_manager_.ReleaseAll(txn);
 }
 
@@ -187,8 +190,13 @@ Status ReadConsistencyEngine::DoWrite(TableLock& lk, TxnId txn,
                    : Action::Write(txn, id, HistoryValue(new_row));
     a.version = txn;
     a.before_image = std::move(before);
-    a.after_image = std::move(new_row);
     a.is_insert = is_insert;
+    if (wal_ != nullptr) {
+      a.after_image = new_row;
+      txns_.find(txn)->second.redo[id] = std::move(new_row);
+    } else {
+      a.after_image = std::move(new_row);
+    }
     recorder_.Record(std::move(a), &EngineStats::writes);
   }
   txns_.find(txn)->second.write_set.insert(id);
@@ -260,6 +268,7 @@ Status ReadConsistencyEngine::Update(
 
 Status ReadConsistencyEngine::Commit(TxnId txn) {
   bool gc_due = false;
+  std::optional<uint64_t> wal_lsn;
   {
     TableLock lk(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
@@ -270,16 +279,24 @@ Status ReadConsistencyEngine::Commit(TxnId txn) {
       // stamps the versions: a statement snapshot new enough to observe
       // the timestamp observes the stamped versions too.  The commit
       // record is appended in the same section, so no read of a stamped
-      // version can precede it in the history.
+      // version can precede it in the history — and commits publish in
+      // log order, which recovery's sequential replay relies on.
       std::unique_lock<std::shared_mutex> sl(store_mu_);
-      store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+      const Timestamp commit_ts = clock_.Tick();
+      store_.CommitTxn(txn, commit_ts, st.write_set);
+      if (wal_ != nullptr && !st.redo.empty()) {
+        wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+        wal_lsn = wal_->Append(WalRecord::Commit(txn, commit_ts));
+      }
       recorder_.Record(Action::Commit(txn), &EngineStats::commits);
     }
     st.write_set.clear();  // the hint is dead once the versions are stamped
+    st.redo.clear();
     lock_manager_.ReleaseAll(txn);
     gc_due = GcTick();
   }
   if (gc_due) (void)RunGcPass();
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
@@ -292,14 +309,28 @@ Status ReadConsistencyEngine::Abort(TxnId txn) {
 }
 
 Status ReadConsistencyEngine::Prepare(TxnId txn) {
-  TableLock lk(table_mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  txns_.find(txn)->second.prepared = true;
+  std::optional<uint64_t> wal_lsn;
+  {
+    TableLock lk(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+    TxnState& st = txns_.find(txn)->second;
+    st.prepared = true;
+    if (wal_ != nullptr) {
+      if (!st.redo.empty()) {
+        wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+        st.redo.clear();
+      }
+      wal_lsn = wal_->Append(WalRecord::Prepare(txn));
+    }
+  }
+  // Durable-vote rule (see the locking engine).
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
   bool gc_due = false;
+  std::optional<uint64_t> wal_lsn;
   {
     TableLock lk(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
@@ -308,7 +339,12 @@ Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
     st.active = false;
     {
       std::unique_lock<std::shared_mutex> sl(store_mu_);
-      store_.CommitTxn(txn, clock_.Tick(), st.write_set);
+      const Timestamp commit_ts = clock_.Tick();
+      store_.CommitTxn(txn, commit_ts, st.write_set);
+      // Slim commit: the write set is already durable from Prepare.
+      if (wal_ != nullptr) {
+        wal_lsn = wal_->Append(WalRecord::Commit(txn, commit_ts));
+      }
       recorder_.Record(Action::Commit(txn), &EngineStats::commits);
     }
     st.write_set.clear();  // the hint is dead once the versions are stamped
@@ -316,12 +352,15 @@ Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
     gc_due = GcTick();
   }
   if (gc_due) (void)RunGcPass();
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
 Status ReadConsistencyEngine::AbortPrepared(TxnId txn) {
   TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
+  // Buffered only (presumed abort; see the locking engine).
+  if (wal_ != nullptr) wal_->Append(WalRecord::Abort(txn));
   txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);

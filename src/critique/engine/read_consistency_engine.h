@@ -102,6 +102,10 @@ class ReadConsistencyEngine : public Engine {
     /// the terminal consumes it — finished states must not pin per-write
     /// memory.
     std::set<ItemId> write_set;
+    /// Redo after-images (nullopt = tombstone), collected only while a WAL
+    /// sink is attached; drained at Prepare or Commit, cleared with
+    /// `write_set`.  Owner-thread-only.
+    std::map<ItemId, std::optional<Row>> redo;
   };
 
   /// The table-latch guard every operation body holds (shared).

@@ -53,6 +53,10 @@ Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
   st.active = true;
   st.start_ts = ts;
   txns_[txn] = st;
+  // Informational, buffered with the next sync: keeps the log
+  // self-describing and advances the recovered id-allocator floor past
+  // ids that never reach a terminal record.
+  if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
   return Status::OK();
 }
 
@@ -94,6 +98,7 @@ Status SnapshotIsolationEngine::AbortInternal(TxnId txn, Status reason,
     st.aborted = true;
     st.prepared = false;
   }
+  st.redo.clear();
   return reason;
 }
 
@@ -371,6 +376,7 @@ Status SnapshotIsolationEngine::DoWrite(TxnId txn, const ItemId& id,
     st.write_set.insert(id);
     if (options_.ssi) TrackWriteConflicts(txn, id, before, new_row);
   }
+  if (wal_ != nullptr) st.redo[id] = std::move(new_row);
   return Status::OK();
 }
 
@@ -442,6 +448,9 @@ Result<size_t> SnapshotIsolationEngine::UpdateWhere(
       }
     }
   }
+  if (wal_ != nullptr) {
+    for (size_t i = 0; i < rows.size(); ++i) st.redo[rows[i].first] = nexts[i];
+  }
   return rows.size();
 }
 
@@ -471,6 +480,12 @@ Result<size_t> SnapshotIsolationEngine::DeleteWhere(TxnId txn,
     for (const auto& [id, row] : rows) {
       st.write_set.insert(id);
       if (options_.ssi) TrackWriteConflicts(txn, id, row, std::nullopt);
+    }
+  }
+  if (wal_ != nullptr) {
+    for (const auto& [id, row] : rows) {
+      (void)row;
+      st.redo[id] = std::nullopt;
     }
   }
   return rows.size();
@@ -555,8 +570,8 @@ Status SnapshotIsolationEngine::ValidateAndReserve(TxnId txn) {
   return Status::OK();
 }
 
-Status SnapshotIsolationEngine::RevalidateAndPublish(TxnId txn,
-                                                     bool decision) {
+Status SnapshotIsolationEngine::RevalidateAndPublish(
+    TxnId txn, bool decision, std::optional<uint64_t>* wal_lsn) {
   TxnState& st = txns_.find(txn)->second;
 
   // Re-validation: rw-antidependencies that formed after stage 1 — during
@@ -587,11 +602,23 @@ Status SnapshotIsolationEngine::RevalidateAndPublish(TxnId txn,
       st.commit_ts = clock_.Tick();
       store_.CommitTxn(txn, st.commit_ts, st.write_set);
       recorder_.Record(Action::Commit(txn), &EngineStats::commits);
+      if (wal_ != nullptr && (decision || !st.write_set.empty())) {
+        // Inside the publication section, behind commit_mu_: log order is
+        // commit order, the property recovery's sequential replay relies
+        // on.  Prepared participants already logged their write set at
+        // Prepare (slim commit); read-only decisions still log the commit
+        // so replay can resolve the restored in-doubt participant.
+        if (!decision && !st.redo.empty()) {
+          wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+        }
+        *wal_lsn = wal_->Append(WalRecord::Commit(txn, st.commit_ts));
+      }
     }
     st.active = false;
     st.committed = true;
     st.prepared = false;
   }
+  st.redo.clear();
   ReleaseReservations(txn);
   return Status::OK();
 }
@@ -613,13 +640,19 @@ Status SnapshotIsolationEngine::Commit(TxnId txn) {
 
   // Stage 2: re-validate and publish.
   bool gc_due = false;
+  std::optional<uint64_t> wal_lsn;
   {
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     std::lock_guard<std::mutex> cl(commit_mu_);
-    CRITIQUE_RETURN_NOT_OK(RevalidateAndPublish(txn, /*decision=*/false));
+    CRITIQUE_RETURN_NOT_OK(
+        RevalidateAndPublish(txn, /*decision=*/false, &wal_lsn));
     gc_due = GcTick();
   }
   if (gc_due) (void)RunGcPass();
+  // The durability wait runs with no engine latch held: other sessions
+  // keep validating and publishing while this one sits out the fsync (and,
+  // in group mode, rides another leader's batch).
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
@@ -635,20 +668,38 @@ Status SnapshotIsolationEngine::Prepare(TxnId txn) {
   // Commit-pipeline stage 1 only: prepare is the participant's last
   // *unprompted* chance to refuse; the write-set reservation then rides
   // the whole in-doubt window, and stage 2 runs at the decision.
-  std::shared_lock<std::shared_mutex> tl(table_mu_);
-  CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  std::lock_guard<std::mutex> cl(commit_mu_);
-  CRITIQUE_RETURN_NOT_OK(ValidateAndReserve(txn));
-  TxnState& st = txns_.find(txn)->second;
+  std::optional<uint64_t> wal_lsn;
   {
-    auto el = SsiLock();
-    st.prepared = true;
+    std::shared_lock<std::shared_mutex> tl(table_mu_);
+    CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+    std::lock_guard<std::mutex> cl(commit_mu_);
+    CRITIQUE_RETURN_NOT_OK(ValidateAndReserve(txn));
+    TxnState& st = txns_.find(txn)->second;
+    {
+      auto el = SsiLock();
+      st.prepared = true;
+    }
+    if (wal_ != nullptr) {
+      // The vote and its redo, appended behind commit_mu_ like a commit
+      // (the reservation ordering argument covers prepares too).
+      if (!st.redo.empty()) {
+        wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
+        st.redo.clear();
+      }
+      wal_lsn = wal_->Append(WalRecord::Prepare(txn));
+    }
   }
+  // The durable-vote rule: the coordinator may not count this participant
+  // as prepared until its vote would survive a crash.  A dead log surfaces
+  // here as a refusal — the participant stays frozen in doubt, which is
+  // exactly what a crash at this instant means.
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
 Status SnapshotIsolationEngine::CommitPrepared(TxnId txn) {
   bool gc_due = false;
+  std::optional<uint64_t> wal_lsn;
   {
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
@@ -657,10 +708,12 @@ Status SnapshotIsolationEngine::CommitPrepared(TxnId txn) {
     // while in doubt aborts the participant here (kSerializationFailure;
     // already rolled back) instead of publishing a non-serializable
     // commit.
-    CRITIQUE_RETURN_NOT_OK(RevalidateAndPublish(txn, /*decision=*/true));
+    CRITIQUE_RETURN_NOT_OK(
+        RevalidateAndPublish(txn, /*decision=*/true, &wal_lsn));
     gc_due = GcTick();
   }
   if (gc_due) (void)RunGcPass();
+  if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
 
@@ -669,6 +722,10 @@ Status SnapshotIsolationEngine::AbortPrepared(TxnId txn) {
   CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
   {
     std::lock_guard<std::mutex> cl(commit_mu_);
+    // Buffered only, never synced: presumed abort means a lost abort
+    // record just re-restores the participant in doubt, and the next
+    // recovery aborts it again.
+    if (wal_ != nullptr) wal_->Append(WalRecord::Abort(txn));
     ReleaseReservations(txn);
   }
   return AbortInternal(txn, Status::OK(), &EngineStats::aborts);

@@ -2,9 +2,11 @@
 #define CRITIQUE_ENGINE_SI_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -246,6 +248,10 @@ class SnapshotIsolationEngine : public Engine {
     bool committed_first_out = false;
     std::set<ItemId> write_set;
     std::set<ItemId> read_set;
+    /// Redo after-images (nullopt = tombstone), collected only while a WAL
+    /// sink is attached; drained into a kWriteSet record at Prepare or
+    /// immediately before the kCommit append.  Owner-thread-only.
+    std::map<ItemId, std::optional<Row>> redo;
     // SSI rw-antidependency neighbours: `in_from` holds U with U -rw-> this
     // (U read something this wrote over); `out_to` holds W with
     // this -rw-> W.  A transaction with live edges on both sides is a
@@ -280,7 +286,12 @@ class SnapshotIsolationEngine : public Engine {
   /// retires the reservation.  `decision` distinguishes a CommitPrepared
   /// (refined in-doubt completion check, decision_aborts counter) from a
   /// plain Commit window re-validation.  Same latch contract as stage 1.
-  Status RevalidateAndPublish(TxnId txn, bool decision);
+  /// When a WAL is attached, the publication section appends the redo +
+  /// commit records and stores the commit LSN in `*wal_lsn` (untouched
+  /// when nothing was logged); the caller waits on it *after* releasing
+  /// every latch.
+  Status RevalidateAndPublish(TxnId txn, bool decision,
+                              std::optional<uint64_t>* wal_lsn);
 
   /// Drops `txn`'s write-set reservations.  Requires `commit_mu_`.
   void ReleaseReservations(TxnId txn);

@@ -1,10 +1,16 @@
 #include "critique/shard/sharded_database.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <thread>
+
+#include "critique/wal/recovery.h"
+#include "critique/wal/wal_writer.h"
 
 namespace critique {
 namespace {
@@ -19,15 +25,30 @@ void CheckOrDie(bool ok, const char* what) {
   }
 }
 
+std::string ShardWalPath(const std::string& dir, int shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+std::string CoordinatorWalPath(const std::string& dir) {
+  return dir + "/coordinator.wal";
+}
+
+// mkdir -p (one level): the WAL directory must exist before any log file
+// is opened inside it.  EEXIST is fine — crash/recover cycles reuse it.
+bool EnsureWalDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return true;
+  return errno == EEXIST;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // ShardedDatabase
 // ---------------------------------------------------------------------------
 
-ShardedDatabase::ShardedDatabase(ShardedDbOptions options)
+ShardedDatabase::ShardedDatabase(const ShardedDbOptions& options, DeferShards)
     : router_(options.num_shards),
-      retry_(options.retry_policy ? std::move(options.retry_policy)
+      retry_(options.retry_policy ? options.retry_policy
                                   : DefaultRetryPolicy()),
       rng_(options.seed) {
   CheckOrDie(options.num_shards >= 1, "num_shards must be >= 1");
@@ -35,16 +56,93 @@ ShardedDatabase::ShardedDatabase(ShardedDbOptions options)
                  options.per_shard.size() ==
                      static_cast<size_t>(options.num_shards),
              "per_shard options must match num_shards");
+  if (!options.wal_dir.empty()) {
+    CheckOrDie(EnsureWalDir(options.wal_dir),
+               "could not create the WAL directory");
+  }
+}
+
+DbOptions ShardedDatabase::ShardOptionsFor(const ShardedDbOptions& options,
+                                           int i) {
+  DbOptions o = options.per_shard.empty()
+                    ? options.shard_options
+                    : options.per_shard[static_cast<size_t>(i)];
+  // Independent deterministic stream per shard, whatever the template's
+  // seed was.
+  o.seed = options.seed * 1000003u + static_cast<uint64_t>(i) + 1;
+  if (!options.wal_dir.empty()) {
+    o.wal_path = ShardWalPath(options.wal_dir, i);
+  }
+  return o;
+}
+
+void ShardedDatabase::AttachCoordinatorLog(WalWriter writer,
+                                           const ShardedDbOptions& options) {
+  CommitLog::Options lo;
+  lo.group_commit = options.shard_options.group_commit;
+  lo.fsync_mode = options.shard_options.fsync_mode;
+  lo.fsync_latency = options.shard_options.fsync_latency;
+  coord_log_ = std::make_unique<CommitLog>(std::move(writer), lo);
+  coordinator_.AttachLog(coord_log_.get());
+}
+
+ShardedDatabase::ShardedDatabase(ShardedDbOptions options)
+    : ShardedDatabase(options, DeferShards{}) {
   shards_.reserve(static_cast<size_t>(options.num_shards));
   for (int i = 0; i < options.num_shards; ++i) {
-    DbOptions o = options.per_shard.empty()
-                      ? options.shard_options
-                      : options.per_shard[static_cast<size_t>(i)];
-    // Independent deterministic stream per shard, whatever the template's
-    // seed was.
-    o.seed = options.seed * 1000003u + static_cast<uint64_t>(i) + 1;
-    shards_.push_back(std::make_unique<Database>(std::move(o)));
+    shards_.push_back(std::make_unique<Database>(ShardOptionsFor(options, i)));
   }
+  if (!options.wal_dir.empty()) {
+    Result<WalWriter> w =
+        WalWriter::Create(CoordinatorWalPath(options.wal_dir));
+    CheckOrDie(w.ok(), "could not create the coordinator decision log");
+    AttachCoordinatorLog(std::move(w).value(), options);
+  }
+}
+
+Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Recover(
+    ShardedDbOptions options) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "ShardedDatabase::Recover requires ShardedDbOptions::wal_dir");
+  }
+  auto db = std::unique_ptr<ShardedDatabase>(
+      new ShardedDatabase(options, DeferShards{}));
+
+  // Every shard replays its own redo log; committed effects come back,
+  // prepared participants come back in doubt with their locks re-taken.
+  TxnId id_floor = 1;
+  db->shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    CRITIQUE_ASSIGN_OR_RETURN(Database shard,
+                              Database::Recover(ShardOptionsFor(options, i)));
+    if (shard.wal_recovery().max_txn + 1 > id_floor) {
+      id_floor = shard.wal_recovery().max_txn + 1;
+    }
+    db->shards_.push_back(std::make_unique<Database>(std::move(shard)));
+  }
+
+  // The coordinator's decision table is rebuilt from the still-open
+  // entries of its persistent log — a durable kDecision without a closing
+  // kDecisionEnd is a commit some participant may not have heard about.
+  const std::string coord_path = CoordinatorWalPath(options.wal_dir);
+  CRITIQUE_ASSIGN_OR_RETURN(WalReadResult coord_wal,
+                            WalReader::ReadFile(coord_path));
+  std::map<TxnId, bool> decisions =
+      ExtractCoordinatorDecisions(coord_wal.records);
+  for (const auto& [gid, commit] : decisions) {
+    (void)commit;
+    if (gid + 1 > id_floor) id_floor = gid + 1;
+  }
+  db->coordinator_.RestoreDecisions(std::move(decisions));
+  CRITIQUE_ASSIGN_OR_RETURN(
+      WalWriter coord_writer,
+      WalWriter::OpenForAppend(coord_path, coord_wal.valid_bytes));
+  db->AttachCoordinatorLog(std::move(coord_writer), options);
+
+  db->next_gid_.store(id_floor, std::memory_order_relaxed);
+  db->recovered_ = true;
+  return db;
 }
 
 ShardedTransaction ShardedDatabase::Begin() {

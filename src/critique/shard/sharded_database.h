@@ -12,6 +12,7 @@
 #include "critique/db/database.h"
 #include "critique/shard/shard_router.h"
 #include "critique/shard/txn_coordinator.h"
+#include "critique/wal/commit_log.h"
 
 namespace critique {
 
@@ -43,6 +44,15 @@ struct ShardedDbOptions {
 
   /// Seed of the facade RNG; shard RNGs derive deterministically from it.
   uint64_t seed = 1;
+
+  /// When non-empty, durability is on: shard `i` writes its WAL to
+  /// `<wal_dir>/shard-<i>.wal` and the coordinator's decision log becomes
+  /// persistent at `<wal_dir>/coordinator.wal` (the directory is created
+  /// if missing; construction truncates, `Recover` replays).  Group-commit
+  /// and fsync settings come from the per-shard `DbOptions` as usual; the
+  /// decision log reuses `shard_options`' fsync configuration.  Any
+  /// `wal_path` set on the per-shard options directly is overridden.
+  std::string wal_dir;
 };
 
 /// \brief A hash-partitioned database: N independent per-shard engines
@@ -87,6 +97,26 @@ class ShardedDatabase {
 
   ShardedDatabase(const ShardedDatabase&) = delete;
   ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  /// Rebuilds the facade from the WALs under `options.wal_dir` after a
+  /// crash: every shard replays its redo log (`Database::Recover`), the
+  /// coordinator's decision table is reseeded from the still-open entries
+  /// of its persistent log, and the global-id allocator advances past
+  /// every recovered id.  Participants a crashed coordinator left
+  /// prepared come back *in doubt*; call `RecoverInDoubt()` on the
+  /// returned facade to resolve them against the restored decisions
+  /// (logged commit → roll forward, no decision → presumed abort).
+  /// The same `options` used to build the crashed instance must be passed
+  /// (engine configuration is not persisted).
+  static Result<std::unique_ptr<ShardedDatabase>> Recover(
+      ShardedDbOptions options);
+
+  /// True when this facade was built by `Recover`.
+  bool recovered() const { return recovered_; }
+
+  /// The coordinator's persistent decision log; null when `wal_dir` was
+  /// empty (in-memory decisions, the historical default).
+  CommitLog* coordinator_log() { return coord_log_.get(); }
 
   int num_shards() const { return router_.num_shards(); }
 
@@ -187,9 +217,26 @@ class ShardedDatabase {
  private:
   friend class ShardedTransaction;
 
+  /// Tag ctor that builds everything but the shards (and the logs) —
+  /// `Recover` fills those from the WALs instead of fresh.
+  struct DeferShards {};
+  ShardedDatabase(const ShardedDbOptions& options, DeferShards);
+
+  /// The effective `DbOptions` for shard `i`: per-shard template, derived
+  /// seed, and (when `wal_dir` is set) the shard's WAL path.
+  static DbOptions ShardOptionsFor(const ShardedDbOptions& options, int i);
+
+  /// Wraps `writer` in a `CommitLog` and attaches it to the coordinator.
+  void AttachCoordinatorLog(WalWriter writer, const ShardedDbOptions& options);
+
   ShardRouter router_;
   std::vector<std::unique_ptr<Database>> shards_;
   TxnCoordinator coordinator_;
+  /// The coordinator's persistent decision log (heap-allocated so the raw
+  /// pointer the coordinator holds stays stable); null when durability is
+  /// off.
+  std::unique_ptr<CommitLog> coord_log_;
+  bool recovered_ = false;
   std::shared_ptr<const RetryPolicy> retry_;
   std::mutex rng_mu_;
   Rng rng_;

@@ -47,17 +47,34 @@ Status TxnCoordinator::Commit(TxnId gid,
   {
     std::lock_guard<std::mutex> lk(mu_);
     fp = failpoint_;
-    if (fp == CoordinatorFailpoint::kBeforeDecision) {
-      ++stats_.crashes;
-    } else {
-      decisions_[gid] = true;
-      if (fp == CoordinatorFailpoint::kAfterDecision) ++stats_.crashes;
-    }
+    if (fp == CoordinatorFailpoint::kBeforeDecision) ++stats_.crashes;
   }
   if (fp == CoordinatorFailpoint::kBeforeDecision) {
     return Status::Internal(
         "coordinator crashed before logging a decision for gid " +
         std::to_string(gid) + "; participants left in doubt");
+  }
+
+  // Write-ahead: the commit decision becomes durable before the in-memory
+  // table (which phase 2 and recovery readers consult) ever shows it.  A
+  // failed append means the decision was never made — the log device died
+  // first — so the coordinator "crashes" and presumed abort governs.
+  if (log_ != nullptr) {
+    Status ls = log_->AppendDurable(WalRecord::Decision(gid, true));
+    if (!ls.ok()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.crashes;
+      return Status::Internal(
+          "coordinator log died before the commit decision for gid " +
+          std::to_string(gid) + " became durable (" + ls.ToString() +
+          "); participants left in doubt");
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    decisions_[gid] = true;
+    if (fp == CoordinatorFailpoint::kAfterDecision) ++stats_.crashes;
   }
   if (fp == CoordinatorFailpoint::kAfterDecision) {
     return Status::Internal(
@@ -91,6 +108,9 @@ Status TxnCoordinator::Commit(TxnId gid,
     ++refused;
   }
 
+  // All participants are terminal: close the durable entry (buffered — a
+  // lost kDecisionEnd only leaves a stale decision recovery ignores).
+  if (log_ != nullptr) (void)log_->Append(WalRecord::DecisionEnd(gid));
   std::lock_guard<std::mutex> lk(mu_);
   decisions_.erase(gid);  // all participants terminal; nothing left to recover
   if (!refusal.ok()) {
@@ -126,8 +146,19 @@ std::optional<bool> TxnCoordinator::DecisionFor(TxnId gid) const {
 }
 
 void TxnCoordinator::ForgetDecision(TxnId gid) {
+  if (log_ != nullptr) (void)log_->Append(WalRecord::DecisionEnd(gid));
   std::lock_guard<std::mutex> lk(mu_);
   decisions_.erase(gid);
+}
+
+void TxnCoordinator::AttachLog(WalSink* log) {
+  std::lock_guard<std::mutex> lk(mu_);
+  log_ = log;
+}
+
+void TxnCoordinator::RestoreDecisions(std::map<TxnId, bool> decisions) {
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_ = std::move(decisions);
 }
 
 void TxnCoordinator::CountRecovery(bool committed, uint64_t participants) {

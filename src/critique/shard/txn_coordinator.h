@@ -11,6 +11,8 @@
 
 #include "critique/common/status.h"
 #include "critique/db/transaction.h"
+#include "critique/wal/wal_record.h"
+#include "critique/wal/wal_sink.h"
 
 namespace critique {
 
@@ -85,6 +87,18 @@ struct CoordinatorStats {
 /// window between logging and the last acknowledgement keeps an entry, so
 /// the log stays O(in-flight cross-shard transactions).
 ///
+/// With `AttachLog` the decision log is *persistent*: the commit decision
+/// is appended to a WAL (`kDecision`) and made durable **before** the
+/// in-memory entry is set and phase 2 begins — the write-ahead rule.  If
+/// the append fails (a WAL failpoint "crashed" the log device), the
+/// decision was never made: the coordinator counts a crash and answers
+/// `kInternal` with every participant still in doubt, and restart
+/// recovery presumes abort — exactly what a real coordinator losing its
+/// log volume mid-decision must do.  `kDecisionEnd` closes an entry once
+/// every participant acknowledged; it is buffered, not synced — losing it
+/// merely leaves a stale (harmless, idempotently re-ignorable) decision
+/// in the recovered log.
+///
 /// Thread-safe: the decision log and counters are mutex-guarded; the
 /// participant calls themselves run on the caller's thread (one global
 /// transaction is one session driven by one thread, the same contract as
@@ -102,6 +116,15 @@ class TxnCoordinator {
 
   /// Drops `gid`'s log entry once every in-doubt participant is resolved.
   void ForgetDecision(TxnId gid);
+
+  /// Attaches the persistent decision log (not owned; must outlive the
+  /// coordinator).  Install before any commit starts; nullptr detaches.
+  void AttachLog(WalSink* log);
+
+  /// Seeds the in-memory decision table from a recovered log — called by
+  /// `ShardedDatabase::Recover` with the still-open (`kDecision` without
+  /// `kDecisionEnd`) entries, before any new traffic.
+  void RestoreDecisions(std::map<TxnId, bool> decisions);
 
   /// Record recovery outcomes (called by `ShardedDatabase::RecoverInDoubt`).
   void CountRecovery(bool committed, uint64_t participants);
@@ -127,6 +150,7 @@ class TxnCoordinator {
  private:
   mutable std::mutex mu_;
   std::map<TxnId, bool> decisions_;
+  WalSink* log_ = nullptr;  ///< persistent decision log; not owned
   CoordinatorFailpoint failpoint_ = CoordinatorFailpoint::kNone;
   std::function<void(TxnId)> in_doubt_hook_;  ///< test failpoint
   CoordinatorStats stats_;

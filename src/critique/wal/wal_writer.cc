@@ -1,0 +1,100 @@
+#include "critique/wal/wal_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace critique {
+
+Result<WalWriter> WalWriter::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("wal: cannot create '" + path + "'");
+  }
+  return WalWriter(path, f);
+}
+
+Result<WalWriter> WalWriter::OpenForAppend(const std::string& path,
+                                           uint64_t keep_bytes) {
+  // Chop the torn tail before anything is appended behind it: a half
+  // record left in place would corrupt every record written after it.  A
+  // missing file is fine (first boot recovers an empty log and appends
+  // from byte 0).
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  if (exists &&
+      ::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+    return Status::Internal("wal: cannot truncate '" + path + "' to " +
+                            std::to_string(keep_bytes) + " bytes");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("wal: cannot open '" + path + "' for append");
+  }
+  return WalWriter(path, f);
+}
+
+uint64_t WalWriter::Append(const WalRecord& rec) {
+  FrameWalRecord(rec, &buffer_);
+  return ++appended_lsn_;
+}
+
+std::pair<uint64_t, std::string> WalWriter::StagePending() {
+  std::string staged = std::move(buffer_);
+  buffer_.clear();
+  return {appended_lsn_, std::move(staged)};
+}
+
+Status WalWriter::WriteStaged(const std::string& bytes, uint64_t staged_lsn,
+                              FsyncMode mode,
+                              std::chrono::microseconds latency) {
+  if (!bytes.empty()) {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) !=
+        bytes.size()) {
+      return Status::Internal("wal: short write to '" + path_ + "'");
+    }
+  }
+  if (mode != FsyncMode::kNone) {
+    if (std::fflush(file_.get()) != 0) {
+      return Status::Internal("wal: flush failed on '" + path_ + "'");
+    }
+    if (mode == FsyncMode::kSimulated &&
+        latency > std::chrono::microseconds::zero()) {
+      std::this_thread::sleep_for(latency);
+    }
+  }
+  if (staged_lsn > durable_lsn_) durable_lsn_ = staged_lsn;
+  return Status::OK();
+}
+
+Status WalWriter::Sync(FsyncMode mode, std::chrono::microseconds latency) {
+  auto [lsn, bytes] = StagePending();
+  return WriteStaged(bytes, lsn, mode, latency);
+}
+
+Result<WalReadResult> WalReader::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // First boot: no log yet is a legitimately empty history, not an
+    // error — `Database::Recover` on a fresh path starts empty.
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return WalReadResult{};
+    return Status::Internal("wal: cannot open '" + path + "' for read");
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("wal: read error on '" + path + "'");
+  }
+  return ReadWalBytes(bytes);
+}
+
+}  // namespace critique

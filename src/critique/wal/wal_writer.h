@@ -1,0 +1,117 @@
+#ifndef CRITIQUE_WAL_WAL_WRITER_H_
+#define CRITIQUE_WAL_WAL_WRITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "critique/common/result.h"
+#include "critique/common/status.h"
+#include "critique/wal/wal_record.h"
+
+namespace critique {
+
+/// What "make it durable" means for a sync of the log device.
+enum class FsyncMode {
+  /// No durability barrier: buffered records reach the file only at
+  /// `SyncTo`-less shutdown (`Close`).  Ack-before-durable — benches
+  /// measuring pure engine cost with the log off the critical path.
+  kNone,
+  /// Write + flush the stdio stream per sync.  Honest ordering (a crash
+  /// of *this process* loses nothing synced) without modeling device
+  /// latency; the default.
+  kFlush,
+  /// kFlush plus a simulated device latency slept per physical sync —
+  /// the knob that makes group-commit batching measurable and
+  /// deterministic without real fsync(2) noise in CI.
+  kSimulated,
+};
+
+/// \brief Appends framed records to one log file.
+///
+/// Records are buffered in user space by `Append` and reach the file only
+/// at `SyncTo` — deliberately, because that is the crash model: a "crash"
+/// (abandoning the writer, or a failpoint killing it) loses exactly the
+/// unsynced suffix, so tests that reopen the file observe precisely what
+/// a kill -9 after the last sync would leave.  LSNs are 1-based record
+/// sequence numbers, not byte offsets.
+///
+/// Not thread-safe: `CommitLog` (the group-commit pipeline) serializes
+/// access; single-threaded tests and recovery use it directly.
+class WalWriter {
+ public:
+  /// Creates/truncates `path` — a fresh log.
+  static Result<WalWriter> Create(const std::string& path);
+
+  /// Opens `path` for appending after truncating it to `keep_bytes`
+  /// (recovery chops the torn tail it measured with `WalReader` before
+  /// new records are appended behind it).
+  static Result<WalWriter> OpenForAppend(const std::string& path,
+                                         uint64_t keep_bytes);
+
+  WalWriter(WalWriter&&) noexcept = default;
+  WalWriter& operator=(WalWriter&&) noexcept = default;
+
+  /// Flushes nothing: unsynced buffered records are *meant* to die with
+  /// the writer (crash semantics).  Call `Sync` first for a clean
+  /// shutdown.
+  ~WalWriter() = default;
+
+  /// Buffers `rec`; returns its LSN.  No durability implied.
+  uint64_t Append(const WalRecord& rec);
+
+  /// Highest LSN appended (durable or not).
+  uint64_t appended_lsn() const { return appended_lsn_; }
+
+  /// Highest LSN the file covers.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+
+  /// Moves the whole buffered suffix out for an exclusive syncer to
+  /// write; returns {covered lsn, bytes}.  `CommitLog` stages under its
+  /// mutex and writes outside it, so appenders keep buffering while the
+  /// "device" is busy.
+  std::pair<uint64_t, std::string> StagePending();
+
+  /// Writes staged bytes + flushes per `mode` (and sleeps `latency` in
+  /// kSimulated mode), then advances `durable_lsn` to `staged_lsn`.
+  /// Only one thread may be inside at a time.
+  Status WriteStaged(const std::string& bytes, uint64_t staged_lsn,
+                     FsyncMode mode, std::chrono::microseconds latency);
+
+  /// Stage + write in one call (single-threaded use).
+  Status Sync(FsyncMode mode = FsyncMode::kFlush,
+              std::chrono::microseconds latency = {});
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::FILE* f)
+      : path_(std::move(path)), file_(f) {}
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string buffer_;          ///< appended-but-unsynced framed records
+  uint64_t appended_lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
+};
+
+/// \brief Reads a whole log file, tolerating a torn tail.
+struct WalReader {
+  /// Parses `path`.  A missing file reads as an empty log (first boot);
+  /// real I/O errors surface as a Status.  Corruption never fails: it
+  /// marks `torn_tail` and shortens the prefix (see `ReadWalBytes`).
+  static Result<WalReadResult> ReadFile(const std::string& path);
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_WAL_WAL_WRITER_H_
