@@ -1,0 +1,298 @@
+// The C10K claim, measured: how many *open* transactions a handful of
+// worker threads can carry, and how fast they drain.
+//
+//   bench_sessions [--sessions N] [--workers W] [--steps S]
+//                  [--hot-sessions H] [--hot-keys K]
+//                  [--durable-sessions D] [--fsync-us U]
+//                  [--json PATH] [--quiet]
+//
+// Three timed sections, all driven through `SessionExecutor`:
+//
+//   open     N sessions (default 100,000) of S disjoint-key increment
+//            steps each, Snapshot Isolation, held open behind a commit
+//            barrier: no session commits until every submitted session
+//            has begun, so the advertised count is genuinely open
+//            *simultaneously* — `peak_open_sessions >= N` is asserted,
+//            not assumed.  Then the barrier lifts and the drain is
+//            timed.  open_sessions_per_sec is the gated headline.
+//   hot      H sessions (default 2,000) blind-writing K hot keys under
+//            locking SERIALIZABLE: almost every step parks on a lock and
+//            resumes via the release-notification hook.  The park /
+//            wakeup / steal counters are reported so a regression to
+//            polling (or a fairness collapse) is visible, and
+//            hot_sessions_per_sec gates the wakeup path's throughput.
+//   durable  D sessions (default 5,000), disjoint keys, with a WAL in
+//            group-commit mode against a simulated device sleeping
+//            --fsync-us per sync: workers that reach Commit together
+//            share one physical sync, composing the executor with the
+//            durability pipeline.  The sync/batch counters prove the
+//            batching happened.
+//
+// Every section reconciles exactly — committed == submitted, failed == 0,
+// and the open section spot-checks final key values — and the binary
+// exits nonzero on any mismatch, so the perf gate cannot pass on a run
+// that silently lost sessions.
+//
+// All JSON rate keys end in `_per_sec` so the regression gate treats them
+// uniformly as higher-is-better floors.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "critique/common/json_writer.h"
+#include "critique/db/database.h"
+#include "critique/sched/session_executor.h"
+
+namespace critique {
+namespace {
+
+struct Config {
+  uint64_t sessions = 100000;
+  int workers = 8;
+  uint64_t steps = 1;
+  uint64_t hot_sessions = 2000;
+  uint64_t hot_keys = 16;
+  uint64_t durable_sessions = 5000;
+  int64_t fsync_us = 100;
+  bool quiet = false;
+};
+
+struct Results {
+  double open_sessions_per_sec = 0;
+  uint64_t open_peak = 0;
+  double hot_sessions_per_sec = 0;
+  SessionExecutorStats hot_stats;
+  double durable_sessions_per_sec = 0;
+  GroupCommitStats durable_wal;
+  bool ok = true;  ///< every section reconciled exactly
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void Fail(Results* r, const char* section, const std::string& what) {
+  std::fprintf(stderr, "bench_sessions: %s: %s\n", section, what.c_str());
+  r->ok = false;
+}
+
+Status IncrementStep(Transaction& txn, const ItemId& key) {
+  return txn.Update(key, [](const std::optional<Row>& row) {
+    const int64_t v = row.has_value() && !row->scalar().is_null()
+                          ? row->scalar().AsInt()
+                          : 0;
+    return Row::Scalar(Value(v + 1));
+  });
+}
+
+DbOptions CoopOptions(IsolationLevel level) {
+  DbOptions opt(level);
+  opt.mode = ConcurrencyMode::kCooperative;
+  opt.retry_policy = std::make_shared<LimitedRetryPolicy>(1 << 20, 0);
+  return opt;
+}
+
+/// N sessions held open simultaneously (commit barrier), then drained.
+void BenchOpen(const Config& cfg, Results* r) {
+  Database db(CoopOptions(IsolationLevel::kSnapshotIsolation));
+  SessionExecutorOptions opt;
+  opt.workers = cfg.workers;
+  opt.start_paused = true;
+  opt.commit_barrier = cfg.sessions;
+  SessionExecutor ex(db, opt);
+  for (uint64_t i = 0; i < cfg.sessions; ++i) {
+    const ItemId key = "open-" + std::to_string(i);
+    ex.Submit(cfg.steps, [key](Transaction& txn, uint64_t) {
+      return IncrementStep(txn, key);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  ex.Resume();
+  ex.Drain();
+  r->open_sessions_per_sec = static_cast<double>(cfg.sessions) / Seconds(t0);
+
+  const SessionExecutorStats st = ex.stats();
+  r->open_peak = st.peak_open_sessions;
+  if (st.peak_open_sessions < cfg.sessions) {
+    Fail(r, "open",
+         "peak_open_sessions " + std::to_string(st.peak_open_sessions) +
+             " < sessions " + std::to_string(cfg.sessions));
+  }
+  if (st.committed != cfg.sessions || st.failed != 0) {
+    Fail(r, "open", "reconciliation: " + st.ToString());
+  }
+  for (uint64_t i = 0; i < cfg.sessions; i += 997) {
+    Transaction t = db.Begin();
+    auto v = t.GetScalar("open-" + std::to_string(i));
+    const int64_t want = static_cast<int64_t>(cfg.steps);
+    if (!v.ok() || v->AsInt() != want) {
+      Fail(r, "open", "key open-" + std::to_string(i) + " != steps");
+    }
+    (void)t.Commit();
+  }
+}
+
+/// H sessions fighting over K keys: the park/wakeup path under load.
+void BenchHot(const Config& cfg, Results* r) {
+  Database db(CoopOptions(IsolationLevel::kSerializable));
+  for (uint64_t k = 0; k < cfg.hot_keys; ++k) {
+    (void)db.Load("hot-" + std::to_string(k), Value(0));
+  }
+  SessionExecutorOptions opt;
+  opt.workers = cfg.workers;
+  opt.start_paused = true;
+  SessionExecutor ex(db, opt);
+  for (uint64_t i = 0; i < cfg.hot_sessions; ++i) {
+    const ItemId key = "hot-" + std::to_string(i % cfg.hot_keys);
+    ex.Submit(cfg.steps, [key, i](Transaction& txn, uint64_t) {
+      return txn.Put(key, Value(static_cast<int64_t>(i)));
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  ex.Resume();
+  ex.Drain();
+  r->hot_sessions_per_sec =
+      static_cast<double>(cfg.hot_sessions) / Seconds(t0);
+  r->hot_stats = ex.stats();
+  if (r->hot_stats.committed != cfg.hot_sessions ||
+      r->hot_stats.failed != 0) {
+    Fail(r, "hot", "reconciliation: " + r->hot_stats.ToString());
+  }
+}
+
+/// D sessions with a group-commit WAL on a simulated slow device.
+void BenchDurable(const Config& cfg, Results* r) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_sessions_" + std::to_string(::getpid()) + ".wal"))
+          .string();
+  {
+    DbOptions dbo = CoopOptions(IsolationLevel::kSnapshotIsolation);
+    dbo.wal_path = path;
+    dbo.group_commit = true;
+    dbo.fsync_mode = FsyncMode::kSimulated;
+    dbo.fsync_latency = std::chrono::microseconds(cfg.fsync_us);
+    Database db(dbo);
+    SessionExecutorOptions opt;
+    opt.workers = cfg.workers;
+    SessionExecutor ex(db, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < cfg.durable_sessions; ++i) {
+      const ItemId key = "dur-" + std::to_string(i);
+      ex.Submit(cfg.steps, [key](Transaction& txn, uint64_t) {
+        return IncrementStep(txn, key);
+      });
+    }
+    ex.Drain();
+    r->durable_sessions_per_sec =
+        static_cast<double>(cfg.durable_sessions) / Seconds(t0);
+    const SessionExecutorStats st = ex.stats();
+    if (st.committed != cfg.durable_sessions || st.failed != 0) {
+      Fail(r, "durable", "reconciliation: " + st.ToString());
+    }
+    if (db.wal() != nullptr) r->durable_wal = db.wal()->stats();
+  }
+  std::filesystem::remove(path);
+}
+
+void PrintHuman(const Config& cfg, const Results& r) {
+  std::printf(
+      "bench_sessions: %llu sessions on %d workers (%llu step%s each)\n",
+      static_cast<unsigned long long>(cfg.sessions), cfg.workers,
+      static_cast<unsigned long long>(cfg.steps), cfg.steps == 1 ? "" : "s");
+  std::printf(
+      "  open     %12.0f sessions/sec   peak open %llu\n",
+      r.open_sessions_per_sec, static_cast<unsigned long long>(r.open_peak));
+  std::printf(
+      "  hot      %12.0f sessions/sec   parks %llu  wakeups %llu  "
+      "steals %llu  retries %llu\n",
+      r.hot_sessions_per_sec,
+      static_cast<unsigned long long>(r.hot_stats.parks),
+      static_cast<unsigned long long>(r.hot_stats.wakeups),
+      static_cast<unsigned long long>(r.hot_stats.steals),
+      static_cast<unsigned long long>(r.hot_stats.retries));
+  std::printf(
+      "  durable  %12.0f sessions/sec   syncs %llu  batched %llu  "
+      "max batch %llu\n",
+      r.durable_sessions_per_sec,
+      static_cast<unsigned long long>(r.durable_wal.syncs),
+      static_cast<unsigned long long>(r.durable_wal.batched),
+      static_cast<unsigned long long>(r.durable_wal.max_batch));
+}
+
+std::string ToJson(const Config& cfg, const Results& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench"); w.String("sessions");
+  w.Key("sessions"); w.UInt(cfg.sessions);
+  w.Key("workers"); w.Int(cfg.workers);
+  w.Key("steps"); w.UInt(cfg.steps);
+  w.Key("hot_sessions"); w.UInt(cfg.hot_sessions);
+  w.Key("hot_keys"); w.UInt(cfg.hot_keys);
+  w.Key("durable_sessions"); w.UInt(cfg.durable_sessions);
+  w.Key("fsync_us"); w.Int(cfg.fsync_us);
+  w.Key("open_sessions_per_sec"); w.Double(r.open_sessions_per_sec);
+  w.Key("open_peak_sessions"); w.UInt(r.open_peak);
+  w.Key("hot_sessions_per_sec"); w.Double(r.hot_sessions_per_sec);
+  w.Key("hot_parks"); w.UInt(r.hot_stats.parks);
+  w.Key("hot_wakeups"); w.UInt(r.hot_stats.wakeups);
+  w.Key("hot_steals"); w.UInt(r.hot_stats.steals);
+  w.Key("hot_retries"); w.UInt(r.hot_stats.retries);
+  w.Key("durable_sessions_per_sec"); w.Double(r.durable_sessions_per_sec);
+  w.Key("durable_syncs"); w.UInt(r.durable_wal.syncs);
+  w.Key("durable_batched"); w.UInt(r.durable_wal.batched);
+  w.Key("durable_max_batch"); w.UInt(r.durable_wal.max_batch);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+}  // namespace critique
+
+int main(int argc, char** argv) {
+  using namespace critique;
+  using namespace critique::bench;
+
+  Config cfg;
+  auto json_path = TakeJsonFlag(argc, argv);
+  cfg.sessions =
+      static_cast<uint64_t>(TakeIntFlag(argc, argv, "--sessions", 100000));
+  cfg.workers = static_cast<int>(TakeIntFlag(argc, argv, "--workers", 8));
+  cfg.steps = static_cast<uint64_t>(TakeIntFlag(argc, argv, "--steps", 1));
+  cfg.hot_sessions = static_cast<uint64_t>(
+      TakeIntFlag(argc, argv, "--hot-sessions", 2000));
+  cfg.hot_keys =
+      static_cast<uint64_t>(TakeIntFlag(argc, argv, "--hot-keys", 16));
+  cfg.durable_sessions = static_cast<uint64_t>(
+      TakeIntFlag(argc, argv, "--durable-sessions", 5000));
+  cfg.fsync_us = TakeIntFlag(argc, argv, "--fsync-us", 100);
+  cfg.quiet = TakeBoolFlag(argc, argv, "--quiet");
+  if (argc > 1) {
+    std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+    return 2;
+  }
+  if (cfg.workers < 1 || cfg.sessions < 1 || cfg.steps < 1 ||
+      cfg.hot_keys < 1) {
+    std::fprintf(stderr,
+                 "--workers, --sessions, --steps, --hot-keys must be >= 1\n");
+    return 2;
+  }
+
+  Results r;
+  BenchOpen(cfg, &r);
+  BenchHot(cfg, &r);
+  BenchDurable(cfg, &r);
+
+  if (!cfg.quiet) PrintHuman(cfg, r);
+  if (json_path.has_value()) {
+    WriteJsonFile(*json_path, ToJson(cfg, r));
+  }
+  return r.ok ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// The C10K shape in miniature: thousands of open transactions driven by
+// four worker threads through the `SessionExecutor`.  Each session is a
+// tiny transfer program — debit one account, credit another — written as
+// a resumable step function; sessions that hit a lock conflict park (no
+// thread waits on them) and resume when the lock manager's release hook
+// fires, and deadlock victims restart through the retry policy.  At the
+// end the money is counted: multiplexing must not invent or lose a cent.
+//
+// Build & run:  ./build/example_many_sessions
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "critique/db/database.h"
+#include "critique/sched/session_executor.h"
+
+using namespace critique;
+
+namespace {
+
+constexpr int kAccounts = 64;
+constexpr int kSessions = 5000;
+constexpr int64_t kInitial = 1000;
+
+std::string Account(int i) { return "acct-" + std::to_string(i); }
+
+Status Transfer(Transaction& txn, const ItemId& from, const ItemId& to,
+                uint64_t step) {
+  const ItemId& key = step == 0 ? from : to;
+  const int64_t delta = step == 0 ? -1 : +1;
+  return txn.Update(key, [delta](const std::optional<Row>& row) {
+    return Row::Scalar(Value(row->scalar().AsInt() + delta));
+  });
+}
+
+}  // namespace
+
+int main() {
+  DbOptions opt(IsolationLevel::kSerializable);
+  opt.mode = ConcurrencyMode::kCooperative;  // sessions answer kWouldBlock
+  // Read-modify-write transfers upgrade S -> X on hot accounts, so
+  // deadlock victims are routine here; exponential backoff keeps the
+  // retry storm from collapsing into a livelock at this session count.
+  opt.retry_policy = std::make_shared<ExponentialBackoffRetryPolicy>(
+      /*max_txn_retries=*/1 << 20);
+  Database db(opt);
+  for (int i = 0; i < kAccounts; ++i) {
+    if (!db.Load(Account(i), Value(kInitial)).ok()) return 1;
+  }
+
+  SessionExecutorOptions exec_opt;
+  exec_opt.workers = 4;
+  SessionExecutor executor(db, exec_opt);
+  for (int i = 0; i < kSessions; ++i) {
+    const ItemId from = Account(i % kAccounts);
+    const ItemId to = Account((i * 7 + 1) % kAccounts);
+    if (from == to) continue;
+    executor.Submit(2, [from, to](Transaction& txn, uint64_t step) {
+      return Transfer(txn, from, to, step);
+    });
+  }
+  executor.Drain();
+
+  const SessionExecutorStats stats = executor.stats();
+  std::printf("%s\n", stats.ToString().c_str());
+
+  int64_t total = 0;
+  Transaction audit = db.Begin();
+  for (int i = 0; i < kAccounts; ++i) {
+    auto v = audit.GetScalar(Account(i));
+    if (!v.ok()) return 1;
+    total += v->AsInt();
+  }
+  if (!audit.Commit().ok()) return 1;
+
+  const int64_t expected = int64_t{kAccounts} * kInitial;
+  std::printf("audit: %lld across %d accounts (expected %lld)\n",
+              static_cast<long long>(total), kAccounts,
+              static_cast<long long>(expected));
+  if (total != expected || stats.failed != 0 ||
+      stats.committed != stats.submitted) {
+    std::fprintf(stderr, "RECONCILIATION FAILED\n");
+    return 1;
+  }
+  std::printf("every transfer committed exactly once; money conserved\n");
+  return 0;
+}

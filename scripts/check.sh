@@ -11,7 +11,8 @@
 #   --asan   build and test under AddressSanitizer
 #   --bench  build, run the perf-regression benches (bench_lock_manager,
 #            bench_mvcc_store, bench_throughput, bench_sharding,
-#            bench_wal) with the pinned baseline configurations, and gate
+#            bench_wal, bench_sessions) with the pinned baseline
+#            configurations, and gate
 #            the JSON against the committed BENCH_*.json baselines via
 #            scripts/bench_gate.py (tolerance via BENCH_GATE_TOLERANCE,
 #            default 0.5 = fail on >50% regression).  See
@@ -113,6 +114,9 @@ if [[ "$BENCH" -eq 1 ]]; then
   "$BUILD_DIR"/bench_wal --appends 100000 --syncs 2000 --threads 4 \
     --commits 50 --fsync-us 200 --replay-txns 5000 --quiet \
     --json "$BUILD_DIR/BENCH_wal.json"
+  "$BUILD_DIR"/bench_sessions --sessions 100000 --workers 8 \
+    --hot-sessions 2000 --hot-keys 16 --durable-sessions 5000 \
+    --fsync-us 100 --quiet --json "$BUILD_DIR/BENCH_sessions.json"
 
   python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
   python3 scripts/bench_gate.py BENCH_mvcc.json "$BUILD_DIR/BENCH_mvcc.json"
@@ -121,6 +125,8 @@ if [[ "$BENCH" -eq 1 ]]; then
   python3 scripts/bench_gate.py BENCH_sharding.json \
     "$BUILD_DIR/BENCH_sharding.json"
   python3 scripts/bench_gate.py BENCH_wal.json "$BUILD_DIR/BENCH_wal.json"
+  python3 scripts/bench_gate.py BENCH_sessions.json \
+    "$BUILD_DIR/BENCH_sessions.json"
   echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
   exit 0
 fi

@@ -246,6 +246,14 @@ Rng Database::ForkRng() {
   return Rng(rng_.Next());
 }
 
+void Database::SetLockWakeupHook(std::function<void(TxnId)> hook) {
+  CheckOrDie(open_transactions() == 0,
+             "SetLockWakeupHook while transactions are open");
+  EngineConcurrency c = engine_->concurrency();
+  c.lock_wakeup = std::move(hook);
+  engine_->SetConcurrency(c);
+}
+
 std::optional<Timestamp> Database::CurrentTimestamp() const {
   return engine_->SnapshotTimestamp();
 }

@@ -31,10 +31,15 @@ using EngineFactory = std::function<std::unique_ptr<Engine>()>;
 /// How sessions resolve lock conflicts (see `Database` thread-safety
 /// notes).
 enum class ConcurrencyMode {
-  /// Single-threaded cooperative protocol: conflicting operations answer
-  /// `kWouldBlock` and the caller (typically the step-wise `Runner`)
-  /// decides when to retry.  The default, and the mode every paper
-  /// schedule runs under.
+  /// Cooperative protocol: conflicting operations answer `kWouldBlock`
+  /// and the caller decides when to retry — the step-wise `Runner` on one
+  /// thread (the default, and the mode every paper schedule runs under),
+  /// or the `SessionExecutor`, which multiplexes many parked sessions
+  /// over a few workers and retries on lock-release wakeups
+  /// (`SetLockWakeupHook`).  The "one session per thread at a time"
+  /// contract from the thread-safety notes applies unchanged: handles may
+  /// hop threads between steps, they just cannot be driven from two at
+  /// once.
   kCooperative,
   /// Thread-safe blocking protocol: conflicting operations park the
   /// calling thread in the lock manager (deadlock detection + lock-wait
@@ -110,6 +115,8 @@ struct DbOptions {
   FsyncMode fsync_mode = FsyncMode::kFlush;
 
   /// kSimulated only: modeled device latency per physical sync.
+  /// (kFsync — real fsync(2)/fdatasync per physical sync, power-loss
+  /// durability — is also selectable here; see `FsyncMode`.)
   std::chrono::microseconds fsync_latency{25};
 };
 
@@ -153,8 +160,13 @@ struct DbOptions {
 ///  * Construction, destruction, and moves are not thread-safe; finish
 ///    all sessions first (moves assert no transaction is open).
 ///
-/// In the default `kCooperative` mode the facade is single-threaded and
-/// conflicting operations answer `kWouldBlock` for the schedule to retry.
+/// In the default `kCooperative` mode conflicting operations answer
+/// `kWouldBlock` for the caller to retry.  The classic driver is the
+/// single-threaded `Runner`; the same "one session per thread at a time"
+/// contract also makes multi-worker cooperative driving safe — the
+/// `SessionExecutor` (sched layer) moves parked sessions between worker
+/// threads, each handle still touched by exactly one thread at any
+/// moment.
 ///
 /// Movable (so factories can return one by value) but must not be moved
 /// while transactions are open — open `Transaction` handles point back at
@@ -268,6 +280,17 @@ class Database {
   /// (mutex-guarded; safe from any thread).  Typical use: one fork per
   /// worker thread, taken before or after — never during — a run.
   Rng ForkRng();
+
+  /// Installs (or, with nullptr, removes) the lock-release wakeup hook on
+  /// the underlying engine (`EngineConcurrency::lock_wakeup`): in
+  /// cooperative mode, every operation that answers `kWouldBlock` first
+  /// registers its transaction for exactly one wakeup, and the hook fires
+  /// with that TxnId once a conflicting lock is released — the event a
+  /// scheduler parks the session on instead of polling.  Engines without
+  /// a lock table ignore it.  Must be called while no transaction is open
+  /// (aborts otherwise); the hook runs on releasing threads and must only
+  /// enqueue the id, never call back into this database.
+  void SetLockWakeupHook(std::function<void(TxnId)> hook);
 
   /// SPI escape hatch for engine-specific maintenance and tests.  Clients
   /// of the session API should not need it.

@@ -71,6 +71,18 @@ struct EngineConcurrency {
   /// hash-partitioned into (lock-based engines only; 1 = the old global
   /// table).  Applied when `SetConcurrency` runs, i.e. before any session.
   size_t lock_stripes = LockManager::kDefaultStripes;
+
+  /// Cooperative mode only: release-notification hook for lock-based
+  /// engines (`LockManager::SetWakeupHook`).  When set, every operation
+  /// that answers `kWouldBlock` has first registered the transaction for
+  /// exactly one wakeup — the hook fires with its TxnId once a conflicting
+  /// lock is released, so a scheduler can park the session instead of
+  /// polling through timed retries.  The hook runs on the releasing
+  /// thread, outside lock-table latches but possibly under engine latches:
+  /// it must only hand the id to a queue, never call back into the engine.
+  /// Engines without a lock table ignore it (they never answer
+  /// `kWouldBlock`).
+  std::function<void(TxnId)> lock_wakeup;
 };
 
 /// What a multiversion engine does with versions no live snapshot can see.

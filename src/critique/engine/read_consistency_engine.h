@@ -50,6 +50,7 @@ class ReadConsistencyEngine : public Engine {
   void SetConcurrency(EngineConcurrency c) override {
     Engine::SetConcurrency(c);
     (void)lock_manager_.SetStripeCount(c.lock_stripes);
+    lock_manager_.SetWakeupHook(concurrency().lock_wakeup);
   }
 
   Status Load(const ItemId& id, Row row) override;

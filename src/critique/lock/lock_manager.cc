@@ -101,6 +101,112 @@ bool LockManager::SetStripeCount(size_t stripes) {
   return true;
 }
 
+void LockManager::SetWakeupHook(std::function<void(TxnId)> hook) {
+  // Quiescent-configuration contract (see the header): grabbing every
+  // latch is belt-and-braces so a hook swap can never tear a concurrent
+  // release's probe/invoke pair.
+  auto all = LockAllBuckets();
+  std::lock_guard<std::mutex> gl(graph_mu_);
+  wakeup_hook_ = std::move(hook);
+  has_wakeup_hook_.store(static_cast<bool>(wakeup_hook_),
+                         std::memory_order_release);
+}
+
+void LockManager::RegisterCoopWaiterLocked(const LockSpec& spec) {
+  DeregisterCoopLocked(spec.txn);  // at most one live registration per txn
+  const uint64_t seq = ++coop_next_seq_;
+  coop_seq_[spec.txn] = seq;
+  coop_waiter_count_.fetch_add(1, std::memory_order_relaxed);
+  // Deadlock detection recomputes a registered waiter's edges live from
+  // this spec, exactly like a thread parked inside Acquire.
+  waiting_[spec.txn] = spec;
+  if (spec.is_item) {
+    buckets_[BucketOf(spec.item)]->coop_waiters.push_back(
+        CoopWaiter{spec.txn, seq, spec});
+  } else {
+    coop_pred_waiters_.push_back(CoopWaiter{spec.txn, seq, spec});
+  }
+  stat_coop_parks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LockManager::DeregisterCoopLocked(TxnId txn) {
+  auto it = coop_seq_.find(txn);
+  if (it == coop_seq_.end()) return;
+  coop_seq_.erase(it);
+  coop_waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+  waiting_.erase(txn);
+  EraseEdgesLocked(txn);
+}
+
+void LockManager::CollectCoopWakeupsLocked(const LockSpec& released,
+                                           Bucket* bucket,
+                                           std::vector<TxnId>& out) {
+  // Prune stale entries, then gather live waiters the released lock may
+  // have been blocking.
+  std::vector<const CoopWaiter*> cand;
+  auto scan = [&](std::vector<CoopWaiter>& list) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const CoopWaiter& w) {
+                                auto live = coop_seq_.find(w.txn);
+                                return live == coop_seq_.end() ||
+                                       live->second != w.seq;
+                              }),
+               list.end());
+    for (const CoopWaiter& w : list) {
+      if (SpecsConflict(released, w.spec)) cand.push_back(&w);
+    }
+  };
+  if (bucket != nullptr) {
+    scan(bucket->coop_waiters);
+  } else {
+    for (const auto& b : buckets_) scan(b->coop_waiters);
+  }
+  scan(coop_pred_waiters_);
+  if (cand.empty()) return;
+  std::sort(cand.begin(), cand.end(),
+            [](const CoopWaiter* a, const CoopWaiter* b) {
+              return a->seq < b->seq;
+            });
+  // FIFO per conflict group: waiters on the same item form one queue —
+  // wake its head and, when the head wants S, the later S waiters up to
+  // the first X (readers admit together; a writer drains alone).  The
+  // suppressed rest keep their registrations: the woken head either
+  // acquires the item (its later release resumes the queue) or hits a
+  // deadlock verdict, which implies a surviving conflicting holder whose
+  // release does.  Predicate waiters are each their own group — a
+  // predicate's conflicts span items, so suppressing one behind a waiter
+  // on a single item could strand it.
+  std::vector<TxnId> woken;
+  std::map<ItemId, bool> group_closed;  // item -> stop admitting
+  for (const CoopWaiter* w : cand) {
+    if (!w->spec.is_item) {
+      woken.push_back(w->txn);
+      continue;
+    }
+    auto [it, is_head] = group_closed.emplace(w->spec.item, false);
+    if (is_head) {
+      woken.push_back(w->txn);
+      it->second = w->spec.mode == LockMode::kExclusive;
+    } else if (!it->second) {
+      if (w->spec.mode == LockMode::kShared) {
+        woken.push_back(w->txn);
+      } else {
+        it->second = true;
+      }
+    }
+  }
+  for (TxnId t : woken) {
+    DeregisterCoopLocked(t);
+    out.push_back(t);
+  }
+}
+
+void LockManager::NotifyCoopWaiters(const std::vector<TxnId>& wake) {
+  if (wake.empty()) return;
+  stat_wakeups_.fetch_add(wake.size(), std::memory_order_relaxed);
+  for (TxnId t : wake) wakeup_hook_(t);
+}
+
 size_t LockManager::BucketOf(const ItemId& id) const {
   // FNV-1a over the item bytes, then a splitmix64-style finalizer.  The
   // finalizer matters: ShardRouter partitions by the same FNV-1a hash
@@ -273,13 +379,24 @@ Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
   std::lock_guard<std::mutex> gl(graph_mu_);
   std::vector<TxnId> blockers = BlockersGlobalLocked(spec);
   if (blockers.empty()) {
+    if (coop_waiter_count_.load(std::memory_order_relaxed) > 0) {
+      DeregisterCoopLocked(spec.txn);  // re-run raced the wakeup: cancel
+    }
     EraseEdgesLocked(spec.txn);
     return spec.is_item ? GrantItemLocked(BucketOf(spec.item), spec)
                         : GrantPredLocked(spec);
   }
+  // Register for a wakeup BEFORE recording edges: registration clears any
+  // previous registration, and that cleanup also erases the txn's edges.
+  // Registration and the WouldBlock answer happen under the same latches,
+  // so the conflicting holders cannot release in between — the wakeup
+  // cannot be lost.
+  const bool coop_hook = has_wakeup_hook_.load(std::memory_order_acquire);
+  if (coop_hook) RegisterCoopWaiterLocked(spec);
   RecordEdgesLocked(spec.txn, blockers);
   if (WouldDeadlockLocked(spec.txn)) {
     stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+    if (coop_hook) DeregisterCoopLocked(spec.txn);
     EraseEdgesLocked(spec.txn);
     return Status::Deadlock("deadlock: T" + std::to_string(spec.txn) +
                             " waits on" + JoinTxns(blockers));
@@ -387,6 +504,7 @@ void LockManager::Release(LockHandle handle) {
   if (handle == 0) return;
   const uint64_t tag = handle & ((1u << kBucketTagBits) - 1);
   bool erased = false;
+  std::vector<TxnId> wake;
   if (tag == kPredTag) {
     // Predicate release: side-table mutation needs the global view; every
     // bucket's waiters might have been blocked by it.
@@ -395,10 +513,15 @@ void LockManager::Release(LockHandle handle) {
         pred_held_.begin(), pred_held_.end(),
         [&](const HeldLock& h) { return h.handle == handle; });
     if (it != pred_held_.end()) {
+      LockSpec released = std::move(it->spec);
       pred_held_.erase(it);
       erased = true;
       for (const auto& b : buckets_) {
         if (b->waiters > 0) b->cv.notify_all();
+      }
+      if (coop_waiter_count_.load(std::memory_order_relaxed) > 0) {
+        std::lock_guard<std::mutex> gl(graph_mu_);
+        CollectCoopWakeupsLocked(released, nullptr, wake);
       }
     }
   } else {
@@ -410,9 +533,17 @@ void LockManager::Release(LockHandle handle) {
       return h.handle == handle;
     });
     if (it != b.held.end()) {
+      LockSpec released = std::move(it->spec);
       b.held.erase(it);
       erased = true;
       if (b.waiters > 0) b.cv.notify_all();
+      if (coop_waiter_count_.load(std::memory_order_relaxed) > 0) {
+        // Bucket-before-graph is the latch order, so this nests cleanly;
+        // an item's cooperative waiters all live in this bucket's list,
+        // and the (graph-guarded) predicate wait list is scanned too.
+        std::lock_guard<std::mutex> gl(graph_mu_);
+        CollectCoopWakeupsLocked(released, &b, wake);
+      }
     }
   }
   if (erased) {
@@ -424,6 +555,7 @@ void LockManager::Release(LockHandle handle) {
       buckets_[0]->cv.notify_all();
     }
   }
+  NotifyCoopWaiters(wake);  // outside every lock-table latch
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
@@ -433,13 +565,25 @@ void LockManager::ReleaseAll(TxnId txn) {
     std::lock_guard<std::mutex> bl(buckets_[0]->mu);
     any_pred = !pred_held_.empty();
   }
+  const bool coop = coop_waiter_count_.load(std::memory_order_relaxed) > 0;
+  std::vector<TxnId> wake;
+  // Hand-rolled compaction (remove_if would need a side-effecting
+  // predicate) that also hands back the released specs when cooperative
+  // waiters may need waking.
+  std::vector<LockSpec> dropped;
   auto erase_from = [&](std::vector<HeldLock>& held) {
-    size_t before = held.size();
-    held.erase(std::remove_if(
-                   held.begin(), held.end(),
-                   [&](const HeldLock& h) { return h.spec.txn == txn; }),
-               held.end());
-    return before - held.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < held.size(); ++i) {
+      if (held[i].spec.txn == txn) {
+        if (coop) dropped.push_back(std::move(held[i].spec));
+      } else {
+        if (kept != i) held[kept] = std::move(held[i]);
+        ++kept;
+      }
+    }
+    const size_t n = held.size() - kept;
+    held.resize(kept);
+    return n;
   };
   if (any_pred) {
     // The transaction may hold predicate locks: take the global view once.
@@ -456,32 +600,51 @@ void LockManager::ReleaseAll(TxnId txn) {
         if (b->waiters > 0) b->cv.notify_all();
       }
     }
+    if (coop && !dropped.empty()) {
+      std::lock_guard<std::mutex> gl(graph_mu_);
+      for (const LockSpec& spec : dropped) {
+        CollectCoopWakeupsLocked(spec, nullptr, wake);
+      }
+    }
   } else {
     // Common case (no predicate locks anywhere): one bucket at a time.
     for (const auto& b : buckets_) {
       std::lock_guard<std::mutex> bl(b->mu);
+      dropped.clear();
       size_t n = erase_from(b->held);
       erased += n;
       if (n != 0 && b->waiters > 0) b->cv.notify_all();
+      if (coop && !dropped.empty()) {
+        std::lock_guard<std::mutex> gl(graph_mu_);
+        for (const LockSpec& spec : dropped) {
+          CollectCoopWakeupsLocked(spec, b.get(), wake);
+        }
+      }
     }
   }
   stat_released_.fetch_add(erased, std::memory_order_relaxed);
   if (erased != 0 && pred_waiters_.load(std::memory_order_relaxed) > 0) {
     buckets_[0]->cv.notify_all();
   }
-  // Clear the transaction's edges, and edges other transactions recorded
-  // against it (they will recompute on their next attempt/recheck).
-  std::lock_guard<std::mutex> gl(graph_mu_);
-  EraseEdgesLocked(txn);
-  for (auto it = waits_for_.begin(); it != waits_for_.end();) {
-    it->second.erase(txn);
-    if (it->second.empty()) {
-      it = waits_for_.erase(it);
-      edge_txns_.fetch_sub(1, std::memory_order_relaxed);
-    } else {
-      ++it;
+  {
+    // Clear the transaction's own registration (a parked session being
+    // rolled back must not linger in the wait lists), its edges, and edges
+    // other transactions recorded against it (they will recompute on their
+    // next attempt/recheck).
+    std::lock_guard<std::mutex> gl(graph_mu_);
+    DeregisterCoopLocked(txn);
+    EraseEdgesLocked(txn);
+    for (auto it = waits_for_.begin(); it != waits_for_.end();) {
+      it->second.erase(txn);
+      if (it->second.empty()) {
+        it = waits_for_.erase(it);
+        edge_txns_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
+  NotifyCoopWaiters(wake);  // outside every lock-table latch
 }
 
 std::vector<TxnId> LockManager::Blockers(const LockSpec& spec) const {
@@ -519,6 +682,8 @@ LockStats LockManager::stats() const {
   s.deadlocks = stat_deadlocks_.load(std::memory_order_relaxed);
   s.released = stat_released_.load(std::memory_order_relaxed);
   s.timeouts = stat_timeouts_.load(std::memory_order_relaxed);
+  s.coop_parks = stat_coop_parks_.load(std::memory_order_relaxed);
+  s.wakeups = stat_wakeups_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -71,6 +72,8 @@ struct LockStats {
   uint64_t deadlocks = 0;
   uint64_t released = 0;
   uint64_t timeouts = 0;  ///< blocking acquires that hit the wait timeout
+  uint64_t coop_parks = 0;  ///< cooperative waiters registered for a wakeup
+  uint64_t wakeups = 0;     ///< release notifications delivered to the hook
 };
 
 /// \brief A striped lock table with item and predicate locks, a waits-for
@@ -160,6 +163,39 @@ class LockManager {
       const LockSpec& spec, std::chrono::milliseconds timeout,
       std::chrono::milliseconds recheck = std::chrono::milliseconds(50));
 
+  /// \brief Installs the cooperative release-notification hook (the sched
+  /// layer's event-driven park/wakeup path; nullptr uninstalls).
+  ///
+  /// With a hook installed, a `TryAcquire` that answers `WouldBlock`
+  /// registers the requester on its item's bucket wait list (predicate
+  /// specs on a global list) *under the same latches as the conflict
+  /// decision itself* — the atomicity that makes the path lost-wakeup
+  /// free: no release can slip between "conflict seen" and "waiter
+  /// visible".  Registrations are one-shot and FIFO.  When a conflicting
+  /// lock is released, the manager removes the longest-waiting conflicting
+  /// waiter — plus, when that head waiter wants Shared mode, every later
+  /// conflicting Shared waiter up to the first Exclusive one (reader
+  /// batching) — and invokes the hook once per removed waiter, outside
+  /// every lock-table latch.  A woken requester either acquires on its
+  /// retry or re-registers against whoever still holds the item, so a
+  /// conflicting holder always exists while anyone waits and the
+  /// notification chain never breaks; FIFO order is what keeps a hot item
+  /// from starving old waiters behind fresh arrivals.
+  ///
+  /// `ReleaseAll(txn)` cancels `txn`'s own registration (an aborted
+  /// requester never gets a stale notification) and wakes waiters for
+  /// every lock it drops.  A deadlock verdict never leaves a
+  /// registration behind (the victim retries through rollback, not
+  /// wakeup).  The hook may run under a caller's engine latch — releases
+  /// happen inside engine operations — and must not call back into the
+  /// lock manager; enqueueing the waiter with its own scheduler is the
+  /// intended body.
+  ///
+  /// Precondition: quiescent, exactly as `SetStripeCount` (install before
+  /// any session starts).  Without a hook — the default — nothing is
+  /// registered and every path keeps its old cost.
+  void SetWakeupHook(std::function<void(TxnId)> hook);
+
   /// Releases one granted lock (no-op on unknown handles).
   void Release(LockHandle handle);
 
@@ -195,6 +231,18 @@ class LockManager {
     LockSpec spec;
   };
 
+  /// A cooperative waiter registered for one wakeup (see SetWakeupHook).
+  /// An entry is live iff `coop_seq_.at(txn) == seq`: deregistration only
+  /// touches the graph-side maps, and stale list entries are pruned the
+  /// next time their list is scanned for wakeups (lazy invalidation keeps
+  /// `ReleaseAll` off buckets it would otherwise have to latch purely to
+  /// remove a registration).
+  struct CoopWaiter {
+    TxnId txn;
+    uint64_t seq;
+    LockSpec spec;
+  };
+
   /// One stripe: a latch, the item locks hashed here, and the condition
   /// variable its blocked acquirers park on.
   struct Bucket {
@@ -202,6 +250,9 @@ class LockManager {
     std::condition_variable cv;
     std::vector<HeldLock> held;
     int waiters = 0;  ///< parked Acquire calls (guarded by mu)
+    /// Cooperative waiters on items hashed here, in registration order
+    /// (guarded by mu for the list, graph_mu_ for liveness).
+    std::vector<CoopWaiter> coop_waiters;
   };
 
   size_t BucketOf(const ItemId& id) const;
@@ -243,6 +294,28 @@ class LockManager {
   LockHandle GrantItemLocked(size_t bi, const LockSpec& spec);
   LockHandle GrantPredLocked(const LockSpec& spec);
 
+  /// Registers `spec.txn` for one cooperative wakeup (at most one live
+  /// registration per transaction).  Requires every bucket latch plus the
+  /// graph mutex — the conflict path of `TryAcquire` holds both, which is
+  /// what makes registration atomic with the `WouldBlock` answer.
+  void RegisterCoopWaiterLocked(const LockSpec& spec);
+
+  /// Drops `txn`'s live registration, waiting entry, and edges (no-op
+  /// without one).  Requires the graph mutex; the list entry goes stale
+  /// and is pruned lazily.
+  void DeregisterCoopLocked(TxnId txn);
+
+  /// FIFO wakeup selection for one released `spec`: scans `bucket`'s wait
+  /// list (nullptr = every bucket's; the caller holds the corresponding
+  /// latches) plus the predicate wait list, prunes stale entries,
+  /// deregisters the chosen waiters, and appends them to `out`.  Requires
+  /// the graph mutex.
+  void CollectCoopWakeupsLocked(const LockSpec& released, Bucket* bucket,
+                                std::vector<TxnId>& out);
+
+  /// Delivers collected wakeups to the hook.  Call with NO latches held.
+  void NotifyCoopWaiters(const std::vector<TxnId>& wake);
+
   /// "item 'x'" / "predicate <p>" for conflict messages.
   static std::string Describe(const LockSpec& spec);
   static std::string JoinTxns(const std::vector<TxnId>& txns);
@@ -274,11 +347,30 @@ class LockManager {
 
   std::atomic<LockHandle> next_seq_{1};
 
+  // --- cooperative release notification (SetWakeupHook) --------------------
+
+  /// Cooperative waiters with predicate specs (guarded by graph_mu_).
+  std::vector<CoopWaiter> coop_pred_waiters_;
+  /// Live registrations: txn -> its current seq stamp (guarded by
+  /// graph_mu_) — the membership test stale list entries are pruned
+  /// against.
+  std::map<TxnId, uint64_t> coop_seq_;
+  uint64_t coop_next_seq_ = 0;  ///< guarded by graph_mu_
+  /// Fast probe ("anyone registered at all?") so releases skip the graph
+  /// mutex when the hook is unused or nobody waits.
+  std::atomic<int> coop_waiter_count_{0};
+  /// Written only by SetWakeupHook on a quiescent manager; invoked by
+  /// releases after probing has_wakeup_hook_.
+  std::function<void(TxnId)> wakeup_hook_;
+  std::atomic<bool> has_wakeup_hook_{false};
+
   std::atomic<uint64_t> stat_acquired_{0};
   std::atomic<uint64_t> stat_blocked_{0};
   std::atomic<uint64_t> stat_deadlocks_{0};
   std::atomic<uint64_t> stat_released_{0};
   std::atomic<uint64_t> stat_timeouts_{0};
+  std::atomic<uint64_t> stat_coop_parks_{0};
+  std::atomic<uint64_t> stat_wakeups_{0};
 };
 
 }  // namespace critique

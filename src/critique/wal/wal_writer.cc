@@ -64,6 +64,17 @@ Status WalWriter::WriteStaged(const std::string& bytes, uint64_t staged_lsn,
         latency > std::chrono::microseconds::zero()) {
       std::this_thread::sleep_for(latency);
     }
+    if (mode == FsyncMode::kFsync) {
+      // fdatasync suffices: recovery reads only file bytes the data sync
+      // covers, and the steadily-growing size reaches the inode with it.
+#if defined(__linux__)
+      if (::fdatasync(::fileno(file_.get())) != 0) {
+#else
+      if (::fsync(::fileno(file_.get())) != 0) {
+#endif
+        return Status::Internal("wal: fsync failed on '" + path_ + "'");
+      }
+    }
   }
   if (staged_lsn > durable_lsn_) durable_lsn_ = staged_lsn;
   return Status::OK();

@@ -28,6 +28,11 @@ enum class FsyncMode {
   /// the knob that makes group-commit batching measurable and
   /// deterministic without real fsync(2) noise in CI.
   kSimulated,
+  /// kFlush plus a real fdatasync(2) (fsync(2) where unavailable) of the
+  /// descriptor per physical sync: power-loss durability, not just
+  /// process-crash durability.  The honest production mode — and the one
+  /// that makes group commit pay off on a real device.
+  kFsync,
 };
 
 /// \brief Appends framed records to one log file.
