@@ -51,7 +51,8 @@ Database::Database(DbOptions options)
   if (!options.wal_path.empty()) {
     // A fresh database starts a fresh log (an existing file is an explicit
     // overwrite; restart-from-log is `Recover`).
-    Result<WalWriter> w = WalWriter::Create(options.wal_path);
+    Result<WalWriter> w =
+        WalWriter::Create(options.wal_path, options.fsync_mode);
     CheckOrDie(w.ok(), "could not create the WAL file");
     AttachWal(std::move(w).value(), options);
   }
@@ -67,7 +68,8 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
   ConfigureEngine(*engine_, options);
   track_snapshots_ = engine_->SnapshotTimestamp().has_value();
   if (!options.wal_path.empty()) {
-    Result<WalWriter> w = WalWriter::Create(options.wal_path);
+    Result<WalWriter> w =
+        WalWriter::Create(options.wal_path, options.fsync_mode);
     CheckOrDie(w.ok(), "could not create the WAL file");
     AttachWal(std::move(w).value(), options);
   }
@@ -102,7 +104,8 @@ Result<Database> Database::Recover(DbOptions options) {
   // same file: a later crash recovers through this log again.
   CRITIQUE_ASSIGN_OR_RETURN(
       WalWriter writer,
-      WalWriter::OpenForAppend(options.wal_path, wal.valid_bytes));
+      WalWriter::OpenForAppend(options.wal_path, wal.valid_bytes,
+                               options.fsync_mode));
   db.AttachWal(std::move(writer), options);
   db.wal_recovery_ = stats;
   db.recovered_ = true;

@@ -112,20 +112,44 @@ void LockManager::SetWakeupHook(std::function<void(TxnId)> hook) {
                          std::memory_order_release);
 }
 
+bool LockManager::StickyMatches(const StickySeq& s, const LockSpec& spec) {
+  if (s.is_item != spec.is_item || s.mode != spec.mode) return false;
+  return spec.is_item ? s.key == spec.item : s.key == spec.pred->ToString();
+}
+
 void LockManager::RegisterCoopWaiterLocked(const LockSpec& spec) {
   DeregisterCoopLocked(spec.txn);  // at most one live registration per txn
-  const uint64_t seq = ++coop_next_seq_;
+  // Seniority is per request, not per registration: a woken waiter that
+  // still conflicts (one of several S holders released) re-registers with
+  // its original seq, keeping its FIFO place instead of queueing behind
+  // arrivals that came while it was being woken.
+  uint64_t seq;
+  auto sticky = coop_sticky_.find(spec.txn);
+  if (sticky != coop_sticky_.end() && StickyMatches(sticky->second, spec)) {
+    seq = sticky->second.seq;
+  } else {
+    seq = ++coop_next_seq_;
+    coop_sticky_[spec.txn] =
+        StickySeq{seq, spec.is_item, spec.mode,
+                  spec.is_item ? spec.item : spec.pred->ToString()};
+  }
   coop_seq_[spec.txn] = seq;
   coop_waiter_count_.fetch_add(1, std::memory_order_relaxed);
   // Deadlock detection recomputes a registered waiter's edges live from
   // this spec, exactly like a thread parked inside Acquire.
   waiting_[spec.txn] = spec;
-  if (spec.is_item) {
-    buckets_[BucketOf(spec.item)]->coop_waiters.push_back(
-        CoopWaiter{spec.txn, seq, spec});
-  } else {
-    coop_pred_waiters_.push_back(CoopWaiter{spec.txn, seq, spec});
-  }
+  // Drop the txn's previous entries from the target list first: a reused
+  // seq would otherwise revive the stale entry of the last episode (same
+  // txn, same seq passes the liveness check) and wake the session twice.
+  // Same-request re-registration always targets the same list, so the
+  // other lists need no sweep — their entries carry retired seqs.
+  auto& list = spec.is_item ? buckets_[BucketOf(spec.item)]->coop_waiters
+                            : coop_pred_waiters_;
+  list.erase(
+      std::remove_if(list.begin(), list.end(),
+                     [&](const CoopWaiter& w) { return w.txn == spec.txn; }),
+      list.end());
+  list.push_back(CoopWaiter{spec.txn, seq, spec});
   stat_coop_parks_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -382,6 +406,7 @@ Result<LockHandle> LockManager::TryAcquire(const LockSpec& spec) {
     if (coop_waiter_count_.load(std::memory_order_relaxed) > 0) {
       DeregisterCoopLocked(spec.txn);  // re-run raced the wakeup: cancel
     }
+    coop_sticky_.erase(spec.txn);  // request granted: seniority retired
     EraseEdgesLocked(spec.txn);
     return spec.is_item ? GrantItemLocked(BucketOf(spec.item), spec)
                         : GrantPredLocked(spec);
@@ -565,8 +590,15 @@ void LockManager::ReleaseAll(TxnId txn) {
     std::lock_guard<std::mutex> bl(buckets_[0]->mu);
     any_pred = !pred_held_.empty();
   }
-  const bool coop = coop_waiter_count_.load(std::memory_order_relaxed) > 0;
   std::vector<TxnId> wake;
+  // Whether cooperative waiters may need waking.  Re-read under the
+  // latches before every erase, never cached across them: a first
+  // registration happens under all bucket latches, so a read taken while
+  // holding any bucket latch is ordered against it — but a read taken
+  // before the latches could miss a waiter that registered in between,
+  // dropping its conflicting lock without collecting the wakeup (a
+  // hook-driven session would park forever).  Mirrors Release().
+  bool coop = false;
   // Hand-rolled compaction (remove_if would need a side-effecting
   // predicate) that also hands back the released specs when cooperative
   // waiters may need waking.
@@ -588,6 +620,7 @@ void LockManager::ReleaseAll(TxnId txn) {
   if (any_pred) {
     // The transaction may hold predicate locks: take the global view once.
     auto all = LockAllBuckets();
+    coop = coop_waiter_count_.load(std::memory_order_relaxed) > 0;
     for (const auto& b : buckets_) {
       size_t n = erase_from(b->held);
       erased += n;
@@ -610,6 +643,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     // Common case (no predicate locks anywhere): one bucket at a time.
     for (const auto& b : buckets_) {
       std::lock_guard<std::mutex> bl(b->mu);
+      coop = coop_waiter_count_.load(std::memory_order_relaxed) > 0;
       dropped.clear();
       size_t n = erase_from(b->held);
       erased += n;
@@ -633,6 +667,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     // next attempt/recheck).
     std::lock_guard<std::mutex> gl(graph_mu_);
     DeregisterCoopLocked(txn);
+    coop_sticky_.erase(txn);
     EraseEdgesLocked(txn);
     for (auto it = waits_for_.begin(); it != waits_for_.end();) {
       it->second.erase(txn);

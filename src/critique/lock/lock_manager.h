@@ -180,7 +180,11 @@ class LockManager {
   /// retry or re-registers against whoever still holds the item, so a
   /// conflicting holder always exists while anyone waits and the
   /// notification chain never breaks; FIFO order is what keeps a hot item
-  /// from starving old waiters behind fresh arrivals.
+  /// from starving old waiters behind fresh arrivals.  Seniority is
+  /// assigned once per request: a woken waiter that re-registers for the
+  /// same unchanged request keeps its original place in the queue, so
+  /// reader churn cannot rotate an upgrade/X waiter to the back every
+  /// time one release of several wakes it prematurely.
   ///
   /// `ReleaseAll(txn)` cancels `txn`'s own registration (an aborted
   /// requester never gets a stale notification) and wakes waiters for
@@ -355,6 +359,23 @@ class LockManager {
   /// graph_mu_) — the membership test stale list entries are pruned
   /// against.
   std::map<TxnId, uint64_t> coop_seq_;
+  /// Wait-episode seniority memory (guarded by graph_mu_).  A wakeup
+  /// deregisters its waiter before the retry proves anything; when the
+  /// retry still conflicts and re-registers *the same request*, the
+  /// remembered seq is reused so the waiter keeps its FIFO place instead
+  /// of rotating to the back of the queue.  An entry outlives its
+  /// registration on purpose and is retired when the request is — at a
+  /// conflict-path grant or at ReleaseAll (the bucket-local fast-path
+  /// grant skips the graph mutex and leaves it for ReleaseAll).
+  struct StickySeq {
+    uint64_t seq;
+    bool is_item;
+    LockMode mode;
+    std::string key;  ///< the item id, or the predicate's ToString form
+  };
+  std::map<TxnId, StickySeq> coop_sticky_;
+  /// Does `spec` re-issue the request `s` remembers?
+  static bool StickyMatches(const StickySeq& s, const LockSpec& spec);
   uint64_t coop_next_seq_ = 0;  ///< guarded by graph_mu_
   /// Fast probe ("anyone registered at all?") so releases skip the graph
   /// mutex when the hook is unused or nobody waits.

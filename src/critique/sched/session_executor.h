@@ -141,9 +141,17 @@ class SessionExecutor {
 
   /// Blocks until every submitted session has completed — `done`
   /// callbacks included, so state they touch may be torn down on return.
+  ///
+  /// Sessions only complete while the executor is dispatching: `Drain`
+  /// on a paused executor (including `start_paused` without `Resume`)
+  /// blocks until some other thread resumes it — it never runs sessions
+  /// itself.  Call `Resume` first, or use `DrainFor` when another thread
+  /// owns the pause/resume schedule.
   void Drain();
 
   /// `Drain` with a deadline; true when everything completed in time.
+  /// Same caveat as `Drain`: a paused executor makes no progress, so
+  /// this returns false at the deadline unless someone resumes it.
   bool DrainFor(std::chrono::milliseconds timeout);
 
   /// Counter snapshot (cheap; safe any time).

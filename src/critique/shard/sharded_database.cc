@@ -94,7 +94,8 @@ ShardedDatabase::ShardedDatabase(ShardedDbOptions options)
   }
   if (!options.wal_dir.empty()) {
     Result<WalWriter> w =
-        WalWriter::Create(CoordinatorWalPath(options.wal_dir));
+        WalWriter::Create(CoordinatorWalPath(options.wal_dir),
+                          options.shard_options.fsync_mode);
     CheckOrDie(w.ok(), "could not create the coordinator decision log");
     AttachCoordinatorLog(std::move(w).value(), options);
   }
@@ -137,7 +138,8 @@ Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Recover(
   db->coordinator_.RestoreDecisions(std::move(decisions));
   CRITIQUE_ASSIGN_OR_RETURN(
       WalWriter coord_writer,
-      WalWriter::OpenForAppend(coord_path, coord_wal.valid_bytes));
+      WalWriter::OpenForAppend(coord_path, coord_wal.valid_bytes,
+                               options.shard_options.fsync_mode));
   db->AttachCoordinatorLog(std::move(coord_writer), options);
 
   db->next_gid_.store(id_floor, std::memory_order_relaxed);

@@ -1,23 +1,61 @@
 #include "critique/wal/wal_writer.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <thread>
 
 namespace critique {
+namespace {
 
-Result<WalWriter> WalWriter::Create(const std::string& path) {
+// fsyncs the directory holding `path`: a freshly created log file is only
+// durable once its *directory entry* is — fdatasync of the file covers its
+// bytes and size, not the name that finds it, and a power loss with the
+// entry unsynced makes the whole log vanish.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : path.substr(0, std::max<size_t>(slash, 1));
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(dir.c_str(), flags);
+  if (fd < 0) {
+    return Status::Internal("wal: cannot open directory '" + dir + "'");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("wal: fsync failed on directory '" + dir + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Create(const std::string& path, FsyncMode mode) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("wal: cannot create '" + path + "'");
+  }
+  if (mode == FsyncMode::kFsync) {
+    Status s = SyncParentDir(path);
+    if (!s.ok()) {
+      std::fclose(f);
+      return s;
+    }
   }
   return WalWriter(path, f);
 }
 
 Result<WalWriter> WalWriter::OpenForAppend(const std::string& path,
-                                           uint64_t keep_bytes) {
+                                           uint64_t keep_bytes,
+                                           FsyncMode mode) {
   // Chop the torn tail before anything is appended behind it: a half
   // record left in place would corrupt every record written after it.  A
   // missing file is fine (first boot recovers an empty log and appends
@@ -32,6 +70,20 @@ Result<WalWriter> WalWriter::OpenForAppend(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) {
     return Status::Internal("wal: cannot open '" + path + "' for append");
+  }
+  if (mode == FsyncMode::kFsync) {
+    // Pin the truncation (an inode change) and the entry itself before
+    // records are appended behind them — recovery already decided the
+    // torn tail is gone, and a power loss must not resurrect it.
+    if (exists && ::fsync(::fileno(f)) != 0) {
+      std::fclose(f);
+      return Status::Internal("wal: fsync failed on '" + path + "'");
+    }
+    Status s = SyncParentDir(path);
+    if (!s.ok()) {
+      std::fclose(f);
+      return s;
+    }
   }
   return WalWriter(path, f);
 }

@@ -48,14 +48,23 @@ enum class FsyncMode {
 /// access; single-threaded tests and recovery use it directly.
 class WalWriter {
  public:
-  /// Creates/truncates `path` — a fresh log.
-  static Result<WalWriter> Create(const std::string& path);
+  /// Creates/truncates `path` — a fresh log.  Pass the deployment's
+  /// `mode`: under `kFsync` the parent directory is fsynced once so the
+  /// new file's directory entry is as durable as the records later
+  /// fdatasync'd into it (without this, power loss can drop the unsynced
+  /// entry and the whole log with it); other modes don't model power
+  /// loss and skip the barrier.
+  static Result<WalWriter> Create(const std::string& path,
+                                  FsyncMode mode = FsyncMode::kFlush);
 
   /// Opens `path` for appending after truncating it to `keep_bytes`
   /// (recovery chops the torn tail it measured with `WalReader` before
-  /// new records are appended behind it).
+  /// new records are appended behind it).  Under `kFsync` the truncation
+  /// and the directory entry are fsynced before any append, so a crash
+  /// cannot resurrect the discarded tail or lose the file.
   static Result<WalWriter> OpenForAppend(const std::string& path,
-                                         uint64_t keep_bytes);
+                                         uint64_t keep_bytes,
+                                         FsyncMode mode = FsyncMode::kFlush);
 
   WalWriter(WalWriter&&) noexcept = default;
   WalWriter& operator=(WalWriter&&) noexcept = default;

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "critique/db/database.h"
@@ -93,6 +94,90 @@ TEST(WakeupHookTest, SharedWaitersBatchUpToFirstExclusive) {
   // only up to the first X — T5 queued behind the writer stays parked.
   lm.Release(*h1);
   EXPECT_EQ(woken, (std::vector<TxnId>{2, 3}));
+}
+
+TEST(WakeupHookTest, ReRegistrationKeepsFifoSeniority) {
+  // An X waiter woken by one S holder's release while another S holder
+  // remains must re-register — with its ORIGINAL seniority.  A fresh seq
+  // per registration would rotate it behind every waiter that arrived
+  // while it was being woken, and reader churn could starve it.
+  LockManager lm(4);
+  std::vector<TxnId> woken;
+  lm.SetWakeupHook([&](TxnId t) { woken.push_back(t); });
+
+  auto h1 = lm.TryAcquire(R(1, "k"));
+  auto h2 = lm.TryAcquire(R(2, "k"));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_TRUE(lm.TryAcquire(W(3, "k")).status().IsWouldBlock());
+
+  // T1's release wakes T3 (head of the queue) — prematurely: T2 still
+  // holds S.
+  lm.Release(*h1);
+  ASSERT_EQ(woken, (std::vector<TxnId>{3}));
+
+  // T4 queues up while T3 is between wakeup and retry, then T3's retry
+  // still conflicts and re-registers.
+  EXPECT_TRUE(lm.TryAcquire(W(4, "k")).status().IsWouldBlock());
+  EXPECT_TRUE(lm.TryAcquire(W(3, "k")).status().IsWouldBlock());
+
+  // The last release must wake T3 again, not T4: T3's wait began first.
+  lm.Release(*h2);
+  ASSERT_EQ(woken, (std::vector<TxnId>{3, 3}));
+
+  auto h3 = lm.TryAcquire(W(3, "k"));
+  ASSERT_TRUE(h3.ok());
+  EXPECT_EQ(woken.size(), 2u);  // and T3 was not left registered twice
+  lm.ReleaseAll(3);
+  EXPECT_EQ(woken, (std::vector<TxnId>{3, 3, 4}));
+}
+
+TEST(WakeupHookTest, ReleaseAllNeverMissesARacingFirstWaiter) {
+  // Regression stress for a lost-wakeup race: ReleaseAll used to read
+  // the cooperative-waiter count once, before taking any bucket latch.
+  // A TryAcquire registering the FIRST waiter (under all bucket latches)
+  // could land between that read and the bucket loop; ReleaseAll then
+  // dropped the conflicting lock without collecting the wakeup and the
+  // waiter stayed parked forever.  The count is now re-read under each
+  // bucket latch, which orders it against registration.
+  LockManager lm(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool woken = false;
+  lm.SetWakeupHook([&](TxnId) {
+    {
+      std::lock_guard<std::mutex> l(mu);
+      woken = true;
+    }
+    cv.notify_all();
+  });
+#if defined(CRITIQUE_SANITIZED)
+  const int kIters = 300;
+#else
+  const int kIters = 3000;
+#endif
+  for (int i = 0; i < kIters; ++i) {
+    {
+      std::lock_guard<std::mutex> l(mu);
+      woken = false;
+    }
+    ASSERT_TRUE(lm.TryAcquire(W(1, "k")).ok());
+    std::thread releaser([&] { lm.ReleaseAll(1); });
+    Result<LockHandle> r = lm.TryAcquire(W(2, "k"));
+    if (r.status().IsWouldBlock()) {
+      std::unique_lock<std::mutex> l(mu);
+      const bool ok = cv.wait_for(l, std::chrono::seconds(10),
+                                  [&] { return woken; });
+      EXPECT_TRUE(ok) << "lost wakeup on iteration " << i;
+      if (!ok) {
+        releaser.join();
+        break;
+      }
+    }
+    releaser.join();
+    lm.ReleaseAll(2);
+  }
+  EXPECT_EQ(lm.HeldCount(), 0u);
 }
 
 TEST(WakeupHookTest, ReleaseAllWakesAcrossItemsAndCancelsOwnRegistration) {

@@ -369,6 +369,41 @@ TEST(WalTest, RealFsyncModeRoundTripsThroughAFile) {
   EXPECT_FALSE(back.value().torn_tail);
 }
 
+TEST(WalTest, RealFsyncModeSyncsTheDirectoryEntryToo) {
+  // Power-loss honesty needs more than fdatasync of the file: a freshly
+  // created log is only durable once its directory entry is.  Create and
+  // OpenForAppend take the deployment's mode and fsync the parent
+  // directory under kFsync; observable here is that both paths succeed
+  // against a real directory and the log round-trips.
+  const std::string path = TmpPath("dir_fsync.wal");
+  const std::vector<WalRecord> recs = SampleRecords();
+  {
+    Result<WalWriter> w = WalWriter::Create(path, FsyncMode::kFsync);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    WalWriter writer = std::move(w).value();
+    for (const WalRecord& rec : recs) writer.Append(rec);
+    ASSERT_TRUE(writer.Sync(FsyncMode::kFsync).ok());
+  }
+  Result<WalReadResult> first = WalReader::ReadFile(path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().records.size(), recs.size());
+
+  // Reopen-for-append in kFsync mode pins the recovery truncation (the
+  // whole intact file here) before anything lands behind it.
+  {
+    Result<WalWriter> w = WalWriter::OpenForAppend(
+        path, first.value().valid_bytes, FsyncMode::kFsync);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    WalWriter writer = std::move(w).value();
+    writer.Append(recs[0]);
+    ASSERT_TRUE(writer.Sync(FsyncMode::kFsync).ok());
+  }
+  Result<WalReadResult> back = WalReader::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().records.size(), recs.size() + 1);
+  EXPECT_FALSE(back.value().torn_tail);
+}
+
 TEST(WalTest, DatabaseWithRealFsyncCommitsAndRecovers) {
   DbOptions opt(IsolationLevel::kSerializable);
   opt.wal_path = TmpPath("db_real_fsync.wal");
