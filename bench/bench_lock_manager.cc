@@ -62,6 +62,7 @@ struct WorkloadResult {
   double pred_scan_ops_per_sec = 0;
   double pred_conflict_ops_per_sec = 0;
   double deadlock_probe_ops_per_sec = 0;
+  LockStats mt_blocking_stats;  ///< full counter line for the human report
 };
 
 ItemId Key(int64_t k) { return "k" + std::to_string(k); }
@@ -164,6 +165,7 @@ void RunMtBlocking(size_t stripes, const Config& cfg, WorkloadResult& out) {
   const LockStats st = lm.stats();
   out.mt_blocking_deadlocks = st.deadlocks;
   out.mt_blocking_timeouts = st.timeouts;
+  out.mt_blocking_stats = st;
 }
 
 // 1 thread: a Read predicate lock granted/released while `held` item
@@ -258,6 +260,11 @@ void PrintHuman(const Config& cfg, const std::vector<WorkloadResult>& results) {
         r.deadlock_probe_ops_per_sec,
         static_cast<unsigned long long>(r.mt_blocking_deadlocks),
         static_cast<unsigned long long>(r.mt_blocking_timeouts));
+  }
+  std::printf("\nmt_blocking lock stats per stripe count:\n");
+  for (const WorkloadResult& r : results) {
+    std::printf("  %4zu: %s\n", r.stripes,
+                r.mt_blocking_stats.ToString().c_str());
   }
   std::printf(
       "\nExpected shape: scan_heavy and mt_disjoint improve with stripes\n"

@@ -1,0 +1,241 @@
+// The always-on observability gate: how much does the metrics layer cost?
+//
+//   bench_obs [--threads N] [--txns-per-thread M] [--items K] [--theta Z]
+//             [--ops-per-txn O] [--write-fraction F] [--seed S]
+//             [--trials T] [--min-ratio R] [--json PATH] [--quiet]
+//
+// Runs the same mixed Zipf workload (the bench_throughput shape) against a
+// Snapshot Isolation engine twice per trial: once with the metrics layer
+// globally disarmed (`obs::SetMetricsEnabled(false)` — every Counter::Add
+// / Histogram::Record / ScopedTimer becomes an early-out) and once armed,
+// which is the shipping configuration.  Best-of-`--trials` throughput on
+// each side absorbs scheduler noise; the headline is their quotient:
+//
+//   metrics_overhead_ratio = instrumented / uninstrumented
+//
+// The claim "cheap enough to leave on everywhere" is enforced two ways:
+//   * this binary exits 1 when the ratio drops below --min-ratio
+//     (default 0.90: instrumented throughput within 10%), and
+//   * the committed BENCH_obs.json baseline carries the ratio and both
+//     absolute throughputs through scripts/bench_gate.py like every other
+//     bench floor.
+//
+// The instrumented pass also exports the commit-pipeline latency
+// histograms the registry collected (p50/p95/p99/max per stage) as JSON
+// rows — reported, not gated, like the other benches' latency columns —
+// so the percentile plumbing is exercised end to end on every CI run.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "critique/common/json_writer.h"
+#include "critique/db/database.h"
+#include "critique/obs/metrics.h"
+#include "critique/workload/parallel_driver.h"
+#include "critique/workload/workload.h"
+
+namespace critique {
+namespace {
+
+struct Config {
+  int threads = 8;
+  uint64_t txns_per_thread = 400;
+  uint64_t items = 64;
+  double theta = 0.6;
+  uint64_t ops_per_txn = 4;
+  double write_fraction = 0.5;
+  uint64_t seed = 1;
+  int64_t trials = 3;
+  double min_ratio = 0.90;
+  bool quiet = false;
+};
+
+struct StageLatency {
+  std::string name;  ///< registry name, e.g. "engine.pipeline.validate_us"
+  obs::HistogramSnapshot snap;
+};
+
+struct Results {
+  double uninstrumented_txns_per_sec = 0;
+  double instrumented_txns_per_sec = 0;
+  double ratio = 0;
+  std::vector<StageLatency> latencies;  ///< from the best instrumented pass
+  bool ok = true;  ///< every pass reconciled (no lost updates)
+};
+
+/// One timed pass; returns txns/sec and (optionally) the registry's
+/// histogram samples at end of run.
+double RunPass(const Config& cfg, bool instrumented,
+               std::vector<StageLatency>* latencies, bool* ok) {
+  obs::SetMetricsEnabled(instrumented);
+  DbOptions opts(IsolationLevel::kSnapshotIsolation);
+  opts.mode = ConcurrencyMode::kBlocking;
+  opts.seed = cfg.seed;
+  Database db(opts);
+
+  WorkloadOptions wopts;
+  wopts.num_items = cfg.items;
+  wopts.zipf_theta = cfg.theta;
+  wopts.ops_per_txn = cfg.ops_per_txn;
+  wopts.write_fraction = cfg.write_fraction;
+  WorkloadGenerator gen(wopts);
+  (void)gen.LoadInitial(db);
+
+  ParallelDriverOptions dopts;
+  dopts.threads = cfg.threads;
+  dopts.txns_per_thread = cfg.txns_per_thread;
+  ParallelDriver driver(db, dopts);
+  ParallelRunStats run = driver.Run([&gen](Transaction& txn, Rng& rng) {
+    return gen.ApplyTransferTxn(txn, rng, /*amount=*/1);
+  });
+
+  // SI forbids lost updates: the transfer sum must reconcile exactly, so
+  // the overhead ratio can never be earned by dropping work.
+  const int64_t expect =
+      static_cast<int64_t>(cfg.items) * wopts.initial_balance;
+  if (WorkloadGenerator::TotalBalance(db, cfg.items) != expect) {
+    std::fprintf(stderr, "bench_obs: balance mismatch (%s pass)\n",
+                 instrumented ? "instrumented" : "uninstrumented");
+    *ok = false;
+  }
+
+  if (latencies != nullptr) {
+    latencies->clear();
+    for (const obs::MetricSample& s : db.metrics().Collect()) {
+      if (s.kind != obs::MetricSample::Kind::kHistogram) continue;
+      if (s.histogram.count == 0) continue;
+      latencies->push_back({s.name, s.histogram});
+    }
+  }
+  return run.txns_per_second();
+}
+
+Results RunAll(const Config& cfg) {
+  Results r;
+  std::vector<StageLatency> best_latencies;
+  // Interleave the two modes across trials so slow drift (thermal, a
+  // noisy neighbor) hits both sides evenly instead of one.
+  for (int64_t t = 0; t < cfg.trials; ++t) {
+    r.uninstrumented_txns_per_sec = std::max(
+        r.uninstrumented_txns_per_sec,
+        RunPass(cfg, /*instrumented=*/false, nullptr, &r.ok));
+    std::vector<StageLatency> lat;
+    const double inst = RunPass(cfg, /*instrumented=*/true, &lat, &r.ok);
+    if (inst > r.instrumented_txns_per_sec) {
+      r.instrumented_txns_per_sec = inst;
+      best_latencies = std::move(lat);
+    }
+  }
+  obs::SetMetricsEnabled(true);  // leave the process in the shipping state
+  r.latencies = std::move(best_latencies);
+  r.ratio = r.uninstrumented_txns_per_sec > 0
+                ? r.instrumented_txns_per_sec / r.uninstrumented_txns_per_sec
+                : 0;
+  return r;
+}
+
+void PrintHuman(const Config& cfg, const Results& r) {
+  std::printf(
+      "bench_obs: %d threads x %llu txns (SI, zipf %.2f), best of %lld\n",
+      cfg.threads, static_cast<unsigned long long>(cfg.txns_per_thread),
+      cfg.theta, static_cast<long long>(cfg.trials));
+  std::printf("  uninstrumented %12.0f txns/sec\n",
+              r.uninstrumented_txns_per_sec);
+  std::printf("  instrumented   %12.0f txns/sec\n",
+              r.instrumented_txns_per_sec);
+  std::printf("  overhead ratio %12.3f (gate: >= %.2f)\n", r.ratio,
+              cfg.min_ratio);
+  if (!r.latencies.empty()) {
+    std::printf("\n  %-32s %8s %8s %8s %8s %8s\n", "stage latency", "count",
+                "p50 us", "p95 us", "p99 us", "max us");
+    for (const StageLatency& l : r.latencies) {
+      std::printf("  %-32s %8llu %8llu %8llu %8llu %8llu\n", l.name.c_str(),
+                  static_cast<unsigned long long>(l.snap.count),
+                  static_cast<unsigned long long>(l.snap.Percentile(50)),
+                  static_cast<unsigned long long>(l.snap.Percentile(95)),
+                  static_cast<unsigned long long>(l.snap.Percentile(99)),
+                  static_cast<unsigned long long>(l.snap.max));
+    }
+  }
+}
+
+std::string ToJson(const Config& cfg, const Results& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench"); w.String("obs");
+  w.Key("threads"); w.Int(cfg.threads);
+  w.Key("txns_per_thread"); w.UInt(cfg.txns_per_thread);
+  w.Key("items"); w.UInt(cfg.items);
+  w.Key("zipf_theta"); w.Double(cfg.theta);
+  w.Key("ops_per_txn"); w.UInt(cfg.ops_per_txn);
+  w.Key("write_fraction"); w.Double(cfg.write_fraction);
+  w.Key("seed"); w.UInt(cfg.seed);
+  w.Key("trials"); w.Int(cfg.trials);
+  w.Key("uninstrumented_txns_per_sec");
+  w.Double(r.uninstrumented_txns_per_sec);
+  w.Key("instrumented_txns_per_sec"); w.Double(r.instrumented_txns_per_sec);
+  w.Key("metrics_overhead_ratio"); w.Double(r.ratio);
+  w.Key("latency_us");
+  w.BeginArray();
+  for (const StageLatency& l : r.latencies) {
+    w.BeginObject();
+    w.Key("name"); w.String(l.name);
+    w.Key("count"); w.UInt(l.snap.count);
+    w.Key("p50"); w.Double(l.snap.Percentile(50));
+    w.Key("p95"); w.Double(l.snap.Percentile(95));
+    w.Key("p99"); w.Double(l.snap.Percentile(99));
+    w.Key("max"); w.UInt(l.snap.max);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+}  // namespace critique
+
+int main(int argc, char** argv) {
+  using namespace critique;
+  using namespace critique::bench;
+
+  Config cfg;
+  auto json_path = TakeJsonFlag(argc, argv);
+  cfg.threads = static_cast<int>(TakeIntFlag(argc, argv, "--threads", 8));
+  cfg.txns_per_thread = static_cast<uint64_t>(
+      TakeIntFlag(argc, argv, "--txns-per-thread", 400));
+  cfg.items = static_cast<uint64_t>(TakeIntFlag(argc, argv, "--items", 64));
+  cfg.theta = TakeDoubleFlag(argc, argv, "--theta", 0.6);
+  cfg.ops_per_txn =
+      static_cast<uint64_t>(TakeIntFlag(argc, argv, "--ops-per-txn", 4));
+  cfg.write_fraction = TakeDoubleFlag(argc, argv, "--write-fraction", 0.5);
+  cfg.seed = static_cast<uint64_t>(TakeIntFlag(argc, argv, "--seed", 1));
+  cfg.trials = TakeIntFlag(argc, argv, "--trials", 3);
+  cfg.min_ratio = TakeDoubleFlag(argc, argv, "--min-ratio", 0.90);
+  cfg.quiet = TakeBoolFlag(argc, argv, "--quiet");
+  if (argc > 1) {
+    std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+    return 2;
+  }
+  if (cfg.threads < 1 || cfg.trials < 1) {
+    std::fprintf(stderr, "--threads and --trials must be >= 1\n");
+    return 2;
+  }
+
+  Results r = RunAll(cfg);
+  if (!cfg.quiet) PrintHuman(cfg, r);
+  if (json_path.has_value()) WriteJsonFile(*json_path, ToJson(cfg, r));
+
+  if (!r.ok) return 1;
+  if (r.ratio < cfg.min_ratio) {
+    std::fprintf(stderr,
+                 "bench_obs: metrics overhead ratio %.3f below the %.2f "
+                 "floor — the always-on layer got too expensive\n",
+                 r.ratio, cfg.min_ratio);
+    return 1;
+  }
+  return 0;
+}

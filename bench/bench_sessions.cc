@@ -68,6 +68,7 @@ struct Results {
   uint64_t open_peak = 0;
   double hot_sessions_per_sec = 0;
   SessionExecutorStats hot_stats;
+  obs::HistogramSnapshot hot_step_latency;  ///< per-step dispatch latency
   double durable_sessions_per_sec = 0;
   GroupCommitStats durable_wal;
   bool ok = true;  ///< every section reconciled exactly
@@ -161,6 +162,7 @@ void BenchHot(const Config& cfg, Results* r) {
   r->hot_sessions_per_sec =
       static_cast<double>(cfg.hot_sessions) / Seconds(t0);
   r->hot_stats = ex.stats();
+  r->hot_step_latency = ex.step_histogram().Snapshot();
   if (r->hot_stats.committed != cfg.hot_sessions ||
       r->hot_stats.failed != 0) {
     Fail(r, "hot", "reconciliation: " + r->hot_stats.ToString());
@@ -225,6 +227,16 @@ void PrintHuman(const Config& cfg, const Results& r) {
       static_cast<unsigned long long>(r.durable_wal.syncs),
       static_cast<unsigned long long>(r.durable_wal.batched),
       static_cast<unsigned long long>(r.durable_wal.max_batch));
+  std::printf(
+      "  hot step latency (us): p50 %llu  p95 %llu  p99 %llu  max %llu "
+      "(%llu steps)\n",
+      static_cast<unsigned long long>(r.hot_step_latency.Percentile(50)),
+      static_cast<unsigned long long>(r.hot_step_latency.Percentile(95)),
+      static_cast<unsigned long long>(r.hot_step_latency.Percentile(99)),
+      static_cast<unsigned long long>(r.hot_step_latency.max),
+      static_cast<unsigned long long>(r.hot_step_latency.count));
+  std::printf("  hot executor: %s\n", r.hot_stats.ToString().c_str());
+  std::printf("  durable wal:  %s\n", r.durable_wal.ToString().c_str());
 }
 
 std::string ToJson(const Config& cfg, const Results& r) {
@@ -245,6 +257,16 @@ std::string ToJson(const Config& cfg, const Results& r) {
   w.Key("hot_wakeups"); w.UInt(r.hot_stats.wakeups);
   w.Key("hot_steals"); w.UInt(r.hot_stats.steals);
   w.Key("hot_retries"); w.UInt(r.hot_stats.retries);
+  // Latency percentiles: reported for the trajectory, not gated (the
+  // regression gate only floors the _per_sec keys).
+  w.Key("hot_step_latency_us");
+  w.BeginObject();
+  w.Key("count"); w.UInt(r.hot_step_latency.count);
+  w.Key("p50"); w.Double(r.hot_step_latency.Percentile(50));
+  w.Key("p95"); w.Double(r.hot_step_latency.Percentile(95));
+  w.Key("p99"); w.Double(r.hot_step_latency.Percentile(99));
+  w.Key("max"); w.UInt(r.hot_step_latency.max);
+  w.EndObject();
   w.Key("durable_sessions_per_sec"); w.Double(r.durable_sessions_per_sec);
   w.Key("durable_syncs"); w.UInt(r.durable_wal.syncs);
   w.Key("durable_batched"); w.UInt(r.durable_wal.batched);

@@ -52,6 +52,7 @@ struct RunResultRow {
   ParallelRunStats run;
   uint64_t single_shard_commits = 0;
   uint64_t coordinator_commits = 0;
+  CoordinatorStats coord;  ///< full 2PC counter line for the human report
   bool balance_ok = false;
 };
 
@@ -83,7 +84,8 @@ RunResultRow RunOne(IsolationLevel level, int shards, double ratio,
     return gen.ApplyShardedTransferTxn(txn, rng, /*amount=*/1, ratio);
   });
   out.single_shard_commits = db.single_shard_commits();
-  out.coordinator_commits = db.coordinator().stats().committed;
+  out.coord = db.coordinator().stats();
+  out.coordinator_commits = out.coord.committed;
   const int64_t expect =
       static_cast<int64_t>(cfg.items) * wopts.initial_balance;
   out.balance_ok =
@@ -107,6 +109,12 @@ void PrintHuman(const Config& cfg, const std::vector<RunResultRow>& rows) {
                 static_cast<unsigned long long>(r.single_shard_commits),
                 static_cast<unsigned long long>(r.coordinator_commits),
                 r.balance_ok ? "yes" : "NO");
+  }
+  std::printf("\n2PC coordinator per configuration (skipping all-local):\n");
+  for (const RunResultRow& r : rows) {
+    if (r.coord.started == 0) continue;
+    std::printf("  %s shards=%d x-shard=%.0f%%: %s\n", r.level.c_str(),
+                r.shards, 100 * r.cross_ratio, r.coord.ToString().c_str());
   }
   std::printf(
       "\nExpected shape: throughput grows with shard count at 0%%\n"

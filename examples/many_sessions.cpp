@@ -7,8 +7,14 @@
 // end the money is counted: multiplexing must not invent or lose a cent.
 //
 // Build & run:  ./build/example_many_sessions
+//
+// Pass --metrics to also dump the observability layer at exit: the full
+// metrics registry (engine counters, commit-pipeline latency histograms,
+// executor park/wakeup counters and step latency) plus one parked
+// session's event trace from the opt-in transaction tracer.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -36,7 +42,17 @@ Status Transfer(Transaction& txn, const ItemId& from, const ItemId& to,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics]\n", argv[0]);
+      return 2;
+    }
+  }
+
   DbOptions opt(IsolationLevel::kSerializable);
   opt.mode = ConcurrencyMode::kCooperative;  // sessions answer kWouldBlock
   // Read-modify-write transfers upgrade S -> X on hot accounts, so
@@ -44,6 +60,7 @@ int main() {
   // retry storm from collapsing into a livelock at this session count.
   opt.retry_policy = std::make_shared<ExponentialBackoffRetryPolicy>(
       /*max_txn_retries=*/1 << 20);
+  if (metrics) opt.trace_events = 1 << 16;  // opt into the event tracer
   Database db(opt);
   for (int i = 0; i < kAccounts; ++i) {
     if (!db.Load(Account(i), Value(kInitial)).ok()) return 1;
@@ -64,6 +81,30 @@ int main() {
 
   const SessionExecutorStats stats = executor.stats();
   std::printf("%s\n", stats.ToString().c_str());
+
+  if (metrics) {
+    // The registry is always on; --metrics only decides whether we print
+    // it.  The executor is still alive, so its "executor." entries are
+    // present alongside the engine's.
+    std::printf("\n--- metrics registry ---\n%s\n",
+                db.metrics().ToText().c_str());
+    if (obs::TxnTracer* tracer = db.tracer()) {
+      // Show the life of one session that parked at least once: begin,
+      // park, wakeup, commit — the executor's event loop made visible.
+      for (TxnId t = 1; t < 500; ++t) {
+        const auto events = tracer->Dump(t);
+        bool parked = false;
+        for (const auto& e : events) {
+          parked |= e.type == obs::TraceEventType::kPark;
+        }
+        if (!parked) continue;
+        std::printf("--- trace of T%llu (first parked session) ---\n%s",
+                    static_cast<unsigned long long>(t),
+                    tracer->Format(t).c_str());
+        break;
+      }
+    }
+  }
 
   int64_t total = 0;
   Transaction audit = db.Begin();

@@ -32,6 +32,9 @@ import os
 import sys
 
 HIGHER_BETTER_SUFFIXES = ("_per_sec",)
+# Exact keys gated higher-is-better: the bench_obs overhead ratio
+# (instrumented / uninstrumented throughput) must not collapse.
+HIGHER_BETTER_KEYS = ("metrics_overhead_ratio",)
 LOWER_BETTER_KEYS = ("version_count", "max_chain_length")
 
 
@@ -53,6 +56,8 @@ def walk(doc, path=""):
 
 def direction(leaf_key):
     if any(leaf_key.endswith(s) for s in HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    if leaf_key in HIGHER_BETTER_KEYS:
         return "higher"
     if leaf_key in LOWER_BETTER_KEYS:
         return "lower"

@@ -11,8 +11,8 @@
 #   --asan   build and test under AddressSanitizer
 #   --bench  build, run the perf-regression benches (bench_lock_manager,
 #            bench_mvcc_store, bench_throughput, bench_sharding,
-#            bench_wal, bench_sessions) with the pinned baseline
-#            configurations, and gate
+#            bench_wal, bench_sessions, bench_obs) with the pinned
+#            baseline configurations, and gate
 #            the JSON against the committed BENCH_*.json baselines via
 #            scripts/bench_gate.py (tolerance via BENCH_GATE_TOLERANCE,
 #            default 0.5 = fail on >50% regression).  See
@@ -117,6 +117,10 @@ if [[ "$BENCH" -eq 1 ]]; then
   "$BUILD_DIR"/bench_sessions --sessions 100000 --workers 8 \
     --hot-sessions 2000 --hot-keys 16 --durable-sessions 5000 \
     --fsync-us 100 --quiet --json "$BUILD_DIR/BENCH_sessions.json"
+  # bench_obs exits 1 itself when the metrics-overhead ratio drops below
+  # its --min-ratio floor (default 0.90), on top of the JSON gate below.
+  "$BUILD_DIR"/bench_obs --threads 4 --txns-per-thread 400 --items 64 \
+    --trials 3 --quiet --json "$BUILD_DIR/BENCH_obs.json"
 
   python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
   python3 scripts/bench_gate.py BENCH_mvcc.json "$BUILD_DIR/BENCH_mvcc.json"
@@ -127,6 +131,7 @@ if [[ "$BENCH" -eq 1 ]]; then
   python3 scripts/bench_gate.py BENCH_wal.json "$BUILD_DIR/BENCH_wal.json"
   python3 scripts/bench_gate.py BENCH_sessions.json \
     "$BUILD_DIR/BENCH_sessions.json"
+  python3 scripts/bench_gate.py BENCH_obs.json "$BUILD_DIR/BENCH_obs.json"
   echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
   exit 0
 fi

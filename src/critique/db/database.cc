@@ -47,6 +47,7 @@ Database::Database(DbOptions options)
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "engine factory produced no engine");
   ConfigureEngine(*engine_, options);
+  WireObservability(options);
   track_snapshots_ = engine_->SnapshotTimestamp().has_value();
   if (!options.wal_path.empty()) {
     // A fresh database starts a fresh log (an existing file is an explicit
@@ -66,6 +67,7 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
       rng_(options.seed) {
   CheckOrDie(engine_ != nullptr, "null engine handed to Database");
   ConfigureEngine(*engine_, options);
+  WireObservability(options);
   track_snapshots_ = engine_->SnapshotTimestamp().has_value();
   if (!options.wal_path.empty()) {
     Result<WalWriter> w =
@@ -75,6 +77,19 @@ Database::Database(std::unique_ptr<Engine> engine, DbOptions options)
   }
 }
 
+void Database::WireObservability(const DbOptions& options) {
+  // Runs in both constructors, after the engine exists and before any
+  // session could begin.  The registry and tracer live on the heap so the
+  // raw pointers the engine (and any SessionExecutor) hold stay stable
+  // across facade moves — the same reason `wal_` does.
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  if (options.trace_events > 0) {
+    tracer_ = std::make_unique<obs::TxnTracer>(options.trace_events);
+  }
+  engine_->SetTracer(tracer_.get());
+  engine_->RegisterMetrics(*metrics_, "engine.");
+}
+
 void Database::AttachWal(WalWriter writer, const DbOptions& options) {
   CommitLog::Options log_options;
   log_options.group_commit = options.group_commit;
@@ -82,6 +97,9 @@ void Database::AttachWal(WalWriter writer, const DbOptions& options) {
   log_options.fsync_latency = options.fsync_latency;
   wal_ = std::make_unique<CommitLog>(std::move(writer), log_options);
   engine_->SetWal(wal_.get());
+  // Covers the Recover path too: the replay facade already built its
+  // registry, and the commit log joins it the moment it is attached.
+  wal_->RegisterMetrics(*metrics_, "wal.");
 }
 
 Result<Database> Database::Recover(DbOptions options) {
@@ -121,6 +139,8 @@ Result<Database> Database::Recover(DbOptions options) {
 Database::Database(Database&& other) noexcept
     : engine_(std::move(other.engine_)),
       wal_(std::move(other.wal_)),
+      metrics_(std::move(other.metrics_)),
+      tracer_(std::move(other.tracer_)),
       wal_recovery_(other.wal_recovery_),
       recovered_(other.recovered_),
       retry_(std::move(other.retry_)),
@@ -143,6 +163,8 @@ Database& Database::operator=(Database&& other) noexcept {
   if (this != &other) {
     engine_ = std::move(other.engine_);
     wal_ = std::move(other.wal_);
+    metrics_ = std::move(other.metrics_);
+    tracer_ = std::move(other.tracer_);
     wal_recovery_ = other.wal_recovery_;
     recovered_ = other.recovered_;
     retry_ = std::move(other.retry_);
@@ -259,6 +281,25 @@ void Database::SetLockWakeupHook(std::function<void(TxnId)> hook) {
 
 std::optional<Timestamp> Database::CurrentTimestamp() const {
   return engine_->SnapshotTimestamp();
+}
+
+std::string Database::DebugDump() const {
+  std::string out =
+      "=== database '" + engine_->name() + "' debug dump ===\n";
+  out += "open transactions: " + std::to_string(open_transactions()) + "\n";
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    if (!open_snapshots_.empty()) {
+      out += "open snapshots (" + std::to_string(open_snapshots_.size()) +
+             "):\n";
+      for (const auto& [id, ts] : open_snapshots_) {
+        out += "  T" + std::to_string(id) + " begin_ts=" + std::to_string(ts) +
+               "\n";
+      }
+    }
+  }
+  out += engine_->DebugDump();
+  return out;
 }
 
 Status Database::Execute(const std::function<Status(Transaction&)>& body) {

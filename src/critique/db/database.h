@@ -17,6 +17,8 @@
 #include "critique/db/transaction.h"
 #include "critique/engine/engine.h"
 #include "critique/engine/isolation.h"
+#include "critique/obs/metrics.h"
+#include "critique/obs/txn_trace.h"
 #include "critique/wal/commit_log.h"
 #include "critique/wal/recovery.h"
 
@@ -118,6 +120,18 @@ struct DbOptions {
   /// (kFsync — real fsync(2)/fdatasync per physical sync, power-loss
   /// durability — is also selectable here; see `FsyncMode`.)
   std::chrono::microseconds fsync_latency{25};
+
+  // --- observability -------------------------------------------------------
+
+  /// Transaction-tracing ring capacity in events; 0 (the default)
+  /// disables tracing entirely.  When nonzero the facade owns an
+  /// `obs::TxnTracer`, the engine records begin/prepare/commit/abort
+  /// events (aborts tagged with the paper-taxonomy reason), and the
+  /// `SessionExecutor` adds park/wakeup events; dump any transaction's
+  /// events with `Database::tracer()->Format(txn)`.  The always-on
+  /// metrics registry (`Database::metrics()`) is independent of this
+  /// knob.
+  size_t trace_events = 0;
 };
 
 /// \brief The public session facade over the engine SPI.
@@ -335,6 +349,27 @@ class Database {
   /// What recovery replayed (all-zero for a fresh database).
   const WalRecoveryStats& wal_recovery() const { return wal_recovery_; }
 
+  // --- observability -------------------------------------------------------
+
+  /// The always-on metrics registry: the engine's counters and stage
+  /// histograms register under "engine.", the commit log's under "wal.",
+  /// and a `SessionExecutor` adds "executor." entries while it lives.
+  /// Export with `metrics().ToJson()` / `ToText()`.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// The transaction tracer, or nullptr unless `DbOptions::trace_events`
+  /// was nonzero.
+  obs::TxnTracer* tracer() { return tracer_.get(); }
+  const obs::TxnTracer* tracer() const { return tracer_.get(); }
+
+  /// Stall introspection: open-transaction census (ids with begin
+  /// timestamps where tracked) plus the engine's own dump — lock holders,
+  /// waiters, and waits-for edges for lock-based engines.  Safe to call
+  /// from any thread while sessions are parked mid-conflict; this is the
+  /// "why is nothing moving?" snapshot.
+  std::string DebugDump() const;
+
  private:
   friend class Transaction;
 
@@ -345,11 +380,20 @@ class Database {
   /// Attaches a freshly built commit log and points the engine at it.
   void AttachWal(WalWriter writer, const DbOptions& options);
 
+  /// Builds the metrics registry (and the tracer, when opted in) and
+  /// hands both to the engine.  Constructor-only.
+  void WireObservability(const DbOptions& options);
+
   std::unique_ptr<Engine> engine_;
   /// Heap-allocated so the engine's raw `WalSink*` stays stable across
   /// facade moves.  Destroyed (flushing cleanly) before the engine, which
   /// is quiescent by then and never logs from its destructor.
   std::unique_ptr<CommitLog> wal_;
+  /// Heap-allocated like `wal_`: the engine / commit log hold raw
+  /// pointers into these, which must survive facade moves.  The registry
+  /// always exists; the tracer only when `DbOptions::trace_events` > 0.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TxnTracer> tracer_;
   WalRecoveryStats wal_recovery_;
   bool recovered_ = false;
   std::shared_ptr<const RetryPolicy> retry_;

@@ -12,11 +12,36 @@ std::string EngineStats::ToString() const {
          " aborts=" + std::to_string(aborts) +
          " deadlock_aborts=" + std::to_string(deadlock_aborts) +
          " serialization_aborts=" + std::to_string(serialization_aborts) +
+         " (fcw=" + std::to_string(fcw_aborts) +
+         " ssi=" + std::to_string(ssi_aborts) +
+         " in_doubt=" + std::to_string(in_doubt_aborts) + ")" +
          " blocked_ops=" + std::to_string(blocked_ops);
 }
 
 std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
   return os << stats.ToString();
+}
+
+void Engine::RegisterMetrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) {
+  // Field-by-field gauges over the recorder's stats snapshot: collect is
+  // cold-path, so taking the recorder mutex once per field is fine.
+  auto field = [this, &reg, &prefix](const char* name,
+                                     uint64_t EngineStats::*member) {
+    reg.RegisterGauge(prefix + name,
+                      [this, member] { return StatsSnapshot().*member; });
+  };
+  field("reads", &EngineStats::reads);
+  field("predicate_reads", &EngineStats::predicate_reads);
+  field("writes", &EngineStats::writes);
+  field("commits", &EngineStats::commits);
+  field("aborts", &EngineStats::aborts);
+  field("deadlock_aborts", &EngineStats::deadlock_aborts);
+  field("serialization_aborts", &EngineStats::serialization_aborts);
+  field("fcw_aborts", &EngineStats::fcw_aborts);
+  field("ssi_aborts", &EngineStats::ssi_aborts);
+  field("in_doubt_aborts", &EngineStats::in_doubt_aborts);
+  field("blocked_ops", &EngineStats::blocked_ops);
 }
 
 Status Engine::Update(

@@ -19,6 +19,8 @@
 #include "critique/lock/lock_manager.h"
 #include "critique/model/predicate.h"
 #include "critique/model/row.h"
+#include "critique/obs/metrics.h"
+#include "critique/obs/txn_trace.h"
 #include "critique/wal/wal_sink.h"
 
 namespace critique {
@@ -33,6 +35,14 @@ struct EngineStats {
   uint64_t deadlock_aborts = 0;   ///< victim aborts by the lock manager
   uint64_t serialization_aborts = 0;  ///< FCW / FWW / SSI aborts
   uint64_t blocked_ops = 0;       ///< operations answered kWouldBlock
+
+  // Breakdown of `serialization_aborts` by the paper's taxonomy (the same
+  // tags the `obs::TxnTracer` records).  The aggregate above keeps
+  // counting for compatibility; these three always sum to it for the
+  // stock engines.
+  uint64_t fcw_aborts = 0;      ///< First-Committer/Updater-Wins conflicts
+  uint64_t ssi_aborts = 0;      ///< SSI dangerous-structure refusals
+  uint64_t in_doubt_aborts = 0; ///< 2PC decision-time revalidation refusals
 
   /// All aborts, whatever initiated them.
   uint64_t total_aborts() const {
@@ -224,6 +234,28 @@ class Engine {
 
   /// The attached WAL sink, or nullptr when running without durability.
   WalSink* wal() const { return wal_; }
+
+  /// Attaches the opt-in transaction tracer (nullptr detaches, the
+  /// default).  Engines record begin/prepare/commit/abort events — abort
+  /// events tagged with the paper-taxonomy reason — through it.  Call
+  /// before any session starts; the tracer must outlive the engine.
+  virtual void SetTracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
+
+  /// The attached tracer, or nullptr.
+  obs::TxnTracer* tracer() const { return tracer_; }
+
+  /// Registers this engine's instruments with `reg` under `prefix`
+  /// ("engine." by convention).  The base registers every `EngineStats`
+  /// field as a gauge; lock-based engines add lock-table counters and
+  /// wait histograms, the SI engine its commit-pipeline stage histograms.
+  /// The engine must outlive the registry entries (`reg.Unregister`).
+  virtual void RegisterMetrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix);
+
+  /// Multi-line stall-introspection report (lock holders, waiters,
+  /// waits-for edges for lock-based engines); "" when the engine has
+  /// nothing to say.  Safe to call while sessions are parked mid-conflict.
+  virtual std::string DebugDump() const { return std::string(); }
 
   /// Runs one version-GC pass now (whatever the configured mode), pruning
   /// with the engine's current low-watermark; returns versions dropped.
@@ -455,15 +487,28 @@ class Engine {
     }
     if (r.status().IsDeadlock()) {
       recorder_.Count(&EngineStats::deadlock_aborts);
+      Trace(spec.txn, obs::TraceEventType::kAbort,
+            obs::AbortReason::kDeadlockVictim, r.status().message());
       rollback_requester();
     }
     return r;
+  }
+
+  /// Records a tracer event when a tracer is attached (one branch when
+  /// not — tracing is opt-in and off the hot path by default).
+  void Trace(TxnId txn, obs::TraceEventType type,
+             obs::AbortReason reason = obs::AbortReason::kNone,
+             std::string detail = std::string()) const {
+    if (tracer_ != nullptr) {
+      tracer_->Record(txn, type, reason, std::move(detail));
+    }
   }
 
   EngineRecorder recorder_;
   EngineConcurrency concurrency_;
   VersionGcPolicy gc_policy_;
   WalSink* wal_ = nullptr;  ///< not owned; outlives the engine
+  obs::TxnTracer* tracer_ = nullptr;  ///< not owned; outlives the engine
 };
 
 }  // namespace critique

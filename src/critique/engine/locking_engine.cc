@@ -34,7 +34,33 @@ Status LockingEngine::Begin(TxnId txn) {
   txns_[txn].active = true;
   // Informational, buffered with the next sync (see the SI engine).
   if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
+  Trace(txn, obs::TraceEventType::kBegin);
   return Status::OK();
+}
+
+void LockingEngine::RegisterMetrics(obs::MetricsRegistry& reg,
+                                    const std::string& prefix) {
+  Engine::RegisterMetrics(reg, prefix);
+  reg.RegisterGauge(prefix + "lock.acquired",
+                    [this] { return lock_manager_.stats().acquired; });
+  reg.RegisterGauge(prefix + "lock.blocked",
+                    [this] { return lock_manager_.stats().blocked; });
+  reg.RegisterGauge(prefix + "lock.deadlocks",
+                    [this] { return lock_manager_.stats().deadlocks; });
+  reg.RegisterGauge(prefix + "lock.timeouts",
+                    [this] { return lock_manager_.stats().timeouts; });
+  reg.RegisterGauge(prefix + "lock.coop_parks",
+                    [this] { return lock_manager_.stats().coop_parks; });
+  reg.RegisterGauge(prefix + "lock.wakeups",
+                    [this] { return lock_manager_.stats().wakeups; });
+  reg.RegisterHistogram(prefix + "lock.wait_us",
+                        &lock_manager_.wait_histogram());
+  reg.RegisterHistogram(prefix + "lock.park_wakeup_us",
+                        &lock_manager_.park_wakeup_histogram());
+}
+
+std::string LockingEngine::DebugDump() const {
+  return lock_manager_.DebugSnapshot().ToString();
 }
 
 Status LockingEngine::CheckActive(TxnId txn) const {
@@ -382,6 +408,7 @@ Status LockingEngine::Commit(TxnId txn) {
     recorder_.Record(Action::Commit(txn), &EngineStats::commits);
     lock_manager_.ReleaseAll(txn);
   }
+  Trace(txn, obs::TraceEventType::kCommit);
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
@@ -391,6 +418,7 @@ Status LockingEngine::Abort(TxnId txn) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
+  Trace(txn, obs::TraceEventType::kAbort, obs::AbortReason::kExplicit);
   return Status::OK();
 }
 
@@ -413,6 +441,7 @@ Status LockingEngine::Prepare(TxnId txn) {
       wal_lsn = wal_->Append(WalRecord::Prepare(txn));
     }
   }
+  Trace(txn, obs::TraceEventType::kPrepare);
   // Durable-vote rule: the coordinator only hears "prepared" once the
   // vote and its redo would survive a crash.
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
@@ -436,6 +465,7 @@ Status LockingEngine::CommitPrepared(TxnId txn) {
     recorder_.Record(Action::Commit(txn), &EngineStats::commits);
     lock_manager_.ReleaseAll(txn);
   }
+  Trace(txn, obs::TraceEventType::kCommit);
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
 }
@@ -449,6 +479,7 @@ Status LockingEngine::AbortPrepared(TxnId txn) {
   txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
+  Trace(txn, obs::TraceEventType::kAbort, obs::AbortReason::kInDoubtDecision);
   return Status::OK();
 }
 

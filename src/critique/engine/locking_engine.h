@@ -91,6 +91,13 @@ class LockingEngine : public Engine {
   /// Lock-manager counters for benchmarks.
   LockStats lock_stats() const { return lock_manager_.stats(); }
 
+  /// Base gauges plus lock-table counters and wait/park histograms.
+  void RegisterMetrics(obs::MetricsRegistry& reg,
+                       const std::string& prefix) override;
+
+  /// Lock holders, waiters, and waits-for edges (stall introspection).
+  std::string DebugDump() const override;
+
   /// Current store contents (post-run verification).
   const SingleVersionStore& store() const { return store_; }
 

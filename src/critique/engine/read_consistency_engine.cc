@@ -28,7 +28,33 @@ Status ReadConsistencyEngine::Begin(TxnId txn) {
   txns_[txn].active = true;
   // Informational, buffered with the next sync (see the SI engine).
   if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
+  Trace(txn, obs::TraceEventType::kBegin);
   return Status::OK();
+}
+
+void ReadConsistencyEngine::RegisterMetrics(obs::MetricsRegistry& reg,
+                                            const std::string& prefix) {
+  Engine::RegisterMetrics(reg, prefix);
+  reg.RegisterGauge(prefix + "lock.acquired",
+                    [this] { return lock_manager_.stats().acquired; });
+  reg.RegisterGauge(prefix + "lock.blocked",
+                    [this] { return lock_manager_.stats().blocked; });
+  reg.RegisterGauge(prefix + "lock.deadlocks",
+                    [this] { return lock_manager_.stats().deadlocks; });
+  reg.RegisterGauge(prefix + "lock.timeouts",
+                    [this] { return lock_manager_.stats().timeouts; });
+  reg.RegisterGauge(prefix + "lock.coop_parks",
+                    [this] { return lock_manager_.stats().coop_parks; });
+  reg.RegisterGauge(prefix + "lock.wakeups",
+                    [this] { return lock_manager_.stats().wakeups; });
+  reg.RegisterHistogram(prefix + "lock.wait_us",
+                        &lock_manager_.wait_histogram());
+  reg.RegisterHistogram(prefix + "lock.park_wakeup_us",
+                        &lock_manager_.park_wakeup_histogram());
+}
+
+std::string ReadConsistencyEngine::DebugDump() const {
+  return lock_manager_.DebugSnapshot().ToString();
 }
 
 Status ReadConsistencyEngine::CheckActive(TxnId txn) const {
@@ -295,6 +321,7 @@ Status ReadConsistencyEngine::Commit(TxnId txn) {
     lock_manager_.ReleaseAll(txn);
     gc_due = GcTick();
   }
+  Trace(txn, obs::TraceEventType::kCommit);
   if (gc_due) (void)RunGcPass();
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
@@ -305,6 +332,7 @@ Status ReadConsistencyEngine::Abort(TxnId txn) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
+  Trace(txn, obs::TraceEventType::kAbort, obs::AbortReason::kExplicit);
   return Status::OK();
 }
 
@@ -323,6 +351,7 @@ Status ReadConsistencyEngine::Prepare(TxnId txn) {
       wal_lsn = wal_->Append(WalRecord::Prepare(txn));
     }
   }
+  Trace(txn, obs::TraceEventType::kPrepare);
   // Durable-vote rule (see the locking engine).
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
@@ -351,6 +380,7 @@ Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
     lock_manager_.ReleaseAll(txn);
     gc_due = GcTick();
   }
+  Trace(txn, obs::TraceEventType::kCommit);
   if (gc_due) (void)RunGcPass();
   if (wal_lsn.has_value()) return wal_->WaitDurable(*wal_lsn);
   return Status::OK();
@@ -364,6 +394,7 @@ Status ReadConsistencyEngine::AbortPrepared(TxnId txn) {
   txns_.find(txn)->second.prepared = false;
   Rollback(txn);
   recorder_.Count(&EngineStats::aborts);
+  Trace(txn, obs::TraceEventType::kAbort, obs::AbortReason::kInDoubtDecision);
   return Status::OK();
 }
 

@@ -81,6 +81,13 @@ class ReadConsistencyEngine : public Engine {
 
   LockStats lock_stats() const { return lock_manager_.stats(); }
 
+  /// Base gauges plus lock-table counters and wait/park histograms.
+  void RegisterMetrics(obs::MetricsRegistry& reg,
+                       const std::string& prefix) override;
+
+  /// Lock holders, waiters, and waits-for edges (stall introspection).
+  std::string DebugDump() const override;
+
   // Version GC.  Read Consistency reads are statement-level (each
   // statement sees the most recent committed value), so the engine's
   // low-watermark is simply "now": every committed version below the

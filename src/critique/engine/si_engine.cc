@@ -57,6 +57,7 @@ Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
   // self-describing and advances the recovered id-allocator floor past
   // ids that never reach a terminal record.
   if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
+  Trace(txn, obs::TraceEventType::kBegin);
   return Status::OK();
 }
 
@@ -85,13 +86,34 @@ Status SnapshotIsolationEngine::CheckPrepared(TxnId txn) const {
 }
 
 Status SnapshotIsolationEngine::AbortInternal(TxnId txn, Status reason,
-                                              uint64_t EngineStats::*counter) {
+                                              uint64_t EngineStats::*counter,
+                                              obs::AbortReason why) {
   TxnState& st = txns_.find(txn)->second;
   {
     std::unique_lock<std::shared_mutex> sl(store_mu_);
     store_.AbortTxn(txn, st.write_set);
     recorder_.Record(Action::Abort(txn), counter);  // under the latch
   }
+  // Breakdown by the paper's taxonomy: only serialization aborts split
+  // (coordinator-decided AbortPrepared traces kInDoubtDecision but counts
+  // as a plain abort).
+  if (counter == &EngineStats::serialization_aborts) {
+    switch (why) {
+      case obs::AbortReason::kFirstCommitterWins:
+        recorder_.Count(&EngineStats::fcw_aborts);
+        break;
+      case obs::AbortReason::kSsiDangerousStructure:
+        recorder_.Count(&EngineStats::ssi_aborts);
+        break;
+      case obs::AbortReason::kInDoubtDecision:
+        recorder_.Count(&EngineStats::in_doubt_aborts);
+        break;
+      default:
+        break;
+    }
+  }
+  Trace(txn, obs::TraceEventType::kAbort, why,
+        reason.ok() ? std::string() : std::string(reason.message()));
   {
     auto el = SsiLock();
     st.active = false;
@@ -369,7 +391,8 @@ Status SnapshotIsolationEngine::DoWrite(TxnId txn, const ItemId& id,
         txn,
         Status::SerializationFailure(
             "first-updater-wins: concurrent pending write on '" + id + "'"),
-        &EngineStats::serialization_aborts);
+        &EngineStats::serialization_aborts,
+        obs::AbortReason::kFirstCommitterWins);
   }
   {
     auto el = SsiLock();
@@ -539,7 +562,8 @@ Status SnapshotIsolationEngine::ValidateAndReserve(TxnId txn) {
         Status::SerializationFailure(
             "first-committer-wins: '" + *fcw_conflict +
             "' was committed during this transaction's interval"),
-        &EngineStats::serialization_aborts);
+        &EngineStats::serialization_aborts,
+        obs::AbortReason::kFirstCommitterWins);
   }
 
   // Reservation overlap: a transaction between pipeline stage 1 and
@@ -557,13 +581,15 @@ Status SnapshotIsolationEngine::ValidateAndReserve(TxnId txn) {
           Status::SerializationFailure(
               "first-committer-wins: '" + id + "' is reserved by " +
               "in-flight/prepared txn " + std::to_string(it->second)),
-          &EngineStats::serialization_aborts);
+          &EngineStats::serialization_aborts,
+          obs::AbortReason::kFirstCommitterWins);
     }
   }
 
   if (auto refusal = SsiRefusal(txn, /*decision=*/false)) {
     return AbortInternal(txn, Status::SerializationFailure(*refusal),
-                         &EngineStats::serialization_aborts);
+                         &EngineStats::serialization_aborts,
+                         obs::AbortReason::kSsiDangerousStructure);
   }
 
   for (const ItemId& id : st.write_set) reservations_[id] = txn;
@@ -587,7 +613,9 @@ Status SnapshotIsolationEngine::RevalidateAndPublish(
       ++pipeline_stats_.revalidation_aborts;
     }
     return AbortInternal(txn, Status::SerializationFailure(*refusal),
-                         &EngineStats::serialization_aborts);
+                         &EngineStats::serialization_aborts,
+                         decision ? obs::AbortReason::kInDoubtDecision
+                                  : obs::AbortReason::kSsiDangerousStructure);
   }
 
   // Publish: the commit timestamp is drawn inside the store-exclusive
@@ -620,12 +648,14 @@ Status SnapshotIsolationEngine::RevalidateAndPublish(
   }
   st.redo.clear();
   ReleaseReservations(txn);
+  Trace(txn, obs::TraceEventType::kCommit);
   return Status::OK();
 }
 
 Status SnapshotIsolationEngine::Commit(TxnId txn) {
   // Commit-pipeline stage 1: validate and reserve.
   {
+    obs::ScopedTimer t(stage1_hist_);
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
     std::lock_guard<std::mutex> cl(commit_mu_);
@@ -642,6 +672,7 @@ Status SnapshotIsolationEngine::Commit(TxnId txn) {
   bool gc_due = false;
   std::optional<uint64_t> wal_lsn;
   {
+    obs::ScopedTimer t(stage2_hist_);
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     std::lock_guard<std::mutex> cl(commit_mu_);
     CRITIQUE_RETURN_NOT_OK(
@@ -670,6 +701,7 @@ Status SnapshotIsolationEngine::Prepare(TxnId txn) {
   // the whole in-doubt window, and stage 2 runs at the decision.
   std::optional<uint64_t> wal_lsn;
   {
+    obs::ScopedTimer t(stage1_hist_);
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
     std::lock_guard<std::mutex> cl(commit_mu_);
@@ -688,6 +720,7 @@ Status SnapshotIsolationEngine::Prepare(TxnId txn) {
       }
       wal_lsn = wal_->Append(WalRecord::Prepare(txn));
     }
+    Trace(txn, obs::TraceEventType::kPrepare);
   }
   // The durable-vote rule: the coordinator may not count this participant
   // as prepared until its vote would survive a crash.  A dead log surfaces
@@ -701,6 +734,7 @@ Status SnapshotIsolationEngine::CommitPrepared(TxnId txn) {
   bool gc_due = false;
   std::optional<uint64_t> wal_lsn;
   {
+    obs::ScopedTimer t(stage2_hist_);
     std::shared_lock<std::shared_mutex> tl(table_mu_);
     CRITIQUE_RETURN_NOT_OK(CheckPrepared(txn));
     std::lock_guard<std::mutex> cl(commit_mu_);
@@ -728,7 +762,8 @@ Status SnapshotIsolationEngine::AbortPrepared(TxnId txn) {
     if (wal_ != nullptr) wal_->Append(WalRecord::Abort(txn));
     ReleaseReservations(txn);
   }
-  return AbortInternal(txn, Status::OK(), &EngineStats::aborts);
+  return AbortInternal(txn, Status::OK(), &EngineStats::aborts,
+                       obs::AbortReason::kInDoubtDecision);
 }
 
 std::vector<TxnId> SnapshotIsolationEngine::InDoubtTransactions() const {
@@ -743,7 +778,8 @@ std::vector<TxnId> SnapshotIsolationEngine::InDoubtTransactions() const {
 Status SnapshotIsolationEngine::Abort(TxnId txn) {
   std::shared_lock<std::shared_mutex> tl(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  return AbortInternal(txn, Status::OK(), &EngineStats::aborts);
+  return AbortInternal(txn, Status::OK(), &EngineStats::aborts,
+                       obs::AbortReason::kExplicit);
 }
 
 size_t SnapshotIsolationEngine::RunGcPass() {
@@ -844,6 +880,22 @@ size_t SnapshotIsolationEngine::RunGcPass() {
     gc_stats_.collected += dropped;
   }
   return dropped;
+}
+
+void SnapshotIsolationEngine::RegisterMetrics(obs::MetricsRegistry& reg,
+                                              const std::string& prefix) {
+  Engine::RegisterMetrics(reg, prefix);
+  reg.RegisterGauge(prefix + "pipeline.slots_issued", [this] {
+    return commit_pipeline_stats().slots_issued;
+  });
+  reg.RegisterGauge(prefix + "pipeline.revalidation_aborts", [this] {
+    return commit_pipeline_stats().revalidation_aborts;
+  });
+  reg.RegisterGauge(prefix + "pipeline.decision_aborts", [this] {
+    return commit_pipeline_stats().decision_aborts;
+  });
+  reg.RegisterHistogram(prefix + "pipeline.validate_us", &stage1_hist_);
+  reg.RegisterHistogram(prefix + "pipeline.publish_us", &stage2_hist_);
 }
 
 size_t SnapshotIsolationEngine::GarbageCollectVersions() {

@@ -219,6 +219,16 @@ class SnapshotIsolationEngine : public Engine {
     return pipeline_stats_;
   }
 
+  /// Base gauges plus pipeline counters and per-stage latency histograms.
+  void RegisterMetrics(obs::MetricsRegistry& reg,
+                       const std::string& prefix) override;
+
+  /// Commit-pipeline stage-1 (validate + reserve) latency, microseconds.
+  const obs::Histogram& validate_histogram() const { return stage1_hist_; }
+
+  /// Commit-pipeline stage-2 (re-validate + publish) latency, microseconds.
+  const obs::Histogram& publish_histogram() const { return stage2_hist_; }
+
   /// Test-only failpoint: runs between commit-pipeline stages 1 and 2 of
   /// every `Commit`, with *no engine latch held*, on the committing
   /// thread.  The hook may drive other transactions on this engine to
@@ -269,10 +279,13 @@ class SnapshotIsolationEngine : public Engine {
   Status CheckPrepared(TxnId txn) const;
 
   /// Rolls `txn` back (store abort + state flags + `a<t>` record), charging
-  /// `counter`.  Requires `table_mu_` shared; takes `ssi_mu_`/`store_mu_`
-  /// internally, so the caller may hold `commit_mu_` but neither of those.
+  /// `counter`, and records the abort's paper-taxonomy tag: the matching
+  /// `EngineStats` breakdown counter (serialization aborts only) plus a
+  /// tracer event when a tracer is attached.  Requires `table_mu_` shared;
+  /// takes `ssi_mu_`/`store_mu_` internally, so the caller may hold
+  /// `commit_mu_` but neither of those.
   Status AbortInternal(TxnId txn, Status reason,
-                       uint64_t EngineStats::*counter);
+                       uint64_t EngineStats::*counter, obs::AbortReason why);
 
   /// Commit-pipeline stage 1: First-Committer-Wins + reservation overlap +
   /// SSI dangerous-structure checks; on success reserves the write set and
@@ -383,6 +396,9 @@ class SnapshotIsolationEngine : public Engine {
   // entries are serialized by commit_mu_, so each validation owns a
   // distinct slot number.
   CommitPipelineStats pipeline_stats_;      ///< commit_mu_
+  // Per-stage commit-pipeline latency (internally synchronized).
+  obs::Histogram stage1_hist_;
+  obs::Histogram stage2_hist_;
   uint32_t commits_since_gc_ = 0;           ///< commit_mu_
   std::atomic<Timestamp> gc_floor_{kInvalidTimestamp};
   VersionGcStats gc_stats_;                 ///< gc_stats_mu_

@@ -1,12 +1,51 @@
 #include "critique/lock/lock_manager.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
+#include <ostream>
 
 namespace critique {
 
 std::string_view LockModeName(LockMode m) {
   return m == LockMode::kShared ? "S" : "X";
+}
+
+std::string LockStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "acquired=%llu blocked=%llu deadlocks=%llu released=%llu "
+                "timeouts=%llu coop_parks=%llu wakeups=%llu",
+                (unsigned long long)acquired, (unsigned long long)blocked,
+                (unsigned long long)deadlocks, (unsigned long long)released,
+                (unsigned long long)timeouts, (unsigned long long)coop_parks,
+                (unsigned long long)wakeups);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const LockStats& stats) {
+  return os << stats.ToString();
+}
+
+std::string LockDebugSnapshot::ToString() const {
+  std::string out;
+  out += "held locks (" + std::to_string(held.size()) + "):\n";
+  for (const HeldEntry& h : held) {
+    out += "  T" + std::to_string(h.txn) + " holds " +
+           std::string(LockModeName(h.mode)) + " on " + h.what + "\n";
+  }
+  out += "waiters (" + std::to_string(waiters.size()) + "):\n";
+  for (const WaiterEntry& w : waiters) {
+    out += "  T" + std::to_string(w.txn) + " wants " +
+           std::string(LockModeName(w.mode)) + " on " + w.what +
+           (w.cooperative ? " [parked session]" : " [blocked thread]") + "\n";
+  }
+  out += "waits-for edges (" + std::to_string(waits_for.size()) + "):\n";
+  for (const auto& e : waits_for) {
+    out += "  T" + std::to_string(e.first) + " -> T" +
+           std::to_string(e.second) + "\n";
+  }
+  return out;
 }
 
 LockSpec LockSpec::ReadItem(TxnId t, ItemId item, std::optional<Row> row) {
@@ -149,7 +188,8 @@ void LockManager::RegisterCoopWaiterLocked(const LockSpec& spec) {
       std::remove_if(list.begin(), list.end(),
                      [&](const CoopWaiter& w) { return w.txn == spec.txn; }),
       list.end());
-  list.push_back(CoopWaiter{spec.txn, seq, spec});
+  list.push_back(
+      CoopWaiter{spec.txn, seq, spec, std::chrono::steady_clock::now()});
   stat_coop_parks_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -200,27 +240,37 @@ void LockManager::CollectCoopWakeupsLocked(const LockSpec& released,
   // release does.  Predicate waiters are each their own group — a
   // predicate's conflicts span items, so suppressing one behind a waiter
   // on a single item could strand it.
-  std::vector<TxnId> woken;
+  std::vector<const CoopWaiter*> woken;
   std::map<ItemId, bool> group_closed;  // item -> stop admitting
   for (const CoopWaiter* w : cand) {
     if (!w->spec.is_item) {
-      woken.push_back(w->txn);
+      woken.push_back(w);
       continue;
     }
     auto [it, is_head] = group_closed.emplace(w->spec.item, false);
     if (is_head) {
-      woken.push_back(w->txn);
+      woken.push_back(w);
       it->second = w->spec.mode == LockMode::kExclusive;
     } else if (!it->second) {
       if (w->spec.mode == LockMode::kShared) {
-        woken.push_back(w->txn);
+        woken.push_back(w);
       } else {
         it->second = true;
       }
     }
   }
-  for (TxnId t : woken) {
-    DeregisterCoopLocked(t);
+  const bool timing = obs::MetricsEnabled() && !woken.empty();
+  const auto now = timing ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+  for (const CoopWaiter* w : woken) {
+    if (timing) {
+      park_wakeup_hist_.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                w->parked_at)
+              .count()));
+    }
+    TxnId t = w->txn;
+    DeregisterCoopLocked(t);  // leaves the lists untouched; w stays valid
     out.push_back(t);
   }
 }
@@ -448,6 +498,16 @@ Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
   Bucket& park = *buckets_[bi];
   bool counted_wait = false;
   bool registered = false;
+  // Set when the first conflict is seen; the wait histogram records the
+  // whole episode (sleeps + rechecks) once, on whatever exit ends it.
+  std::chrono::steady_clock::time_point wait_start{};
+  auto record_wait = [&] {
+    if (!counted_wait || !obs::MetricsEnabled()) return;
+    wait_hist_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
+  };
 
   // Requires graph_mu_; undoes the waiter registration and edges.
   auto deregister_locked = [&] {
@@ -472,6 +532,7 @@ Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
           std::lock_guard<std::mutex> gl(graph_mu_);
           deregister_locked();
         }
+        record_wait();
         return GrantItemLocked(bi, spec);
       }
       bl.unlock();
@@ -483,6 +544,7 @@ Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
     std::vector<TxnId> blockers = BlockersGlobalLocked(spec);
     if (blockers.empty()) {
       deregister_locked();
+      record_wait();
       return spec.is_item ? GrantItemLocked(bi, spec) : GrantPredLocked(spec);
     }
     if (!registered) {
@@ -494,17 +556,20 @@ Result<LockHandle> LockManager::Acquire(const LockSpec& spec,
     if (WouldDeadlockLocked(spec.txn)) {
       stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
       deregister_locked();
+      record_wait();
       return Status::Deadlock("deadlock: T" + std::to_string(spec.txn) +
                               " waits on" + JoinTxns(blockers));
     }
     if (!counted_wait) {
       stat_blocked_.fetch_add(1, std::memory_order_relaxed);
       counted_wait = true;  // one wait episode, however many re-checks
+      wait_start = std::chrono::steady_clock::now();
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
       stat_timeouts_.fetch_add(1, std::memory_order_relaxed);
       deregister_locked();
+      record_wait();
       return Status::WouldBlock(
           "lock wait timeout (" + std::to_string(timeout.count()) +
           "ms): " + Describe(spec) + " locked by" + JoinTxns(blockers));
@@ -720,6 +785,33 @@ LockStats LockManager::stats() const {
   s.coop_parks = stat_coop_parks_.load(std::memory_order_relaxed);
   s.wakeups = stat_wakeups_.load(std::memory_order_relaxed);
   return s;
+}
+
+LockDebugSnapshot LockManager::DebugSnapshot() const {
+  // The global view plus the graph mutex: holders, waiters, and edges are
+  // one atomic picture — exactly what diagnosing a wedged session needs.
+  LockDebugSnapshot snap;
+  auto all = LockAllBuckets();
+  std::lock_guard<std::mutex> gl(graph_mu_);
+  auto add_held = [&](const std::vector<HeldLock>& held) {
+    for (const HeldLock& h : held) {
+      snap.held.push_back(LockDebugSnapshot::HeldEntry{
+          h.spec.txn, h.spec.mode, Describe(h.spec)});
+    }
+  };
+  for (const auto& b : buckets_) add_held(b->held);
+  add_held(pred_held_);
+  // `waiting_` covers both protocols: threads parked in Acquire and
+  // cooperative registrations (RegisterCoopWaiterLocked adds them so
+  // deadlock detection sees their edges live).
+  for (const auto& [txn, spec] : waiting_) {
+    snap.waiters.push_back(LockDebugSnapshot::WaiterEntry{
+        txn, spec.mode, Describe(spec), coop_seq_.count(txn) != 0});
+  }
+  for (const auto& [from, targets] : waits_for_) {
+    for (TxnId to : targets) snap.waits_for.emplace_back(from, to);
+  }
+  return snap;
 }
 
 }  // namespace critique

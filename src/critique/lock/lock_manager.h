@@ -19,6 +19,7 @@
 #include "critique/history/action.h"
 #include "critique/model/predicate.h"
 #include "critique/model/row.h"
+#include "critique/obs/metrics.h"
 
 namespace critique {
 
@@ -74,6 +75,35 @@ struct LockStats {
   uint64_t timeouts = 0;  ///< blocking acquires that hit the wait timeout
   uint64_t coop_parks = 0;  ///< cooperative waiters registered for a wakeup
   uint64_t wakeups = 0;     ///< release notifications delivered to the hook
+
+  /// One line: "acquired=12 blocked=3 deadlocks=0 ...".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const LockStats& stats);
+
+/// \brief Point-in-time picture of the lock table for stall diagnosis
+/// (`Database::DebugDump`): who holds what, who waits on what, and the
+/// waits-for edges connecting them.
+struct LockDebugSnapshot {
+  struct HeldEntry {
+    TxnId txn = 0;
+    LockMode mode = LockMode::kShared;
+    std::string what;  ///< "item 'x'" / "predicate <p>"
+  };
+  struct WaiterEntry {
+    TxnId txn = 0;
+    LockMode mode = LockMode::kShared;
+    std::string what;
+    bool cooperative = false;  ///< registered for a hook wakeup (vs parked)
+  };
+  std::vector<HeldEntry> held;
+  std::vector<WaiterEntry> waiters;
+  /// Edge (a, b): transaction a waits for transaction b.
+  std::vector<std::pair<TxnId, TxnId>> waits_for;
+
+  /// Multi-line report: held locks, waiters, then waits-for edges.
+  std::string ToString() const;
 };
 
 /// \brief A striped lock table with item and predicate locks, a waits-for
@@ -218,6 +248,20 @@ class LockManager {
 
   LockStats stats() const;
 
+  /// Consistent snapshot of holders, waiters, and waits-for edges (takes
+  /// the global view; diagnostics only).
+  LockDebugSnapshot DebugSnapshot() const;
+
+  /// Wall time blocked `Acquire` calls spent waiting, microseconds per
+  /// wait episode (conflict-free acquires never touch the clock).
+  const obs::Histogram& wait_histogram() const { return wait_hist_; }
+
+  /// Cooperative park -> wakeup-collection latency, microseconds per
+  /// delivered wakeup (the event-driven analogue of `wait_histogram`).
+  const obs::Histogram& park_wakeup_histogram() const {
+    return park_wakeup_hist_;
+  }
+
  private:
   /// Handles carry their bucket in the low byte (0 = the predicate side
   /// table, i+1 = bucket i), so `Release` goes straight to the right
@@ -245,6 +289,8 @@ class LockManager {
     TxnId txn;
     uint64_t seq;
     LockSpec spec;
+    /// Registration time, for the park -> wakeup latency histogram.
+    std::chrono::steady_clock::time_point parked_at;
   };
 
   /// One stripe: a latch, the item locks hashed here, and the condition
@@ -392,6 +438,9 @@ class LockManager {
   std::atomic<uint64_t> stat_timeouts_{0};
   std::atomic<uint64_t> stat_coop_parks_{0};
   std::atomic<uint64_t> stat_wakeups_{0};
+
+  obs::Histogram wait_hist_;         ///< blocking-acquire wait episodes (us)
+  obs::Histogram park_wakeup_hist_;  ///< cooperative park -> wakeup (us)
 };
 
 }  // namespace critique

@@ -1,0 +1,166 @@
+#include "critique/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace critique {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace internal
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the requested percentile, 1-based; ceil so p=100 -> count.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * double(count) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      uint64_t bound = Histogram::BucketUpperBound(b);
+      // The recorded max is exact; never report a bound past it.
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const auto& s : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      snap.count += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void MetricsRegistry::RegisterCounter(std::string name, const Counter* c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.push_back(
+      Entry{std::move(name), MetricSample::Kind::kCounter, c, nullptr, {}});
+}
+
+void MetricsRegistry::RegisterHistogram(std::string name, const Histogram* h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.push_back(
+      Entry{std::move(name), MetricSample::Kind::kHistogram, nullptr, h, {}});
+}
+
+void MetricsRegistry::RegisterGauge(std::string name,
+                                    std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.push_back(Entry{std::move(name), MetricSample::Kind::kGauge,
+                           nullptr, nullptr, std::move(fn)});
+}
+
+void MetricsRegistry::Unregister(const std::string& prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.name.compare(0, prefix.size(),
+                                                        prefix) == 0;
+                                }),
+                 entries_.end());
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      MetricSample s;
+      s.name = e.name;
+      s.kind = e.kind;
+      switch (e.kind) {
+        case MetricSample::Kind::kCounter:
+          s.value = e.counter->Value();
+          break;
+        case MetricSample::Kind::kGauge:
+          s.value = e.gauge();
+          break;
+        case MetricSample::Kind::kHistogram:
+          s.histogram = e.histogram->Snapshot();
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const MetricSample& s : Collect()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << s.name << "\":";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+         << ",\"p50\":" << h.Percentile(50) << ",\"p95\":" << h.Percentile(95)
+         << ",\"p99\":" << h.Percentile(99) << ",\"max\":" << h.max << "}";
+    } else {
+      os << s.value;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream os;
+  for (const MetricSample& s : Collect()) {
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                    (unsigned long long)h.count, h.Mean(),
+                    (unsigned long long)h.Percentile(50),
+                    (unsigned long long)h.Percentile(95),
+                    (unsigned long long)h.Percentile(99),
+                    (unsigned long long)h.max);
+      os << s.name << ": " << buf << "\n";
+    } else {
+      os << s.name << ": " << s.value << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace critique

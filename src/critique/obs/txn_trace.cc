@@ -1,0 +1,124 @@
+#include "critique/obs/txn_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace critique {
+namespace obs {
+
+std::string_view TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kBegin:
+      return "begin";
+    case TraceEventType::kOp:
+      return "op";
+    case TraceEventType::kPark:
+      return "park";
+    case TraceEventType::kWakeup:
+      return "wakeup";
+    case TraceEventType::kPrepare:
+      return "prepare";
+    case TraceEventType::kCommit:
+      return "commit";
+    case TraceEventType::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::string_view AbortReasonName(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kExplicit:
+      return "explicit-rollback";
+    case AbortReason::kDeadlockVictim:
+      return "deadlock-victim";
+    case AbortReason::kFirstCommitterWins:
+      return "first-committer-wins";
+    case AbortReason::kSsiDangerousStructure:
+      return "ssi-dangerous-structure";
+    case AbortReason::kInDoubtDecision:
+      return "in-doubt-decision";
+    case AbortReason::kLockTimeout:
+      return "lock-wait-timeout";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%8llu us] t%d %s",
+                (unsigned long long)micros, txn,
+                std::string(TraceEventTypeName(type)).c_str());
+  std::string out(buf);
+  if (reason != AbortReason::kNone) {
+    out += " reason=";
+    out += AbortReasonName(reason);
+  }
+  if (!detail.empty()) {
+    out += " ";
+    out += detail;
+  }
+  return out;
+}
+
+TxnTracer::TxnTracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      start_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void TxnTracer::Record(TxnId txn, TraceEventType type, AbortReason reason,
+                       std::string detail) {
+  TraceEvent e;
+  e.micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  e.txn = txn;
+  e.type = type;
+  e.reason = reason;
+  e.detail = std::move(detail);
+  std::lock_guard<std::mutex> lk(mu_);
+  e.seq = ++seq_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TxnTracer::Dump(TxnId txn) const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const TraceEvent& e : ring_) {
+      if (e.txn == txn) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string TxnTracer::Format(TxnId txn) const {
+  std::string out;
+  for (const TraceEvent& e : Dump(txn)) {
+    out += e.ToString();
+    out += "\n";
+  }
+  if (out.empty()) out = "(no events recorded for this transaction)\n";
+  return out;
+}
+
+uint64_t TxnTracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
+}
+
+}  // namespace obs
+}  // namespace critique

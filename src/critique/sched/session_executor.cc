@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 namespace critique {
 namespace {
@@ -38,6 +39,10 @@ std::string SessionExecutorStats::ToString() const {
   return buf;
 }
 
+std::ostream& operator<<(std::ostream& os, const SessionExecutorStats& stats) {
+  return os << stats.ToString();
+}
+
 SessionExecutor::SessionExecutor(Database& db, SessionExecutorOptions options)
     : db_(db), options_(options) {
   CheckOrDie(db_.mode() == ConcurrencyMode::kCooperative,
@@ -53,6 +58,24 @@ SessionExecutor::SessionExecutor(Database& db, SessionExecutorOptions options)
   options_.workers = std::max(1, options_.workers);
   paused_.store(options_.start_paused, std::memory_order_release);
   db_.SetLockWakeupHook([this](TxnId txn) { Wake(txn); });
+  {
+    obs::MetricsRegistry& reg = db_.metrics();
+    reg.RegisterGauge("executor.submitted",
+                      [this] { return stats().submitted; });
+    reg.RegisterGauge("executor.completed",
+                      [this] { return stats().completed; });
+    reg.RegisterGauge("executor.committed",
+                      [this] { return stats().committed; });
+    reg.RegisterGauge("executor.parks", [this] { return stats().parks; });
+    reg.RegisterGauge("executor.wakeups", [this] { return stats().wakeups; });
+    reg.RegisterGauge("executor.retries", [this] { return stats().retries; });
+    reg.RegisterGauge("executor.steals", [this] { return stats().steals; });
+    reg.RegisterGauge("executor.peak_open_sessions",
+                      [this] { return stats().peak_open_sessions; });
+    reg.RegisterGauge("executor.ready_queue_depth",
+                      [this] { return ready_queue_depth(); });
+    reg.RegisterHistogram("executor.step_us", &step_hist_);
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -83,6 +106,8 @@ SessionExecutor::~SessionExecutor() {
   }
   // Every session is closed now, so the facade accepts the reset.
   db_.SetLockWakeupHook(nullptr);
+  // The registry outlives the executor; its entries must not.
+  db_.metrics().Unregister("executor.");
 }
 
 uint64_t SessionExecutor::Submit(uint64_t num_steps, StepFn step, DoneFn done) {
@@ -268,7 +293,10 @@ void SessionExecutor::RunTask(SessionTask* task, size_t wi) {
       }
       break;
     }
-    s = task->step(*task->txn, task->next_step);
+    {
+      obs::ScopedTimer t(step_hist_);
+      s = task->step(*task->txn, task->next_step);
+    }
     if (!s.ok()) break;
     steps_.fetch_add(1, std::memory_order_relaxed);
     ++task->next_step;
@@ -292,6 +320,9 @@ void SessionExecutor::RunTask(SessionTask* task, size_t wi) {
 
 void SessionExecutor::Park(SessionTask* task) {
   parks_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TxnTracer* tracer = db_.tracer()) {
+    tracer->Record(task->txn_id, obs::TraceEventType::kPark);
+  }
   // The park decision and any concurrent wakeup serialize on the task
   // mutex: a wakeup that raced the tail of the step is sitting in
   // wake_pending and converts the park into an immediate re-queue, so it
@@ -317,6 +348,9 @@ void SessionExecutor::Wake(TxnId txn) {
   if (it == txn_index_.end()) return;
   SessionTask* task = it->second;
   wakeups_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TxnTracer* tracer = db_.tracer()) {
+    tracer->Record(txn, obs::TraceEventType::kWakeup);
+  }
   std::lock_guard<std::mutex> tl(task->mu);
   if (task->state == TaskState::kParked) {
     task->state = TaskState::kReady;

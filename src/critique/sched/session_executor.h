@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,7 @@
 
 #include "critique/common/status.h"
 #include "critique/db/database.h"
+#include "critique/obs/metrics.h"
 
 namespace critique {
 
@@ -65,6 +67,8 @@ struct SessionExecutorStats {
   /// One line: "submitted=100000 completed=100000 ...".
   std::string ToString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const SessionExecutorStats& stats);
 
 /// \brief Multiplexes many open transactions onto a few worker threads.
 ///
@@ -156,6 +160,15 @@ class SessionExecutor {
 
   /// Counter snapshot (cheap; safe any time).
   SessionExecutorStats stats() const;
+
+  /// Per-step dispatch latency (one `StepFn` invocation), microseconds.
+  const obs::Histogram& step_histogram() const { return step_hist_; }
+
+  /// Tasks sitting in run queues right now (the C10K backlog gauge).
+  uint64_t ready_queue_depth() const {
+    const int n = ready_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<uint64_t>(n) : 0;
+  }
 
   int workers() const { return static_cast<int>(workers_.size()); }
 
@@ -251,6 +264,8 @@ class SessionExecutor {
   std::atomic<uint64_t> first_begins_{0};  ///< distinct sessions ever begun
   std::atomic<int> open_sessions_{0};
   std::atomic<uint64_t> peak_open_{0};
+
+  obs::Histogram step_hist_;  ///< internally synchronized
 };
 
 }  // namespace critique

@@ -1,5 +1,7 @@
 #include "critique/shard/txn_coordinator.h"
 
+#include <ostream>
+
 namespace critique {
 
 std::string CoordinatorStats::ToString() const {
@@ -13,6 +15,10 @@ std::string CoordinatorStats::ToString() const {
          " recovered_aborts=" + std::to_string(recovered_aborts);
 }
 
+std::ostream& operator<<(std::ostream& os, const CoordinatorStats& stats) {
+  return os << stats.ToString();
+}
+
 Status TxnCoordinator::Commit(TxnId gid,
                               const std::vector<Transaction*>& parts) {
   {
@@ -23,20 +29,23 @@ Status TxnCoordinator::Commit(TxnId gid,
   // Phase 1: prepare in shard order.  A refusal means the refusing engine
   // already rolled its participant back (or the participant was already
   // dead); everyone else must now abort too.
-  for (size_t i = 0; i < parts.size(); ++i) {
-    Status s = parts[i]->Prepare();
-    if (s.ok()) continue;
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.prepare_failures;
-    ++stats_.aborted;
-    // Global abort.  Prepared predecessors take the abort decision;
-    // unprepared successors (and the refuser, if its handle survived) roll
-    // back plainly.  Presumed abort: nothing to log.
-    for (size_t j = 0; j < i; ++j) (void)parts[j]->AbortPrepared();
-    for (size_t j = i; j < parts.size(); ++j) {
-      if (parts[j]->active()) (void)parts[j]->Rollback();
+  {
+    obs::ScopedTimer t(prepare_hist_);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      Status s = parts[i]->Prepare();
+      if (s.ok()) continue;
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.prepare_failures;
+      ++stats_.aborted;
+      // Global abort.  Prepared predecessors take the abort decision;
+      // unprepared successors (and the refuser, if its handle survived)
+      // roll back plainly.  Presumed abort: nothing to log.
+      for (size_t j = 0; j < i; ++j) (void)parts[j]->AbortPrepared();
+      for (size_t j = i; j < parts.size(); ++j) {
+        if (parts[j]->active()) (void)parts[j]->Rollback();
+      }
+      return s;
     }
-    return s;
   }
 
   // All participants are prepared (in doubt) and no decision exists yet —
@@ -94,18 +103,21 @@ Status TxnCoordinator::Commit(TxnId gid,
   Status refusal = Status::OK();
   uint64_t refused = 0;
   uint64_t committed_parts = 0;
-  for (Transaction* p : parts) {
-    Status s = p->CommitPrepared();
-    if (s.ok()) {
-      ++committed_parts;
-      continue;
+  {
+    obs::ScopedTimer t(decision_hist_);
+    for (Transaction* p : parts) {
+      Status s = p->CommitPrepared();
+      if (s.ok()) {
+        ++committed_parts;
+        continue;
+      }
+      if (!s.IsSerializationFailure()) {
+        return Status::Internal("participant refused CommitPrepared for gid " +
+                                std::to_string(gid) + ": " + s.ToString());
+      }
+      if (refusal.ok()) refusal = s;
+      ++refused;
     }
-    if (!s.IsSerializationFailure()) {
-      return Status::Internal("participant refused CommitPrepared for gid " +
-                              std::to_string(gid) + ": " + s.ToString());
-    }
-    if (refusal.ok()) refusal = s;
-    ++refused;
   }
 
   // All participants are terminal: close the durable entry (buffered — a
@@ -183,6 +195,20 @@ void TxnCoordinator::set_failpoint(CoordinatorFailpoint f) {
 CoordinatorStats TxnCoordinator::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void TxnCoordinator::RegisterMetrics(obs::MetricsRegistry& reg,
+                                     const std::string& prefix) {
+  reg.RegisterGauge(prefix + "started", [this] { return stats().started; });
+  reg.RegisterGauge(prefix + "committed",
+                    [this] { return stats().committed; });
+  reg.RegisterGauge(prefix + "aborted", [this] { return stats().aborted; });
+  reg.RegisterGauge(prefix + "prepare_failures",
+                    [this] { return stats().prepare_failures; });
+  reg.RegisterGauge(prefix + "decision_aborts",
+                    [this] { return stats().decision_aborts; });
+  reg.RegisterHistogram(prefix + "prepare_us", &prepare_hist_);
+  reg.RegisterHistogram(prefix + "decision_us", &decision_hist_);
 }
 
 }  // namespace critique

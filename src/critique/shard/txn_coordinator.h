@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -11,6 +12,7 @@
 
 #include "critique/common/status.h"
 #include "critique/db/transaction.h"
+#include "critique/obs/metrics.h"
 #include "critique/wal/wal_record.h"
 #include "critique/wal/wal_sink.h"
 
@@ -47,6 +49,8 @@ struct CoordinatorStats {
   /// One line: "started=12 committed=10 aborted=2 ...".
   std::string ToString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const CoordinatorStats& stats);
 
 /// \brief The two-phase-commit coordinator for cross-shard transactions.
 ///
@@ -147,6 +151,17 @@ class TxnCoordinator {
 
   CoordinatorStats stats() const;
 
+  /// Phase-1 (prepare-all) wall time per 2PC round, microseconds.
+  const obs::Histogram& prepare_histogram() const { return prepare_hist_; }
+
+  /// Phase-2 (decision delivery) wall time per 2PC round, microseconds.
+  const obs::Histogram& decision_histogram() const { return decision_hist_; }
+
+  /// Registers phase histograms plus `CoordinatorStats` gauges with `reg`
+  /// under `prefix` ("coord." by convention).  The coordinator must
+  /// outlive the registry entries.
+  void RegisterMetrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
  private:
   mutable std::mutex mu_;
   std::map<TxnId, bool> decisions_;
@@ -154,6 +169,9 @@ class TxnCoordinator {
   CoordinatorFailpoint failpoint_ = CoordinatorFailpoint::kNone;
   std::function<void(TxnId)> in_doubt_hook_;  ///< test failpoint
   CoordinatorStats stats_;
+  // Internally synchronized — recorded outside mu_.
+  obs::Histogram prepare_hist_;
+  obs::Histogram decision_hist_;
 };
 
 }  // namespace critique

@@ -1,6 +1,7 @@
 #include "critique/wal/commit_log.h"
 
 #include <algorithm>
+#include <ostream>
 
 namespace critique {
 
@@ -10,6 +11,10 @@ std::string GroupCommitStats::ToString() const {
          " sync_waits=" + std::to_string(sync_waits) +
          " batched=" + std::to_string(batched) +
          " max_batch=" + std::to_string(max_batch);
+}
+
+std::ostream& operator<<(std::ostream& os, const GroupCommitStats& stats) {
+  return os << stats.ToString();
 }
 
 CommitLog::~CommitLog() {
@@ -42,8 +47,14 @@ Status CommitLog::SyncRoundLocked(std::unique_lock<std::mutex>& lk) {
   // group commit batches.  `syncing_` (held by the caller) keeps the
   // writer's file exclusive.
   lk.unlock();
-  Status s = writer_.WriteStaged(bytes, staged_lsn, options_.fsync_mode,
-                                 options_.fsync_latency);
+  Status s;
+  {
+    // Times the device write + (simulated) fsync, i.e. exactly the window
+    // other sessions batch behind.
+    obs::ScopedTimer t(fsync_hist_);
+    s = writer_.WriteStaged(bytes, staged_lsn, options_.fsync_mode,
+                            options_.fsync_latency);
+  }
   lk.lock();
   ++stats_.syncs;
   if (!s.ok()) {
@@ -77,6 +88,7 @@ Status CommitLog::WaitDurable(uint64_t lsn) {
     syncing_ = true;
     Status s = SyncRoundLocked(lk);
     syncing_ = false;
+    batch_hist_.Record(1);  // one committer per sync, by definition
     sync_cv_.notify_all();
     return s;
   }
@@ -117,6 +129,7 @@ Status CommitLog::WaitDurable(uint64_t lsn) {
     }
     stats_.batched += retired;
     stats_.max_batch = std::max(stats_.max_batch, retired + 1);
+    batch_hist_.Record(retired + 1);  // followers retired + the leader
     if (!s.ok()) break;
     if (waiters_.empty() && durable_lsn_ >= lsn) break;
   }
@@ -145,6 +158,19 @@ void CommitLog::set_failpoint(WalFailpoint f) {
 GroupCommitStats CommitLog::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void CommitLog::RegisterMetrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) {
+  reg.RegisterGauge(prefix + "appends", [this] { return stats().appends; });
+  reg.RegisterGauge(prefix + "syncs", [this] { return stats().syncs; });
+  reg.RegisterGauge(prefix + "sync_waits",
+                    [this] { return stats().sync_waits; });
+  reg.RegisterGauge(prefix + "batched", [this] { return stats().batched; });
+  reg.RegisterGauge(prefix + "max_batch",
+                    [this] { return stats().max_batch; });
+  reg.RegisterHistogram(prefix + "fsync_us", &fsync_hist_);
+  reg.RegisterHistogram(prefix + "batch_size", &batch_hist_);
 }
 
 }  // namespace critique

@@ -5,12 +5,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "critique/obs/metrics.h"
 #include "critique/wal/wal_sink.h"
 #include "critique/wal/wal_writer.h"
 
@@ -42,6 +44,8 @@ struct GroupCommitStats {
 
   std::string ToString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const GroupCommitStats& stats);
 
 /// \brief The thread-safe durability pipeline over one `WalWriter` —
 /// plain per-commit syncs, or leader/follower group commit.
@@ -94,6 +98,18 @@ class CommitLog : public WalSink {
 
   GroupCommitStats stats() const;
 
+  /// Physical-sync (device write + fsync) latency, microseconds.
+  const obs::Histogram& fsync_histogram() const { return fsync_hist_; }
+
+  /// Records retired per leader round (the group-commit batch size; every
+  /// round records leader + followers, so single-commit mode reads 1s).
+  const obs::Histogram& batch_histogram() const { return batch_hist_; }
+
+  /// Registers fsync/batch histograms plus `GroupCommitStats` gauges with
+  /// `reg` under `prefix` ("wal." by convention).  The log must outlive
+  /// the registry entries.
+  void RegisterMetrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
   const std::string& path() const {
     return writer_.path();  // set at construction; immutable thereafter
   }
@@ -119,6 +135,9 @@ class CommitLog : public WalSink {
   WalFailpoint failpoint_ = WalFailpoint::kNone;
   std::vector<std::unique_ptr<Waiter>> waiters_;  ///< group mode followers
   GroupCommitStats stats_;
+  // Internally synchronized (sharded atomics) — recorded outside mu_.
+  obs::Histogram fsync_hist_;
+  obs::Histogram batch_hist_;
 };
 
 }  // namespace critique
