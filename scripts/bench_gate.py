@@ -32,9 +32,10 @@ import os
 import sys
 
 HIGHER_BETTER_SUFFIXES = ("_per_sec",)
-# Exact keys gated higher-is-better: the bench_obs overhead ratio
-# (instrumented / uninstrumented throughput) must not collapse.
-HIGHER_BETTER_KEYS = ("metrics_overhead_ratio",)
+# Exact keys gated higher-is-better: the bench_obs and bench_checker
+# overhead ratios (instrumented / uninstrumented and checked / unchecked
+# throughput) must not collapse.
+HIGHER_BETTER_KEYS = ("metrics_overhead_ratio", "checker_overhead_ratio")
 LOWER_BETTER_KEYS = ("version_count", "max_chain_length")
 
 

@@ -11,7 +11,7 @@
 #   --asan   build and test under AddressSanitizer
 #   --bench  build, run the perf-regression benches (bench_lock_manager,
 #            bench_mvcc_store, bench_throughput, bench_sharding,
-#            bench_wal, bench_sessions, bench_obs) with the pinned
+#            bench_wal, bench_sessions, bench_obs, bench_checker) with the pinned
 #            baseline configurations, and gate
 #            the JSON against the committed BENCH_*.json baselines via
 #            scripts/bench_gate.py (tolerance via BENCH_GATE_TOLERANCE,
@@ -121,6 +121,12 @@ if [[ "$BENCH" -eq 1 ]]; then
   # its --min-ratio floor (default 0.90), on top of the JSON gate below.
   "$BUILD_DIR"/bench_obs --threads 4 --txns-per-thread 400 --items 64 \
     --trials 3 --quiet --json "$BUILD_DIR/BENCH_obs.json"
+  # bench_checker is also the PR's scale acceptance: 1M+ commits certified
+  # online with a bounded checker graph (live_nodes_peak in the JSON).  It
+  # exits 1 itself when the checked/unchecked ratio drops below its
+  # --min-ratio floor (default 0.50), on top of the JSON gate below.
+  "$BUILD_DIR"/bench_checker --threads 4 --txns-per-thread 250000 \
+    --items 256 --trials 2 --quiet --json "$BUILD_DIR/BENCH_checker.json"
 
   python3 scripts/bench_gate.py BENCH_lock.json "$BUILD_DIR/BENCH_lock.json"
   python3 scripts/bench_gate.py BENCH_mvcc.json "$BUILD_DIR/BENCH_mvcc.json"
@@ -132,6 +138,8 @@ if [[ "$BENCH" -eq 1 ]]; then
   python3 scripts/bench_gate.py BENCH_sessions.json \
     "$BUILD_DIR/BENCH_sessions.json"
   python3 scripts/bench_gate.py BENCH_obs.json "$BUILD_DIR/BENCH_obs.json"
+  python3 scripts/bench_gate.py BENCH_checker.json \
+    "$BUILD_DIR/BENCH_checker.json"
   echo "check.sh: bench gate green (build dir: $BUILD_DIR)"
   exit 0
 fi

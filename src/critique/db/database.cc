@@ -88,6 +88,17 @@ void Database::WireObservability(const DbOptions& options) {
   }
   engine_->SetTracer(tracer_.get());
   engine_->RegisterMetrics(*metrics_, "engine.");
+  if (options.online_check) {
+    check::CheckerOptions copts;
+    copts.prune_interval = options.online_check_prune_interval;
+    checker_ = std::make_unique<check::OnlineChecker>(copts);
+    checker_->SetDefaultLevel(engine_->level());
+    checker_->RegisterMetrics(*metrics_, "check.");
+    // The observer runs under the recorder mutex: the checker ingests the
+    // exact recorded total order, one action at a time.
+    engine_->SetActionObserver(
+        [c = checker_.get()](const Action& a) { c->Ingest(a); });
+  }
 }
 
 void Database::AttachWal(WalWriter writer, const DbOptions& options) {
@@ -141,6 +152,7 @@ Database::Database(Database&& other) noexcept
       wal_(std::move(other.wal_)),
       metrics_(std::move(other.metrics_)),
       tracer_(std::move(other.tracer_)),
+      checker_(std::move(other.checker_)),
       wal_recovery_(other.wal_recovery_),
       recovered_(other.recovered_),
       retry_(std::move(other.retry_)),
@@ -165,6 +177,7 @@ Database& Database::operator=(Database&& other) noexcept {
     wal_ = std::move(other.wal_);
     metrics_ = std::move(other.metrics_);
     tracer_ = std::move(other.tracer_);
+    checker_ = std::move(other.checker_);
     wal_recovery_ = other.wal_recovery_;
     recovered_ = other.recovered_;
     retry_ = std::move(other.retry_);
@@ -196,14 +209,42 @@ Transaction Database::Begin() {
   const std::optional<Timestamp> begin_bound =
       track_snapshots_ ? engine_->SnapshotTimestamp() : std::nullopt;
   if (begin_bound.has_value()) RegisterSnapshot(id, *begin_bound);
+  // Checker registration also precedes the engine begin: the checker's
+  // pruning watermark relies on a transaction's registration epoch lower-
+  // bounding its snapshot.
+  if (checker_ != nullptr) checker_->BeginTxn(id, engine_->level());
   Status s = engine_->Begin(id);
   // A fresh id never collides; a failure here means the engine refuses new
   // transactions entirely, and the inactive handle surfaces that on use.
-  if (!s.ok() && begin_bound.has_value()) ForgetSnapshot(id);
-  return Transaction(this, id, s.ok());
+  if (!s.ok()) {
+    if (begin_bound.has_value()) ForgetSnapshot(id);
+    if (checker_ != nullptr) checker_->CancelTxn(id);
+  }
+  return Transaction(this, id, s.ok(), engine_->level());
+}
+
+Result<Transaction> Database::Begin(const BeginOptions& opts) {
+  TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const IsolationLevel effective = opts.level.value_or(engine_->level());
+  const std::optional<Timestamp> begin_bound =
+      track_snapshots_ ? engine_->SnapshotTimestamp() : std::nullopt;
+  if (begin_bound.has_value()) RegisterSnapshot(id, *begin_bound);
+  if (checker_ != nullptr) checker_->BeginTxn(id, effective);
+  Status s = opts.level.has_value() ? engine_->BeginWithLevel(id, *opts.level)
+                                    : engine_->Begin(id);
+  if (!s.ok()) {
+    if (begin_bound.has_value()) ForgetSnapshot(id);
+    if (checker_ != nullptr) checker_->CancelTxn(id);
+    return s;
+  }
+  return Transaction(this, id, true, effective);
 }
 
 Result<Transaction> Database::BeginWithId(TxnId id) {
+  return BeginWithId(id, BeginOptions{});
+}
+
+Result<Transaction> Database::BeginWithId(TxnId id, const BeginOptions& opts) {
   // Reserve the id (bump next_id_ past it) BEFORE telling the engine:
   // done in the other order, a concurrent Begin() could draw the same id
   // and get a spuriously dead session.  Ids stay reserved even when the
@@ -213,16 +254,20 @@ Result<Transaction> Database::BeginWithId(TxnId id) {
          !next_id_.compare_exchange_weak(cur, id + 1,
                                          std::memory_order_relaxed)) {
   }
+  const IsolationLevel effective = opts.level.value_or(engine_->level());
   // Register-before-begin, as in `Begin` (unregister on refusal).
   const std::optional<Timestamp> begin_bound =
       track_snapshots_ ? engine_->SnapshotTimestamp() : std::nullopt;
   if (begin_bound.has_value()) RegisterSnapshot(id, *begin_bound);
-  Status s = engine_->Begin(id);
+  if (checker_ != nullptr) checker_->BeginTxn(id, effective);
+  Status s = opts.level.has_value() ? engine_->BeginWithLevel(id, *opts.level)
+                                    : engine_->Begin(id);
   if (!s.ok()) {
     if (begin_bound.has_value()) ForgetSnapshot(id);
+    if (checker_ != nullptr) checker_->CancelTxn(id);
     return s;
   }
-  Transaction txn(this, id, true);
+  Transaction txn(this, id, true, effective);
   txn.blocked_op_retry_ = false;  // manual sessions: the schedule decides
   return txn;
 }
@@ -232,12 +277,14 @@ Result<Transaction> Database::BeginAtTimestamp(Timestamp ts) {
   // Register-before-begin, as in `Begin` (unregister on refusal).  The
   // requested ts IS the snapshot bound here.
   if (track_snapshots_) RegisterSnapshot(id, ts);
+  if (checker_ != nullptr) checker_->BeginTxn(id, engine_->level());
   Status s = engine_->BeginAt(id, ts);
   if (!s.ok()) {
     if (track_snapshots_) ForgetSnapshot(id);
+    if (checker_ != nullptr) checker_->CancelTxn(id);
     return s;
   }
-  return Transaction(this, id, true);
+  return Transaction(this, id, true, engine_->level());
 }
 
 void Database::RegisterSnapshot(TxnId id, Timestamp begin_ts) {
@@ -302,6 +349,28 @@ std::string Database::DebugDump() const {
   return out;
 }
 
+Status Database::Execute(const BeginOptions& opts,
+                         const std::function<Status(Transaction&)>& body) {
+  // The same retry protocol as the plain overload, except a begin refusal
+  // (the engine cannot honor the declared level) is terminal: retrying a
+  // contract the engine already rejected would loop forever.
+  for (int attempt = 1;; ++attempt) {
+    Result<Transaction> begun = Begin(opts);
+    if (!begun.ok()) return begun.status();
+    Transaction txn = std::move(begun).value();
+    Status s = body(txn);
+    if (s.ok() && txn.active()) s = txn.Commit();
+    if (txn.active()) (void)txn.Rollback();
+    if (s.ok()) return s;
+    if (!retry_->RetryTransaction(s, attempt)) return s;
+    execute_retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto delay = retry_->RetryDelay(attempt);
+    if (delay > std::chrono::microseconds::zero()) {
+      std::this_thread::sleep_for(delay);
+    }
+  }
+}
+
 Status Database::Execute(const std::function<Status(Transaction&)>& body) {
   for (int attempt = 1;; ++attempt) {
     Transaction txn = Begin();
@@ -325,8 +394,9 @@ Status Database::Execute(const std::function<Status(Transaction&)>& body) {
 // Transaction
 // ---------------------------------------------------------------------------
 
-Transaction::Transaction(Database* db, TxnId id, bool active)
-    : db_(db), id_(id), active_(active) {
+Transaction::Transaction(Database* db, TxnId id, bool active,
+                         IsolationLevel level)
+    : db_(db), id_(id), active_(active), level_(level) {
   if (active_ && db_ != nullptr) {
     db_->open_txns_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -336,6 +406,7 @@ Transaction::Transaction(Transaction&& other) noexcept
     : db_(other.db_),
       id_(other.id_),
       active_(other.active_),
+      level_(other.level_),
       blocked_op_retry_(other.blocked_op_retry_) {
   // Ownership (and the open-transaction count slot) transfers wholesale.
   other.db_ = nullptr;
@@ -349,6 +420,7 @@ Transaction& Transaction::operator=(Transaction&& other) noexcept {
     db_ = other.db_;
     id_ = other.id_;
     active_ = other.active_;
+    level_ = other.level_;
     blocked_op_retry_ = other.blocked_op_retry_;
     other.db_ = nullptr;
     other.active_ = false;

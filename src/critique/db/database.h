@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "critique/check/online_checker.h"
 #include "critique/common/clock.h"
 #include "critique/common/random.h"
 #include "critique/db/retry_policy.h"
@@ -121,6 +122,25 @@ struct DbOptions {
   /// durability — is also selectable here; see `FsyncMode`.)
   std::chrono::microseconds fsync_latency{25};
 
+  // --- online certification ------------------------------------------------
+
+  /// Opt-in online MVSG certification: the facade owns an
+  /// `check::OnlineChecker` fed from the engine recorder's action
+  /// observer, maintaining the multiversion serialization graph as
+  /// commits stream in and judging every transaction against its
+  /// declared isolation level (`BeginOptions::level`).  Read the verdict
+  /// any time with `Database::checker()->Report()`; counters also appear
+  /// in the metrics registry under "check.".  Off by default — the
+  /// observer is never installed and the engine hot path is untouched.
+  /// (`BeginAtTimestamp` time travel below the checker's pruned horizon
+  /// is not certified: such reads are skipped, never misjudged.)
+  bool online_check = false;
+
+  /// online_check only: ingested commits between automatic watermark
+  /// prune passes (bounds checker memory; `GarbageCollectVersions` also
+  /// triggers one).  0 disables automatic pruning.
+  uint32_t online_check_prune_interval = 256;
+
   // --- observability -------------------------------------------------------
 
   /// Transaction-tracing ring capacity in events; 0 (the default)
@@ -132,6 +152,20 @@ struct DbOptions {
   /// metrics registry (`Database::metrics()`) is independent of this
   /// knob.
   size_t trace_events = 0;
+};
+
+/// \brief Per-transaction begin-time declarations (the paper's Table 4
+/// reading: isolation is a contract each transaction picks for itself).
+struct BeginOptions {
+  /// The isolation level this transaction declares.  Unset runs at the
+  /// engine's own level.  A set level is handed to the engine SPI
+  /// (`Engine::BeginWithLevel`), which refuses contracts it cannot honor
+  /// — the SI engine runs Read Committed / Snapshot Isolation (and, when
+  /// built with SSI, Serializable-SI) transactions side by side; the
+  /// locking engine honors any Table 2 lock protocol per transaction.
+  /// The online checker, when enabled, judges the transaction against
+  /// this declared level.
+  std::optional<IsolationLevel> level;
 };
 
 /// \brief The public session facade over the engine SPI.
@@ -241,6 +275,11 @@ class Database {
   /// Starts a transaction with the next free id.
   Transaction Begin();
 
+  /// Starts a transaction with the next free id under a per-transaction
+  /// declaration.  Fails (FailedPrecondition) when the engine cannot
+  /// honor the declared level — the contract is never silently adjusted.
+  Result<Transaction> Begin(const BeginOptions& opts);
+
   /// Starts a transaction with an explicit id — the manual-interleaving
   /// path for the paper's schedules, where "T1" must be history subscript
   /// 1.  Fails on id reuse.  Sessions begun this way surface `kWouldBlock`
@@ -248,6 +287,10 @@ class Database {
   /// schedule (e.g. the `Runner`), not the `RetryPolicy`, decides when a
   /// blocked step runs again.
   Result<Transaction> BeginWithId(TxnId id);
+
+  /// The explicit-id begin with a per-transaction declaration — manual
+  /// interleavings over mixed-level populations.
+  Result<Transaction> BeginWithId(TxnId id, const BeginOptions& opts);
 
   /// Time travel (Section 4.2): a transaction reading the historical
   /// snapshot `ts`.  FailedPrecondition unless the engine is multiversion
@@ -264,6 +307,11 @@ class Database {
   /// Returns the first non-retryable status, or the last failure when
   /// retries are exhausted.
   Status Execute(const std::function<Status(Transaction&)>& body);
+
+  /// `Execute` under a per-transaction declaration: every attempt (and
+  /// retry) begins with `opts`.
+  Status Execute(const BeginOptions& opts,
+                 const std::function<Status(Transaction&)>& body);
 
   /// How many times `Execute` re-ran a body after a retryable failure
   /// (across all threads).
@@ -331,8 +379,14 @@ class Database {
   std::optional<Timestamp> OldestOpenSnapshot() const;
 
   /// Runs one version-GC pass on the engine now (any mode); returns the
-  /// number of versions discarded (0 for single-version engines).
-  size_t GarbageCollectVersions() { return engine_->GarbageCollectVersions(); }
+  /// number of versions discarded (0 for single-version engines).  With
+  /// online certification enabled the checker runs a watermark prune
+  /// pass alongside — its graph horizon is tied to version GC.
+  size_t GarbageCollectVersions() {
+    size_t n = engine_->GarbageCollectVersions();
+    if (checker_ != nullptr) checker_->Prune();
+    return n;
+  }
 
   /// Stored version count (0 for single-version engines).
   size_t VersionCount() const { return engine_->VersionCount(); }
@@ -362,6 +416,11 @@ class Database {
   /// was nonzero.
   obs::TxnTracer* tracer() { return tracer_.get(); }
   const obs::TxnTracer* tracer() const { return tracer_.get(); }
+
+  /// The online MVSG checker, or nullptr unless `DbOptions::online_check`
+  /// was set.  `checker()->Report()` is the live certification verdict.
+  check::OnlineChecker* checker() { return checker_.get(); }
+  const check::OnlineChecker* checker() const { return checker_.get(); }
 
   /// Stall introspection: open-transaction census (ids with begin
   /// timestamps where tracked) plus the engine's own dump — lock holders,
@@ -394,6 +453,9 @@ class Database {
   /// always exists; the tracer only when `DbOptions::trace_events` > 0.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TxnTracer> tracer_;
+  /// Heap-allocated for the same pointer-stability reason: the engine's
+  /// recorder observer captures the raw checker pointer.
+  std::unique_ptr<check::OnlineChecker> checker_;
   WalRecoveryStats wal_recovery_;
   bool recovered_ = false;
   std::shared_ptr<const RetryPolicy> retry_;

@@ -9,6 +9,7 @@
 
 #include "critique/common/result.h"
 #include "critique/common/status.h"
+#include "critique/engine/isolation.h"
 #include "critique/history/action.h"
 #include "critique/model/predicate.h"
 #include "critique/model/row.h"
@@ -58,6 +59,11 @@ class Transaction {
 
   /// True until Commit / Rollback / an engine-side abort.
   bool active() const { return active_; }
+
+  /// The isolation contract this transaction runs (and is judged) under:
+  /// `BeginOptions::level` when one was declared, else the engine's own
+  /// level.
+  IsolationLevel level() const { return level_; }
 
   /// The owning facade.
   Database& database() const { return *db_; }
@@ -150,7 +156,8 @@ class Transaction {
 
  private:
   friend class Database;
-  Transaction(Database* db, TxnId id, bool active);
+  Transaction(Database* db, TxnId id, bool active,
+              IsolationLevel level = IsolationLevel::kSerializable);
 
   /// Runs one engine operation with blocked-op retry and the finished-state
   /// bookkeeping described in the class comment.  A template (instantiated
@@ -169,6 +176,7 @@ class Transaction {
   Database* db_ = nullptr;  ///< null only for moved-from husks
   TxnId id_ = 0;
   bool active_ = false;
+  IsolationLevel level_ = IsolationLevel::kSerializable;
   /// Manual-interleaving sessions (BeginWithId — the Runner path) surface
   /// kWouldBlock immediately: in the single-threaded cooperative model no
   /// other transaction can progress during an in-call spin, so the

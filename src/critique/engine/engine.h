@@ -137,10 +137,26 @@ struct VersionGcStats {
 /// mid-run observers.
 class EngineRecorder {
  public:
+  /// Observer invoked for every recorded action, under the recorder
+  /// mutex: observers see exactly the recorded total order, at the price
+  /// of running inside the engine's innermost critical section — keep
+  /// them cheap and never call back into the engine.  The online MVSG
+  /// checker (check/online_checker.h) feeds from here.
+  using Observer = std::function<void(const Action&)>;
+
+  /// Installs (or with nullptr removes) the action observer.  Call
+  /// before any session starts — the `Database` facade does this when
+  /// `DbOptions::online_check` is set.
+  void SetObserver(Observer observer) {
+    std::lock_guard<std::mutex> lk(mu_);
+    observer_ = std::move(observer);
+  }
+
   /// Appends `a`, bumping `*counter` (when non-null) atomically with it.
   void Record(Action a, uint64_t EngineStats::*counter = nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     if (counter != nullptr) ++(stats_.*counter);
+    if (observer_) observer_(a);
     history_.Append(std::move(a));
   }
 
@@ -166,6 +182,7 @@ class EngineRecorder {
   mutable std::mutex mu_;
   History history_;
   EngineStats stats_;
+  Observer observer_;
 };
 
 /// \brief The transaction-engine interface every isolation implementation
@@ -235,6 +252,12 @@ class Engine {
   /// The attached WAL sink, or nullptr when running without durability.
   WalSink* wal() const { return wal_; }
 
+  /// Installs an action observer on the recorder (see
+  /// `EngineRecorder::SetObserver`).  Call before any session starts.
+  void SetActionObserver(EngineRecorder::Observer observer) {
+    recorder_.SetObserver(std::move(observer));
+  }
+
   /// Attaches the opt-in transaction tracer (nullptr detaches, the
   /// default).  Engines record begin/prepare/commit/abort events — abort
   /// events tagged with the paper-taxonomy reason — through it.  Call
@@ -284,6 +307,21 @@ class Engine {
   /// Starts transaction `txn` (ids must be unique per engine instance and
   /// >= 1; 0 is the initial-state pseudo-transaction).
   virtual Status Begin(TxnId txn) = 0;
+
+  /// Starts `txn` with a *per-transaction* isolation level — the paper's
+  /// Table 4 reading of isolation as a contract each transaction declares
+  /// for itself, not a property of the whole system.  Engines that can
+  /// honor `level` alongside their native one override this (the SI
+  /// engine runs RC/SI/SSI transactions side by side, the locking engine
+  /// any Table 2 lock protocol); the default refuses anything but the
+  /// engine's own level, so a declared contract is never silently
+  /// weakened or strengthened.
+  virtual Status BeginWithLevel(TxnId txn, IsolationLevel level) {
+    if (level == this->level()) return Begin(txn);
+    return Status::FailedPrecondition(
+        name() + " cannot honor a per-transaction " +
+        IsolationLevelName(level) + " contract");
+  }
 
   /// Time travel (Section 4.2): starts `txn` reading the historical
   /// snapshot `ts`.  A capability of timestamped multiversion engines

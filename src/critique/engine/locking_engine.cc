@@ -26,12 +26,30 @@ Status LockingEngine::Load(const ItemId& id, Row row) {
 
 Status LockingEngine::Begin(TxnId txn) {
   std::unique_lock<std::shared_mutex> tl(table_mu_);
+  return BeginLocked(txn, policy_);
+}
+
+Status LockingEngine::BeginWithLevel(TxnId txn, IsolationLevel level) {
+  if (!IsLockingLevel(level)) {
+    return Status::FailedPrecondition(
+        name() + " cannot honor a per-transaction " +
+        IsolationLevelName(level) +
+        " contract: only the Table 2 locking levels map onto this lock "
+        "scheduler");
+  }
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
+  return BeginLocked(txn, PolicyFor(level));
+}
+
+Status LockingEngine::BeginLocked(TxnId txn, LockingPolicy policy) {
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
                                    " already used");
   }
-  txns_[txn].active = true;
+  TxnState& st = txns_[txn];
+  st.active = true;
+  st.policy = policy;
   // Informational, buffered with the next sync (see the SI engine).
   if (wal_ != nullptr) wal_->Append(WalRecord::Begin(txn));
   Trace(txn, obs::TraceEventType::kBegin);
@@ -143,9 +161,11 @@ Result<std::optional<Row>> LockingEngine::DoRead(TableLock& lk, TxnId txn,
                                                  Action::Type type,
                                                  const std::string& cursor) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  // Copied, not referenced: a blocking Acquire drops the table latch.
+  const LockingPolicy pol = txns_.find(txn)->second.policy;
 
   LockHandle handle = 0;
-  if (policy_.read_locks) {
+  if (pol.read_locks) {
     LockSpec spec = LockSpec::ReadItem(txn, id, StoreGet(id));
     CRITIQUE_ASSIGN_OR_RETURN(handle, Acquire(lk, txn, spec));
   }
@@ -166,13 +186,13 @@ Result<std::optional<Row>> LockingEngine::DoRead(TableLock& lk, TxnId txn,
     recorder_.Record(std::move(a), &EngineStats::reads);
   }
 
-  if (type == Action::Type::kCursorRead && policy_.cursor_stability) {
+  if (type == Action::Type::kCursorRead && pol.cursor_stability) {
     // The cursor moved: drop the previous position's lock, hold this one.
     CursorState& cs = txns_.find(txn)->second.cursors[cursor];
     if (cs.lock != 0) lock_manager_.Release(cs.lock);
     cs.item = id;
     cs.lock = handle;  // held until the cursor moves or closes
-  } else if (handle != 0 && policy_.item_read == LockDuration::kShort) {
+  } else if (handle != 0 && pol.item_read == LockDuration::kShort) {
     lock_manager_.Release(handle);
   }
   return row;
@@ -199,9 +219,10 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
     TxnId txn, const std::string& name, const Predicate& pred) {
   TableLock lk(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
+  const LockingPolicy pol = txns_.find(txn)->second.policy;
 
   LockHandle handle = 0;
-  if (policy_.read_locks) {
+  if (pol.read_locks) {
     CRITIQUE_ASSIGN_OR_RETURN(
         handle, Acquire(lk, txn, LockSpec::ReadPredicate(txn, pred)));
   }
@@ -220,7 +241,7 @@ Result<std::vector<std::pair<ItemId, Row>>> LockingEngine::ReadPredicate(
     recorder_.Record(std::move(a), &EngineStats::predicate_reads);
   }
 
-  if (handle != 0 && policy_.pred_read == LockDuration::kShort) {
+  if (handle != 0 && pol.pred_read == LockDuration::kShort) {
     lock_manager_.Release(handle);
   }
   return rows;
@@ -275,7 +296,7 @@ Status LockingEngine::DoWrite(TableLock& lk, TxnId txn, const ItemId& id,
   st.undo.push_back(UndoRecord{id, std::move(before)});
   if (wal_ != nullptr) st.redo[id] = std::move(new_row);
 
-  if (policy_.write == LockDuration::kShort) {
+  if (st.policy.write == LockDuration::kShort) {
     lock_manager_.Release(handle);  // Degree 0: action atomicity only
   }
   return Status::OK();
@@ -337,7 +358,7 @@ Result<size_t> LockingEngine::DoPredicateWrite(
     recorder_.Record(std::move(a));
   }
 
-  if (policy_.write == LockDuration::kShort) lock_manager_.Release(handle);
+  if (st.policy.write == LockDuration::kShort) lock_manager_.Release(handle);
   return rows_touched;
 }
 

@@ -53,6 +53,15 @@ class LockingEngine : public Engine {
 
   Status Load(const ItemId& id, Row row) override;
   Status Begin(TxnId txn) override;
+
+  /// Per-transaction isolation: any Table 2 row may be declared — the
+  /// rows differ only in lock scopes and durations (the paper's Remark 6),
+  /// so one lock table serves every mix.  The transaction runs under
+  /// `PolicyFor(level)` while its neighbours keep their own policies;
+  /// since writes take long X locks at every level above Degree 0,
+  /// a weak transaction still cannot break a Degree 3 neighbour's reads.
+  Status BeginWithLevel(TxnId txn, IsolationLevel level) override;
+
   Result<std::optional<Row>> Read(TxnId txn, const ItemId& id) override;
   Result<std::vector<std::pair<ItemId, Row>>> ReadPredicate(
       TxnId txn, const std::string& name, const Predicate& pred) override;
@@ -109,6 +118,9 @@ class LockingEngine : public Engine {
 
   struct TxnState {
     bool active = false;
+    /// The Table 2 row this transaction runs under (its declared level's
+    /// policy; the engine's own row unless BeginWithLevel said otherwise).
+    LockingPolicy policy;
     /// Prepared (in-doubt) by a 2PC coordinator: locks held, undo kept,
     /// every operation but CommitPrepared/AbortPrepared refused.
     bool prepared = false;
@@ -125,6 +137,9 @@ class LockingEngine : public Engine {
   /// The table-latch guard every operation body holds (shared: sessions
   /// only read the registry and mutate their own entry).
   using TableLock = std::shared_lock<std::shared_mutex>;
+
+  /// Registers `txn` under `policy`.  Requires `table_mu_` exclusive.
+  Status BeginLocked(TxnId txn, LockingPolicy policy);
 
   /// Status when `txn` is not active (kTransactionAborted) or is prepared
   /// (kFailedPrecondition — in doubt, only the coordinator may end it) or

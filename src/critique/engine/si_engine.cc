@@ -24,15 +24,34 @@ Status SnapshotIsolationEngine::Load(const ItemId& id, Row row) {
 
 Status SnapshotIsolationEngine::Begin(TxnId txn) {
   std::unique_lock<std::shared_mutex> tl(table_mu_);
-  return BeginAtLocked(txn, clock_.Tick());
+  return BeginAtLocked(txn, clock_.Tick(), level());
+}
+
+Status SnapshotIsolationEngine::BeginWithLevel(TxnId txn,
+                                               IsolationLevel level) {
+  const bool honored =
+      level == IsolationLevel::kReadCommitted ||
+      level == IsolationLevel::kSnapshotIsolation ||
+      (level == IsolationLevel::kSerializableSI && options_.ssi);
+  if (!honored) {
+    return Status::FailedPrecondition(
+        name() + " cannot honor a per-transaction " +
+        IsolationLevelName(level) + " contract" +
+        (level == IsolationLevel::kSerializableSI
+             ? " without the SSI certifier (SnapshotIsolationOptions::ssi)"
+             : ""));
+  }
+  std::unique_lock<std::shared_mutex> tl(table_mu_);
+  return BeginAtLocked(txn, clock_.Tick(), level);
 }
 
 Status SnapshotIsolationEngine::BeginAt(TxnId txn, Timestamp ts) {
   std::unique_lock<std::shared_mutex> tl(table_mu_);
-  return BeginAtLocked(txn, ts);
+  return BeginAtLocked(txn, ts, level());
 }
 
-Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
+Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts,
+                                              IsolationLevel level) {
   if (txn < 1) return Status::InvalidArgument("txn ids start at 1");
   if (txns_.count(txn)) {
     return Status::InvalidArgument("txn " + std::to_string(txn) +
@@ -51,6 +70,7 @@ Status SnapshotIsolationEngine::BeginAtLocked(TxnId txn, Timestamp ts) {
   }
   TxnState st;
   st.active = true;
+  st.level = level;
   st.start_ts = ts;
   txns_[txn] = st;
   // Informational, buffered with the next sync: keeps the log
@@ -205,6 +225,10 @@ bool SnapshotIsolationEngine::CompletesCommittedPivot(
     if (it == txns_.end()) continue;  // retired or gone: dead edge
     const TxnState& p = it->second;
     if (!p.committed || p.aborted) continue;
+    // Only a Serializable-SI pivot's contract demands the refusal: a
+    // plain-SI pivot is permitted its write skew (the structure is its
+    // declared anomaly, not a broken guarantee).
+    if (p.level != IsolationLevel::kSerializableSI) continue;
     if (p.committed_first_out) return true;  // witness retired by GC
     for (TxnId w : p.out_to) {
       if (w == self) continue;
@@ -247,10 +271,15 @@ std::optional<std::string> SnapshotIsolationEngine::SsiRefusal(TxnId txn,
   if (!options_.ssi) return std::nullopt;
   std::lock_guard<std::mutex> el(ssi_mu_);
   const TxnState& st = txns_.find(txn)->second;
-  if (!decision && SsiPivot(st)) {
+  // A transaction is refused as a pivot only under its own declared
+  // Serializable-SI contract — a plain-SI neighbour keeps its write skew.
+  // The committed-pivot completion check below runs for *every* level,
+  // because there the broken contract would be the committed pivot's.
+  const bool self_ssi = st.level == IsolationLevel::kSerializableSI;
+  if (!decision && self_ssi && SsiPivot(st)) {
     return "ssi: pivot in an rw-antidependency dangerous structure";
   }
-  if (decision && CompletedPivotInDoubt(st)) {
+  if (decision && self_ssi && CompletedPivotInDoubt(st)) {
     return "ssi: dangerous structure completed while prepared (in doubt)";
   }
   if (CompletesCommittedPivot(txn, st)) {
@@ -271,8 +300,7 @@ Result<std::optional<Row>> SnapshotIsolationEngine::DoRead(TxnId txn,
   std::optional<Row> row;
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    std::optional<Version> version =
-        store_.ReadVersionInfo(id, st.start_ts, txn);
+    std::optional<Version> version = store_.ReadVersionInfo(id, ReadTs(st), txn);
     Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
                                                  : Action::Read(txn, id);
     if (version.has_value()) {
@@ -281,6 +309,12 @@ Result<std::optional<Row>> SnapshotIsolationEngine::DoRead(TxnId txn,
         row = version->row;
         a.value = HistoryValue(row);
       }
+    } else {
+      // Nothing visible at the read timestamp: the transaction observed
+      // the initial (absent) state of the item.  Subscript it explicitly
+      // — an unversioned read would be misattributed by single-version
+      // creator inference (this is a multiversion history).
+      a.version = kInitialTxn;
     }
     recorder_.Record(std::move(a), &EngineStats::reads);
   }
@@ -315,7 +349,7 @@ SnapshotIsolationEngine::ReadPredicate(TxnId txn, const std::string& name,
   std::vector<std::pair<ItemId, Row>> rows;
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    rows = store_.Scan(pred, st.start_ts, txn);
+    rows = store_.Scan(pred, ReadTs(st), txn);
     Action a = Action::PredicateRead(txn, name, pred);
     for (const auto& [id, row] : rows) {
       (void)row;
@@ -370,7 +404,7 @@ Status SnapshotIsolationEngine::DoWrite(TxnId txn, const ItemId& id,
         store_.HasConcurrentPendingWrite(id, txn)) {
       eager_conflict = true;
     } else {
-      before = store_.Read(id, st.start_ts, txn);
+      before = store_.Read(id, ReadTs(st), txn);
       if (new_row.has_value()) {
         store_.Write(id, *new_row, txn);
       } else {
@@ -412,10 +446,10 @@ Status SnapshotIsolationEngine::Write(TxnId txn, const ItemId& id, Row row) {
 Status SnapshotIsolationEngine::Insert(TxnId txn, const ItemId& id, Row row) {
   std::shared_lock<std::shared_mutex> tl(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  const Timestamp start_ts = txns_.find(txn)->second.start_ts;
+  const Timestamp read_ts = ReadTs(txns_.find(txn)->second);
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    if (store_.Read(id, start_ts, txn).has_value()) {
+    if (store_.Read(id, read_ts, txn).has_value()) {
       return Status::FailedPrecondition("insert: item '" + id +
                                         "' visible in snapshot");
     }
@@ -427,10 +461,10 @@ Status SnapshotIsolationEngine::Insert(TxnId txn, const ItemId& id, Row row) {
 Status SnapshotIsolationEngine::Delete(TxnId txn, const ItemId& id) {
   std::shared_lock<std::shared_mutex> tl(table_mu_);
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
-  const Timestamp start_ts = txns_.find(txn)->second.start_ts;
+  const Timestamp read_ts = ReadTs(txns_.find(txn)->second);
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    if (!store_.Read(id, start_ts, txn).has_value()) {
+    if (!store_.Read(id, read_ts, txn).has_value()) {
       return Status::NotFound("delete: item '" + id + "' not visible");
     }
   }
@@ -448,7 +482,7 @@ Result<size_t> SnapshotIsolationEngine::UpdateWhere(
   std::vector<Row> nexts;
   {
     std::unique_lock<std::shared_mutex> sl(store_mu_);
-    rows = store_.Scan(pred, st.start_ts, txn);
+    rows = store_.Scan(pred, ReadTs(st), txn);
     nexts.reserve(rows.size());
     Action a = Action::PredicateWrite(txn, name, pred);
     a.version = txn;
@@ -486,7 +520,7 @@ Result<size_t> SnapshotIsolationEngine::DeleteWhere(TxnId txn,
   std::vector<std::pair<ItemId, Row>> rows;
   {
     std::unique_lock<std::shared_mutex> sl(store_mu_);
-    rows = store_.Scan(pred, st.start_ts, txn);
+    rows = store_.Scan(pred, ReadTs(st), txn);
     Action a = Action::PredicateWrite(txn, name, pred);
     a.version = txn;
     for (const auto& [id, row] : rows) {
@@ -546,8 +580,12 @@ Status SnapshotIsolationEngine::ValidateAndReserve(TxnId txn) {
   // [start_ts, now] wrote data this transaction also wrote.  Publication
   // is serialized behind `commit_mu_`, held here, so the probe is stable;
   // one store acquisition covers the whole write set.
+  // A Read Committed transaction declared no lost-update protection: its
+  // statements already read the latest committed state, so the interval
+  // probe is skipped and overwriting a concurrent commit is its permitted
+  // anomaly (P4), not a serialization failure.
   std::optional<ItemId> fcw_conflict;
-  {
+  if (st.level != IsolationLevel::kReadCommitted) {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
     for (const ItemId& id : st.write_set) {
       if (store_.LatestCommitTs(id) > st.start_ts) {

@@ -113,6 +113,17 @@ class SnapshotIsolationEngine : public Engine {
   Status Load(const ItemId& id, Row row) override;
   Status Begin(TxnId txn) override;
 
+  /// Per-transaction isolation contracts inside one engine: Read Committed
+  /// (each statement reads the latest committed snapshot, no
+  /// First-Committer-Wins check) and Snapshot Isolation are always
+  /// honored; Serializable-SI is honored only when the engine runs the SSI
+  /// certifier (`options().ssi`), since only then are the rw edges
+  /// tracked.  Every transaction — whatever its declared level — still
+  /// participates in the others' bookkeeping (its writes feed FCW probes,
+  /// its reads feed SSI edges), so weak transactions never weaken a
+  /// stronger neighbour's guarantee.
+  Status BeginWithLevel(TxnId txn, IsolationLevel level) override;
+
   /// Time travel (Section 4.2): begin a transaction whose snapshot is the
   /// historical timestamp `ts` ("taking a historical perspective of the
   /// database — while never blocking or being blocked by writes").
@@ -249,6 +260,10 @@ class SnapshotIsolationEngine : public Engine {
     /// Prepared (in doubt): validated, pending versions reserved, waiting
     /// for the coordinator's decision.
     bool prepared = false;
+    /// Declared isolation contract (BeginWithLevel); governs read
+    /// timestamps (RC reads per-statement), the FCW probe (skipped at
+    /// RC), and which transactions the SSI certifier refuses as pivots.
+    IsolationLevel level = IsolationLevel::kSnapshotIsolation;
     Timestamp start_ts = kInvalidTimestamp;
     Timestamp commit_ts = kInvalidTimestamp;
     /// Sticky GC summary: some committed rw-successor of this (committed)
@@ -273,7 +288,15 @@ class SnapshotIsolationEngine : public Engine {
   // --- helpers; each names the latches it requires ---------------------------
 
   /// Requires `table_mu_` exclusive.
-  Status BeginAtLocked(TxnId txn, Timestamp ts);
+  Status BeginAtLocked(TxnId txn, Timestamp ts, IsolationLevel level);
+
+  /// The snapshot a read of `st` uses *now*: the begin snapshot, except
+  /// at Read Committed, where each statement reads the latest committed
+  /// state ("read committed data" — no repeatable-read promise).
+  Timestamp ReadTs(const TxnState& st) const {
+    return st.level == IsolationLevel::kReadCommitted ? clock_.Now()
+                                                      : st.start_ts;
+  }
   /// Require `table_mu_` shared (the entry is read by its own session).
   Status CheckActive(TxnId txn) const;
   Status CheckPrepared(TxnId txn) const;

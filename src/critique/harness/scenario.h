@@ -73,6 +73,30 @@ Result<VariantOutcome> RunVariant(IsolationLevel level,
 Result<CellValue> EvaluateCell(IsolationLevel level,
                                const AnomalyScenario& scenario);
 
+/// \brief An anomaly from the follow-on literature, outside Table 4's
+/// eight columns, carrying its own expected row of verdicts.
+///
+/// Li et al. ("Towards a complete characterization of isolation-level
+/// anomalies", arXiv:2110.14230) enumerate anomaly shapes the paper's
+/// phenomena don't name individually — longer anti-dependency cycles and
+/// multi-writer inconsistent cuts.  Each scenario here pairs a runnable
+/// variant with the exact set of levels at which the anomaly must
+/// manifest under its schedule, making the registry executable
+/// documentation: every other engine level must prevent it.
+struct ExtensionScenario {
+  std::string title;
+  ScenarioVariant variant;
+  /// Levels whose cell is "Possible" for this variant's schedule; the
+  /// anomaly must NOT manifest at any level absent from the list.
+  std::vector<IsolationLevel> manifests_at;
+};
+
+/// The Li et al. extension scenarios: step-IAT (a three-transaction
+/// anti-dependency cycle — write skew's longer sibling, invisible to
+/// pairwise FCW) and sawtooth (an inconsistent cut across two committed
+/// writers — read skew zig-zagging over three items).
+const std::vector<ExtensionScenario>& LiAnomalyScenarios();
+
 }  // namespace critique
 
 #endif  // CRITIQUE_HARNESS_SCENARIO_H_

@@ -363,6 +363,103 @@ AnomalyScenario MakeA5B() {
        WriteSkewVariant(true, "cursor-pinned reads")}};
 }
 
+// ---------------------------------------------------------------------------
+// Li et al. extension anomalies (arXiv:2110.14230) — shapes beyond the
+// paper's eight columns.
+// ---------------------------------------------------------------------------
+
+// Step-IAT: a pure anti-dependency cycle of length three.  Each
+// transaction reads one item and writes the *next* one, so the write sets
+// are pairwise disjoint — First-Committer-Wins never fires and plain SI
+// commits all three on concurrent snapshots, yet no serial order exists:
+// in any serial execution at least one transaction would have observed a
+// predecessor's write, and here every one observed the initial state.
+ExtensionScenario MakeStepIat() {
+  ScenarioVariant v;
+  v.name = "three-step anti-dependency cycle";
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 0));
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "y", 0));
+    return LoadScalar(db, "z", 0);
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1, t2, t3;
+    t1.Read("x", "x1").WriteComputed("y", AddTo("x1", 10)).Commit();
+    t2.Read("y", "y2").WriteComputed("z", AddTo("y2", 10)).Commit();
+    t3.Read("z", "z3").WriteComputed("x", AddTo("z3", 10)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+    r.AddProgram(3, std::move(t3));
+  };
+  // r1[x] r2[y] r3[z] w1[y] w2[z] w3[x] c1 c2 c3.
+  v.schedule = ParseSchedule("1 2 3 1 2 3 1 2 3");
+  v.anomaly = [](const RunResult& run, Database&) {
+    if (!(run.Committed(1) && run.Committed(2) && run.Committed(3))) {
+      return false;
+    }
+    // All three on untouched snapshots closes the rw cycle.
+    return run.locals.at(1).GetInt("x1") == 0 &&
+           run.locals.at(2).GetInt("y2") == 0 &&
+           run.locals.at(3).GetInt("z3") == 0;
+  };
+  return ExtensionScenario{
+      "step-IAT (3-txn anti-dependency cycle)",
+      std::move(v),
+      // Snapshot Isolation joins the weak-read-lock levels: disjoint
+      // write sets slip past FCW, and only a certifier that sees the
+      // full cycle (SSI) or long read locks (RR/Serializable) stop it.
+      {IsolationLevel::kDegree0, IsolationLevel::kReadUncommitted,
+       IsolationLevel::kReadCommitted, IsolationLevel::kCursorStability,
+       IsolationLevel::kOracleReadConsistency,
+       IsolationLevel::kSnapshotIsolation}};
+}
+
+// Sawtooth: a reader's cut zig-zags across two committed writers.  T2
+// atomically sets x=y=1, T3 then atomically sets y=z=2; the consistent
+// states are (0,0,0), (1,1,0), (1,2,2).  A reader whose statements
+// interleave the commits observes a sawtooth like (0,1,2) — each read
+// individually committed data, but the triple fits no prefix of the
+// history.  Unlike A5A's single writer, excusing it needs *two*
+// anti-dependency edges from the reader, one per writer.
+ExtensionScenario MakeSawtooth() {
+  ScenarioVariant v;
+  v.name = "inconsistent cut across two writers";
+  v.load = [](Database& db) {
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "x", 0));
+    CRITIQUE_RETURN_NOT_OK(LoadScalar(db, "y", 0));
+    return LoadScalar(db, "z", 0);
+  };
+  v.add_programs = [](Runner& r) {
+    Program t1, t2, t3;
+    t1.Read("x", "rx").Read("y", "ry").Read("z", "rz").Commit();
+    t2.Write("x", Value(1)).Write("y", Value(1)).Commit();
+    t3.Write("y", Value(2)).Write("z", Value(2)).Commit();
+    r.AddProgram(1, std::move(t1));
+    r.AddProgram(2, std::move(t2));
+    r.AddProgram(3, std::move(t3));
+  };
+  // r1[x] w2[x] w2[y] c2 r1[y] w3[y] w3[z] c3 r1[z] c1.
+  v.schedule = ParseSchedule("1 2 2 2 1 3 3 3 1 1");
+  v.anomaly = [](const RunResult& run, Database&) {
+    if (!run.Committed(1)) return false;
+    const int64_t x = run.locals.at(1).GetInt("rx");
+    const int64_t y = run.locals.at(1).GetInt("ry");
+    const int64_t z = run.locals.at(1).GetInt("rz");
+    const bool consistent = (x == 0 && y == 0 && z == 0) ||
+                            (x == 1 && y == 1 && z == 0) ||
+                            (x == 1 && y == 2 && z == 2);
+    return !consistent;
+  };
+  return ExtensionScenario{
+      "sawtooth (inconsistent cut across two writers)",
+      std::move(v),
+      // Statement-granularity reads fracture; any whole-transaction read
+      // horizon (long read locks or a snapshot) stays on one cut.
+      {IsolationLevel::kDegree0, IsolationLevel::kReadUncommitted,
+       IsolationLevel::kReadCommitted, IsolationLevel::kCursorStability,
+       IsolationLevel::kOracleReadConsistency}};
+}
+
 }  // namespace
 
 const std::vector<AnomalyScenario>& Table4Scenarios() {
@@ -376,6 +473,16 @@ const std::vector<AnomalyScenario>& Table4Scenarios() {
     v->push_back(MakeP3());
     v->push_back(MakeA5A());
     v->push_back(MakeA5B());
+    return v;
+  }();
+  return *kScenarios;
+}
+
+const std::vector<ExtensionScenario>& LiAnomalyScenarios() {
+  static const std::vector<ExtensionScenario>* kScenarios = [] {
+    auto* v = new std::vector<ExtensionScenario>();
+    v->push_back(MakeStepIat());
+    v->push_back(MakeSawtooth());
     return v;
   }();
   return *kScenarios;

@@ -1,5 +1,6 @@
 #include "critique/shard/shard_scenarios.h"
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -141,6 +142,178 @@ Result<ShardScenarioOutcome> RunFracturedRead(ShardedDatabase& db) {
                std::to_string(ry.AsInt()) + " = " +
                std::to_string(rx.AsInt() + ry.AsInt()) +
                " across an atomic transfer preserving 200";
+  return out;
+}
+
+namespace {
+
+// Three item names spanning at least two shards (all three distinct when
+// the facade has three or more).
+Result<std::array<ItemId, 3>> PickSpreadTriple(const ShardRouter& router) {
+  if (router.num_shards() < 2) {
+    return Status::InvalidArgument(
+        "cross-shard scenarios need at least 2 shards");
+  }
+  std::array<ItemId, 3> items;
+  std::vector<int> used;
+  size_t have = 0;
+  for (int k = 0; k < 1024 && have < 3; ++k) {
+    ItemId candidate = "acct" + std::to_string(k);
+    const int shard = router.ShardOf(candidate);
+    bool fresh = true;
+    for (int s : used) fresh = fresh && s != shard;
+    // Accept a repeat shard only once we ran out of fresh ones to find.
+    if (fresh || (have == 2 && k > 512)) {
+      items[have++] = candidate;
+      used.push_back(shard);
+    }
+  }
+  if (have < 3) {
+    // Two shards: reuse the first shard for the third item.
+    for (int k = 0; k < 1024 && have < 3; ++k) {
+      ItemId candidate = "acct" + std::to_string(k);
+      if (candidate != items[0] && candidate != items[1]) {
+        items[have++] = candidate;
+      }
+    }
+  }
+  if (have < 3) return Status::Internal("no item triple among candidates");
+  return items;
+}
+
+}  // namespace
+
+Result<ShardScenarioOutcome> RunCrossShardStepIat(ShardedDatabase& db) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto items, PickSpreadTriple(db.router()));
+  const ItemId& x = items[0];
+  const ItemId& y = items[1];
+  const ItemId& z = items[2];
+  for (const ItemId& id : items) CRITIQUE_RETURN_NOT_OK(db.Load(id, Value(0)));
+
+  ShardScenarioOutcome out;
+  ShardedTransaction t1 = db.Begin();
+  ShardedTransaction t2 = db.Begin();
+  ShardedTransaction t3 = db.Begin();
+
+  // Reads first: each transaction snapshots (or read-locks) its source.
+  CRITIQUE_ASSIGN_OR_RETURN(Value r1, t1.GetScalar(x));
+  CRITIQUE_ASSIGN_OR_RETURN(Value r2, t2.GetScalar(y));
+  CRITIQUE_ASSIGN_OR_RETURN(Value r3, t3.GetScalar(z));
+
+  // Then the cycle-closing writes: T1->y, T2->z, T3->x.
+  Status w1 = t1.Put(y, Value(r1.AsInt() + 10));
+  Status w2 = t2.Put(z, Value(r2.AsInt() + 10));
+  Status w3 = t3.Put(x, Value(r3.AsInt() + 10));
+
+  // Locking shards park every write behind the next transaction's read
+  // lock — a three-party deadlock no single shard's waits-for graph can
+  // see.  Play the distributed resolver: sacrifice blocked writers until
+  // someone proceeds.
+  auto settle = [&out](ShardedTransaction& txn, Status& w,
+                       const std::function<Status()>& retry) {
+    if (w.IsWouldBlock() && txn.active()) {
+      out.blocked = true;
+      w = retry();
+    }
+    if (w.ok()) {
+      if (!txn.Commit().ok()) out.aborted = true;
+    } else if (txn.active()) {
+      (void)txn.Rollback();
+      out.aborted = true;
+    }
+  };
+  if (w1.IsWouldBlock() && w2.IsWouldBlock() && w3.IsWouldBlock()) {
+    out.blocked = true;
+    out.aborted = true;
+    CRITIQUE_RETURN_NOT_OK(t3.Rollback());
+    w3 = Status::TransactionAborted("sacrificed to break the global cycle");
+    w1 = t1.Put(y, Value(r1.AsInt() + 10));
+  }
+  settle(t1, w1, [&] { return t1.Put(y, Value(r1.AsInt() + 10)); });
+  settle(t2, w2, [&] { return t2.Put(z, Value(r2.AsInt() + 10)); });
+  settle(t3, w3, [&] { return t3.Put(x, Value(r3.AsInt() + 10)); });
+
+  // The cycle closed iff all three committed on untouched snapshots.
+  out.anomaly = !out.aborted && r1.AsInt() == 0 && r2.AsInt() == 0 &&
+                r3.AsInt() == 0;
+  out.detail = "observed " + x + "=" + std::to_string(r1.AsInt()) + " " + y +
+               "=" + std::to_string(r2.AsInt()) + " " + z + "=" +
+               std::to_string(r3.AsInt()) +
+               (out.anomaly ? " (3-cycle committed: unserializable)"
+                            : " (cycle broken)");
+  return out;
+}
+
+Result<ShardScenarioOutcome> RunCrossShardSawtooth(ShardedDatabase& db) {
+  CRITIQUE_ASSIGN_OR_RETURN(auto items, PickSpreadTriple(db.router()));
+  const ItemId& x = items[0];
+  const ItemId& y = items[1];
+  const ItemId& z = items[2];
+  for (const ItemId& id : items) CRITIQUE_RETURN_NOT_OK(db.Load(id, Value(0)));
+
+  ShardScenarioOutcome out;
+  ShardedTransaction reader = db.Begin();
+  CRITIQUE_ASSIGN_OR_RETURN(Value rx, reader.GetScalar(x));
+
+  // Writer A: x=1, y=1 committed atomically (2PC when x and y span
+  // shards).  On locking shards the write parks behind the reader's long
+  // read lock on x; the consistent cut is then bought by blocking.
+  ShardedTransaction wa = db.Begin();
+  Status put_a = wa.Put(x, Value(1));
+  if (put_a.IsWouldBlock()) {
+    out.blocked = true;
+    CRITIQUE_ASSIGN_OR_RETURN(Value by, reader.GetScalar(y));
+    CRITIQUE_ASSIGN_OR_RETURN(Value bz, reader.GetScalar(z));
+    CRITIQUE_RETURN_NOT_OK(reader.Commit());
+    out.anomaly = !(rx.AsInt() == 0 && by.AsInt() == 0 && bz.AsInt() == 0);
+    out.detail = "reader saw (" + std::to_string(rx.AsInt()) + "," +
+                 std::to_string(by.AsInt()) + "," +
+                 std::to_string(bz.AsInt()) + ") with writers blocked";
+    CRITIQUE_RETURN_NOT_OK(wa.Put(x, Value(1)));
+    CRITIQUE_RETURN_NOT_OK(wa.Put(y, Value(1)));
+    CRITIQUE_RETURN_NOT_OK(wa.Commit());
+    return out;
+  }
+  CRITIQUE_RETURN_NOT_OK(put_a);
+  CRITIQUE_RETURN_NOT_OK(wa.Put(y, Value(1)));
+  CRITIQUE_RETURN_NOT_OK(wa.Commit());
+
+  CRITIQUE_ASSIGN_OR_RETURN(Value ry, reader.GetScalar(y));
+
+  // Writer B: y=2, z=2, again atomic.
+  ShardedTransaction wb = db.Begin();
+  Status put_b = wb.Put(y, Value(2));
+  if (put_b.IsWouldBlock()) {
+    out.blocked = true;
+    CRITIQUE_ASSIGN_OR_RETURN(Value bz, reader.GetScalar(z));
+    CRITIQUE_RETURN_NOT_OK(reader.Commit());
+    const bool consistent =
+        (rx.AsInt() == 0 && ry.AsInt() == 0 && bz.AsInt() == 0) ||
+        (rx.AsInt() == 1 && ry.AsInt() == 1 && bz.AsInt() == 0);
+    out.anomaly = !consistent;
+    out.detail = "reader saw (" + std::to_string(rx.AsInt()) + "," +
+                 std::to_string(ry.AsInt()) + "," +
+                 std::to_string(bz.AsInt()) + ") with writer B blocked";
+    CRITIQUE_RETURN_NOT_OK(wb.Put(y, Value(2)));
+    CRITIQUE_RETURN_NOT_OK(wb.Put(z, Value(2)));
+    CRITIQUE_RETURN_NOT_OK(wb.Commit());
+    return out;
+  }
+  CRITIQUE_RETURN_NOT_OK(put_b);
+  CRITIQUE_RETURN_NOT_OK(wb.Put(z, Value(2)));
+  CRITIQUE_RETURN_NOT_OK(wb.Commit());
+
+  CRITIQUE_ASSIGN_OR_RETURN(Value rz, reader.GetScalar(z));
+  CRITIQUE_RETURN_NOT_OK(reader.Commit());
+
+  const int64_t ox = rx.AsInt(), oy = ry.AsInt(), oz = rz.AsInt();
+  const bool consistent = (ox == 0 && oy == 0 && oz == 0) ||
+                          (ox == 1 && oy == 1 && oz == 0) ||
+                          (ox == 1 && oy == 2 && oz == 2);
+  out.anomaly = !consistent;
+  out.detail = "reader saw (" + std::to_string(ox) + "," +
+               std::to_string(oy) + "," + std::to_string(oz) +
+               ") across two atomic writers";
   return out;
 }
 

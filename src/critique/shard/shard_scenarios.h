@@ -48,6 +48,24 @@ Result<ShardScenarioOutcome> RunCrossShardWriteSkew(ShardedDatabase& db);
 /// global instant.  Loads its own data — call on a fresh facade.
 Result<ShardScenarioOutcome> RunFracturedRead(ShardedDatabase& db);
 
+/// Step-IAT across shards (Li et al., arXiv:2110.14230): a pure
+/// anti-dependency cycle of length three with the items spread over the
+/// shards — T1 reads x and writes y, T2 reads y and writes z, T3 reads z
+/// and writes x.  Write sets are pairwise disjoint, so per-shard
+/// First-Committer-Wins never fires; per-shard SI commits all three on
+/// untouched snapshots and the *global* history is unserializable even
+/// though no single shard sees more than two of the edges.  Loads its own
+/// data — call on a fresh facade.
+Result<ShardScenarioOutcome> RunCrossShardStepIat(ShardedDatabase& db);
+
+/// Sawtooth across shards: two writers commit x=y=1 then y=2,z=2 (each
+/// atomically, via 2PC when the pair spans shards) while a reader's three
+/// statements interleave the commits — its observed triple can fit no
+/// prefix of the global history.  Per-shard snapshots taken at first
+/// touch make the fracture possible even with every shard at SI.  Loads
+/// its own data — call on a fresh facade.
+Result<ShardScenarioOutcome> RunCrossShardSawtooth(ShardedDatabase& db);
+
 }  // namespace critique
 
 #endif  // CRITIQUE_SHARD_SHARD_SCENARIOS_H_

@@ -152,11 +152,25 @@ ShardedTransaction ShardedDatabase::Begin() {
   return ShardedTransaction(this, gid);
 }
 
+ShardedTransaction ShardedDatabase::Begin(const BeginOptions& opts) {
+  TxnId gid = next_gid_.fetch_add(1, std::memory_order_relaxed);
+  return ShardedTransaction(this, gid, opts.level);
+}
+
 Status ShardedDatabase::Execute(
     const std::function<Status(ShardedTransaction&)>& body) {
+  return Execute(BeginOptions{}, body);
+}
+
+Status ShardedDatabase::Execute(
+    const BeginOptions& opts,
+    const std::function<Status(ShardedTransaction&)>& body) {
   for (int attempt = 1;; ++attempt) {
-    ShardedTransaction txn = Begin();
+    ShardedTransaction txn = Begin(opts);
     Status s = body(txn);
+    // A shard that refused the declared contract at first touch
+    // (FailedPrecondition) can never honor it on a re-run: terminal.
+    if (s.IsFailedPrecondition()) return s;
     if (s.ok() && txn.active()) s = txn.Commit();
     if (txn.active()) (void)txn.Rollback();
     if (s.ok()) return s;
@@ -223,6 +237,35 @@ EngineStats ShardedDatabase::StatsAggregate() const {
     total.deadlock_aborts += s.deadlock_aborts;
     total.serialization_aborts += s.serialization_aborts;
     total.blocked_ops += s.blocked_ops;
+    // The taxonomy breakdown sums like its aggregate — dropping it here
+    // silently broke `fcw + ssi + in_doubt == serialization_aborts` at the
+    // facade level.
+    total.fcw_aborts += s.fcw_aborts;
+    total.ssi_aborts += s.ssi_aborts;
+    total.in_doubt_aborts += s.in_doubt_aborts;
+  }
+  return total;
+}
+
+check::CheckerReport ShardedDatabase::CheckerReportAggregate() const {
+  check::CheckerReport total;
+  for (const auto& shard : shards_) {
+    const check::OnlineChecker* c = shard->checker();
+    if (c == nullptr) continue;
+    const check::CheckerReport r = c->Report();
+    total.commits_certified += r.commits_certified;
+    total.aborts_observed += r.aborts_observed;
+    total.violations += r.violations;
+    total.allowed_anomalies += r.allowed_anomalies;
+    total.dirty_reads_allowed += r.dirty_reads_allowed;
+    total.edges_added += r.edges_added;
+    total.cycle_checks += r.cycle_checks;
+    total.nodes_pruned += r.nodes_pruned;
+    total.live_nodes += r.live_nodes;
+    total.peak_live_nodes += r.peak_live_nodes;
+    total.first_violations.insert(total.first_violations.end(),
+                                  r.first_violations.begin(),
+                                  r.first_violations.end());
   }
   return total;
 }
@@ -257,8 +300,9 @@ Rng ShardedDatabase::ForkRng() {
 // ShardedTransaction
 // ---------------------------------------------------------------------------
 
-ShardedTransaction::ShardedTransaction(ShardedDatabase* db, TxnId gid)
-    : db_(db), gid_(gid), active_(true) {
+ShardedTransaction::ShardedTransaction(ShardedDatabase* db, TxnId gid,
+                                       std::optional<IsolationLevel> level)
+    : db_(db), gid_(gid), active_(true), level_(level) {
   parts_.resize(static_cast<size_t>(db->num_shards()));
 }
 
@@ -266,6 +310,7 @@ ShardedTransaction::ShardedTransaction(ShardedTransaction&& other) noexcept
     : db_(other.db_),
       gid_(other.gid_),
       active_(other.active_),
+      level_(other.level_),
       parts_(std::move(other.parts_)) {
   other.db_ = nullptr;
   other.active_ = false;
@@ -279,6 +324,7 @@ ShardedTransaction& ShardedTransaction::operator=(
     db_ = other.db_;
     gid_ = other.gid_;
     active_ = other.active_;
+    level_ = other.level_;
     parts_ = std::move(other.parts_);
     other.db_ = nullptr;
     other.active_ = false;
@@ -310,8 +356,9 @@ Result<Transaction*> ShardedTransaction::Part(int shard) {
     // The same global id on every shard: each shard's history subscripts
     // the same global transaction identically, and in-doubt participants
     // are resolvable against the coordinator log by id alone.
-    CRITIQUE_ASSIGN_OR_RETURN(Transaction t,
-                              db_->shard(shard).BeginWithId(gid_));
+    CRITIQUE_ASSIGN_OR_RETURN(
+        Transaction t,
+        db_->shard(shard).BeginWithId(gid_, BeginOptions{level_}));
     slot.emplace(std::move(t));
   }
   return &*slot;

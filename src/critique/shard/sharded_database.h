@@ -142,12 +142,31 @@ class ShardedDatabase {
   /// Starts a global transaction with the next free global id.
   ShardedTransaction Begin();
 
+  /// Starts a global transaction under a declared per-transaction
+  /// isolation contract: every per-shard session it opens is begun with
+  /// `opts.level`, so the contract spans the whole footprint.  A shard
+  /// whose engine cannot honor the level refuses at first touch (the
+  /// heterogeneous-shard setting makes this reachable), which dooms the
+  /// global transaction like any participant refusal.
+  ShardedTransaction Begin(const BeginOptions& opts);
+
   /// Runs `body` in a fresh global transaction and commits it (2PC when it
   /// touched multiple shards).  Retryable failures — per-shard
   /// serialization refusals, deadlock victims, lock-wait timeouts, 2PC
   /// prepare refusals — roll back every participant and re-run the body
   /// while the `RetryPolicy` allows, exactly like `Database::Execute`.
   Status Execute(const std::function<Status(ShardedTransaction&)>& body);
+
+  /// `Execute` under a declared per-transaction isolation contract.  An
+  /// engine-refused contract (FailedPrecondition at first touch) is
+  /// terminal, never retried.
+  Status Execute(const BeginOptions& opts,
+                 const std::function<Status(ShardedTransaction&)>& body);
+
+  /// Sum of every shard's online-certification report (empty when
+  /// `online_check` was off).  Violation samples concatenate in shard
+  /// order; `peak_live_nodes` sums — the facade-level memory bound.
+  check::CheckerReport CheckerReportAggregate() const;
 
   /// How many times `Execute` re-ran a body (across all threads).
   uint64_t execute_retries() const {
@@ -275,6 +294,9 @@ class ShardedTransaction {
   /// The global transaction id — the history subscript on every shard.
   TxnId id() const { return gid_; }
 
+  /// The declared per-transaction level (nullopt: each shard's default).
+  std::optional<IsolationLevel> declared_level() const { return level_; }
+
   /// True until Commit / Rollback / a participant-side abort.
   bool active() const { return active_; }
 
@@ -322,7 +344,8 @@ class ShardedTransaction {
 
  private:
   friend class ShardedDatabase;
-  ShardedTransaction(ShardedDatabase* db, TxnId gid);
+  ShardedTransaction(ShardedDatabase* db, TxnId gid,
+                     std::optional<IsolationLevel> level = std::nullopt);
 
   /// The session on `shard`, begun on first use.
   Result<Transaction*> Part(int shard);
@@ -339,6 +362,7 @@ class ShardedTransaction {
   ShardedDatabase* db_ = nullptr;  ///< null only for moved-from husks
   TxnId gid_ = 0;
   bool active_ = false;
+  std::optional<IsolationLevel> level_;  ///< declared contract, if any
   std::vector<std::optional<Transaction>> parts_;  ///< one slot per shard
 };
 
