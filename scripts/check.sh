@@ -102,8 +102,11 @@ if [[ "$BENCH" -eq 1 ]]; then
   "$BUILD_DIR"/bench_lock_manager --stripes 1,16 --threads 4 --items 256 \
     --held 512 --ops 200000 --blocking-ops 2000 --quiet \
     --json "$BUILD_DIR/BENCH_lock.json"
-  "$BUILD_DIR"/bench_mvcc_store --txns 20000 --items 64 --gc-every 64 \
-    --chain 1024 --reads 200000 --quiet \
+  # The --backend sweep runs every registered version-store backend; the
+  # binary itself fails when the hash backend loses a read-heavy probe
+  # row to the map reference backend.
+  "$BUILD_DIR"/bench_mvcc_store --backend map,hash --txns 20000 --items 64 \
+    --gc-every 64 --chain 1024 --reads 200000 --point-items 4096 --quiet \
     --json "$BUILD_DIR/BENCH_mvcc.json"
   "$BUILD_DIR"/bench_throughput --threads 4 --txns-per-thread 100 \
     --items 64 --gc-every 64 --disjoint --group-commit --fsync-us 100 \

@@ -12,9 +12,14 @@ std::optional<Value> HistoryValue(const std::optional<Row>& row) {
 
 }  // namespace
 
+ReadConsistencyEngine::ReadConsistencyEngine()
+    : store_(MakeVersionStore(StorageBackend::kMap)) {
+  store_->DiscourageUnhinted();
+}
+
 Status ReadConsistencyEngine::Load(const ItemId& id, Row row) {
   std::unique_lock<std::shared_mutex> sl(store_mu_);
-  store_.Bootstrap(id, std::move(row), clock_.Tick());
+  store_->Bootstrap(id, std::move(row), clock_.Tick());
   return Status::OK();
 }
 
@@ -51,6 +56,16 @@ void ReadConsistencyEngine::RegisterMetrics(obs::MetricsRegistry& reg,
                         &lock_manager_.wait_histogram());
   reg.RegisterHistogram(prefix + "lock.park_wakeup_us",
                         &lock_manager_.park_wakeup_histogram());
+  // Hint-free (full-store-scan) commit/abort counters: nonzero means some
+  // call site regressed to the slow path the write-set hints exist to avoid.
+  reg.RegisterGauge(prefix + "storage.unhinted_commits", [this] {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    return store_->unhinted_commits();
+  });
+  reg.RegisterGauge(prefix + "storage.unhinted_aborts", [this] {
+    std::shared_lock<std::shared_mutex> sl(store_mu_);
+    return store_->unhinted_aborts();
+  });
 }
 
 std::string ReadConsistencyEngine::DebugDump() const {
@@ -86,7 +101,7 @@ void ReadConsistencyEngine::Rollback(TxnId txn) {
   st.active = false;
   {
     std::unique_lock<std::shared_mutex> sl(store_mu_);
-    store_.AbortTxn(txn, st.write_set);
+    store_->AbortTxn(txn, st.write_set);
     recorder_.Record(Action::Abort(txn));  // under the latch, see DoRead
   }
   st.write_set.clear();  // the hint is dead once the versions are gone
@@ -99,7 +114,7 @@ Result<LockHandle> ReadConsistencyEngine::AcquireWriteLock(
   std::optional<Row> before;
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    before = store_.Read(id, clock_.Now(), txn);
+    before = store_->Read(id, clock_.Now(), txn);
   }
   LockSpec spec = LockSpec::WriteItem(txn, id, std::move(before),
                                       std::move(after));
@@ -121,7 +136,7 @@ Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
     std::optional<Version> version =
-        store_.ReadVersionInfo(id, clock_.Now(), txn);
+        store_->ReadVersionInfo(id, clock_.Now(), txn);
     Action a = type == Action::Type::kCursorRead ? Action::CursorRead(txn, id)
                                                  : Action::Read(txn, id);
     if (version.has_value()) {
@@ -130,6 +145,13 @@ Result<std::optional<Row>> ReadConsistencyEngine::DoRead(TxnId txn,
         row = version->row;
         a.value = HistoryValue(row);
       }
+    } else {
+      // Nothing committed at the statement timestamp: the statement
+      // observed the initial (absent) state of the item.  Subscript it
+      // explicitly — an unversioned read would be misattributed by
+      // single-version creator inference (this is a multiversion
+      // history).
+      a.version = kInitialTxn;
     }
     recorder_.Record(std::move(a), &EngineStats::reads);
   }
@@ -161,7 +183,7 @@ ReadConsistencyEngine::ReadPredicate(TxnId txn, const std::string& name,
   std::vector<std::pair<ItemId, Row>> rows;
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    rows = store_.Scan(pred, clock_.Now(), txn);
+    rows = store_->Scan(pred, clock_.Now(), txn);
     Action a = Action::PredicateRead(txn, name, pred);
     for (const auto& [id, row] : rows) {
       (void)row;
@@ -189,7 +211,7 @@ Status ReadConsistencyEngine::DoWrite(TableLock& lk, TxnId txn,
     std::optional<Row> committed;
     {
       std::shared_lock<std::shared_mutex> sl(store_mu_);
-      committed = store_.Read(id, clock_.Now(), txn);
+      committed = store_->Read(id, clock_.Now(), txn);
     }
     if (is_insert && committed.has_value()) {
       lock_manager_.Release(h);
@@ -205,11 +227,11 @@ Status ReadConsistencyEngine::DoWrite(TableLock& lk, TxnId txn,
   // (see DoRead).
   {
     std::unique_lock<std::shared_mutex> sl(store_mu_);
-    std::optional<Row> before = store_.Read(id, clock_.Now(), txn);
+    std::optional<Row> before = store_->Read(id, clock_.Now(), txn);
     if (new_row.has_value()) {
-      store_.Write(id, *new_row, txn);
+      store_->Write(id, *new_row, txn);
     } else {
-      store_.Delete(id, txn);
+      store_->Delete(id, txn);
     }
     Action a = type == Action::Type::kCursorWrite
                    ? Action::CursorWrite(txn, id, HistoryValue(new_row))
@@ -240,7 +262,7 @@ Status ReadConsistencyEngine::Insert(TxnId txn, const ItemId& id, Row row) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    if (store_.Read(id, clock_.Now(), txn).has_value()) {
+    if (store_->Read(id, clock_.Now(), txn).has_value()) {
       return Status::FailedPrecondition("insert: item '" + id + "' exists");
     }
   }
@@ -253,7 +275,7 @@ Status ReadConsistencyEngine::Delete(TxnId txn, const ItemId& id) {
   CRITIQUE_RETURN_NOT_OK(CheckActive(txn));
   {
     std::shared_lock<std::shared_mutex> sl(store_mu_);
-    if (!store_.Read(id, clock_.Now(), txn).has_value()) {
+    if (!store_->Read(id, clock_.Now(), txn).has_value()) {
       return Status::NotFound("delete: item '" + id + "' absent");
     }
   }
@@ -309,7 +331,7 @@ Status ReadConsistencyEngine::Commit(TxnId txn) {
       // log order, which recovery's sequential replay relies on.
       std::unique_lock<std::shared_mutex> sl(store_mu_);
       const Timestamp commit_ts = clock_.Tick();
-      store_.CommitTxn(txn, commit_ts, st.write_set);
+      store_->CommitTxn(txn, commit_ts, st.write_set);
       if (wal_ != nullptr && !st.redo.empty()) {
         wal_->Append(WalRecord::WriteSet(txn, WalImagesFromMap(st.redo)));
         wal_lsn = wal_->Append(WalRecord::Commit(txn, commit_ts));
@@ -369,7 +391,7 @@ Status ReadConsistencyEngine::CommitPrepared(TxnId txn) {
     {
       std::unique_lock<std::shared_mutex> sl(store_mu_);
       const Timestamp commit_ts = clock_.Tick();
-      store_.CommitTxn(txn, commit_ts, st.write_set);
+      store_->CommitTxn(txn, commit_ts, st.write_set);
       // Slim commit: the write set is already durable from Prepare.
       if (wal_ != nullptr) {
         wal_lsn = wal_->Append(WalRecord::Commit(txn, commit_ts));
@@ -425,7 +447,7 @@ size_t ReadConsistencyEngine::RunGcPass() {
     // snapshot ever looks below "now" — the watermark is the clock itself.
     {
       std::unique_lock<std::shared_mutex> sl(store_mu_);
-      dropped = store_.GarbageCollect(clock_.Now());
+      dropped = store_->GarbageCollect(clock_.Now());
     }
     if (gc_policy_.mode == VersionGcMode::kWatermark) {
       // Retire finished transaction states.  Duplicate-id detection no
@@ -459,12 +481,12 @@ size_t ReadConsistencyEngine::GarbageCollectVersions() {
 
 size_t ReadConsistencyEngine::VersionCount() const {
   std::shared_lock<std::shared_mutex> sl(store_mu_);
-  return store_.VersionCount();
+  return store_->VersionCount();
 }
 
 size_t ReadConsistencyEngine::MaxVersionChainLength() const {
   std::shared_lock<std::shared_mutex> sl(store_mu_);
-  return store_.MaxChainLength();
+  return store_->MaxChainLength();
 }
 
 VersionGcStats ReadConsistencyEngine::version_gc_stats() const {

@@ -200,6 +200,7 @@ HistexResult RunSingle(const HistexConfig& cfg) {
   opts.seed = cfg.seed;
   opts.online_check = true;
   opts.online_check_prune_interval = cfg.checker_prune_interval;
+  opts.storage_backend = cfg.backend;
   Database db(opts);
   // Preload the even half of the keyspace so inserts and erases both have
   // live and absent targets.
@@ -233,6 +234,7 @@ HistexResult RunSharded(const HistexConfig& cfg) {
   sopts.seed = cfg.seed;
   sopts.shard_options.online_check = true;
   sopts.shard_options.online_check_prune_interval = cfg.checker_prune_interval;
+  sopts.shard_options.storage_backend = cfg.backend;
   ShardedDatabase db(sopts);
   for (int i = 0; i < cfg.items; i += 2) {
     (void)db.Load(ItemName(static_cast<uint64_t>(i)), Value(0));
@@ -268,7 +270,7 @@ std::string HistexConfig::ToString() const {
   }
   os << " shards=" << shards << " sessions=" << sessions << " txns=" << txns
      << " items=" << items << " ops=" << max_ops << " prune="
-     << checker_prune_interval;
+     << checker_prune_interval << " store=" << StorageBackendName(backend);
   return os.str();
 }
 
@@ -363,6 +365,10 @@ std::optional<HistexConfig> ParseHistexConfig(const std::string& spec) {
       } else if (key == "prune") {
         cfg.checker_prune_interval =
             static_cast<uint32_t>(std::stoul(val));
+      } else if (key == "store") {
+        std::optional<StorageBackend> b = ParseStorageBackend(val);
+        if (!b.has_value()) return std::nullopt;
+        cfg.backend = *b;
       } else {
         return std::nullopt;
       }

@@ -1,0 +1,442 @@
+#include "critique/storage/hash_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace critique {
+namespace {
+
+constexpr size_t kInitialClusters = 64;  // 256 slots, one page of index
+
+// Rehash when more than ~3/4 of the slots are occupied or vacated: past
+// that, linear probe sequences grow superlinearly and the "one cache line
+// per probe step" promise stops holding.
+bool OverLoaded(size_t used, size_t clusters, size_t slots_per_cluster) {
+  return used * 4 > clusters * slots_per_cluster * 3;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashVersionStore::HashVersionStore() { Rehash(kInitialClusters); }
+
+uint64_t HashVersionStore::HashId(const ItemId& id) {
+  // FNV-1a over the bytes, then the splitmix64 finalizer to spread the
+  // low bits the cluster mask selects.  0 is reserved for "no
+  // fingerprint", so it maps to an arbitrary nonzero constant.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h = SplitMix64(h);
+  return h != 0 ? h : 0x9e3779b97f4a7c15ULL;
+}
+
+uint32_t HashVersionStore::FindEntry(const ItemId& id, uint64_t fp) const {
+  uint64_t c = fp & cluster_mask_;
+  for (size_t probes = 0; probes <= cluster_mask_; ++probes) {
+    const Cluster& cl = clusters_[c];
+    for (size_t s = 0; s < kClusterSlots; ++s) {
+      const uint32_t e = cl.entry[s];
+      if (e == kEmptySlot) return kEmptySlot;
+      if (e == kVacatedSlot || cl.fp[s] != fp) continue;
+      if (entries_[e].id == id) return e;
+    }
+    c = (c + 1) & cluster_mask_;
+  }
+  return kEmptySlot;
+}
+
+const HashVersionStore::ItemEntry* HashVersionStore::Find(
+    const ItemId& id) const {
+  const uint32_t e = FindEntry(id, HashId(id));
+  return e == kEmptySlot ? nullptr : &entries_[e];
+}
+
+void HashVersionStore::IndexInsert(uint64_t fp, uint32_t entry_index) {
+  uint64_t c = fp & cluster_mask_;
+  for (;;) {
+    Cluster& cl = clusters_[c];
+    for (size_t s = 0; s < kClusterSlots; ++s) {
+      if (cl.entry[s] == kEmptySlot || cl.entry[s] == kVacatedSlot) {
+        // A vacated slot is reused but stays counted in `used_slots_`:
+        // reusing it never shortens any existing probe sequence.
+        if (cl.entry[s] == kEmptySlot) ++used_slots_;
+        cl.fp[s] = fp;
+        cl.entry[s] = entry_index;
+        return;
+      }
+    }
+    c = (c + 1) & cluster_mask_;
+  }
+}
+
+HashVersionStore::ItemEntry& HashVersionStore::FindOrCreate(const ItemId& id) {
+  const uint64_t fp = HashId(id);
+  uint32_t e = FindEntry(id, fp);
+  if (e != kEmptySlot) return entries_[e];
+  if (OverLoaded(used_slots_ + 1, clusters_.size(), kClusterSlots)) {
+    Rehash(clusters_.size() * 2);
+  }
+  if (!free_entries_.empty()) {
+    e = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    e = static_cast<uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  ItemEntry& entry = entries_[e];
+  entry.id = id;
+  entry.fp = fp;
+  entry.live = true;
+  entry.hot_count = 0;
+  entry.cold.clear();
+  IndexInsert(fp, e);
+  ++live_items_;
+  return entry;
+}
+
+void HashVersionStore::EraseEntry(const ItemId& id, uint64_t fp) {
+  uint64_t c = fp & cluster_mask_;
+  for (size_t probes = 0; probes <= cluster_mask_; ++probes) {
+    Cluster& cl = clusters_[c];
+    for (size_t s = 0; s < kClusterSlots; ++s) {
+      const uint32_t e = cl.entry[s];
+      if (e == kEmptySlot) return;  // not indexed: nothing to do
+      if (e == kVacatedSlot || cl.fp[s] != fp) continue;
+      if (entries_[e].id != id) continue;
+      cl.fp[s] = 0;
+      cl.entry[s] = kVacatedSlot;
+      entries_[e].live = false;
+      entries_[e].cold.clear();
+      entries_[e].cold.shrink_to_fit();
+      entries_[e].hot_count = 0;
+      entries_[e].id.clear();
+      free_entries_.push_back(e);
+      --live_items_;
+      return;
+    }
+    c = (c + 1) & cluster_mask_;
+  }
+}
+
+void HashVersionStore::Rehash(size_t clusters) {
+  assert((clusters & (clusters - 1)) == 0 && "cluster count: power of two");
+  clusters_.assign(clusters, Cluster{});
+  for (Cluster& cl : clusters_) {
+    for (size_t s = 0; s < kClusterSlots; ++s) {
+      cl.fp[s] = 0;
+      cl.entry[s] = kEmptySlot;
+    }
+  }
+  cluster_mask_ = clusters - 1;
+  used_slots_ = 0;
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].live) IndexInsert(entries_[e].fp, e);
+  }
+}
+
+void HashVersionStore::Append(ItemEntry& e, Version v) {
+  if (e.hot_count < kHotSlots) {
+    e.hot[e.hot_count++] = std::move(v);
+    return;
+  }
+  // Hot array full: the oldest hot version spills to the overflow vector
+  // and the newcomers shift down — newest stays inline.
+  e.cold.push_back(std::move(e.hot[0]));
+  for (size_t i = 1; i < kHotSlots; ++i) e.hot[i - 1] = std::move(e.hot[i]);
+  e.hot[kHotSlots - 1] = std::move(v);
+}
+
+Version* HashVersionStore::OwnPending(ItemEntry& e, TxnId txn) {
+  for (uint32_t i = e.hot_count; i-- > 0;) {
+    Version& v = e.hot[i];
+    if (!v.committed() && v.creator == txn) return &v;
+  }
+  for (size_t i = e.cold.size(); i-- > 0;) {
+    Version& v = e.cold[i];
+    if (!v.committed() && v.creator == txn) return &v;
+  }
+  return nullptr;
+}
+
+const Version* HashVersionStore::OwnPending(const ItemEntry& e, TxnId txn) {
+  return OwnPending(const_cast<ItemEntry&>(e), txn);
+}
+
+const Version* HashVersionStore::VisibleIn(const ItemEntry& e, Timestamp ts,
+                                           TxnId txn) {
+  // Own pending version wins ("the transaction's writes will be reflected
+  // in this snapshot").
+  if (const Version* own = OwnPending(e, txn)) return own;
+  // Latest committed version at or before the snapshot.  The hot slots
+  // hold the newest versions, so the answer is almost always inline.
+  const Version* best = nullptr;
+  for (uint32_t i = 0; i < e.hot_count; ++i) {
+    const Version& v = e.hot[i];
+    if (!v.committed() || v.commit_ts > ts) continue;
+    if (best == nullptr || v.commit_ts > best->commit_ts) best = &v;
+  }
+  for (const Version& v : e.cold) {
+    if (!v.committed() || v.commit_ts > ts) continue;
+    if (best == nullptr || v.commit_ts > best->commit_ts) best = &v;
+  }
+  return best;
+}
+
+void HashVersionStore::SetChain(ItemEntry& e, std::vector<Version> chain) {
+  const size_t hot = std::min(chain.size(), kHotSlots);
+  const size_t cold = chain.size() - hot;
+  e.cold.assign(std::make_move_iterator(chain.begin()),
+                std::make_move_iterator(chain.begin() +
+                                        static_cast<ptrdiff_t>(cold)));
+  e.hot_count = static_cast<uint32_t>(hot);
+  for (size_t i = 0; i < hot; ++i) e.hot[i] = std::move(chain[cold + i]);
+}
+
+size_t HashVersionStore::DropPending(ItemEntry& e, TxnId txn) {
+  auto doomed = [txn](const Version& v) {
+    return !v.committed() && v.creator == txn;
+  };
+  size_t dropped = 0;
+  // Fast path: the pending version is a hot slot (the overwhelmingly
+  // common case — a transaction's own write is the newest thing there).
+  bool cold_hit = false;
+  for (const Version& v : e.cold) cold_hit = cold_hit || doomed(v);
+  if (!cold_hit) {
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < e.hot_count; ++i) {
+      if (doomed(e.hot[i])) {
+        ++dropped;
+        continue;
+      }
+      if (w != i) e.hot[w] = std::move(e.hot[i]);
+      ++w;
+    }
+    e.hot_count = w;
+    return dropped;
+  }
+  std::vector<Version> chain = e.cold;
+  for (uint32_t i = 0; i < e.hot_count; ++i) chain.push_back(e.hot[i]);
+  const size_t before = chain.size();
+  chain.erase(std::remove_if(chain.begin(), chain.end(), doomed), chain.end());
+  dropped = before - chain.size();
+  SetChain(e, std::move(chain));
+  return dropped;
+}
+
+void HashVersionStore::Bootstrap(const ItemId& id, Row row, Timestamp ts) {
+  Version v;
+  v.row = std::move(row);
+  v.creator = kInitialTxn;
+  v.commit_ts = ts;
+  Append(FindOrCreate(id), std::move(v));
+}
+
+std::optional<Row> HashVersionStore::Read(const ItemId& id, Timestamp ts,
+                                          TxnId txn) const {
+  const ItemEntry* e = Find(id);
+  if (e == nullptr) return std::nullopt;
+  const Version* v = VisibleIn(*e, ts, txn);
+  if (v == nullptr || v->tombstone) return std::nullopt;
+  return v->row;
+}
+
+std::optional<Version> HashVersionStore::ReadVersionInfo(const ItemId& id,
+                                                         Timestamp ts,
+                                                         TxnId txn) const {
+  const ItemEntry* e = Find(id);
+  if (e == nullptr) return std::nullopt;
+  const Version* v = VisibleIn(*e, ts, txn);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+void HashVersionStore::Write(const ItemId& id, Row row, TxnId txn) {
+  ItemEntry& e = FindOrCreate(id);
+  if (Version* own = OwnPending(e, txn)) {
+    own->row = std::move(row);
+    own->tombstone = false;
+    return;
+  }
+  Version v;
+  v.row = std::move(row);
+  v.creator = txn;
+  Append(e, std::move(v));
+}
+
+void HashVersionStore::Delete(const ItemId& id, TxnId txn) {
+  ItemEntry& e = FindOrCreate(id);
+  if (Version* own = OwnPending(e, txn)) {
+    own->tombstone = true;
+    return;
+  }
+  Version v;
+  v.creator = txn;
+  v.tombstone = true;
+  Append(e, std::move(v));
+}
+
+bool HashVersionStore::HasPendingWrite(const ItemId& id, TxnId txn) const {
+  const ItemEntry* e = Find(id);
+  return e != nullptr && OwnPending(*e, txn) != nullptr;
+}
+
+bool HashVersionStore::HasConcurrentPendingWrite(const ItemId& id,
+                                                 TxnId txn) const {
+  const ItemEntry* e = Find(id);
+  if (e == nullptr) return false;
+  auto other_pending = [txn](const Version& v) {
+    return !v.committed() && v.creator != txn;
+  };
+  for (uint32_t i = 0; i < e->hot_count; ++i) {
+    if (other_pending(e->hot[i])) return true;
+  }
+  for (const Version& v : e->cold) {
+    if (other_pending(v)) return true;
+  }
+  return false;
+}
+
+Timestamp HashVersionStore::LatestCommitTs(const ItemId& id) const {
+  const ItemEntry* e = Find(id);
+  if (e == nullptr) return kInvalidTimestamp;
+  Timestamp best = kInvalidTimestamp;
+  for (uint32_t i = 0; i < e->hot_count; ++i) {
+    const Version& v = e->hot[i];
+    if (v.committed() && v.commit_ts > best) best = v.commit_ts;
+  }
+  for (const Version& v : e->cold) {
+    if (v.committed() && v.commit_ts > best) best = v.commit_ts;
+  }
+  return best;
+}
+
+void HashVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts,
+                                 const std::set<ItemId>& items) {
+  for (const ItemId& id : items) {
+    const uint32_t e = FindEntry(id, HashId(id));
+    if (e == kEmptySlot) continue;
+    while (Version* own = OwnPending(entries_[e], txn)) {
+      own->commit_ts = commit_ts;
+    }
+  }
+}
+
+void HashVersionStore::CommitTxnScan(TxnId txn, Timestamp commit_ts) {
+  for (ItemEntry& e : entries_) {
+    if (!e.live) continue;
+    while (Version* own = OwnPending(e, txn)) own->commit_ts = commit_ts;
+  }
+}
+
+void HashVersionStore::AbortTxn(TxnId txn, const std::set<ItemId>& items) {
+  for (const ItemId& id : items) {
+    const uint64_t fp = HashId(id);
+    const uint32_t e = FindEntry(id, fp);
+    if (e == kEmptySlot) continue;
+    (void)DropPending(entries_[e], txn);
+    // A chain the abort emptied (an aborted insert of a fresh item) is
+    // retired so the key stops occupying the index.
+    if (entries_[e].chain_size() == 0) EraseEntry(id, fp);
+  }
+}
+
+void HashVersionStore::AbortTxnScan(TxnId txn) {
+  // Hint-free contract (matches the reference backend): pending versions
+  // go, but emptied chains stay until GC or a hinted abort retires them.
+  for (ItemEntry& e : entries_) {
+    if (e.live) (void)DropPending(e, txn);
+  }
+}
+
+std::vector<std::pair<ItemId, Row>> HashVersionStore::Scan(
+    const Predicate& pred, Timestamp ts, TxnId txn) const {
+  std::vector<std::pair<ItemId, Row>> out;
+  for (const ItemEntry& e : entries_) {
+    if (!e.live) continue;
+    const Version* v = VisibleIn(e, ts, txn);
+    if (v == nullptr || v->tombstone) continue;
+    if (pred.Covers(e.id, v->row)) out.emplace_back(e.id, v->row);
+  }
+  // The physical layout is hashed; the SPI promises key order.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+size_t HashVersionStore::GarbageCollect(Timestamp watermark) {
+  size_t dropped = 0;
+  for (uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    ItemEntry& e = entries_[idx];
+    if (!e.live) continue;
+    // Newest committed version at or below the watermark must survive.
+    Timestamp keep_ts = kInvalidTimestamp;
+    auto note = [&](const Version& v) {
+      if (v.committed() && v.commit_ts <= watermark && v.commit_ts > keep_ts) {
+        keep_ts = v.commit_ts;
+      }
+    };
+    for (uint32_t i = 0; i < e.hot_count; ++i) note(e.hot[i]);
+    for (const Version& v : e.cold) note(v);
+
+    auto obsolete = [&](const Version& v) {
+      return v.committed() && v.commit_ts < keep_ts;
+    };
+    bool any = false;
+    for (uint32_t i = 0; i < e.hot_count && !any; ++i) any = obsolete(e.hot[i]);
+    for (size_t i = 0; i < e.cold.size() && !any; ++i) any = obsolete(e.cold[i]);
+    if (any) {
+      std::vector<Version> chain = e.cold;
+      for (uint32_t i = 0; i < e.hot_count; ++i) chain.push_back(e.hot[i]);
+      const size_t before = chain.size();
+      chain.erase(std::remove_if(chain.begin(), chain.end(), obsolete),
+                  chain.end());
+      dropped += before - chain.size();
+      SetChain(e, std::move(chain));
+    }
+    // A lone committed tombstone at/below the watermark reads exactly like
+    // an absent item at every surviving snapshot: retire the whole chain —
+    // this is where the watermark acts as the table's generation counter.
+    if (e.chain_size() == 1 && e.hot_count == 1 && e.hot[0].committed() &&
+        e.hot[0].tombstone && e.hot[0].commit_ts <= watermark) {
+      ++dropped;
+      EraseEntry(e.id, e.fp);
+    }
+  }
+  return dropped;
+}
+
+size_t HashVersionStore::VersionCount() const {
+  size_t n = 0;
+  for (const ItemEntry& e : entries_) {
+    if (e.live) n += e.chain_size();
+  }
+  return n;
+}
+
+size_t HashVersionStore::MaxChainLength() const {
+  size_t n = 0;
+  for (const ItemEntry& e : entries_) {
+    if (e.live) n = std::max(n, e.chain_size());
+  }
+  return n;
+}
+
+std::vector<Version> HashVersionStore::Chain(const ItemId& id) const {
+  const ItemEntry* e = Find(id);
+  if (e == nullptr) return {};
+  std::vector<Version> out = e->cold;
+  for (uint32_t i = 0; i < e->hot_count; ++i) out.push_back(e->hot[i]);
+  return out;
+}
+
+}  // namespace critique

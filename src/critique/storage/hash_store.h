@@ -1,0 +1,165 @@
+#ifndef CRITIQUE_STORAGE_HASH_STORE_H_
+#define CRITIQUE_STORAGE_HASH_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "critique/storage/version_store.h"
+
+namespace critique {
+
+/// \brief The cache-conscious version-store backend: an open-addressing
+/// hash index over per-item version chains, in the style of a chess
+/// engine's transposition table.
+///
+/// Layout:
+///
+///  * The index is a power-of-two array of fixed-size, cache-line-aligned
+///    *bucket clusters* (64 bytes = 4 slots of fingerprint + entry
+///    index).  A lookup computes one splitmix64-finalized hash of the
+///    item id, lands on a cluster, and scans its 4 slots in one cache
+///    line; collisions probe linearly cluster-by-cluster, so every probe
+///    step costs exactly one line.  Full-key comparison only runs on a
+///    64-bit fingerprint match, so misses almost never touch the item
+///    entries at all.
+///  * Each item entry keeps its newest versions in a small *inline hot
+///    array* (the versions point reads and FCW probes actually inspect)
+///    and spills older history into an overflow vector — deep chains under
+///    `kRetainAll` stay exact, while the common bounded-chain case after
+///    watermark GC fits entirely in the hot slots.
+///  * Reclamation rides the engines' existing `GarbageCollectVersions`
+///    epoch: the GC watermark plays the role of the transposition table's
+///    generation counter.  A pass prunes chains in place, retires chains
+///    that fold to a lone committed tombstone, marks their index slots
+///    reusable, and recycles their entries — no separate sweep.
+///
+/// Observable behavior is identical to `MapVersionStore` (the conformance
+/// battery in tests/version_store_test.cc holds both to the same
+/// answers); `Scan` sorts its matches, so key order survives the hashed
+/// layout.  Not internally synchronized — see the `VersionStore`
+/// contract.
+class HashVersionStore : public VersionStore {
+ public:
+  HashVersionStore();
+
+  StorageBackend backend() const override { return StorageBackend::kHash; }
+
+  void Bootstrap(const ItemId& id, Row row, Timestamp ts) override;
+  std::optional<Row> Read(const ItemId& id, Timestamp ts,
+                          TxnId txn) const override;
+  std::optional<Version> ReadVersionInfo(const ItemId& id, Timestamp ts,
+                                         TxnId txn) const override;
+  void Write(const ItemId& id, Row row, TxnId txn) override;
+  void Delete(const ItemId& id, TxnId txn) override;
+  bool HasPendingWrite(const ItemId& id, TxnId txn) const override;
+  bool HasConcurrentPendingWrite(const ItemId& id, TxnId txn) const override;
+  Timestamp LatestCommitTs(const ItemId& id) const override;
+
+  using VersionStore::AbortTxn;
+  using VersionStore::CommitTxn;
+  void CommitTxn(TxnId txn, Timestamp commit_ts,
+                 const std::set<ItemId>& items) override;
+  void AbortTxn(TxnId txn, const std::set<ItemId>& items) override;
+
+  std::vector<std::pair<ItemId, Row>> Scan(const Predicate& pred,
+                                           Timestamp ts,
+                                           TxnId txn) const override;
+  size_t GarbageCollect(Timestamp watermark) override;
+  size_t VersionCount() const override;
+  size_t MaxChainLength() const override;
+  size_t ItemCount() const override { return live_items_; }
+  std::vector<Version> Chain(const ItemId& id) const override;
+
+ protected:
+  void CommitTxnScan(TxnId txn, Timestamp commit_ts) override;
+  void AbortTxnScan(TxnId txn) override;
+
+ private:
+  /// Slots per 64-byte cluster: 4 x (8-byte fingerprint + 4-byte entry
+  /// index) = 48 bytes of payload in one cache line.
+  static constexpr size_t kClusterSlots = 4;
+  /// `entry` sentinel: never occupied — probing stops here.
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+  /// `entry` sentinel: occupied once, since vacated — probing continues,
+  /// inserts may reuse it (the open-addressing deletion marker).
+  static constexpr uint32_t kVacatedSlot = 0xfffffffeu;
+
+  struct alignas(64) Cluster {
+    uint64_t fp[kClusterSlots];
+    uint32_t entry[kClusterSlots];
+  };
+  static_assert(sizeof(Cluster) == 64, "one cluster = one cache line");
+
+  /// Newest versions kept inline with the entry header; chains at most
+  /// this long (the steady state under watermark GC) never touch the
+  /// overflow heap.
+  static constexpr size_t kHotSlots = 3;
+
+  struct ItemEntry {
+    ItemId id;
+    uint64_t fp = 0;
+    bool live = false;
+    /// The logical chain, oldest first, is `cold` then `hot[0..hot_count)`.
+    uint32_t hot_count = 0;
+    Version hot[kHotSlots];
+    std::vector<Version> cold;
+
+    size_t chain_size() const { return cold.size() + hot_count; }
+  };
+
+  /// splitmix64-finalized hash of an item id (never 0; 0 marks a slot
+  /// that has no fingerprint).
+  static uint64_t HashId(const ItemId& id);
+
+  /// Index lookup; kEmptySlot when absent.
+  uint32_t FindEntry(const ItemId& id, uint64_t fp) const;
+  const ItemEntry* Find(const ItemId& id) const;
+
+  /// Lookup-or-create (fresh entries start with an empty chain).
+  ItemEntry& FindOrCreate(const ItemId& id);
+
+  /// Inserts (fp, entry_index) into the index; assumes the id is absent.
+  void IndexInsert(uint64_t fp, uint32_t entry_index);
+
+  /// Marks the id's index slot vacated and recycles its entry.
+  void EraseEntry(const ItemId& id, uint64_t fp);
+
+  /// Doubles the cluster array and reinserts every live entry (vacated
+  /// markers do not survive a rehash).
+  void Rehash(size_t clusters);
+
+  /// Appends a version at the newest end, spilling the oldest hot slot to
+  /// the overflow vector when the hot array is full.
+  static void Append(ItemEntry& e, Version v);
+
+  /// `txn`'s pending version in `e`, or nullptr (newest first, matching
+  /// the reference backend's reverse scan).
+  static Version* OwnPending(ItemEntry& e, TxnId txn);
+  static const Version* OwnPending(const ItemEntry& e, TxnId txn);
+
+  /// Visible version for (`ts`, `txn`) per the SPI visibility rule.
+  static const Version* VisibleIn(const ItemEntry& e, Timestamp ts, TxnId txn);
+
+  /// Replaces `e`'s chain with `chain` (oldest first), repacking the
+  /// newest versions into the hot slots.
+  static void SetChain(ItemEntry& e, std::vector<Version> chain);
+
+  /// Drops `txn`'s pending versions from `e`; returns how many went.
+  static size_t DropPending(ItemEntry& e, TxnId txn);
+
+  std::vector<Cluster> clusters_;
+  uint64_t cluster_mask_ = 0;
+  /// Occupied + vacated index slots (the load-factor numerator: vacated
+  /// slots still lengthen probe sequences until a rehash reclaims them).
+  size_t used_slots_ = 0;
+  size_t live_items_ = 0;
+
+  std::vector<ItemEntry> entries_;
+  std::vector<uint32_t> free_entries_;
+};
+
+}  // namespace critique
+
+#endif  // CRITIQUE_STORAGE_HASH_STORE_H_

@@ -4,7 +4,7 @@
 
 namespace critique {
 
-void MultiVersionStore::Bootstrap(const ItemId& id, Row row, Timestamp ts) {
+void MapVersionStore::Bootstrap(const ItemId& id, Row row, Timestamp ts) {
   Version v;
   v.row = std::move(row);
   v.creator = kInitialTxn;
@@ -12,7 +12,7 @@ void MultiVersionStore::Bootstrap(const ItemId& id, Row row, Timestamp ts) {
   chains_[id].push_back(std::move(v));
 }
 
-const Version* MultiVersionStore::Visible(const ItemId& id, Timestamp ts,
+const Version* MapVersionStore::Visible(const ItemId& id, Timestamp ts,
                                           TxnId txn) const {
   auto it = chains_.find(id);
   if (it == chains_.end()) return nullptr;
@@ -31,14 +31,14 @@ const Version* MultiVersionStore::Visible(const ItemId& id, Timestamp ts,
   return best;
 }
 
-std::optional<Row> MultiVersionStore::Read(const ItemId& id, Timestamp ts,
+std::optional<Row> MapVersionStore::Read(const ItemId& id, Timestamp ts,
                                            TxnId txn) const {
   const Version* v = Visible(id, ts, txn);
   if (!v || v->tombstone) return std::nullopt;
   return v->row;
 }
 
-std::optional<Version> MultiVersionStore::ReadVersionInfo(const ItemId& id,
+std::optional<Version> MapVersionStore::ReadVersionInfo(const ItemId& id,
                                                           Timestamp ts,
                                                           TxnId txn) const {
   const Version* v = Visible(id, ts, txn);
@@ -46,7 +46,7 @@ std::optional<Version> MultiVersionStore::ReadVersionInfo(const ItemId& id,
   return *v;
 }
 
-void MultiVersionStore::Write(const ItemId& id, Row row, TxnId txn) {
+void MapVersionStore::Write(const ItemId& id, Row row, TxnId txn) {
   auto& chain = chains_[id];
   for (auto& v : chain) {
     if (!v.committed() && v.creator == txn) {
@@ -61,7 +61,7 @@ void MultiVersionStore::Write(const ItemId& id, Row row, TxnId txn) {
   chain.push_back(std::move(v));
 }
 
-void MultiVersionStore::Delete(const ItemId& id, TxnId txn) {
+void MapVersionStore::Delete(const ItemId& id, TxnId txn) {
   auto& chain = chains_[id];
   for (auto& v : chain) {
     if (!v.committed() && v.creator == txn) {
@@ -75,7 +75,7 @@ void MultiVersionStore::Delete(const ItemId& id, TxnId txn) {
   chain.push_back(std::move(v));
 }
 
-bool MultiVersionStore::HasPendingWrite(const ItemId& id, TxnId txn) const {
+bool MapVersionStore::HasPendingWrite(const ItemId& id, TxnId txn) const {
   auto it = chains_.find(id);
   if (it == chains_.end()) return false;
   for (const auto& v : it->second) {
@@ -84,7 +84,7 @@ bool MultiVersionStore::HasPendingWrite(const ItemId& id, TxnId txn) const {
   return false;
 }
 
-bool MultiVersionStore::HasConcurrentPendingWrite(const ItemId& id,
+bool MapVersionStore::HasConcurrentPendingWrite(const ItemId& id,
                                                   TxnId txn) const {
   auto it = chains_.find(id);
   if (it == chains_.end()) return false;
@@ -94,7 +94,7 @@ bool MultiVersionStore::HasConcurrentPendingWrite(const ItemId& id,
   return false;
 }
 
-Timestamp MultiVersionStore::LatestCommitTs(const ItemId& id) const {
+Timestamp MapVersionStore::LatestCommitTs(const ItemId& id) const {
   auto it = chains_.find(id);
   if (it == chains_.end()) return kInvalidTimestamp;
   Timestamp best = kInvalidTimestamp;
@@ -104,7 +104,7 @@ Timestamp MultiVersionStore::LatestCommitTs(const ItemId& id) const {
   return best;
 }
 
-void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts) {
+void MapVersionStore::CommitTxnScan(TxnId txn, Timestamp commit_ts) {
   for (auto& [id, chain] : chains_) {
     (void)id;
     for (auto& v : chain) {
@@ -113,7 +113,7 @@ void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts) {
   }
 }
 
-void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts,
+void MapVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts,
                                   const std::set<ItemId>& items) {
   for (const ItemId& id : items) {
     auto it = chains_.find(id);
@@ -124,7 +124,7 @@ void MultiVersionStore::CommitTxn(TxnId txn, Timestamp commit_ts,
   }
 }
 
-void MultiVersionStore::AbortTxn(TxnId txn) {
+void MapVersionStore::AbortTxnScan(TxnId txn) {
   for (auto& [id, chain] : chains_) {
     (void)id;
     chain.erase(std::remove_if(chain.begin(), chain.end(),
@@ -135,7 +135,7 @@ void MultiVersionStore::AbortTxn(TxnId txn) {
   }
 }
 
-void MultiVersionStore::AbortTxn(TxnId txn, const std::set<ItemId>& items) {
+void MapVersionStore::AbortTxn(TxnId txn, const std::set<ItemId>& items) {
   for (const ItemId& id : items) {
     auto it = chains_.find(id);
     if (it == chains_.end()) continue;
@@ -149,7 +149,7 @@ void MultiVersionStore::AbortTxn(TxnId txn, const std::set<ItemId>& items) {
   }
 }
 
-std::vector<std::pair<ItemId, Row>> MultiVersionStore::Scan(
+std::vector<std::pair<ItemId, Row>> MapVersionStore::Scan(
     const Predicate& pred, Timestamp ts, TxnId txn) const {
   std::vector<std::pair<ItemId, Row>> out;
   for (const auto& [id, chain] : chains_) {
@@ -161,7 +161,7 @@ std::vector<std::pair<ItemId, Row>> MultiVersionStore::Scan(
   return out;
 }
 
-size_t MultiVersionStore::GarbageCollect(Timestamp watermark) {
+size_t MapVersionStore::GarbageCollect(Timestamp watermark) {
   size_t dropped = 0;
   for (auto it = chains_.begin(); it != chains_.end();) {
     auto& chain = it->second;
@@ -192,7 +192,7 @@ size_t MultiVersionStore::GarbageCollect(Timestamp watermark) {
   return dropped;
 }
 
-size_t MultiVersionStore::VersionCount() const {
+size_t MapVersionStore::VersionCount() const {
   size_t n = 0;
   for (const auto& [id, chain] : chains_) {
     (void)id;
@@ -201,7 +201,7 @@ size_t MultiVersionStore::VersionCount() const {
   return n;
 }
 
-size_t MultiVersionStore::MaxChainLength() const {
+size_t MapVersionStore::MaxChainLength() const {
   size_t n = 0;
   for (const auto& [id, chain] : chains_) {
     (void)id;
@@ -210,7 +210,7 @@ size_t MultiVersionStore::MaxChainLength() const {
   return n;
 }
 
-std::vector<Version> MultiVersionStore::Chain(const ItemId& id) const {
+std::vector<Version> MapVersionStore::Chain(const ItemId& id) const {
   auto it = chains_.find(id);
   if (it == chains_.end()) return {};
   return it->second;

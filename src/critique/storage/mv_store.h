@@ -6,113 +6,63 @@
 #include <set>
 #include <vector>
 
-#include "critique/common/clock.h"
-#include "critique/history/action.h"
-#include "critique/model/predicate.h"
-#include "critique/model/row.h"
+#include "critique/storage/version_store.h"
 
 namespace critique {
 
-/// \brief One version in an item's version chain.
-struct Version {
-  Row row;
-  bool tombstone = false;          ///< a committed/pending delete
-  TxnId creator = kInitialTxn;     ///< transaction that produced it
-  Timestamp commit_ts = kInvalidTimestamp;  ///< 0 while uncommitted
-
-  bool committed() const { return commit_ts != kInvalidTimestamp; }
-};
-
-/// \brief Multiversion store in the style of Reed [REE]: each item keeps a
-/// chain of versions; readers pick the version visible at their snapshot
-/// timestamp, writers append uncommitted versions that commit or vanish
-/// atomically with their transaction.
+/// \brief The reference version-store backend: multiversion storage in the
+/// style of Reed [REE] over an ordered `std::map` of version vectors —
+/// each item keeps a chain of versions; readers pick the version visible
+/// at their snapshot timestamp, writers append uncommitted versions that
+/// commit or vanish atomically with their transaction.
 ///
-/// Visibility for a reader (txn `t`, snapshot `ts`): `t`'s own pending
-/// version if present, else the committed version with the largest
-/// commit_ts <= ts.  "Updates by other transactions active after the
-/// transaction Start-Timestamp are invisible to the transaction"
-/// (Section 4.2).
-///
-/// Not internally synchronized; engines serialize access.
-class MultiVersionStore {
+/// Simple and observably correct by construction (key order and chain
+/// order are the container orders); every other backend is judged against
+/// it by the conformance battery.  See `VersionStore` for the contract,
+/// including the external-synchronization rule.
+class MapVersionStore : public VersionStore {
  public:
-  /// Installs an initial (commit_ts = 1 by convention of the owning
-  /// engine) version; used for database setup.
-  void Bootstrap(const ItemId& id, Row row, Timestamp ts);
+  StorageBackend backend() const override { return StorageBackend::kMap; }
 
-  /// The row visible to `txn` at snapshot `ts` (nullopt when absent or
-  /// deleted at that snapshot).
-  std::optional<Row> Read(const ItemId& id, Timestamp ts, TxnId txn) const;
-
-  /// The visible version itself, tombstones included (for engines that
-  /// record version subscripts); nullopt when no version is visible.
+  void Bootstrap(const ItemId& id, Row row, Timestamp ts) override;
+  std::optional<Row> Read(const ItemId& id, Timestamp ts,
+                          TxnId txn) const override;
   std::optional<Version> ReadVersionInfo(const ItemId& id, Timestamp ts,
-                                         TxnId txn) const;
+                                         TxnId txn) const override;
+  void Write(const ItemId& id, Row row, TxnId txn) override;
+  void Delete(const ItemId& id, TxnId txn) override;
+  bool HasPendingWrite(const ItemId& id, TxnId txn) const override;
+  bool HasConcurrentPendingWrite(const ItemId& id, TxnId txn) const override;
+  Timestamp LatestCommitTs(const ItemId& id) const override;
 
-  /// Appends (or replaces) `txn`'s pending version of `id`.
-  void Write(const ItemId& id, Row row, TxnId txn);
+  using VersionStore::AbortTxn;
+  using VersionStore::CommitTxn;
+  void CommitTxn(TxnId txn, Timestamp commit_ts,
+                 const std::set<ItemId>& items) override;
+  void AbortTxn(TxnId txn, const std::set<ItemId>& items) override;
 
-  /// Appends (or replaces) `txn`'s pending tombstone of `id`.
-  void Delete(const ItemId& id, TxnId txn);
-
-  /// True when `txn` has a pending version of `id`.
-  bool HasPendingWrite(const ItemId& id, TxnId txn) const;
-
-  /// True when some *other* transaction has a pending version of `id`
-  /// (the eager write-write conflict probe).
-  bool HasConcurrentPendingWrite(const ItemId& id, TxnId txn) const;
-
-  /// Largest commit timestamp of any committed version of `id`
-  /// (kInvalidTimestamp when none): the First-Committer-Wins probe —
-  /// a conflict exists when this exceeds the writer's start timestamp.
-  Timestamp LatestCommitTs(const ItemId& id) const;
-
-  /// Stamps all of `txn`'s pending versions with `commit_ts`.  The
-  /// hint-free overload scans every chain; engines that track the
-  /// transaction's write set pass it so commit costs O(|write set|), not
-  /// O(items in the store) — the hot-path difference `bench_mvcc_store`
-  /// measures.
-  void CommitTxn(TxnId txn, Timestamp commit_ts);
-  void CommitTxn(TxnId txn, Timestamp commit_ts, const std::set<ItemId>& items);
-
-  /// Discards all of `txn`'s pending versions (same hint contract as
-  /// `CommitTxn`).
-  void AbortTxn(TxnId txn);
-  void AbortTxn(TxnId txn, const std::set<ItemId>& items);
-
-  /// Items (id, row) visible to (`txn`, `ts`) that satisfy `pred`,
-  /// in key order.
   std::vector<std::pair<ItemId, Row>> Scan(const Predicate& pred,
-                                           Timestamp ts, TxnId txn) const;
+                                           Timestamp ts,
+                                           TxnId txn) const override;
+  size_t GarbageCollect(Timestamp watermark) override;
+  size_t VersionCount() const override;
+  size_t MaxChainLength() const override;
+  size_t ItemCount() const override { return chains_.size(); }
+  std::vector<Version> Chain(const ItemId& id) const override;
 
-  /// Drops versions no longer visible to any snapshot >= `watermark`
-  /// (keeps, per item, the newest committed version at or below the
-  /// watermark, everything newer, and all pending versions).  A chain
-  /// whose only survivor is a committed tombstone at or below the
-  /// watermark is dropped entirely — the item reads as absent at every
-  /// surviving snapshot either way, so deleted keys stop pinning memory.
-  /// Returns the number of versions discarded.
-  size_t GarbageCollect(Timestamp watermark);
-
-  /// Total number of stored versions (across all items).
-  size_t VersionCount() const;
-
-  /// Length of the longest version chain (0 when empty) — the GC
-  /// boundedness metric benches and tests assert on.
-  size_t MaxChainLength() const;
-
-  /// Number of distinct items with at least one version.
-  size_t ItemCount() const { return chains_.size(); }
-
-  /// The full chain for an item (diagnostics/tests); empty when unknown.
-  std::vector<Version> Chain(const ItemId& id) const;
+ protected:
+  void CommitTxnScan(TxnId txn, Timestamp commit_ts) override;
+  void AbortTxnScan(TxnId txn) override;
 
  private:
   const Version* Visible(const ItemId& id, Timestamp ts, TxnId txn) const;
 
   std::map<ItemId, std::vector<Version>> chains_;
 };
+
+/// Historical name of the reference backend, kept so existing clients
+/// (tests, benches, paper schedules) compile unchanged.
+using MultiVersionStore = MapVersionStore;
 
 }  // namespace critique
 

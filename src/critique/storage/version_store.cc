@@ -1,0 +1,40 @@
+#include "critique/storage/version_store.h"
+
+#include "critique/storage/hash_store.h"
+#include "critique/storage/mv_store.h"
+
+namespace critique {
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kMap:
+      return "map";
+    case StorageBackend::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+std::optional<StorageBackend> ParseStorageBackend(const std::string& token) {
+  if (token == "map") return StorageBackend::kMap;
+  if (token == "hash") return StorageBackend::kHash;
+  return std::nullopt;
+}
+
+const std::vector<StorageBackend>& AllStorageBackends() {
+  static const std::vector<StorageBackend> kAll = {StorageBackend::kMap,
+                                                   StorageBackend::kHash};
+  return kAll;
+}
+
+std::unique_ptr<VersionStore> MakeVersionStore(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kHash:
+      return std::make_unique<HashVersionStore>();
+    case StorageBackend::kMap:
+      break;
+  }
+  return std::make_unique<MapVersionStore>();
+}
+
+}  // namespace critique

@@ -1,0 +1,214 @@
+#ifndef CRITIQUE_STORAGE_VERSION_STORE_H_
+#define CRITIQUE_STORAGE_VERSION_STORE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "critique/common/clock.h"
+#include "critique/history/action.h"
+#include "critique/model/predicate.h"
+#include "critique/model/row.h"
+
+namespace critique {
+
+/// \brief One version in an item's version chain.
+struct Version {
+  Row row;
+  bool tombstone = false;          ///< a committed/pending delete
+  TxnId creator = kInitialTxn;     ///< transaction that produced it
+  Timestamp commit_ts = kInvalidTimestamp;  ///< 0 while uncommitted
+
+  bool committed() const { return commit_ts != kInvalidTimestamp; }
+};
+
+/// Which physical version-store implementation a multiversion engine runs
+/// on.  Selected through `DbOptions::storage_backend` and carried to the
+/// engines by `EngineConcurrency`; engines without version chains accept
+/// and ignore it.
+enum class StorageBackend {
+  /// `MapVersionStore`: ordered `std::map` of version vectors — the
+  /// reference backend every other one must agree with observation for
+  /// observation.
+  kMap,
+  /// `HashVersionStore`: open-addressing hash index with cache-line-
+  /// aligned bucket clusters and inline hot version slots — the
+  /// cache-conscious backend for point-read-heavy workloads.
+  kHash,
+};
+
+/// Short stable token for a backend: "map" / "hash" (bench flags, HISTEX
+/// config lines, JSON keys).
+const char* StorageBackendName(StorageBackend backend);
+
+/// Inverse of `StorageBackendName`; nullopt on an unknown token.
+std::optional<StorageBackend> ParseStorageBackend(const std::string& token);
+
+/// Every registered backend, in a stable order — what the conformance
+/// battery and the bench sweep iterate over.
+const std::vector<StorageBackend>& AllStorageBackends();
+
+/// \brief The version-store SPI: the storage surface every multiversion
+/// engine (Snapshot Isolation / SSI, Oracle Read Consistency) drives,
+/// extracted from the original `MultiVersionStore` so backends compete
+/// under `bench_mvcc_store` the way the Engine SPI lets isolation levels
+/// compete.
+///
+/// Semantics every backend must honor bit-for-bit (the conformance
+/// battery in tests/version_store_test.cc checks them against each):
+///
+///  * Visibility for a reader (txn `t`, snapshot `ts`): `t`'s own pending
+///    version if present, else the committed version with the largest
+///    commit_ts <= ts — "updates by other transactions active after the
+///    transaction Start-Timestamp are invisible" (Section 4.2).
+///  * `Scan` returns matches in ascending key order, whatever the
+///    backend's physical layout.
+///  * `GarbageCollect(watermark)` keeps, per item, the newest committed
+///    version at or below the watermark, everything newer, and all
+///    pending versions; a chain whose only survivor is a committed
+///    tombstone at or below the watermark is dropped entirely.
+///  * The hinted `CommitTxn`/`AbortTxn` overloads are O(|write set|); a
+///    hinted abort erases a chain it emptied, so aborted inserts stop
+///    occupying the index.
+///
+/// Synchronization contract: a store is NOT internally synchronized;
+/// engines serialize access (the stock engines hold a reader-writer
+/// `store_mu_` — reads and scans shared, mutation and GC exclusive).  The
+/// unhinted-operation counters are the one exception: they are relaxed
+/// atomics so metrics collectors may read them under the shared latch.
+class VersionStore {
+ public:
+  virtual ~VersionStore() = default;
+
+  /// Which backend this store is (factory round-trip + diagnostics).
+  virtual StorageBackend backend() const = 0;
+
+  /// Installs an initial (commit_ts = 1 by convention of the owning
+  /// engine) version; used for database setup.
+  virtual void Bootstrap(const ItemId& id, Row row, Timestamp ts) = 0;
+
+  /// The row visible to `txn` at snapshot `ts` (nullopt when absent or
+  /// deleted at that snapshot).
+  virtual std::optional<Row> Read(const ItemId& id, Timestamp ts,
+                                  TxnId txn) const = 0;
+
+  /// The visible version itself, tombstones included (for engines that
+  /// record version subscripts); nullopt when no version is visible.
+  virtual std::optional<Version> ReadVersionInfo(const ItemId& id,
+                                                 Timestamp ts,
+                                                 TxnId txn) const = 0;
+
+  /// Appends (or replaces) `txn`'s pending version of `id`.
+  virtual void Write(const ItemId& id, Row row, TxnId txn) = 0;
+
+  /// Appends (or replaces) `txn`'s pending tombstone of `id`.
+  virtual void Delete(const ItemId& id, TxnId txn) = 0;
+
+  /// True when `txn` has a pending version of `id`.
+  virtual bool HasPendingWrite(const ItemId& id, TxnId txn) const = 0;
+
+  /// True when some *other* transaction has a pending version of `id`
+  /// (the eager write-write conflict probe).
+  virtual bool HasConcurrentPendingWrite(const ItemId& id,
+                                         TxnId txn) const = 0;
+
+  /// Largest commit timestamp of any committed version of `id`
+  /// (kInvalidTimestamp when none): the First-Committer-Wins probe —
+  /// a conflict exists when this exceeds the writer's start timestamp.
+  virtual Timestamp LatestCommitTs(const ItemId& id) const = 0;
+
+  /// Stamps all of `txn`'s pending versions of `items` with `commit_ts`:
+  /// O(|write set|), the commit fast path every engine call site uses.
+  virtual void CommitTxn(TxnId txn, Timestamp commit_ts,
+                         const std::set<ItemId>& items) = 0;
+
+  /// Discards all of `txn`'s pending versions of `items`, erasing chains
+  /// it emptied (same hint contract as the hinted `CommitTxn`).
+  virtual void AbortTxn(TxnId txn, const std::set<ItemId>& items) = 0;
+
+  /// Hint-free commit: scans EVERY chain for `txn`'s pending versions —
+  /// O(items in the store), the slow path the write-set hint exists to
+  /// avoid.  Kept for callers that genuinely have no write set (none of
+  /// the stock engines; they all track one), counted so regressions are
+  /// visible (`unhinted_commits`, exported by the engines as
+  /// `storage.unhinted_commits`), and debug-asserted against once a store
+  /// is wired into an engine (`DiscourageUnhinted`).
+  void CommitTxn(TxnId txn, Timestamp commit_ts) {
+    unhinted_commits_.fetch_add(1, std::memory_order_relaxed);
+    assert(!discourage_unhinted_ &&
+           "unhinted CommitTxn full-store scan: pass the write set");
+    CommitTxnScan(txn, commit_ts);
+  }
+
+  /// Hint-free abort: same full-scan contract and accounting as the
+  /// hint-free `CommitTxn`.  (Unlike the hinted overload it never erases
+  /// emptied chains — without the hint it cannot know which to revisit.)
+  void AbortTxn(TxnId txn) {
+    unhinted_aborts_.fetch_add(1, std::memory_order_relaxed);
+    assert(!discourage_unhinted_ &&
+           "unhinted AbortTxn full-store scan: pass the write set");
+    AbortTxnScan(txn);
+  }
+
+  /// Items (id, row) visible to (`txn`, `ts`) that satisfy `pred`,
+  /// in key order.
+  virtual std::vector<std::pair<ItemId, Row>> Scan(const Predicate& pred,
+                                                   Timestamp ts,
+                                                   TxnId txn) const = 0;
+
+  /// Drops versions no longer visible to any snapshot >= `watermark`
+  /// (see the class contract).  Returns the number of versions discarded.
+  virtual size_t GarbageCollect(Timestamp watermark) = 0;
+
+  /// Total number of stored versions (across all items).
+  virtual size_t VersionCount() const = 0;
+
+  /// Length of the longest version chain (0 when empty) — the GC
+  /// boundedness metric benches and tests assert on.
+  virtual size_t MaxChainLength() const = 0;
+
+  /// Number of distinct items with at least one version slot (a chain an
+  /// unhinted abort emptied still counts until GC or a hinted abort
+  /// retires it).
+  virtual size_t ItemCount() const = 0;
+
+  /// The full chain for an item, oldest first (diagnostics/tests); empty
+  /// when unknown.
+  virtual std::vector<Version> Chain(const ItemId& id) const = 0;
+
+  /// Marks this store as engine-owned: every commit/abort is expected to
+  /// carry its write-set hint from here on, and the hint-free overloads
+  /// assert in debug builds (they still work — and count — in release).
+  /// The engines call this when they adopt a store.
+  void DiscourageUnhinted() { discourage_unhinted_ = true; }
+
+  /// How many hint-free (full-scan) commits/aborts this store has served.
+  uint64_t unhinted_commits() const {
+    return unhinted_commits_.load(std::memory_order_relaxed);
+  }
+  uint64_t unhinted_aborts() const {
+    return unhinted_aborts_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// The full-store scans behind the hint-free overloads.
+  virtual void CommitTxnScan(TxnId txn, Timestamp commit_ts) = 0;
+  virtual void AbortTxnScan(TxnId txn) = 0;
+
+ private:
+  std::atomic<uint64_t> unhinted_commits_{0};
+  std::atomic<uint64_t> unhinted_aborts_{0};
+  bool discourage_unhinted_ = false;
+};
+
+/// Builds a fresh, empty store of the given backend.
+std::unique_ptr<VersionStore> MakeVersionStore(StorageBackend backend);
+
+}  // namespace critique
+
+#endif  // CRITIQUE_STORAGE_VERSION_STORE_H_

@@ -1,0 +1,389 @@
+// Backend-conformance battery: every registered `VersionStore` backend is
+// held to the same observable answers — visibility at snapshots,
+// own-pending reads, tombstone chains, hinted vs hint-free commit/abort
+// equivalence, exact GC watermark semantics, RetainAll time travel, and
+// the engine-level gc_floor refusal — plus GC under concurrent writers
+// per backend (run under --tsan for the data-race certificate).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "critique/db/database.h"
+#include "critique/engine/si_engine.h"
+#include "critique/storage/version_store.h"
+
+namespace critique {
+namespace {
+
+Row R(int64_t v) { return Row::Scalar(Value(v)); }
+
+class VersionStoreTest : public ::testing::TestWithParam<StorageBackend> {
+ protected:
+  std::unique_ptr<VersionStore> NewStore() const {
+    std::unique_ptr<VersionStore> s = MakeVersionStore(GetParam());
+    EXPECT_EQ(s->backend(), GetParam());
+    return s;
+  }
+};
+
+TEST_P(VersionStoreTest, VisibilityAtSnapshots) {
+  auto s = NewStore();
+  s->Bootstrap("x", R(0), 1);
+  for (TxnId t = 2; t <= 5; ++t) {
+    s->Write("x", R(t), t);
+    s->CommitTxn(t, t * 10, std::set<ItemId>{"x"});
+  }
+  // Commit timestamps 1, 20, 30, 40, 50: a snapshot sees the newest
+  // committed version at or below it.
+  EXPECT_TRUE(s->Read("x", 1, 99)->scalar().Equals(Value(int64_t{0})));
+  EXPECT_TRUE(s->Read("x", 19, 99)->scalar().Equals(Value(int64_t{0})));
+  EXPECT_TRUE(s->Read("x", 20, 99)->scalar().Equals(Value(int64_t{2})));
+  EXPECT_TRUE(s->Read("x", 35, 99)->scalar().Equals(Value(int64_t{3})));
+  EXPECT_TRUE(s->Read("x", 99, 99)->scalar().Equals(Value(int64_t{5})));
+  EXPECT_FALSE(s->Read("nope", 99, 99).has_value());
+  EXPECT_EQ(s->VersionCount(), 5u);
+  EXPECT_EQ(s->MaxChainLength(), 5u);
+  EXPECT_EQ(s->ItemCount(), 1u);
+}
+
+TEST_P(VersionStoreTest, OwnPendingVersionWins) {
+  auto s = NewStore();
+  s->Bootstrap("x", R(0), 1);
+  s->Write("x", R(7), /*txn=*/2);
+  // The writer sees its own pending version at any snapshot; everyone
+  // else still reads committed state.
+  EXPECT_TRUE(s->Read("x", 1, 2)->scalar().Equals(Value(int64_t{7})));
+  EXPECT_TRUE(s->Read("x", 99, 3)->scalar().Equals(Value(int64_t{0})));
+  EXPECT_TRUE(s->HasPendingWrite("x", 2));
+  EXPECT_FALSE(s->HasPendingWrite("x", 3));
+  EXPECT_TRUE(s->HasConcurrentPendingWrite("x", 3));
+  EXPECT_FALSE(s->HasConcurrentPendingWrite("x", 2));
+  // A second write by the same transaction replaces its pending version
+  // instead of growing the chain.
+  s->Write("x", R(8), 2);
+  EXPECT_EQ(s->VersionCount(), 2u);
+  EXPECT_TRUE(s->Read("x", 1, 2)->scalar().Equals(Value(int64_t{8})));
+}
+
+TEST_P(VersionStoreTest, TombstoneChains) {
+  auto s = NewStore();
+  s->Bootstrap("x", R(1), 1);
+  s->Delete("x", 2);
+  // Pending tombstone: gone for its creator, present for others.
+  EXPECT_FALSE(s->Read("x", 99, 2).has_value());
+  EXPECT_TRUE(s->Read("x", 99, 3).has_value());
+  // ReadVersionInfo surfaces the tombstone itself.
+  ASSERT_TRUE(s->ReadVersionInfo("x", 99, 2).has_value());
+  EXPECT_TRUE(s->ReadVersionInfo("x", 99, 2)->tombstone);
+  s->CommitTxn(2, 10, std::set<ItemId>{"x"});
+  // Committed tombstone: absent at snapshots >= 10, present below.
+  EXPECT_FALSE(s->Read("x", 10, 99).has_value());
+  EXPECT_TRUE(s->Read("x", 9, 99).has_value());
+  // Re-insert over the tombstone.
+  s->Write("x", R(5), 3);
+  s->CommitTxn(3, 20, std::set<ItemId>{"x"});
+  EXPECT_TRUE(s->Read("x", 20, 99)->scalar().Equals(Value(int64_t{5})));
+  EXPECT_FALSE(s->Read("x", 15, 99).has_value());
+}
+
+TEST_P(VersionStoreTest, LatestCommitTsProbe) {
+  auto s = NewStore();
+  EXPECT_EQ(s->LatestCommitTs("x"), kInvalidTimestamp);
+  s->Bootstrap("x", R(0), 1);
+  EXPECT_EQ(s->LatestCommitTs("x"), 1u);
+  s->Write("x", R(1), 2);
+  EXPECT_EQ(s->LatestCommitTs("x"), 1u);  // pending doesn't count
+  s->CommitTxn(2, 30, std::set<ItemId>{"x"});
+  EXPECT_EQ(s->LatestCommitTs("x"), 30u);
+  // Commit order != append order: an older append committing later must
+  // still win the probe.
+  s->Write("x", R(2), 3);
+  s->Write("x", R(3), 4);
+  s->CommitTxn(4, 40, std::set<ItemId>{"x"});
+  s->CommitTxn(3, 50, std::set<ItemId>{"x"});
+  EXPECT_EQ(s->LatestCommitTs("x"), 50u);
+  EXPECT_TRUE(s->Read("x", 45, 99)->scalar().Equals(Value(int64_t{3})));
+  EXPECT_TRUE(s->Read("x", 55, 99)->scalar().Equals(Value(int64_t{2})));
+}
+
+TEST_P(VersionStoreTest, HintedCommitMatchesFullScan) {
+  auto hinted = NewStore();
+  auto scanned = NewStore();
+  for (auto* s : {hinted.get(), scanned.get()}) {
+    s->Bootstrap("x", R(0), 1);
+    s->Bootstrap("y", R(0), 1);
+    s->Write("x", R(7), 2);
+    s->Write("y", R(8), 2);
+  }
+  hinted->CommitTxn(2, 5, std::set<ItemId>{"x", "y"});
+  scanned->CommitTxn(2, 5);  // hint-free slow path
+  for (const ItemId& id : {ItemId("x"), ItemId("y")}) {
+    EXPECT_TRUE(hinted->Read(id, 9, 99)->scalar().Equals(
+        scanned->Read(id, 9, 99)->scalar()));
+  }
+  EXPECT_EQ(hinted->VersionCount(), scanned->VersionCount());
+  // The slow path is counted; the fast path is not.
+  EXPECT_EQ(hinted->unhinted_commits(), 0u);
+  EXPECT_EQ(scanned->unhinted_commits(), 1u);
+}
+
+TEST_P(VersionStoreTest, HintedAbortMatchesFullScanAndErasesEmptyChains) {
+  auto hinted = NewStore();
+  auto scanned = NewStore();
+  for (auto* s : {hinted.get(), scanned.get()}) {
+    s->Bootstrap("x", R(0), 1);
+    s->Write("x", R(7), 2);
+    s->Write("fresh", R(9), 2);  // aborted insert of a new item
+  }
+  hinted->AbortTxn(2, std::set<ItemId>{"x", "fresh"});
+  scanned->AbortTxn(2);  // hint-free slow path
+  for (auto* s : {hinted.get(), scanned.get()}) {
+    EXPECT_TRUE(s->Read("x", 9, 99)->scalar().Equals(Value(int64_t{0})));
+    EXPECT_FALSE(s->Read("fresh", 99, 99).has_value());
+    EXPECT_EQ(s->VersionCount(), 1u);
+  }
+  // The hinted abort retires the chain it emptied; the hint-free one
+  // cannot know which chains it emptied, so the husk stays until GC.
+  EXPECT_EQ(hinted->ItemCount(), 1u);
+  EXPECT_EQ(scanned->ItemCount(), 2u);
+  EXPECT_EQ(hinted->unhinted_aborts(), 0u);
+  EXPECT_EQ(scanned->unhinted_aborts(), 1u);
+}
+
+TEST_P(VersionStoreTest, ScanReturnsKeyOrder) {
+  auto s = NewStore();
+  // Insertion order deliberately scrambled relative to key order.
+  for (const char* id : {"m", "a", "z", "k", "b"}) {
+    s->Bootstrap(id, R(1), 1);
+  }
+  s->Delete("k", 2);
+  s->CommitTxn(2, 10, std::set<ItemId>{"k"});
+  auto rows = s->Scan(Predicate::All(), 99, 99);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[1].first, "b");
+  EXPECT_EQ(rows[2].first, "m");
+  EXPECT_EQ(rows[3].first, "z");
+}
+
+TEST_P(VersionStoreTest, GcPrunesOnlyBelowWatermark) {
+  auto s = NewStore();
+  s->Bootstrap("x", R(0), 1);
+  for (TxnId t = 2; t <= 6; ++t) {
+    s->Write("x", R(t), t);
+    s->CommitTxn(t, t * 10, std::set<ItemId>{"x"});
+  }
+  // Chain commit timestamps: 1, 20, 30, 40, 50, 60.  Watermark 45 keeps
+  // the newest at/below it (40) and everything newer.
+  EXPECT_EQ(s->GarbageCollect(45), 3u);
+  EXPECT_TRUE(s->Read("x", 45, 99)->scalar().Equals(Value(int64_t{4})));
+  EXPECT_TRUE(s->Read("x", 65, 99)->scalar().Equals(Value(int64_t{6})));
+  EXPECT_EQ(s->MaxChainLength(), 3u);
+  // Pending versions survive any watermark.
+  s->Write("x", R(77), 100);
+  EXPECT_EQ(s->GarbageCollect(1000), 2u);  // 40, 50 go; 60 + pending stay
+  EXPECT_TRUE(s->Read("x", 1000, 100)->scalar().Equals(Value(int64_t{77})));
+  EXPECT_TRUE(s->Read("x", 1000, 99)->scalar().Equals(Value(int64_t{6})));
+}
+
+TEST_P(VersionStoreTest, GcDropsTombstoneOnlyChains) {
+  auto s = NewStore();
+  s->Bootstrap("x", R(1), 1);
+  s->Delete("x", 2);
+  s->CommitTxn(2, 10, std::set<ItemId>{"x"});
+  ASSERT_EQ(s->ItemCount(), 1u);
+  // Watermark above the tombstone: the whole chain folds away — an
+  // absent item and a tombstone read identically at surviving snapshots.
+  EXPECT_EQ(s->GarbageCollect(20), 2u);
+  EXPECT_EQ(s->ItemCount(), 0u);
+  EXPECT_FALSE(s->Read("x", 30, 99).has_value());
+  // The slot is genuinely reusable afterwards.
+  s->Bootstrap("x", R(5), 25);
+  EXPECT_TRUE(s->Read("x", 30, 99)->scalar().Equals(Value(int64_t{5})));
+}
+
+TEST_P(VersionStoreTest, DeepChainsStayExact) {
+  // Far past any inline hot-slot capacity: RetainAll-style history must
+  // answer every historical snapshot exactly, from whatever mix of inline
+  // and overflow storage the backend chose.
+  auto s = NewStore();
+  s->Bootstrap("x", R(0), 1);
+  constexpr int64_t kDepth = 200;
+  for (int64_t t = 2; t <= kDepth; ++t) {
+    s->Write("x", R(t), static_cast<TxnId>(t));
+    s->CommitTxn(static_cast<TxnId>(t), static_cast<Timestamp>(t * 10),
+                 std::set<ItemId>{"x"});
+  }
+  EXPECT_EQ(s->MaxChainLength(), static_cast<size_t>(kDepth));
+  for (int64_t t = 2; t <= kDepth; t += 17) {
+    EXPECT_TRUE(s->Read("x", static_cast<Timestamp>(t * 10), 999)
+                    ->scalar()
+                    .Equals(Value(t)));
+  }
+  std::vector<Version> chain = s->Chain("x");
+  ASSERT_EQ(chain.size(), static_cast<size_t>(kDepth));
+  // Chain() reports oldest first.
+  EXPECT_EQ(chain.front().commit_ts, 1u);
+  EXPECT_EQ(chain.back().commit_ts, static_cast<Timestamp>(kDepth * 10));
+}
+
+TEST_P(VersionStoreTest, ManyItemsSurviveGrowth) {
+  // Push any hash backend through several growth episodes and (via the
+  // deletes) index-slot reuse; every item must stay exactly readable.
+  auto s = NewStore();
+  constexpr int kItems = 3000;
+  for (int i = 0; i < kItems; ++i) {
+    s->Bootstrap("item" + std::to_string(i), R(i), 1);
+  }
+  EXPECT_EQ(s->ItemCount(), static_cast<size_t>(kItems));
+  // Delete every third item through hinted aborts-after-delete commits.
+  for (int i = 0; i < kItems; i += 3) {
+    const ItemId id = "item" + std::to_string(i);
+    s->Delete(id, 2);
+  }
+  s->CommitTxn(2, 10, [] {
+    std::set<ItemId> all;
+    for (int i = 0; i < kItems; i += 3) all.insert("item" + std::to_string(i));
+    return all;
+  }());
+  EXPECT_EQ(s->GarbageCollect(20), 2u * ((kItems + 2) / 3));
+  for (int i = 0; i < kItems; ++i) {
+    auto v = s->Read("item" + std::to_string(i), 99, 999);
+    if (i % 3 == 0) {
+      EXPECT_FALSE(v.has_value()) << i;
+    } else {
+      ASSERT_TRUE(v.has_value()) << i;
+      EXPECT_TRUE(v->scalar().Equals(Value(int64_t{i}))) << i;
+    }
+  }
+  EXPECT_EQ(s->ItemCount(), static_cast<size_t>(kItems - (kItems + 2) / 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, VersionStoreTest, ::testing::ValuesIn(AllStorageBackends()),
+    [](const ::testing::TestParamInfo<StorageBackend>& info) {
+      return std::string(StorageBackendName(info.param));
+    });
+
+// --- engine-level conformance: the SPI behind a real engine -----------------
+
+DbOptions BackendOptions(StorageBackend backend, VersionGcMode gc,
+                         uint32_t interval = 64) {
+  DbOptions opts(IsolationLevel::kSnapshotIsolation);
+  opts.storage_backend = backend;
+  opts.version_gc = gc;
+  opts.version_gc_interval = interval;
+  return opts;
+}
+
+class VersionStoreEngineTest
+    : public ::testing::TestWithParam<StorageBackend> {};
+
+TEST_P(VersionStoreEngineTest, GcFloorRefusesPrunedSnapshots) {
+  DbOptions opts =
+      BackendOptions(GetParam(), VersionGcMode::kWatermark, /*interval=*/64);
+  SnapshotIsolationEngine e;
+  EngineConcurrency c;
+  c.storage_backend = GetParam();
+  e.SetConcurrency(c);
+  e.SetVersionGc({opts.version_gc, opts.version_gc_interval});
+  (void)e.Load("x", R(0));
+  Timestamp old_ts = e.Now();
+  for (TxnId t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(e.Begin(t).ok());
+    ASSERT_TRUE(e.Write(t, "x", R(t)).ok());
+    ASSERT_TRUE(e.Commit(t).ok());
+  }
+  (void)e.GarbageCollectVersions();
+  ASSERT_GT(e.gc_floor(), old_ts);
+  // Below the floor: refused, never answered from a pruned chain.
+  Status s = e.BeginAt(100, old_ts);
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+  // At or above the floor: fine.
+  EXPECT_TRUE(e.BeginAt(101, e.gc_floor()).ok());
+}
+
+TEST_P(VersionStoreEngineTest, RetainAllKeepsTimeTravelExact) {
+  Database db(BackendOptions(GetParam(), VersionGcMode::kRetainAll));
+  (void)db.Load("x", Value(int64_t{0}));
+  std::vector<Timestamp> after;
+  for (int64_t i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(db.Execute([&](Transaction& txn) {
+      return txn.Put("x", Value(i));
+    }).ok());
+    after.push_back(*db.CurrentTimestamp());
+  }
+  EXPECT_GE(db.VersionCount(), 21u);  // nothing pruned
+  for (size_t i = 0; i < after.size(); i += 5) {
+    auto t = db.BeginAtTimestamp(after[i]);
+    ASSERT_TRUE(t.ok());
+    auto v = t->GetScalar("x");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->Equals(Value(static_cast<int64_t>(i + 1))));
+    (void)t->Commit();
+  }
+}
+
+TEST_P(VersionStoreEngineTest, GcUnderConcurrentWritersIsSafe) {
+  DbOptions opts =
+      BackendOptions(GetParam(), VersionGcMode::kWatermark, /*interval=*/4);
+  opts.mode = ConcurrencyMode::kBlocking;
+  Database db(opts);
+  const int64_t kItems = 8;
+  for (int64_t k = 0; k < kItems; ++k) {
+    (void)db.Load("k" + std::to_string(k), Value(int64_t{0}));
+  }
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 50;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&db, &committed, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Status s = db.Execute([&](Transaction& txn) {
+          return txn.Put("k" + std::to_string((t * 3 + i) % kItems),
+                         Value(int64_t{i}));
+        });
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  // A maintenance thread running explicit GC passes against the writers.
+  std::thread gc([&db] {
+    for (int i = 0; i < 50; ++i) {
+      (void)db.GarbageCollectVersions();
+      (void)db.OldestOpenSnapshot();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) w.join();
+  gc.join();
+
+  const EngineStats stats = db.stats();
+  EXPECT_EQ(stats.commits, committed.load());
+  EXPECT_GE(committed.load(),
+            static_cast<uint64_t>(kThreads * kTxnsPerThread * 3 / 4));
+  EXPECT_LE(db.engine().MaxVersionChainLength(), 16u);
+  auto t = db.Begin();
+  for (int64_t k = 0; k < kItems; ++k) {
+    auto v = t.Get("k" + std::to_string(k));
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, VersionStoreEngineTest,
+    ::testing::ValuesIn(AllStorageBackends()),
+    [](const ::testing::TestParamInfo<StorageBackend>& info) {
+      return std::string(StorageBackendName(info.param));
+    });
+
+}  // namespace
+}  // namespace critique
